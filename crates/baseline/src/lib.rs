@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Baselines the paper compares against or analyzes.
+//!
+//! * [`single`] — single-processor BFS and direction-optimizing BFS
+//!   (Beamer, Asanović, Patterson; SC'12), the algorithmic foundation the
+//!   paper builds on and the oracle for the `m'` workload of §IV-B;
+//! * [`oned`] — conventional 1D-partitioned distributed BFS: vertices
+//!   modulo-partitioned, frontier updates pushed point-to-point, and (for
+//!   the backward direction) newly visited vertices broadcast to all peers
+//!   — the `8m` communication volume §II-B starts from;
+//! * [`twod`] — conventional 2D-partitioned distributed BFS on a √p × √p
+//!   processor grid: column broadcasts of frontier segments, row reductions
+//!   of discoveries, and the `√p`-growth communication the paper argues
+//!   cannot scale (§II-B, §II-D).
+//!
+//! All baselines execute the real traversal (their outputs are validated
+//! against the reference) and are charged to the same cost model as the
+//! degree-separated implementation, so who-wins comparisons are apples to
+//! apples.
+
+pub mod oned;
+pub mod single;
+pub mod twod;
+
+pub use oned::{OneDBfs, OneDResult};
+pub use single::{SingleNodeBfs, SingleResult};
+pub use twod::{TwoDBfs, TwoDResult};
+
+/// Depth marker for unreached vertices (matches the rest of the workspace).
+pub const UNREACHED: u32 = u32::MAX;

@@ -1,0 +1,257 @@
+//! Conventional 1D-partitioned distributed BFS (§II-B).
+//!
+//! Vertices are modulo-partitioned over `p` processors; each processor owns
+//! the adjacency rows of its vertices. Forward iterations push discoveries
+//! point-to-point to the destination owner (8-byte global ids). In the
+//! backward direction "each active (unvisited) vertex must know the status
+//! of all its possible parents", which forces broadcasting the newly
+//! visited vertices to every peer — the `8m`-bytes-total communication the
+//! paper uses as its motivating negative example.
+//!
+//! The traversal itself executes for real; communication volumes are
+//! measured from the actual updates and charged to the shared cost model
+//! with every processor on its own rank (worst case: all traffic on the
+//! inter-node fabric).
+
+use crate::UNREACHED;
+use gcbfs_cluster::cost::{CostModel, KernelKind, NetworkModel};
+use gcbfs_graph::Csr;
+
+/// Result of a 1D-partitioned run.
+#[derive(Clone, Debug)]
+pub struct OneDResult {
+    /// Hop distances (`UNREACHED` if unreachable).
+    pub depths: Vec<u32>,
+    /// BFS levels processed.
+    pub iterations: u32,
+    /// Levels run in the backward direction.
+    pub backward_iterations: u32,
+    /// Edges examined across all processors.
+    pub edges_examined: u64,
+    /// Bytes crossing processor boundaries.
+    pub comm_bytes: u64,
+    /// Modeled computation seconds (max over processors, summed over
+    /// iterations).
+    pub compute_seconds: f64,
+    /// Modeled communication seconds.
+    pub comm_seconds: f64,
+}
+
+impl OneDResult {
+    /// Total modeled seconds.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.compute_seconds + self.comm_seconds
+    }
+
+    /// Graph500 TEPS against modeled time.
+    pub fn teps(&self, graph500_edges: u64) -> f64 {
+        graph500_edges as f64 / self.modeled_seconds()
+    }
+}
+
+/// 1D-partitioned BFS runner.
+#[derive(Clone, Copy, Debug)]
+pub struct OneDBfs {
+    /// Number of processors.
+    pub p: u32,
+    /// Direction optimization (costs the frontier broadcast).
+    pub direction_optimization: bool,
+    /// Beamer α: switch bottom-up when frontier edges exceed `unexplored/α`.
+    pub alpha: f64,
+    /// Beamer β: switch top-down when the frontier shrinks below `n/β`.
+    pub beta: f64,
+    /// Machine model.
+    pub cost: CostModel,
+}
+
+impl OneDBfs {
+    /// A `p`-processor 1D BFS with the Ray cost model.
+    pub fn new(p: u32, direction_optimization: bool) -> Self {
+        Self { p, direction_optimization, alpha: 14.0, beta: 24.0, cost: CostModel::ray() }
+    }
+
+    fn owner(&self, v: u64) -> u32 {
+        (v % self.p as u64) as u32
+    }
+
+    /// Runs from `source`.
+    pub fn run(&self, graph: &Csr, source: u64) -> OneDResult {
+        assert!(self.p >= 1);
+        let n = graph.num_vertices() as usize;
+        let p = self.p as usize;
+        let net: &NetworkModel = &self.cost.network;
+        let dev = &self.cost.device;
+        let mut depths = vec![UNREACHED; n];
+        depths[source as usize] = 0;
+        // Per-processor frontier of owned vertices at the current level.
+        let mut frontiers: Vec<Vec<u64>> = vec![Vec::new(); p];
+        frontiers[self.owner(source) as usize].push(source);
+
+        let mut iterations = 0u32;
+        let mut backward_iterations = 0u32;
+        let mut edges_examined = 0u64;
+        let mut comm_bytes = 0u64;
+        let mut compute_seconds = 0.0f64;
+        let mut comm_seconds = 0.0f64;
+        let mut unexplored = graph.num_edges();
+        let mut backward = false;
+
+        while frontiers.iter().any(|f| !f.is_empty()) {
+            let depth = iterations;
+            let frontier_len: usize = frontiers.iter().map(Vec::len).sum();
+            let frontier_out: u64 =
+                frontiers.iter().flatten().map(|&u| graph.out_degree(u)).sum();
+            if self.direction_optimization {
+                if !backward && frontier_out as f64 > unexplored as f64 / self.alpha {
+                    backward = true;
+                } else if backward && (frontier_len as f64) < n as f64 / self.beta {
+                    backward = false;
+                }
+            }
+
+            let mut next: Vec<Vec<u64>> = vec![Vec::new(); p];
+            let mut proc_edges = vec![0u64; p];
+            let mut proc_send_bytes = vec![0u64; p];
+            let mut proc_recv_bytes = vec![0u64; p];
+
+            if backward {
+                backward_iterations += 1;
+                // Broadcast the newly visited vertices (this level's
+                // frontier) from each owner to all peers: 8 bytes each,
+                // p - 1 copies.
+                for (owner, f) in frontiers.iter().enumerate() {
+                    let bytes = 8 * f.len() as u64 * (p as u64 - 1);
+                    proc_send_bytes[owner] += bytes;
+                    comm_bytes += bytes;
+                }
+                // Pull: each processor scans its unvisited owned vertices.
+                for v in 0..n as u64 {
+                    if depths[v as usize] != UNREACHED {
+                        continue;
+                    }
+                    let owner = self.owner(v) as usize;
+                    for &u in graph.neighbors(v) {
+                        proc_edges[owner] += 1;
+                        if depths[u as usize] == depth {
+                            depths[v as usize] = depth + 1;
+                            next[owner].push(v);
+                            break;
+                        }
+                    }
+                }
+            } else {
+                // Push: discoveries for remote owners travel point-to-point.
+                for (owner, f) in frontiers.iter().enumerate() {
+                    for &u in f {
+                        for &v in graph.neighbors(u) {
+                            proc_edges[owner] += 1;
+                            let v_owner = self.owner(v) as usize;
+                            if v_owner == owner {
+                                if depths[v as usize] == UNREACHED {
+                                    depths[v as usize] = depth + 1;
+                                    next[owner].push(v);
+                                }
+                            } else {
+                                // 8-byte global id to the destination owner;
+                                // the receiver applies it next superstep.
+                                proc_send_bytes[owner] += 8;
+                                proc_recv_bytes[v_owner] += 8;
+                                comm_bytes += 8;
+                                if depths[v as usize] == UNREACHED {
+                                    depths[v as usize] = depth + 1;
+                                    next[v_owner].push(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            edges_examined += proc_edges.iter().sum::<u64>();
+            compute_seconds += proc_edges
+                .iter()
+                .map(|&e| dev.kernel_time(KernelKind::DynamicVisit, e))
+                .fold(0.0, f64::max);
+            let iter_comm = proc_send_bytes
+                .iter()
+                .zip(&proc_recv_bytes)
+                .map(|(&s, &r)| net.p2p_time(s.max(r), false))
+                .fold(0.0, f64::max);
+            comm_seconds += iter_comm;
+            unexplored = unexplored.saturating_sub(frontier_out);
+            frontiers = next;
+            iterations += 1;
+        }
+
+        OneDResult {
+            depths,
+            iterations,
+            backward_iterations,
+            edges_examined,
+            comm_bytes,
+            compute_seconds,
+            comm_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_graph::reference::bfs_depths;
+    use gcbfs_graph::rmat::RmatConfig;
+    use gcbfs_graph::{builders, Csr};
+
+    #[test]
+    fn matches_reference() {
+        let g = Csr::from_edge_list(&builders::grid(6, 7));
+        for p in [1, 2, 5] {
+            let r = OneDBfs::new(p, false).run(&g, 0);
+            assert_eq!(r.depths, bfs_depths(&g, 0), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn dobfs_matches_reference_on_rmat() {
+        let list = RmatConfig::graph500(9).generate();
+        let g = Csr::from_edge_list(&list);
+        let src = (0..list.num_vertices).find(|&v| g.out_degree(v) > 8).unwrap();
+        let r = OneDBfs::new(4, true).run(&g, src);
+        assert_eq!(r.depths, bfs_depths(&g, src));
+        assert!(r.backward_iterations > 0);
+    }
+
+    #[test]
+    fn single_proc_has_no_comm() {
+        let g = Csr::from_edge_list(&builders::cycle(20));
+        let r = OneDBfs::new(1, false).run(&g, 0);
+        assert_eq!(r.comm_bytes, 0);
+        assert_eq!(r.comm_seconds, 0.0);
+    }
+
+    #[test]
+    fn backward_broadcast_volume_scales_with_p() {
+        // The §II-B problem: 1D DOBFS broadcast volume grows linearly in p.
+        let list = RmatConfig::graph500(10).generate();
+        let g = Csr::from_edge_list(&list);
+        let src = (0..list.num_vertices).find(|&v| g.out_degree(v) > 8).unwrap();
+        let r4 = OneDBfs::new(4, true).run(&g, src);
+        let r16 = OneDBfs::new(16, true).run(&g, src);
+        assert!(
+            r16.comm_bytes > 2 * r4.comm_bytes,
+            "expected ~4x growth: {} vs {}",
+            r16.comm_bytes,
+            r4.comm_bytes
+        );
+    }
+
+    #[test]
+    fn forward_volume_bounded_by_8m() {
+        let list = RmatConfig::graph500(9).generate();
+        let g = Csr::from_edge_list(&list);
+        let src = (0..list.num_vertices).find(|&v| g.out_degree(v) > 8).unwrap();
+        let r = OneDBfs::new(8, false).run(&g, src);
+        assert!(r.comm_bytes <= 8 * g.num_edges());
+        assert!(r.comm_bytes > 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the algorithm suite built on the
+//! degree-separated distribution (real wall-clock of the simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::pagerank::PageRankConfig;
+use gcbfs_core::sssp::DistributedSssp;
+use gcbfs_graph::rmat::RmatConfig;
+use gcbfs_graph::weighted::WeightedEdgeList;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let graph = RmatConfig::graph500(12).generate();
+    let degrees = graph.out_degrees();
+    let config = BfsConfig::new(16);
+    let topo = Topology::new(2, 2);
+    let dist = DistributedGraph::build(&graph, topo, &config).unwrap();
+    let sources: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(32).collect();
+    let hub = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+
+    let mut g = c.benchmark_group("algorithms_scale12_4gpus");
+    g.sample_size(10);
+    g.bench_function("msbfs_32_sources", |b| {
+        b.iter(|| black_box(dist.run_multi_source(&sources, &config).unwrap()))
+    });
+    g.bench_function("async_bfs", |b| {
+        b.iter(|| black_box(dist.run_async(hub, &config).unwrap()))
+    });
+    g.bench_function("connected_components", |b| {
+        b.iter(|| black_box(dist.connected_components(&config)))
+    });
+    let pr = PageRankConfig { max_iterations: 10, tolerance: 0.0, ..Default::default() };
+    g.bench_function("pagerank_10_iters", |b| b.iter(|| black_box(dist.pagerank(&pr))));
+    g.bench_function("betweenness_4_sources", |b| {
+        b.iter(|| black_box(dist.betweenness(&sources[..4], &config).unwrap()))
+    });
+    let weighted = WeightedEdgeList::from_topology(&graph, 16, 7);
+    let wdist = DistributedSssp::build(&weighted, topo, &config);
+    g.bench_function("sssp_bellman_ford", |b| {
+        b.iter(|| black_box(wdist.run(hub, &config).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion end-to-end comparison: degree-separated distributed BFS vs
+//! the single-node and partitioned baselines on the same graph
+//! (real wall-clock of the Rust execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbfs_baseline::{OneDBfs, SingleNodeBfs, TwoDBfs};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_graph::rmat::RmatConfig;
+use gcbfs_graph::Csr;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = RmatConfig::graph500(13).generate();
+    let csr = Csr::from_edge_list(&graph);
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+
+    let mut g = c.benchmark_group("end_to_end_scale13");
+    g.sample_size(10);
+    g.bench_function("single_bfs", |b| {
+        b.iter(|| black_box(SingleNodeBfs::plain().run(&csr, source)))
+    });
+    g.bench_function("single_dobfs", |b| {
+        b.iter(|| black_box(SingleNodeBfs::direction_optimizing().run(&csr, source)))
+    });
+    g.bench_function("oned_dobfs_4proc", |b| {
+        b.iter(|| black_box(OneDBfs::new(4, true).run(&csr, source)))
+    });
+    g.bench_function("twod_dobfs_2x2", |b| {
+        b.iter(|| black_box(TwoDBfs::new(2, true).run(&csr, source)))
+    });
+    let config = BfsConfig::new(16);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    g.bench_function("degree_separated_dobfs_4gpus", |b| {
+        b.iter(|| black_box(dist.run(source, &config).unwrap()))
+    });
+    g.bench_function("degree_separated_bfs_tree_4gpus", |b| {
+        b.iter(|| black_box(dist.run_with_parents(source, &config).unwrap()))
+    });
+    let pr = gcbfs_core::pagerank::PageRankConfig {
+        max_iterations: 10,
+        tolerance: 0.0,
+        ..Default::default()
+    };
+    g.bench_function("pagerank_10iters_4gpus", |b| b.iter(|| black_box(dist.pagerank(&pr))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion microbenchmarks: graph generation and construction
+//! (real wall-clock of the Rust substrate, not modeled time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbfs_graph::rmat::RmatConfig;
+use gcbfs_graph::{Csr, PowerLawConfig, WebGraphConfig};
+use std::hint::black_box;
+
+fn bench_rmat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(10);
+    g.bench_function("rmat_scale14_generate", |b| {
+        b.iter(|| black_box(RmatConfig::graph500(14).generate()))
+    });
+    g.bench_function("powerlaw_scale14_generate", |b| {
+        b.iter(|| black_box(PowerLawConfig::friendster_like(14).generate()))
+    });
+    g.bench_function("webgraph_core12_generate", |b| {
+        b.iter(|| black_box(WebGraphConfig::wdc_like(12).generate()))
+    });
+    let list = RmatConfig::graph500(14).generate();
+    g.bench_function("csr_build_scale14", |b| b.iter(|| black_box(Csr::from_edge_list(&list))));
+    g.bench_function("degrees_scale14", |b| b.iter(|| black_box(list.out_degrees())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_rmat);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks: local traversal kernels and the distributed
+//! build pipeline (real wall-clock).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::distributor::distribute;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::masks::DelegateMask;
+use gcbfs_core::separation::Separation;
+use gcbfs_graph::rmat::RmatConfig;
+use std::hint::black_box;
+
+fn bench_build_pipeline(c: &mut Criterion) {
+    let graph = RmatConfig::graph500(13).generate();
+    let degrees = graph.out_degrees();
+    let topo = Topology::new(2, 2);
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("separation_scale13", |b| {
+        b.iter(|| black_box(Separation::from_degrees(&degrees, 16)))
+    });
+    let sep = Separation::from_degrees(&degrees, 16);
+    g.bench_function("distribute_scale13_4gpus", |b| {
+        b.iter(|| black_box(distribute(&graph, &sep, &degrees, &topo)))
+    });
+    let config = BfsConfig::new(16);
+    g.bench_function("full_build_scale13_4gpus", |b| {
+        b.iter(|| black_box(DistributedGraph::build(&graph, topo, &config).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_masks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("masks");
+    let mut a = DelegateMask::new(1 << 20);
+    let mut bmask = DelegateMask::new(1 << 20);
+    for i in (0..(1 << 20)).step_by(17) {
+        a.set(i);
+    }
+    for i in (0..(1 << 20)).step_by(13) {
+        bmask.set(i);
+    }
+    g.bench_function("or_assign_1m_bits", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.or_assign(&bmask);
+            black_box(x)
+        })
+    });
+    g.bench_function("new_bits_1m_bits", |b| {
+        b.iter(|| black_box(bmask.new_bits(&a).count()))
+    });
+    g.finish();
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    // One full BFS run amortizes kernel costs across iterations; this
+    // benchmarks the hot path end to end per run (wall-clock, 4 GPUs).
+    let graph = RmatConfig::graph500(13).generate();
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+    let topo = Topology::new(2, 2);
+    let mut g = c.benchmark_group("traversal");
+    g.sample_size(10);
+    for (name, use_do) in [("bfs_scale13_4gpus", false), ("dobfs_scale13_4gpus", true)] {
+        let config = BfsConfig::new(16).with_direction_optimization(use_do);
+        let dist = DistributedGraph::build(&graph, topo, &config).unwrap();
+        g.bench_function(name, |b| b.iter(|| black_box(dist.run(source, &config).unwrap())));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build_pipeline, bench_masks, bench_iteration);
+criterion_main!(benches);

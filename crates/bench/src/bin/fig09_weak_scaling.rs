@@ -1,0 +1,94 @@
+//! Figure 9: weak scaling with a fixed-scale RMAT graph per GPU
+//! (paper: scale 26 per GPU, 1–124 GPUs, peaking at 259.8 GTEPS;
+//! default here: scale 12 per GPU, 1–64 GPUs; override with
+//! `GCBFS_SCALE` / `GCBFS_MAX_GPUS`).
+//!
+//! Expected shape (paper): close-to-linear growth in GTEPS for both
+//! topologies, DOBFS several times above BFS; the paper switches IR→BR
+//! above 16 GPUs, which we mirror.
+
+use gcbfs_bench::{
+    env_or, f2, num_sources, pick_sources, print_table, ray_factor, run_many,
+};
+use gcbfs_cluster::cost::CostModel;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_graph::rmat::RmatConfig;
+
+fn main() {
+    let per_gpu_scale = env_or("GCBFS_SCALE", 12) as u32;
+    let max_gpus = env_or("GCBFS_MAX_GPUS", 64) as u32;
+    println!(
+        "Fig. 9 reproduction: weak scaling, scale-{per_gpu_scale} RMAT per GPU \
+         (paper: scale-26 per GPU up to 124 GPUs)"
+    );
+
+    let mut rows = Vec::new();
+    let mut gpus = 1u32;
+    while gpus <= max_gpus {
+        let scale = per_gpu_scale + gpus.ilog2();
+        let cfg = RmatConfig::graph500(scale);
+        let graph = cfg.generate();
+        let th = BfsConfig::suggested_rmat_threshold(scale + 13).max(8);
+        let sources = pick_sources(&graph, num_sources(), 0xf19 + gpus as u64);
+        // Paper: IR below 32 GPUs, BR from 32 up.
+        let blocking = gpus >= 32;
+        let factor = ray_factor(per_gpu_scale);
+        let cost = CostModel::ray_scaled(factor);
+
+        let mut row = vec![gpus.to_string(), scale.to_string(), th.to_string()];
+        for topo in [topology_2x2(gpus), topology_1x4(gpus)] {
+            match topo {
+                Some(t) => {
+                    for use_do in [false, true] {
+                        let config = BfsConfig::new(th)
+                            .with_direction_optimization(use_do)
+                            .with_blocking_reduce(blocking)
+                            .with_cost_model(cost);
+                        let dist = DistributedGraph::build(&graph, t, &config).expect("build");
+                        let s = run_many(&dist, &config, &sources, cfg.graph500_edges());
+                        row.push(f2(s.gteps * factor));
+                    }
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        rows.push(row);
+        gpus *= 2;
+    }
+    print_table(
+        "Fig. 9 — weak scaling, Ray-equivalent GTEPS (modeled)",
+        &["GPUs", "scale", "TH", "2x2 BFS", "2x2 DO", "1x4 BFS", "1x4 DO"],
+        &rows,
+    );
+    println!(
+        "\nShape check: near-linear GTEPS growth with GPU count; DOBFS well above BFS; \
+         both topologies close (1x4 slightly ahead: more NVLink, fewer ranks)."
+    );
+}
+
+/// `*x2x2`-style topology: ranks of 2 GPUs (needs ≥ 4 GPUs to be faithful).
+fn topology_2x2(gpus: u32) -> Option<Topology> {
+    if gpus >= 2 && gpus.is_multiple_of(2) {
+        Some(Topology::new(gpus / 2, 2))
+    } else if gpus == 1 {
+        Some(Topology::new(1, 1))
+    } else {
+        None
+    }
+}
+
+/// `*x1x4`-style topology: ranks of 4 GPUs.
+fn topology_1x4(gpus: u32) -> Option<Topology> {
+    if gpus >= 4 && gpus.is_multiple_of(4) {
+        Some(Topology::new(gpus / 4, 4))
+    } else if gpus < 4 {
+        Some(Topology::new(1, gpus))
+    } else {
+        None
+    }
+}

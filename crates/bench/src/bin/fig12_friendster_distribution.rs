@@ -1,0 +1,50 @@
+//! Figure 12: edge/delegate distribution vs degree threshold on the
+//! Friendster-like power-law graph (paper: the real Friendster social
+//! network, 134 M vertices; here: a Chung–Lu synthetic with matching
+//! shape — see DESIGN.md's substitution table).
+//!
+//! Expected shape (paper): the same qualitative curves as Fig. 5, with a
+//! wide band of suitable thresholds ([16, 128] there).
+
+use gcbfs_bench::{env_or, pct, print_table};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::distributor::{distribute, EdgeClass};
+use gcbfs_core::separation::Separation;
+use gcbfs_graph::PowerLawConfig;
+
+fn main() {
+    let scale = env_or("GCBFS_SCALE", 18) as u32;
+    println!(
+        "Fig. 12 reproduction: Friendster-like Chung-Lu graph, 2^{scale} vertices \
+         (paper: Friendster, 134M vertices, half isolated)"
+    );
+    let graph = PowerLawConfig::friendster_like(scale).generate();
+    let degrees = graph.out_degrees();
+    println!(
+        "graph: n = {}, m = {}, isolated = {:.1}%",
+        graph.num_vertices,
+        graph.num_edges(),
+        100.0 * graph.count_zero_degree() as f64 / graph.num_vertices as f64
+    );
+    let topo = Topology::new(2, 2);
+
+    let mut rows = Vec::new();
+    for th in [8u64, 16, 32, 64, 128, 256, 512] {
+        let sep = Separation::from_degrees(&degrees, th);
+        let dist = distribute(&graph, &sep, &degrees, &topo);
+        let c = dist.class_counts;
+        rows.push(vec![
+            th.to_string(),
+            pct(c.percentage(EdgeClass::Dd)),
+            pct(c.percentage(EdgeClass::Dn) + c.percentage(EdgeClass::Nd)),
+            pct(c.percentage(EdgeClass::Nn)),
+            pct(100.0 * sep.delegate_fraction()),
+        ]);
+    }
+    print_table(
+        "Fig. 12 — edge/delegate distribution vs TH (Friendster-like)",
+        &["TH", "dd edges", "dn/nd edges", "nn edges", "delegates"],
+        &rows,
+    );
+    println!("\nShape check: same qualitative behaviour as Fig. 5, wide suitable-TH band.");
+}

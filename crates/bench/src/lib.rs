@@ -1,0 +1,202 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). They share this harness:
+//! deterministic source selection, the geometric-mean-over-sources
+//! protocol of §VI-A3, scaled-down defaults (overridable via environment
+//! variables), and plain-text table output.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `GCBFS_SOURCES` — BFS sources per data point (default 8; paper: 140);
+//! * `GCBFS_SCALE` — base RMAT scale override for the per-figure defaults;
+//! * `GCBFS_MAX_GPUS` — cap on simulated GPUs in scaling sweeps.
+
+use gcbfs_cluster::timing::PhaseTimes;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::stats::geometric_mean;
+use gcbfs_graph::permute::splitmix64;
+use gcbfs_graph::EdgeList;
+
+/// Reads an environment knob with a default.
+pub fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The paper's per-GPU RMAT scale on Ray.
+pub const PAPER_PER_GPU_SCALE: u32 = 26;
+
+/// Workload scale-down factor for a run whose per-GPU graph is
+/// `per_gpu_scale`: feed this to `CostModel::ray_scaled` and multiply
+/// resulting TEPS by it to obtain Ray-equivalent throughput (see that
+/// method's docs for why this preserves the paper's shapes).
+pub fn ray_factor(per_gpu_scale: u32) -> f64 {
+    2f64.powi(PAPER_PER_GPU_SCALE.saturating_sub(per_gpu_scale) as i32)
+}
+
+/// Per-GPU scale of a run: total scale minus log2 of the GPU count.
+pub fn per_gpu_scale(total_scale: u32, gpus: u32) -> u32 {
+    total_scale.saturating_sub(gpus.ilog2())
+}
+
+/// Number of sources per data point (`GCBFS_SOURCES`, default 8).
+pub fn num_sources() -> usize {
+    env_or("GCBFS_SOURCES", 8) as usize
+}
+
+/// Deterministically picks `count` distinct non-isolated source vertices,
+/// mimicking the paper's "randomly generated sources; only the ones that
+/// executed for more than 1 iteration are considered".
+pub fn pick_sources(graph: &EdgeList, count: usize, seed: u64) -> Vec<u64> {
+    let degrees = graph.out_degrees();
+    let n = graph.num_vertices;
+    let mut sources = Vec::with_capacity(count);
+    let mut state = seed;
+    let mut attempts = 0u64;
+    while sources.len() < count && attempts < n * 4 + 1000 {
+        state = splitmix64(state);
+        let v = state % n;
+        attempts += 1;
+        if degrees[v as usize] > 0 && !sources.contains(&v) {
+            sources.push(v);
+        }
+    }
+    assert!(!sources.is_empty(), "no connected source found");
+    sources
+}
+
+/// Aggregated outcome of running BFS from several sources.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Geometric-mean GTEPS over sources (modeled time).
+    pub gteps: f64,
+    /// Mean modeled elapsed milliseconds.
+    pub elapsed_ms: f64,
+    /// Mean phase totals (milliseconds) — the stacked bars of Figs. 8/10.
+    pub phases_ms: PhaseTimes,
+    /// Mean iteration count `S`.
+    pub iterations: f64,
+    /// Mean iterations with a mask reduction `S'`.
+    pub mask_reductions: f64,
+    /// Mean wall-clock seconds per run of the Rust simulation itself.
+    pub wall_seconds: f64,
+}
+
+/// Runs BFS from each source and aggregates per the paper's protocol.
+pub fn run_many(
+    dist: &DistributedGraph,
+    config: &BfsConfig,
+    sources: &[u64],
+    graph500_edges: u64,
+) -> RunSummary {
+    assert!(!sources.is_empty());
+    let mut rates = Vec::with_capacity(sources.len());
+    let mut elapsed = 0.0;
+    let mut phases = PhaseTimes::zero();
+    let mut iterations = 0.0;
+    let mut masks = 0.0;
+    let mut wall = 0.0;
+    let mut used = 0usize;
+    for &s in sources {
+        let r = dist.run(s, config).expect("valid source");
+        // Paper: only runs with more than one iteration count.
+        if r.iterations() <= 1 {
+            continue;
+        }
+        rates.push(r.gteps(graph500_edges));
+        elapsed += r.modeled_seconds() * 1e3;
+        phases = phases.combine(&r.stats.phase_totals());
+        iterations += r.iterations() as f64;
+        masks += r.stats.mask_reductions() as f64;
+        wall += r.stats.wall_seconds;
+        used += 1;
+    }
+    assert!(used > 0, "every source finished in one iteration; pick better sources");
+    let k = used as f64;
+    RunSummary {
+        gteps: geometric_mean(&rates),
+        elapsed_ms: elapsed / k,
+        phases_ms: PhaseTimes {
+            computation: phases.computation * 1e3 / k,
+            local_comm: phases.local_comm * 1e3 / k,
+            remote_normal: phases.remote_normal * 1e3 / k,
+            remote_delegate: phases.remote_delegate * 1e3 / k,
+        },
+        iterations: iterations / k,
+        mask_reductions: masks / k,
+        wall_seconds: wall / k,
+    }
+}
+
+/// Prints a fixed-width table: header row then data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line: Vec<String> = headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    println!("{}", line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_cluster::topology::Topology;
+    use gcbfs_graph::rmat::RmatConfig;
+
+    #[test]
+    fn sources_are_connected_and_distinct() {
+        let g = RmatConfig::graph500(8).generate();
+        let s = pick_sources(&g, 5, 42);
+        assert_eq!(s.len(), 5);
+        let degrees = g.out_degrees();
+        assert!(s.iter().all(|&v| degrees[v as usize] > 0));
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn run_many_aggregates() {
+        let cfg = RmatConfig::graph500(8);
+        let g = cfg.generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&g, Topology::new(2, 1), &config).unwrap();
+        let sources = pick_sources(&g, 4, 7);
+        let summary = run_many(&dist, &config, &sources, cfg.graph500_edges());
+        assert!(summary.gteps > 0.0);
+        assert!(summary.iterations > 1.0);
+        assert!(summary.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn env_default() {
+        assert_eq!(env_or("GCBFS_DOES_NOT_EXIST_XYZ", 17), 17);
+    }
+}

@@ -1,0 +1,371 @@
+//! MPI-like collectives executed over real data, with modeled cost.
+//!
+//! The paper's delegate communication (§V-A) is a two-phase reduction of
+//! the delegate bitmasks: GPUs of one MPI rank push their masks to GPU0
+//! over NVLink and GPU0 reduces in parallel (local phase), then the GPU0
+//! host threads run an `MPI_(I)Allreduce` across ranks (global phase), and
+//! every GPU in the rank consumes the result. [`allreduce_or`] performs
+//! exactly that dataflow on the simulated cluster and reports the modeled
+//! time of both phases separately (they land in different phases of the
+//! Fig. 8/10 breakdown).
+//!
+//! [`local_all2all_regroup`] implements the *Local All2all* optimization of
+//! §V-B: regroup traffic inside each rank so that vertices bound for GPU `x`
+//! of any rank are all held by the local GPU `x`, cutting the number of
+//! cross-rank communication pairs from `p²` to `p²/pgpu`.
+
+use crate::cost::CostModel;
+use crate::topology::{GpuId, Topology};
+use rayon::prelude::*;
+
+/// Result of a two-phase bit-or allreduce.
+#[derive(Clone, Debug)]
+pub struct AllreduceOutcome {
+    /// The OR of all input masks; every GPU consumes this.
+    pub reduced: Vec<u64>,
+    /// Modeled time of the intra-rank reduce + broadcast (NVLink).
+    pub local_time: f64,
+    /// Modeled time of the cross-rank allreduce (InfiniBand).
+    pub global_time: f64,
+    /// Bytes moved per rank pair in the global phase (the paper's
+    /// `2·d·prank/8` total volume divides into `d/8` per tree edge).
+    pub bytes_per_message: u64,
+}
+
+/// Two-phase bit-or allreduce of one `u64` mask word vector per GPU.
+///
+/// `blocking` selects `MPI_Allreduce` (true) vs `MPI_Iallreduce` (false)
+/// for the global phase; the flavors reduce identically but cost
+/// differently (§VI-B).
+///
+/// # Panics
+/// Panics if mask lengths differ or the GPU count does not match the
+/// topology.
+pub fn allreduce_or(
+    topology: Topology,
+    cost: &CostModel,
+    masks: &[Vec<u64>],
+    blocking: bool,
+) -> AllreduceOutcome {
+    let p = topology.num_gpus() as usize;
+    assert_eq!(masks.len(), p, "one mask per GPU required");
+    let words = masks.first().map(Vec::len).unwrap_or(0);
+    assert!(masks.iter().all(|m| m.len() == words), "mask lengths must agree");
+
+    let pgpu = topology.gpus_per_rank() as usize;
+    // Local phase: OR within each rank (conceptually: peers push to GPU0).
+    let per_rank: Vec<Vec<u64>> = masks
+        .par_chunks(pgpu)
+        .map(|rank_masks| {
+            let mut acc = rank_masks[0].clone();
+            for m in &rank_masks[1..] {
+                for (a, &b) in acc.iter_mut().zip(m) {
+                    *a |= b;
+                }
+            }
+            acc
+        })
+        .collect();
+
+    // Global phase: OR across ranks (conceptually: tree allreduce).
+    let mut reduced = vec![0u64; words];
+    for rank_mask in &per_rank {
+        for (a, &b) in reduced.iter_mut().zip(rank_mask) {
+            *a |= b;
+        }
+    }
+
+    let bytes = (words * 8) as u64;
+    let local_time = cost.network.local_reduce_time(bytes, topology.gpus_per_rank())
+        + cost.network.local_broadcast_time(bytes, topology.gpus_per_rank());
+    let global_time = cost.network.allreduce_time(bytes, topology.num_ranks(), blocking);
+    AllreduceOutcome { reduced, local_time, global_time, bytes_per_message: bytes }
+}
+
+/// Generic two-phase element-wise allreduce: intra-rank reduce (NVLink, to
+/// GPU0) then cross-rank tree reduce — the collective skeleton behind the
+/// bit-or mask reduction and its §VI-D generalizations ("more bits of
+/// state for delegates"): sum for PageRank scores, min for component
+/// labels, and so on.
+///
+/// `op` must be associative and commutative for the result to be
+/// independent of the grid shape.
+///
+/// # Panics
+/// Panics if vector lengths differ or the GPU count does not match.
+pub fn allreduce_with<T, F>(
+    topology: Topology,
+    cost: &CostModel,
+    values: &[Vec<T>],
+    blocking: bool,
+    op: F,
+) -> AllreduceValueOutcome<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let p = topology.num_gpus() as usize;
+    assert_eq!(values.len(), p, "one vector per GPU required");
+    let len = values.first().map(Vec::len).unwrap_or(0);
+    assert!(values.iter().all(|v| v.len() == len), "vector lengths must agree");
+
+    let pgpu = topology.gpus_per_rank() as usize;
+    let per_rank: Vec<Vec<T>> = values
+        .par_chunks(pgpu)
+        .map(|rank_values| {
+            let mut acc = rank_values[0].clone();
+            for v in &rank_values[1..] {
+                for (a, &b) in acc.iter_mut().zip(v) {
+                    *a = op(*a, b);
+                }
+            }
+            acc
+        })
+        .collect();
+    let mut iter = per_rank.into_iter();
+    let mut reduced = iter.next().unwrap_or_default();
+    for rank_vals in iter {
+        for (a, b) in reduced.iter_mut().zip(rank_vals) {
+            *a = op(*a, b);
+        }
+    }
+
+    let bytes = (len * std::mem::size_of::<T>()) as u64;
+    let local_time = cost.network.local_reduce_time(bytes, topology.gpus_per_rank())
+        + cost.network.local_broadcast_time(bytes, topology.gpus_per_rank());
+    let global_time = cost.network.allreduce_time(bytes, topology.num_ranks(), blocking);
+    AllreduceValueOutcome { reduced, local_time, global_time, bytes_per_message: bytes }
+}
+
+/// Two-phase **sum** allreduce of one `f64` vector per GPU (PageRank's
+/// delegate scores; 8 bytes per element instead of the mask's 1 bit).
+pub fn allreduce_sum(
+    topology: Topology,
+    cost: &CostModel,
+    values: &[Vec<f64>],
+    blocking: bool,
+) -> AllreduceValueOutcome<f64> {
+    allreduce_with(topology, cost, values, blocking, |a, b| a + b)
+}
+
+/// Two-phase **min** allreduce of one `u64` vector per GPU (component
+/// labels in label-propagation connected components).
+pub fn allreduce_min(
+    topology: Topology,
+    cost: &CostModel,
+    values: &[Vec<u64>],
+    blocking: bool,
+) -> AllreduceValueOutcome<u64> {
+    allreduce_with(topology, cost, values, blocking, u64::min)
+}
+
+/// Result of a two-phase value allreduce.
+#[derive(Clone, Debug)]
+pub struct AllreduceValueOutcome<T> {
+    /// The element-wise reduction of all inputs; every GPU consumes this.
+    pub reduced: Vec<T>,
+    /// Modeled time of the intra-rank phase.
+    pub local_time: f64,
+    /// Modeled time of the cross-rank phase.
+    pub global_time: f64,
+    /// Bytes per message in the global phase.
+    pub bytes_per_message: u64,
+}
+
+/// Outcome of the local-all2all regrouping.
+#[derive(Clone, Debug)]
+pub struct RegroupOutcome<T> {
+    /// Items per GPU after regrouping: GPU `(r, g)` now holds exactly the
+    /// items (from anywhere in rank `r`) whose destination GPU slot is `g`.
+    pub items: Vec<Vec<(GpuId, T)>>,
+    /// Items that crossed a GPU boundary inside their rank.
+    pub moved_items: u64,
+}
+
+/// The *Local All2all* optimization (§V-B): within each rank, exchange
+/// items so that every item destined for GPU slot `g` (of any rank) is held
+/// by the local GPU `g`. Afterwards cross-rank traffic only flows between
+/// equal GPU slots.
+pub fn local_all2all_regroup<T: Send>(
+    topology: Topology,
+    per_gpu_items: Vec<Vec<(GpuId, T)>>,
+) -> RegroupOutcome<T> {
+    let p = topology.num_gpus() as usize;
+    assert_eq!(per_gpu_items.len(), p, "one item list per GPU required");
+    let mut items: Vec<Vec<(GpuId, T)>> = (0..p).map(|_| Vec::new()).collect();
+    let mut moved = 0u64;
+    for (flat, list) in per_gpu_items.into_iter().enumerate() {
+        let holder = topology.unflat(flat);
+        for (dest, payload) in list {
+            // The regrouped holder is the GPU in the same rank whose slot
+            // matches the destination's slot.
+            let new_holder = GpuId { rank: holder.rank, gpu: dest.gpu };
+            if new_holder != holder {
+                moved += 1;
+            }
+            items[topology.flat(new_holder)].push((dest, payload));
+        }
+    }
+    RegroupOutcome { items, moved_items: moved }
+}
+
+/// Verifies the post-regroup invariant: every held item's destination slot
+/// equals the holder's slot. Used by tests and debug assertions.
+pub fn regroup_invariant_holds<T>(topology: Topology, items: &[Vec<(GpuId, T)>]) -> bool {
+    items.iter().enumerate().all(|(flat, list)| {
+        let holder = topology.unflat(flat);
+        list.iter().all(|(dest, _)| dest.gpu == holder.gpu)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_ors_all_masks() {
+        let topo = Topology::new(2, 2);
+        let cost = CostModel::ray();
+        let masks = vec![vec![0b0001u64], vec![0b0010], vec![0b0100], vec![0b1000]];
+        let out = allreduce_or(topo, &cost, &masks, true);
+        assert_eq!(out.reduced, vec![0b1111]);
+        assert!(out.local_time > 0.0);
+        assert!(out.global_time > 0.0);
+        assert_eq!(out.bytes_per_message, 8);
+    }
+
+    #[test]
+    fn allreduce_single_gpu_is_identity_and_free() {
+        let topo = Topology::new(1, 1);
+        let cost = CostModel::ray();
+        let out = allreduce_or(topo, &cost, &[vec![42, 7]], false);
+        assert_eq!(out.reduced, vec![42, 7]);
+        assert_eq!(out.local_time, 0.0);
+        assert_eq!(out.global_time, 0.0);
+    }
+
+    #[test]
+    fn allreduce_multi_word() {
+        let topo = Topology::new(2, 1);
+        let cost = CostModel::ray();
+        let out =
+            allreduce_or(topo, &cost, &[vec![1, 0, u64::MAX], vec![2, 4, 0]], true);
+        assert_eq!(out.reduced, vec![3, 4, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must agree")]
+    fn allreduce_rejects_ragged_masks() {
+        let topo = Topology::new(2, 1);
+        let cost = CostModel::ray();
+        let _ = allreduce_or(topo, &cost, &[vec![1], vec![1, 2]], true);
+    }
+
+    #[test]
+    fn allreduce_sum_adds_everything() {
+        let topo = Topology::new(2, 2);
+        let cost = CostModel::ray();
+        let values =
+            vec![vec![1.0, 0.5], vec![2.0, 0.0], vec![3.0, -1.0], vec![4.0, 0.25]];
+        let out = allreduce_sum(topo, &cost, &values, true);
+        assert_eq!(out.reduced, vec![10.0, -0.25]);
+        assert_eq!(out.bytes_per_message, 16);
+        assert!(out.global_time > 0.0);
+    }
+
+    #[test]
+    fn allreduce_min_takes_minimum() {
+        let topo = Topology::new(3, 1);
+        let cost = CostModel::ray();
+        let values = vec![vec![5u64, 9, 1], vec![3, 9, 2], vec![7, 8, 0]];
+        let out = allreduce_min(topo, &cost, &values, true);
+        assert_eq!(out.reduced, vec![3, 8, 0]);
+        assert_eq!(out.bytes_per_message, 24);
+    }
+
+    #[test]
+    fn allreduce_with_is_grid_shape_independent() {
+        let cost = CostModel::ray();
+        let values: Vec<Vec<u64>> =
+            (0..8).map(|g| (0..5).map(|i| (g * 7 + i * 3) % 11).collect()).collect();
+        let flat = allreduce_min(Topology::new(8, 1), &cost, &values, true).reduced;
+        let square = allreduce_min(Topology::new(2, 4), &cost, &values, true).reduced;
+        assert_eq!(flat, square);
+    }
+
+    #[test]
+    fn allreduce_empty_vectors() {
+        let topo = Topology::new(2, 1);
+        let cost = CostModel::ray();
+        let out = allreduce_sum(topo, &cost, &[vec![], vec![]], true);
+        assert!(out.reduced.is_empty());
+        assert_eq!(out.bytes_per_message, 0);
+    }
+
+    #[test]
+    fn allreduce_sum_costs_8x_the_mask() {
+        // §VI-D: PageRank's delegate state is 64x the BFS bit per delegate;
+        // for the same element count the sum reduce moves 8x the bytes of
+        // a u64-word mask holding 64 delegates each.
+        let topo = Topology::new(4, 1);
+        let cost = CostModel::ray();
+        let masks = vec![vec![0u64; 128]; 4]; // 128 words = 8192 delegates
+        let scores = vec![vec![0f64; 8192]; 4]; // same delegates as f64
+        let or = allreduce_or(topo, &cost, &masks, true);
+        let sum = allreduce_sum(topo, &cost, &scores, true);
+        assert_eq!(sum.bytes_per_message, 64 * or.bytes_per_message);
+        assert!(sum.global_time > or.global_time);
+    }
+
+    #[test]
+    fn regroup_moves_items_to_matching_slot() {
+        let topo = Topology::new(2, 2);
+        // GPU (0,0) holds items for (1,1) and (0,0); GPU (1,1) for (0,0).
+        let mut per_gpu: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 4];
+        per_gpu[0].push((GpuId { rank: 1, gpu: 1 }, 10));
+        per_gpu[0].push((GpuId { rank: 0, gpu: 0 }, 11));
+        per_gpu[3].push((GpuId { rank: 0, gpu: 0 }, 12));
+        let out = local_all2all_regroup(topo, per_gpu);
+        assert!(regroup_invariant_holds(topo, &out.items));
+        // Item 10 moved (0,0) -> (0,1); item 12 moved (1,1) -> (1,0).
+        assert_eq!(out.moved_items, 2);
+        assert_eq!(out.items[topo.flat(GpuId { rank: 0, gpu: 1 })], vec![(GpuId { rank: 1, gpu: 1 }, 10)]);
+        assert_eq!(out.items[topo.flat(GpuId { rank: 1, gpu: 0 })], vec![(GpuId { rank: 0, gpu: 0 }, 12)]);
+    }
+
+    #[test]
+    fn regroup_cuts_communication_pairs() {
+        // After regrouping, distinct (holder, destination-GPU) cross-rank
+        // pairs only connect equal slots: p^2/pgpu pairs, the paper's claim.
+        let topo = Topology::new(3, 2);
+        let mut per_gpu: Vec<Vec<(GpuId, u8)>> = vec![Vec::new(); 6];
+        for flat in 0..6 {
+            for dest in topo.gpus() {
+                per_gpu[flat].push((dest, 0));
+            }
+        }
+        let out = local_all2all_regroup(topo, per_gpu);
+        let mut pairs = std::collections::HashSet::new();
+        for (flat, list) in out.items.iter().enumerate() {
+            let holder = topo.unflat(flat);
+            for (dest, _) in list {
+                if dest.rank != holder.rank {
+                    pairs.insert((flat, topo.flat(*dest)));
+                }
+            }
+        }
+        let p = topo.num_gpus() as usize;
+        // After regrouping, cross-rank pairs connect equal slots only:
+        // p * (prank - 1), far fewer than the p * (p - 1) unrestricted pairs.
+        assert_eq!(pairs.len(), p * (topo.num_ranks() as usize - 1));
+        assert!(pairs.len() < p * p - p, "regrouping must shrink the pair count");
+    }
+
+    #[test]
+    fn regroup_empty_is_empty() {
+        let topo = Topology::new(2, 2);
+        let out: RegroupOutcome<u8> = local_all2all_regroup(topo, vec![Vec::new(); 4]);
+        assert_eq!(out.moved_items, 0);
+        assert!(out.items.iter().all(Vec::is_empty));
+    }
+}

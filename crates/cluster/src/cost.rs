@@ -1,0 +1,476 @@
+//! Network and device cost model: the analytic stand-in for LLNL *Ray*.
+//!
+//! The reproduction executes every kernel and every transfer for real (so
+//! byte volumes and edge workloads are *measured*), then charges them to
+//! this model to obtain modeled Ray time. The model is the same family the
+//! paper itself uses for its scalability arguments (§II-B, §V): α–β
+//! point-to-point costs with a bandwidth ramp over message size, and
+//! tree-structured collectives costing `log₂(prank)` rounds.
+//!
+//! Calibration targets (documented, not fitted per-figure):
+//!
+//! * NVLink 40 GB/s per direction, EDR InfiniBand 100 Gb/s = 12.5 GB/s
+//!   (§VI-A1);
+//! * no NIC–GPU RDMA on Ray — every inter-node byte is staged through CPU
+//!   memory with `cudaMemcpyAsync` on both ends (§VI-A2);
+//! * effective network bandwidth ramps up with message size and peaks
+//!   around 4 MB (§VI-A1's sweep);
+//! * `MPI_Iallreduce` was new and unoptimized on Ray: it carries a
+//!   per-rank overhead that makes it lose to blocking `MPI_Allreduce`
+//!   beyond ~8 ranks (§VI-B, Fig. 8);
+//! * P100-class traversal throughput per GPU, with merge-based load
+//!   balancing for the heavy `dd` subgraph and thread-warp-block dynamic
+//!   mapping for the light ones (§IV-A), plus a few-µs kernel launch
+//!   overhead (§VI-D).
+
+/// Kind of local GPU work being charged, mapping to the paper's kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Merge-based workload partitioning — used by the `dd` visit kernel.
+    MergeVisit,
+    /// Thread-warp-block dynamic mapping — `nn`, `nd`, `dn` visit kernels.
+    DynamicVisit,
+    /// Previsit: dedupe, level marking, queue + workload construction.
+    Previsit,
+    /// Binning, uniquify, and 64↔32-bit id conversion for the exchange.
+    Binning,
+    /// Bitmask scan/reduce work (delegate masks).
+    MaskOps,
+}
+
+/// GPU device model (P100-class).
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceModel {
+    /// Edge throughput of the thread-warp-block visit kernels (edges/s).
+    pub dynamic_visit_edges_per_sec: f64,
+    /// Edge throughput of the merge-based `dd` visit kernel (edges/s).
+    pub merge_visit_edges_per_sec: f64,
+    /// Previsit throughput (vertices/s).
+    pub previsit_vertices_per_sec: f64,
+    /// Binning/uniquify/conversion throughput (items/s).
+    pub binning_items_per_sec: f64,
+    /// Mask processing throughput (bytes/s).
+    pub mask_bytes_per_sec: f64,
+    /// Fixed overhead per kernel launch (s).
+    pub kernel_launch_overhead: f64,
+    /// Device memory (bytes); P100 = 16 GB.
+    pub memory_bytes: u64,
+}
+
+impl DeviceModel {
+    /// P100-class throughputs divided by `factor` (see
+    /// [`CostModel::ray_scaled`]); launch overhead and memory unchanged.
+    pub fn p100_scaled(factor: f64) -> Self {
+        let base = Self::p100();
+        Self {
+            dynamic_visit_edges_per_sec: base.dynamic_visit_edges_per_sec / factor,
+            merge_visit_edges_per_sec: base.merge_visit_edges_per_sec / factor,
+            previsit_vertices_per_sec: base.previsit_vertices_per_sec / factor,
+            binning_items_per_sec: base.binning_items_per_sec / factor,
+            mask_bytes_per_sec: base.mask_bytes_per_sec / factor,
+            ..base
+        }
+    }
+
+    /// P100-class defaults.
+    pub fn p100() -> Self {
+        Self {
+            dynamic_visit_edges_per_sec: 4.0e9,
+            merge_visit_edges_per_sec: 6.0e9,
+            previsit_vertices_per_sec: 10.0e9,
+            binning_items_per_sec: 8.0e9,
+            mask_bytes_per_sec: 200.0e9,
+            kernel_launch_overhead: 4.0e-6,
+            memory_bytes: 16 << 30,
+        }
+    }
+
+    /// Modeled time to run one kernel of `kind` over `workload` units.
+    pub fn kernel_time(&self, kind: KernelKind, workload: u64) -> f64 {
+        if workload == 0 {
+            return 0.0;
+        }
+        let rate = match kind {
+            KernelKind::MergeVisit => self.merge_visit_edges_per_sec,
+            KernelKind::DynamicVisit => self.dynamic_visit_edges_per_sec,
+            KernelKind::Previsit => self.previsit_vertices_per_sec,
+            KernelKind::Binning => self.binning_items_per_sec,
+            KernelKind::MaskOps => self.mask_bytes_per_sec,
+        };
+        self.kernel_launch_overhead + workload as f64 / rate
+    }
+}
+
+/// Network model of the Ray fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// Inter-node (InfiniBand) peak bandwidth, bytes/s.
+    pub internode_bandwidth: f64,
+    /// Inter-node per-message latency, s.
+    pub internode_latency: f64,
+    /// Intra-node (NVLink) peak bandwidth, bytes/s.
+    pub intranode_bandwidth: f64,
+    /// Intra-node per-message latency, s.
+    pub intranode_latency: f64,
+    /// CPU staging copy bandwidth (no NIC–GPU RDMA on Ray), bytes/s.
+    pub staging_bandwidth: f64,
+    /// Message size at which effective bandwidth reaches half of peak.
+    pub ramp_bytes: f64,
+    /// Strength of the large-message falloff (buffer/caching effects);
+    /// together with `ramp_bytes` this puts the throughput optimum near
+    /// 4 MB as measured in §VI-A1.
+    pub large_message_falloff: f64,
+    /// Reference size for the falloff term (bytes).
+    pub falloff_reference_bytes: f64,
+    /// Inefficiency of `MPI_Iallreduce` relative to the blocking flavor:
+    /// the non-blocking reduction costs
+    /// `base · (iallreduce_base_efficiency + nranks / iallreduce_rank_scale)`.
+    /// On Ray the feature was new and unoptimized (§VI-B): it beat the
+    /// blocking call below ~8 nodes and lost beyond, which these defaults
+    /// reproduce.
+    pub iallreduce_base_efficiency: f64,
+    /// Divisor converting rank count into the `MPI_Iallreduce` cost factor.
+    pub iallreduce_rank_scale: f64,
+    /// Fixed synchronization overhead of blocking `MPI_Allreduce`.
+    pub allreduce_sync_overhead: f64,
+}
+
+impl NetworkModel {
+    /// Ray bandwidths divided by `factor`, with the message-size ramp and
+    /// falloff references shrunk by the same factor so that messages
+    /// `factor`× smaller sit at the same relative point of the bandwidth
+    /// curve (see [`CostModel::ray_scaled`]). Latencies unchanged.
+    pub fn ray_scaled(factor: f64) -> Self {
+        let base = Self::ray();
+        Self {
+            internode_bandwidth: base.internode_bandwidth / factor,
+            intranode_bandwidth: base.intranode_bandwidth / factor,
+            staging_bandwidth: base.staging_bandwidth / factor,
+            ramp_bytes: base.ramp_bytes / factor,
+            falloff_reference_bytes: base.falloff_reference_bytes / factor,
+            ..base
+        }
+    }
+
+    /// Ray-like defaults.
+    pub fn ray() -> Self {
+        Self {
+            internode_bandwidth: 12.5e9,
+            internode_latency: 2.0e-6,
+            intranode_bandwidth: 40.0e9,
+            intranode_latency: 1.0e-6,
+            staging_bandwidth: 40.0e9,
+            ramp_bytes: 512.0 * 1024.0,
+            large_message_falloff: 0.35,
+            falloff_reference_bytes: 16.0 * 1024.0 * 1024.0,
+            iallreduce_base_efficiency: 0.7,
+            iallreduce_rank_scale: 24.0,
+            allreduce_sync_overhead: 6.0e-6,
+        }
+    }
+
+    /// Effective inter-node bandwidth at message size `bytes`.
+    ///
+    /// Matches the §VI-A1 measurements: small messages run at about half
+    /// of peak ("the differences between message sizes are not that
+    /// significant" under 2 MB — latency, not bandwidth, dominates there),
+    /// throughput ramps toward peak around the ramp size and gently falls
+    /// past several MB, putting the optimum near 4 MB.
+    pub fn effective_internode_bandwidth(&self, bytes: u64) -> f64 {
+        let s = bytes as f64;
+        let ramp = (s + self.ramp_bytes / 2.0) / (s + self.ramp_bytes);
+        let falloff = 1.0 + self.large_message_falloff * (s / self.falloff_reference_bytes);
+        self.internode_bandwidth * ramp / falloff
+    }
+
+    /// The message size maximizing effective inter-node throughput — the
+    /// §VI-A1 finding ("the optimal message size is about 4 MB"). Closed
+    /// form from the ramp/falloff curve; senders chunk larger transfers at
+    /// this size.
+    pub fn optimal_message_size(&self) -> f64 {
+        if self.large_message_falloff <= 0.0 {
+            return f64::INFINITY;
+        }
+        let r = self.ramp_bytes;
+        let a = self.large_message_falloff / self.falloff_reference_bytes;
+        // Maximize (s + r/2) / ((s + r)(1 + a s)):
+        // s* = (-r + sqrt(2r/a - r^2)) / 2.
+        let disc = 2.0 * r / a - r * r;
+        if disc <= 0.0 {
+            return r;
+        }
+        ((disc.sqrt() - r) / 2.0).max(r / 4.0)
+    }
+
+    /// Modeled time for one point-to-point transfer of `bytes`.
+    ///
+    /// Inter-node transfers pay the staging copies through CPU memory on
+    /// both ends (Ray has no NIC–GPU RDMA), and transfers larger than the
+    /// optimal message size are chunked at it — the paper's implementation
+    /// explicitly aggregates/splits to the measured ~4 MB optimum, so the
+    /// single-message falloff never applies beyond one chunk.
+    pub fn p2p_time(&self, bytes: u64, intranode: bool) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        if intranode {
+            self.intranode_latency + bytes as f64 / self.intranode_bandwidth
+        } else {
+            let s_star = self.optimal_message_size();
+            let (chunks, chunk_size) = if (bytes as f64) > s_star {
+                ((bytes as f64 / s_star).ceil(), s_star as u64)
+            } else {
+                (1.0, bytes)
+            };
+            let wire = bytes as f64 / self.effective_internode_bandwidth(chunk_size);
+            let staging = 2.0 * bytes as f64 / self.staging_bandwidth;
+            chunks * self.internode_latency + wire + staging
+        }
+    }
+
+    /// Tree depth of a collective over `nranks` ranks.
+    pub fn tree_depth(nranks: u32) -> u32 {
+        32 - nranks.next_power_of_two().leading_zeros() - 1
+    }
+
+    /// Modeled time of a cross-rank allreduce of `bytes` (the global phase
+    /// of the delegate mask reduction, §V-A): `log₂(prank)` tree rounds,
+    /// plus the implementation-specific overhead of the chosen flavor.
+    pub fn allreduce_time(&self, bytes: u64, nranks: u32, blocking: bool) -> f64 {
+        if nranks <= 1 {
+            return 0.0;
+        }
+        let rounds = Self::tree_depth(nranks) as f64;
+        let per_round = self.p2p_time(bytes, false);
+        // Reduce + broadcast phases ≈ 2 tree traversals.
+        let base = 2.0 * rounds * per_round;
+        if blocking {
+            base + self.allreduce_sync_overhead
+        } else {
+            base * (self.iallreduce_base_efficiency + nranks as f64 / self.iallreduce_rank_scale)
+        }
+    }
+
+    /// Modeled time of the local (intra-rank) reduce of per-GPU buffers to
+    /// GPU0: GPU0's NVLink serializes `pgpu - 1` incoming buffers.
+    pub fn local_reduce_time(&self, bytes: u64, pgpu: u32) -> f64 {
+        if pgpu <= 1 || bytes == 0 {
+            return 0.0;
+        }
+        (pgpu - 1) as f64 * self.p2p_time(bytes, true)
+    }
+
+    /// Modeled time of the local broadcast of the reduced buffer from GPU0
+    /// back to its peers.
+    pub fn local_broadcast_time(&self, bytes: u64, pgpu: u32) -> f64 {
+        self.local_reduce_time(bytes, pgpu)
+    }
+}
+
+/// Combined device + network model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// The GPU device model.
+    pub device: DeviceModel,
+    /// The interconnect model.
+    pub network: NetworkModel,
+}
+
+impl CostModel {
+    /// The Ray machine: P100 GPUs on NVLink + EDR InfiniBand.
+    pub fn ray() -> Self {
+        Self { device: DeviceModel::p100(), network: NetworkModel::ray() }
+    }
+
+    /// The *workload-scaled* Ray machine for scaled-down reproductions.
+    ///
+    /// The paper runs a scale-26 RMAT graph per GPU; this reproduction runs
+    /// graphs `factor`× smaller per GPU. At the paper's sizes the per-byte /
+    /// per-edge terms dominate the fixed latencies; shrinking only the
+    /// workload would instead make the µs-scale constants dominate and
+    /// flatten every comparison. Dividing all throughputs (compute and
+    /// bandwidth) by the same `factor` keeps every compute:communication
+    /// ratio identical to the full-scale run — times come out in the
+    /// paper's range, and shapes (who wins, where crossovers fall) are
+    /// preserved. Multiply resulting TEPS by `factor` to get Ray-equivalent
+    /// throughput.
+    pub fn ray_scaled(factor: f64) -> Self {
+        assert!(factor >= 1.0, "scale factor must be >= 1");
+        Self {
+            device: DeviceModel::p100_scaled(factor),
+            network: NetworkModel::ray_scaled(factor),
+        }
+    }
+
+    /// Inverse inter-node bandwidth `g` of the paper's analysis (s/byte).
+    pub fn g(&self) -> f64 {
+        1.0 / self.network.internode_bandwidth
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::ray()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_time_zero_workload_is_free() {
+        let d = DeviceModel::p100();
+        assert_eq!(d.kernel_time(KernelKind::DynamicVisit, 0), 0.0);
+        assert!(d.kernel_time(KernelKind::DynamicVisit, 1) >= d.kernel_launch_overhead);
+    }
+
+    #[test]
+    fn merge_visit_is_faster_per_edge() {
+        let d = DeviceModel::p100();
+        let heavy = 1 << 24;
+        assert!(
+            d.kernel_time(KernelKind::MergeVisit, heavy)
+                < d.kernel_time(KernelKind::DynamicVisit, heavy)
+        );
+    }
+
+    #[test]
+    fn bandwidth_ramp_peaks_near_4mb() {
+        let n = NetworkModel::ray();
+        // Scan the sweep range of §VI-A1 and find the best message size.
+        let sizes: Vec<u64> = (17..=24).map(|b| 1u64 << b).collect(); // 128 kB .. 16 MB
+        let best = sizes
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                n.effective_internode_bandwidth(a)
+                    .total_cmp(&n.effective_internode_bandwidth(b))
+            })
+            .unwrap();
+        assert!(
+            (2 * 1024 * 1024..=8 * 1024 * 1024).contains(&best),
+            "optimum at {best} bytes, expected ≈4 MB"
+        );
+    }
+
+    #[test]
+    fn optimal_message_size_is_about_4mb() {
+        let n = NetworkModel::ray();
+        let s = n.optimal_message_size();
+        assert!(
+            (2.0e6..=8.0e6).contains(&s),
+            "closed-form optimum {s} should sit near 4 MB"
+        );
+    }
+
+    #[test]
+    fn large_transfers_are_chunked_at_the_optimum() {
+        let n = NetworkModel::ray();
+        // A 1 GB transfer must run at roughly the optimal-chunk rate, not
+        // the collapsed single-message rate.
+        let big = 1u64 << 30;
+        let t = n.p2p_time(big, false);
+        let optimal_rate =
+            n.effective_internode_bandwidth(n.optimal_message_size() as u64);
+        let ideal = big as f64 / optimal_rate + 2.0 * big as f64 / n.staging_bandwidth;
+        assert!(t < 1.5 * ideal, "chunking broken: {t} vs ideal {ideal}");
+        // And time must stay superlinear-free: 2x the bytes ≈ 2x the time.
+        let t2 = n.p2p_time(2 * big, false);
+        assert!(t2 < 2.2 * t && t2 > 1.8 * t);
+    }
+
+    #[test]
+    fn p2p_time_is_monotone_in_bytes() {
+        let n = NetworkModel::ray();
+        let mut prev = 0.0;
+        for exp in 3..32 {
+            let t = n.p2p_time(1u64 << exp, false);
+            assert!(t >= prev, "non-monotone at 2^{exp}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn internode_slower_than_intranode() {
+        let n = NetworkModel::ray();
+        let bytes = 4 << 20;
+        assert!(n.p2p_time(bytes, false) > n.p2p_time(bytes, true));
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let n = NetworkModel::ray();
+        assert_eq!(n.p2p_time(0, false), 0.0);
+        assert_eq!(n.local_reduce_time(0, 4), 0.0);
+    }
+
+    #[test]
+    fn tree_depth_is_log2() {
+        assert_eq!(NetworkModel::tree_depth(1), 0);
+        assert_eq!(NetworkModel::tree_depth(2), 1);
+        assert_eq!(NetworkModel::tree_depth(8), 3);
+        assert_eq!(NetworkModel::tree_depth(62), 6);
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let n = NetworkModel::ray();
+        let bytes = 1 << 20;
+        let t8 = n.allreduce_time(bytes, 8, true);
+        let t64 = n.allreduce_time(bytes, 64, true);
+        // log2(64)/log2(8) = 2: doubling, not 8x — the paper's key
+        // scalability claim for delegate communication.
+        assert!(t64 < 2.5 * t8, "t64 = {t64}, t8 = {t8}");
+        assert!(t64 > 1.5 * t8);
+    }
+
+    #[test]
+    fn iallreduce_beats_blocking_on_few_ranks_only() {
+        let n = NetworkModel::ray();
+        let bytes = 1 << 20;
+        // §VI-B: "When running on fewer than 8 nodes, the communication
+        // time of IR is less than that of BR"; beyond that the unoptimized
+        // non-blocking implementation loses, and clearly so at high counts.
+        assert!(n.allreduce_time(bytes, 4, false) < n.allreduce_time(bytes, 4, true));
+        assert!(n.allreduce_time(bytes, 16, false) > n.allreduce_time(bytes, 16, true));
+        assert!(n.allreduce_time(bytes, 64, false) > 2.0 * n.allreduce_time(bytes, 64, true));
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let n = NetworkModel::ray();
+        assert_eq!(n.allreduce_time(1024, 1, true), 0.0);
+        assert_eq!(n.local_reduce_time(1024, 1), 0.0);
+    }
+
+    #[test]
+    fn g_matches_bandwidth() {
+        let c = CostModel::ray();
+        assert!((c.g() - 8.0e-11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_model_preserves_ratios() {
+        let factor = 1024.0;
+        let full = CostModel::ray();
+        let scaled = CostModel::ray_scaled(factor);
+        // A workload 1024x smaller on the scaled machine takes the same
+        // time as the full workload on Ray (fixed overheads aside).
+        let edges = 1u64 << 30;
+        let t_full = full.device.kernel_time(KernelKind::DynamicVisit, edges);
+        let t_scaled = scaled.device.kernel_time(KernelKind::DynamicVisit, edges / 1024);
+        assert!((t_full - t_scaled).abs() / t_full < 1e-3);
+        // Same for a transfer: message 1024x smaller, same relative ramp point.
+        let bytes = 4u64 << 20;
+        let w_full = full.network.p2p_time(bytes, false);
+        let w_scaled = scaled.network.p2p_time(bytes / 1024, false);
+        assert!((w_full - w_scaled).abs() / w_full < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn scaled_model_rejects_upscaling() {
+        let _ = CostModel::ray_scaled(0.5);
+    }
+}

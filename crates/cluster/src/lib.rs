@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Simulated GPU cluster substrate.
+//!
+//! The paper runs on the LLNL *Ray* CORAL early-access machine: nodes with
+//! 2 MPI ranks × 2 P100 GPUs (NVLink intra-node, 100 Gb/s EDR InfiniBand
+//! inter-node, all NIC–GPU traffic staged through CPU memory). None of that
+//! hardware is available here, so this crate *is* the machine:
+//!
+//! * [`topology`] — the `prank × pgpu` device grid and id arithmetic;
+//! * [`fabric`] — a deterministic BSP message fabric between simulated
+//!   GPUs (point-to-point mailboxes), executed with rayon;
+//! * [`collectives`] — MPI-like collectives executed over real data:
+//!   two-phase bit-or allreduce (local GPU→GPU0 reduce, then cross-rank),
+//!   barriers, local all-to-all;
+//! * [`cost`] — the analytic network + device cost model that converts the
+//!   *measured byte volumes and edge workloads* of a run into modeled Ray
+//!   time. All scaling figures in the paper are regenerated against this
+//!   model; real wall-clock of the Rust execution is reported separately.
+//! * [`timing`] — phase accounting (computation / local communication /
+//!   remote normal exchange / remote delegate reduce) with the
+//!   stream-overlap rule of Fig. 3.
+
+pub mod collectives;
+pub mod cost;
+pub mod fabric;
+pub mod timing;
+pub mod topology;
+
+pub use cost::{CostModel, DeviceModel, NetworkModel};
+pub use fabric::Fabric;
+pub use timing::{IterationTiming, Phase, PhaseTimes};
+pub use topology::{GpuId, Topology};

@@ -1,0 +1,191 @@
+//! Phase timing and the stream-overlap accounting of Figs. 3, 8 and 10.
+//!
+//! The paper breaks BFS runtime into four parts — *Computation*, *Local
+//! Communication*, *Remote Normal Exchange*, and *Remote Delegate Reduce* —
+//! and notes that "the sum of all parts in one column is more than the
+//! elapsed time of BFS, because different parts may overlap" (§VI-B).
+//! [`IterationTiming::elapsed`] encodes the overlap rule: with non-blocking
+//! reduction the two remote phases proceed concurrently (the delegate
+//! stream can start as soon as masks arrive, without waiting for normal
+//! vertices), so the iteration pays `max` of the two; a blocking reduction
+//! serializes them.
+
+/// One of the paper's four runtime phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Local kernel execution (both streams).
+    Computation,
+    /// Intra-rank staging: binning, local all2all, local mask reduce.
+    LocalComm,
+    /// Point-to-point normal-vertex exchange over the network.
+    RemoteNormal,
+    /// Global delegate mask reduction across ranks.
+    RemoteDelegate,
+}
+
+impl Phase {
+    /// All phases, in the paper's reporting order.
+    pub const ALL: [Phase; 4] =
+        [Phase::Computation, Phase::LocalComm, Phase::RemoteNormal, Phase::RemoteDelegate];
+
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Computation => "Computation",
+            Phase::LocalComm => "Local Communication",
+            Phase::RemoteNormal => "Remote Normal Exchange",
+            Phase::RemoteDelegate => "Remote Delegate Reduce",
+        }
+    }
+}
+
+/// Modeled seconds spent in each phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Seconds in [`Phase::Computation`].
+    pub computation: f64,
+    /// Seconds in [`Phase::LocalComm`].
+    pub local_comm: f64,
+    /// Seconds in [`Phase::RemoteNormal`].
+    pub remote_normal: f64,
+    /// Seconds in [`Phase::RemoteDelegate`].
+    pub remote_delegate: f64,
+}
+
+impl PhaseTimes {
+    /// Zero times.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Time of one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Computation => self.computation,
+            Phase::LocalComm => self.local_comm,
+            Phase::RemoteNormal => self.remote_normal,
+            Phase::RemoteDelegate => self.remote_delegate,
+        }
+    }
+
+    /// Mutable access to one phase.
+    pub fn get_mut(&mut self, phase: Phase) -> &mut f64 {
+        match phase {
+            Phase::Computation => &mut self.computation,
+            Phase::LocalComm => &mut self.local_comm,
+            Phase::RemoteNormal => &mut self.remote_normal,
+            Phase::RemoteDelegate => &mut self.remote_delegate,
+        }
+    }
+
+    /// Adds `seconds` to a phase.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        *self.get_mut(phase) += seconds;
+    }
+
+    /// Sum of all phases — the "sum of parts" that exceeds elapsed time.
+    pub fn sum(&self) -> f64 {
+        self.computation + self.local_comm + self.remote_normal + self.remote_delegate
+    }
+
+    /// Element-wise sum.
+    pub fn combine(&self, other: &Self) -> Self {
+        Self {
+            computation: self.computation + other.computation,
+            local_comm: self.local_comm + other.local_comm,
+            remote_normal: self.remote_normal + other.remote_normal,
+            remote_delegate: self.remote_delegate + other.remote_delegate,
+        }
+    }
+
+    /// Element-wise maximum — used to aggregate phases across GPUs of a
+    /// superstep (the slowest GPU gates each phase).
+    pub fn max(&self, other: &Self) -> Self {
+        Self {
+            computation: self.computation.max(other.computation),
+            local_comm: self.local_comm.max(other.local_comm),
+            remote_normal: self.remote_normal.max(other.remote_normal),
+            remote_delegate: self.remote_delegate.max(other.remote_delegate),
+        }
+    }
+}
+
+/// The timing of one BFS iteration (superstep), cluster-wide.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IterationTiming {
+    /// Per-phase seconds of the iteration.
+    pub phases: PhaseTimes,
+    /// Whether the delegate reduction was blocking (`MPI_Allreduce`) in
+    /// this iteration; decides the overlap rule.
+    pub blocking_reduce: bool,
+}
+
+impl IterationTiming {
+    /// Elapsed modeled time of the iteration after overlap:
+    /// computation and local staging are serial; the two remote phases
+    /// overlap under non-blocking reduction and serialize under blocking.
+    pub fn elapsed(&self) -> f64 {
+        let p = &self.phases;
+        let remote = if self.blocking_reduce {
+            p.remote_normal + p.remote_delegate
+        } else {
+            p.remote_normal.max(p.remote_delegate)
+        };
+        p.computation + p.local_comm + remote
+    }
+
+    /// Sum of parts (no overlap) — what Figs. 8/10 stack.
+    pub fn sum_of_parts(&self) -> f64 {
+        self.phases.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhaseTimes {
+        PhaseTimes { computation: 4.0, local_comm: 1.0, remote_normal: 2.0, remote_delegate: 3.0 }
+    }
+
+    #[test]
+    fn sum_and_get() {
+        let p = sample();
+        assert_eq!(p.sum(), 10.0);
+        assert_eq!(p.get(Phase::RemoteDelegate), 3.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut p = PhaseTimes::zero();
+        p.add(Phase::Computation, 1.5);
+        p.add(Phase::Computation, 0.5);
+        assert_eq!(p.computation, 2.0);
+    }
+
+    #[test]
+    fn combine_and_max() {
+        let a = sample();
+        let b = PhaseTimes { computation: 1.0, local_comm: 5.0, remote_normal: 0.0, remote_delegate: 9.0 };
+        let c = a.combine(&b);
+        assert_eq!(c.computation, 5.0);
+        assert_eq!(c.local_comm, 6.0);
+        let m = a.max(&b);
+        assert_eq!(m.computation, 4.0);
+        assert_eq!(m.remote_delegate, 9.0);
+    }
+
+    #[test]
+    fn overlap_takes_max_of_remote_phases() {
+        let it = IterationTiming { phases: sample(), blocking_reduce: false };
+        assert_eq!(it.elapsed(), 4.0 + 1.0 + 3.0);
+        assert!(it.elapsed() < it.sum_of_parts());
+    }
+
+    #[test]
+    fn blocking_serializes_remote_phases() {
+        let it = IterationTiming { phases: sample(), blocking_reduce: true };
+        assert_eq!(it.elapsed(), 4.0 + 1.0 + 2.0 + 3.0);
+        assert_eq!(it.elapsed(), it.sum_of_parts());
+    }
+}

@@ -1,0 +1,259 @@
+//! Normal-vertex exchange (§V-B, Fig. 4).
+//!
+//! Only `nn` visits produce direct remote normal-vertex updates; everything
+//! else rides the delegate mask reduction or is local by construction. The
+//! exchange pipeline per iteration is: *bin & convert* (group by
+//! destination GPU; ids already 32-bit destination-local) → optional
+//! *local all2all* (regroup inside each rank so cross-rank pairs connect
+//! equal GPU slots) → optional *uniquify* (drop duplicate destinations) →
+//! *remote exchange* (`MPI_Isend`/`Irecv`, here: modeled point-to-point
+//! transfers with exact byte counts).
+
+use gcbfs_cluster::collectives::local_all2all_regroup;
+use gcbfs_cluster::cost::{CostModel, KernelKind};
+use gcbfs_cluster::topology::{GpuId, Topology};
+
+/// Bytes per exchanged normal-vertex update: one 32-bit destination-local
+/// id (§V-B's "4|Enn| bytes total volume").
+pub const BYTES_PER_UPDATE: u64 = 4;
+
+/// Result of one iteration's normal-vertex exchange.
+#[derive(Clone, Debug)]
+pub struct ExchangeResult {
+    /// Delivered updates per destination GPU (destination-local slots), in
+    /// deterministic order (by sending GPU, then send order).
+    pub delivered: Vec<Vec<u32>>,
+    /// Modeled per-GPU local-communication time: binning/conversion,
+    /// local-all2all moves, uniquify.
+    pub local_time: Vec<f64>,
+    /// Modeled per-GPU remote time: max of NIC send and receive occupancy.
+    pub remote_time: Vec<f64>,
+    /// Bytes that crossed rank boundaries.
+    pub remote_bytes: u64,
+    /// Bytes moved intra-rank (local all2all and same-rank sends).
+    pub local_bytes: u64,
+    /// Updates before uniquification.
+    pub items_before: u64,
+    /// Updates actually transmitted.
+    pub items_sent: u64,
+}
+
+/// Performs the exchange for one iteration.
+///
+/// `sends[g]` are the `(destination GPU, destination-local slot)` updates
+/// produced by GPU `g`'s `nn` visit. Self-addressed updates are not
+/// expected (local `nn` discoveries are applied in the visit kernel), but
+/// are delivered correctly if present.
+pub fn exchange_normals(
+    topo: &Topology,
+    cost: &CostModel,
+    sends: Vec<Vec<(GpuId, u32)>>,
+    use_local_all2all: bool,
+    use_uniquify: bool,
+) -> ExchangeResult {
+    let p = topo.num_gpus() as usize;
+    assert_eq!(sends.len(), p, "one send list per GPU required");
+    let items_before: u64 = sends.iter().map(|s| s.len() as u64).sum();
+
+    let mut local_time = vec![0f64; p];
+    let mut local_bytes = 0u64;
+
+    // Bin & convert: each GPU groups its updates; charged to the binning
+    // kernel (the 64→32-bit conversion happened in the visit kernel, the
+    // paper charges both to "extra local computation ... done on GPUs").
+    for (g, s) in sends.iter().enumerate() {
+        local_time[g] += cost.device.kernel_time(KernelKind::Binning, s.len() as u64);
+    }
+
+    // Local all2all: regroup within ranks; moved items ride NVLink.
+    let mut held: Vec<Vec<(GpuId, u32)>> = sends;
+    if use_local_all2all {
+        let before_counts: Vec<usize> = held.iter().map(Vec::len).collect();
+        let regrouped = local_all2all_regroup(*topo, held);
+        held = regrouped.items;
+        local_bytes += regrouped.moved_items * BYTES_PER_UPDATE;
+        // Each holder pays one NVLink message per peer it shipped items to;
+        // approximate with one aggregate transfer of its moved volume.
+        for (g, &before) in before_counts.iter().enumerate() {
+            // Items this GPU gave away (upper bound: everything it held
+            // that was not already in its own slot).
+            let holder = topo.unflat(g);
+            let kept = held[g].len().min(before);
+            let moved_out = before.saturating_sub(kept) as u64;
+            if moved_out > 0 {
+                local_time[g] +=
+                    cost.network.p2p_time(moved_out * BYTES_PER_UPDATE, true);
+            }
+            let _ = holder;
+        }
+    }
+
+    // Uniquify: drop duplicate (destination, slot) pairs per holder.
+    if use_uniquify {
+        for (g, list) in held.iter_mut().enumerate() {
+            let n = list.len() as u64;
+            list.sort_unstable_by_key(|&(dest, slot)| (topo.flat(dest), slot));
+            list.dedup();
+            // Sort + dedup charged as another binning pass.
+            local_time[g] += cost.device.kernel_time(KernelKind::Binning, n);
+        }
+    }
+
+    let items_sent: u64 = held.iter().map(|s| s.len() as u64).sum();
+
+    // Remote exchange: group per (holder, destination GPU), model each
+    // message, deliver deterministically.
+    let mut delivered: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut send_time = vec![0f64; p];
+    let mut recv_time = vec![0f64; p];
+    let mut remote_bytes = 0u64;
+    for (g, list) in held.into_iter().enumerate() {
+        let holder = topo.unflat(g);
+        // Group contiguously by destination (stable: preserves send order).
+        let mut by_dest: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        for (dest, slot) in list {
+            by_dest[topo.flat(dest)].push(slot);
+        }
+        for (dflat, slots) in by_dest.into_iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let bytes = slots.len() as u64 * BYTES_PER_UPDATE;
+            if dflat == g {
+                // Already at the destination (possible after regrouping):
+                // no transfer to model.
+            } else {
+                let dest = topo.unflat(dflat);
+                let intra = topo.same_rank(holder, dest);
+                let t = cost.network.p2p_time(bytes, intra);
+                send_time[g] += t;
+                recv_time[dflat] += t;
+                if intra {
+                    local_bytes += bytes;
+                } else {
+                    remote_bytes += bytes;
+                }
+            }
+            delivered[dflat].extend(slots);
+        }
+    }
+    let remote_time: Vec<f64> =
+        send_time.iter().zip(&recv_time).map(|(&s, &r)| s.max(r)).collect();
+
+    ExchangeResult {
+        delivered,
+        local_time,
+        remote_time,
+        remote_bytes,
+        local_bytes,
+        items_before,
+        items_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo22() -> Topology {
+        Topology::new(2, 2)
+    }
+
+    fn gid(rank: u32, gpu: u32) -> GpuId {
+        GpuId { rank, gpu }
+    }
+
+    #[test]
+    fn plain_exchange_delivers_everything() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        let mut sends: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 4];
+        sends[0] = vec![(gid(1, 0), 7), (gid(1, 1), 9)];
+        sends[3] = vec![(gid(0, 0), 1)];
+        let ex = exchange_normals(&topo, &cost, sends, false, false);
+        assert_eq!(ex.delivered[topo.flat(gid(1, 0))], vec![7]);
+        assert_eq!(ex.delivered[topo.flat(gid(1, 1))], vec![9]);
+        assert_eq!(ex.delivered[0], vec![1]);
+        assert_eq!(ex.items_before, 3);
+        assert_eq!(ex.items_sent, 3);
+        assert_eq!(ex.remote_bytes, 3 * BYTES_PER_UPDATE);
+        assert!(ex.remote_time[0] > 0.0 && ex.remote_time[3] > 0.0);
+    }
+
+    #[test]
+    fn same_rank_sends_count_as_local_bytes() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        let mut sends: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 4];
+        sends[0] = vec![(gid(0, 1), 3)];
+        let ex = exchange_normals(&topo, &cost, sends, false, false);
+        assert_eq!(ex.remote_bytes, 0);
+        assert_eq!(ex.local_bytes, BYTES_PER_UPDATE);
+        assert_eq!(ex.delivered[1], vec![3]);
+    }
+
+    #[test]
+    fn uniquify_drops_duplicates() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        let mut sends: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 4];
+        sends[0] = vec![(gid(1, 0), 7), (gid(1, 0), 7), (gid(1, 0), 8)];
+        let ex = exchange_normals(&topo, &cost, sends.clone(), false, true);
+        assert_eq!(ex.items_before, 3);
+        assert_eq!(ex.items_sent, 2);
+        let mut got = ex.delivered[topo.flat(gid(1, 0))].clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+        // Without uniquify the duplicate flows.
+        let ex2 = exchange_normals(&topo, &cost, sends, false, false);
+        assert_eq!(ex2.items_sent, 3);
+    }
+
+    #[test]
+    fn local_all2all_keeps_cross_rank_pairs_slot_aligned() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        // GPU (0,0) targets (1,1): without regrouping this is a
+        // slot-mismatched pair; with it, the item first hops to (0,1).
+        let mut sends: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 4];
+        sends[0] = vec![(gid(1, 1), 5)];
+        let ex = exchange_normals(&topo, &cost, sends, true, false);
+        assert_eq!(ex.delivered[topo.flat(gid(1, 1))], vec![5]);
+        assert!(ex.local_bytes >= BYTES_PER_UPDATE, "regroup hop must be local");
+        assert_eq!(ex.remote_bytes, BYTES_PER_UPDATE);
+    }
+
+    #[test]
+    fn regroup_to_own_slot_skips_the_wire() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        // (0,0) -> (0,1): after regrouping the item sits on (0,1) already.
+        let mut sends: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 4];
+        sends[0] = vec![(gid(0, 1), 4)];
+        let ex = exchange_normals(&topo, &cost, sends, true, false);
+        assert_eq!(ex.delivered[1], vec![4]);
+        assert_eq!(ex.remote_bytes, 0);
+    }
+
+    #[test]
+    fn empty_exchange_is_free() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        let ex = exchange_normals(&topo, &cost, vec![Vec::new(); 4], true, true);
+        assert_eq!(ex.items_before, 0);
+        assert!(ex.delivered.iter().all(Vec::is_empty));
+        assert!(ex.remote_time.iter().all(|&t| t == 0.0));
+        assert!(ex.local_time.iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn delivery_is_ordered_by_sender() {
+        let topo = Topology::new(3, 1);
+        let cost = CostModel::ray();
+        let mut sends: Vec<Vec<(GpuId, u32)>> = vec![Vec::new(); 3];
+        sends[2] = vec![(gid(0, 0), 20)];
+        sends[1] = vec![(gid(0, 0), 10)];
+        let ex = exchange_normals(&topo, &cost, sends, false, false);
+        assert_eq!(ex.delivered[0], vec![10, 20]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-subgraph direction optimization (§IV-B).
+//!
+//! Each of the `dd`, `dn`, `nd` visit kernels independently decides its
+//! traversal direction every iteration by comparing the forward workload
+//! `FV` (sum of frontier out-degrees in that subgraph) against the
+//! estimated backward workload
+//!
+//! ```text
+//! BV = Σ_{u ∈ U} (1 - (1-a)^od(u)) / a  ≈  |U| / a  =  |U| (q + s) / q
+//! ```
+//!
+//! where `U` is the set of unvisited sources in the *reversed* subgraph,
+//! `q` the input frontier length, `s` the number of unvisited sources in
+//! the forward subgraph, and `a = q / (q + s)` the probability that a
+//! candidate parent is newly visited. `nn` never direction-optimizes.
+
+use crate::config::SwitchFactors;
+
+/// Traversal direction of one kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward push (top-down).
+    Forward,
+    /// Backward pull (bottom-up).
+    Backward,
+}
+
+/// The backward-workload estimate `BV ≈ |U| (q + s) / q`.
+///
+/// With an empty frontier (`q = 0`) no parent can be newly visited, so the
+/// backward pass would scan everything for nothing: the estimate is
+/// infinite and the kernel stays forward.
+pub fn backward_workload(unvisited_reverse_sources: u64, q: u64, s: u64) -> f64 {
+    if q == 0 {
+        f64::INFINITY
+    } else {
+        unvisited_reverse_sources as f64 * (q + s) as f64 / q as f64
+    }
+}
+
+/// Direction state machine of one kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectionState {
+    current: Direction,
+    factors: SwitchFactors,
+    enabled: bool,
+}
+
+impl DirectionState {
+    /// Starts in the forward direction, as the paper's traversal does.
+    pub fn new(factors: SwitchFactors, enabled: bool) -> Self {
+        Self { current: Direction::Forward, factors, enabled }
+    }
+
+    /// Current direction without re-deciding.
+    pub fn current(&self) -> Direction {
+        self.current
+    }
+
+    /// Whether DO is enabled for this kernel.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Applies the paper's switching rule for this iteration:
+    /// forward → backward when `FV > factor0 · BV`; backward → forward when
+    /// `FV < factor1 · BV`; otherwise keep the current direction.
+    pub fn decide(&mut self, forward_workload: f64, backward_workload: f64) -> Direction {
+        if !self.enabled {
+            return Direction::Forward;
+        }
+        match self.current {
+            Direction::Forward => {
+                if forward_workload > self.factors.forward_to_backward * backward_workload {
+                    self.current = Direction::Backward;
+                }
+            }
+            Direction::Backward => {
+                if forward_workload < self.factors.backward_to_forward * backward_workload {
+                    self.current = Direction::Forward;
+                }
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factors() -> SwitchFactors {
+        SwitchFactors { forward_to_backward: 0.5, backward_to_forward: 0.05 }
+    }
+
+    #[test]
+    fn bv_formula() {
+        // |U| = 100, q = 10, s = 30: BV = 100 * 40 / 10 = 400.
+        assert_eq!(backward_workload(100, 10, 30), 400.0);
+    }
+
+    #[test]
+    fn bv_empty_frontier_is_infinite() {
+        assert_eq!(backward_workload(100, 0, 30), f64::INFINITY);
+    }
+
+    #[test]
+    fn switches_to_backward_when_forward_heavy() {
+        let mut s = DirectionState::new(factors(), true);
+        assert_eq!(s.decide(100.0, 1000.0), Direction::Forward); // 100 < 500
+        assert_eq!(s.decide(600.0, 1000.0), Direction::Backward); // 600 > 500
+    }
+
+    #[test]
+    fn switches_back_with_hysteresis() {
+        let mut s = DirectionState::new(factors(), true);
+        s.decide(600.0, 1000.0);
+        assert_eq!(s.current(), Direction::Backward);
+        // 100 > 0.05 * 1000 = 50: stays backward.
+        assert_eq!(s.decide(100.0, 1000.0), Direction::Backward);
+        // 40 < 50: returns forward.
+        assert_eq!(s.decide(40.0, 1000.0), Direction::Forward);
+    }
+
+    #[test]
+    fn disabled_stays_forward() {
+        let mut s = DirectionState::new(factors(), false);
+        assert_eq!(s.decide(1e12, 1.0), Direction::Forward);
+        assert_eq!(s.current(), Direction::Forward);
+    }
+
+    #[test]
+    fn infinite_bv_keeps_forward() {
+        let mut s = DirectionState::new(factors(), true);
+        assert_eq!(s.decide(1e12, f64::INFINITY), Direction::Forward);
+    }
+
+    #[test]
+    fn rmat_like_never_switches_back() {
+        // §VI-B: "For RMAT, once the traversal switches to the backward
+        // direction, it does not need to change back" — with the paper's
+        // factors a typical RMAT FV/BV trajectory keeps the kernel backward.
+        let mut s = DirectionState::new(SwitchFactors::new(0.5), true);
+        let trajectory = [(10.0, 1e6), (1e5, 1e5), (1e6, 1e4), (1e4, 1e4), (1e3, 1e4)];
+        let mut dirs = Vec::new();
+        for (fv, bv) in trajectory {
+            dirs.push(s.decide(fv, bv));
+        }
+        assert_eq!(dirs[0], Direction::Forward);
+        assert!(dirs[2..].iter().all(|&d| d == Direction::Backward));
+    }
+}

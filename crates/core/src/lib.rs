@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: degree-separated distributed (DO)BFS.
+//!
+//! Pipeline (paper section → module):
+//!
+//! * §III-A vertex separation by out-degree → [`separation`];
+//! * §III-B edge distributor (Algorithm 1) → [`distributor`];
+//! * §III-C four-subgraph per-GPU storage with 32-bit local ids and the
+//!   Table I memory accounting → [`subgraph`];
+//! * §IV local computation: previsit + visit kernels on the delegate and
+//!   normal streams → [`kernels`];
+//! * §IV-B per-subgraph direction optimization with the `BV ≈ |U|(q+s)/q`
+//!   workload estimator → [`direction`];
+//! * §V communication: two-phase delegate mask reduction and point-to-point
+//!   normal vertex exchange with binning / local-all2all / uniquify →
+//!   [`comm`] (collectives live in `gcbfs-cluster`);
+//! * §VI the driver tying it together, per-iteration statistics, and the
+//!   Graph500 TEPS reporting → [`driver`], [`stats`];
+//! * delegate visited bitmasks → [`masks`]; run options → [`config`].
+
+pub mod async_bfs;
+pub mod betweenness;
+pub mod comm;
+pub mod components;
+pub mod config;
+pub mod direction;
+pub mod distributor;
+pub mod driver;
+pub mod kernels;
+pub mod masks;
+pub mod msbfs;
+pub mod pagerank;
+pub mod separation;
+pub mod sssp;
+pub mod stats;
+pub mod subgraph;
+pub mod trace;
+
+pub use config::BfsConfig;
+pub use driver::{BfsResult, BuildError, DistributedGraph};
+pub use separation::Separation;
+pub use stats::RunStats;
+
+/// Depth marker for unreached vertices (matches `gcbfs_graph::reference`).
+pub const UNREACHED: u32 = u32::MAX;

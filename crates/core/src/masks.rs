@@ -1,0 +1,171 @@
+//! Delegate visited bitmasks (§IV-A, §V-A).
+//!
+//! "The visited status of delegates are maintained by bitmasks, with each
+//! delegate only occupying 1 bit. This is an effective way to store and
+//! communicate the status of high out-degree vertices." The masks are what
+//! the two-phase global reduction moves: `d/8` bytes per message.
+
+/// A bitmask over the `d` delegates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelegateMask {
+    words: Vec<u64>,
+    num_bits: u32,
+}
+
+impl DelegateMask {
+    /// An all-zero mask over `num_bits` delegates.
+    pub fn new(num_bits: u32) -> Self {
+        Self { words: vec![0u64; (num_bits as usize).div_ceil(64)], num_bits }
+    }
+
+    /// Number of delegates covered.
+    pub fn num_bits(&self) -> u32 {
+        self.num_bits
+    }
+
+    /// Size in bytes when communicated — the `d/8` of the paper's volume
+    /// analysis (rounded up to whole words, as an implementation would).
+    pub fn byte_size(&self) -> u64 {
+        (self.words.len() * 8) as u64
+    }
+
+    /// The backing words (for reduction via `gcbfs_cluster::collectives`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replaces the backing words (consuming a reduced mask).
+    ///
+    /// # Panics
+    /// Panics if the word count changes.
+    pub fn set_words(&mut self, words: Vec<u64>) {
+        assert_eq!(words.len(), self.words.len(), "mask width must not change");
+        self.words = words;
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        debug_assert!(i < self.num_bits);
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`; returns whether it was newly set.
+    #[inline]
+    pub fn set(&mut self, i: u32) -> bool {
+        debug_assert!(i < self.num_bits);
+        let word = &mut self.words[(i / 64) as usize];
+        let bit = 1u64 << (i % 64);
+        let newly = *word & bit == 0;
+        *word |= bit;
+        newly
+    }
+
+    /// ORs `other` into `self`.
+    pub fn or_assign(&mut self, other: &Self) {
+        debug_assert_eq!(self.num_bits, other.num_bits);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the indices of bits set in `self` but not in `prev` —
+    /// the *newly visited* delegates after a reduction.
+    pub fn new_bits<'a>(&'a self, prev: &'a Self) -> impl Iterator<Item = u32> + 'a {
+        debug_assert_eq!(self.num_bits, prev.num_bits);
+        self.words.iter().zip(&prev.words).enumerate().flat_map(|(wi, (&cur, &old))| {
+            let mut diff = cur & !old;
+            std::iter::from_fn(move || {
+                if diff == 0 {
+                    None
+                } else {
+                    let bit = diff.trailing_zeros();
+                    diff &= diff - 1;
+                    Some(wi as u32 * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// True if `self` differs from `prev` (an update worth reducing).
+    pub fn differs_from(&self, prev: &Self) -> bool {
+        self.words != prev.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = DelegateMask::new(130);
+        assert!(!m.get(0));
+        assert!(m.set(0));
+        assert!(!m.set(0), "second set reports not-new");
+        assert!(m.set(64));
+        assert!(m.set(129));
+        assert!(m.get(0) && m.get(64) && m.get(129));
+        assert!(!m.get(1));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn byte_size_rounds_to_words() {
+        assert_eq!(DelegateMask::new(1).byte_size(), 8);
+        assert_eq!(DelegateMask::new(64).byte_size(), 8);
+        assert_eq!(DelegateMask::new(65).byte_size(), 16);
+        assert_eq!(DelegateMask::new(0).byte_size(), 0);
+    }
+
+    #[test]
+    fn or_assign_unions() {
+        let mut a = DelegateMask::new(70);
+        let mut b = DelegateMask::new(70);
+        a.set(3);
+        b.set(69);
+        a.or_assign(&b);
+        assert!(a.get(3) && a.get(69));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn new_bits_finds_exactly_the_delta() {
+        let mut prev = DelegateMask::new(200);
+        prev.set(5);
+        prev.set(100);
+        let mut cur = prev.clone();
+        cur.set(6);
+        cur.set(199);
+        let new: Vec<u32> = cur.new_bits(&prev).collect();
+        assert_eq!(new, vec![6, 199]);
+        assert!(cur.differs_from(&prev));
+        assert!(!prev.differs_from(&prev.clone()));
+    }
+
+    #[test]
+    fn empty_and_zero_width() {
+        let m = DelegateMask::new(0);
+        assert!(m.is_empty());
+        assert_eq!(m.count_ones(), 0);
+        let none: Vec<u32> = m.new_bits(&DelegateMask::new(0)).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn set_words_rejects_resize() {
+        let mut m = DelegateMask::new(64);
+        m.set_words(vec![0, 0]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Multi-source BFS (MS-BFS) on the degree-separated distribution.
+//!
+//! The paper motivates BFS as "a building block of more advanced
+//! algorithms that involve graph traversals, such as betweenness
+//! centrality and community detection" (§I). Those algorithms run BFS
+//! from many sources, and the standard batching trick packs up to 64
+//! concurrent searches into one u64 bitmask per vertex so a single edge
+//! traversal serves every search at once.
+//!
+//! The degree-separation machinery carries over directly: the delegate
+//! visited state becomes a `u64` *per delegate* (64× the single-BFS mask —
+//! another instance of §VI-D's "more bits of state for delegates"),
+//! reduced by the same two-phase bit-or collective; `nn` updates carry the
+//! source bitmask alongside the destination slot (12 bytes per update).
+//! Traversal is forward-only: direction optimization does not compose
+//! with source batching (a backward pull terminates per source, not per
+//! vertex), which is why centrality codes run top-down batches.
+
+use crate::config::BfsConfig;
+use crate::driver::{BfsResult, BuildError, DistributedGraph};
+use crate::UNREACHED;
+use gcbfs_cluster::collectives::allreduce_or;
+use gcbfs_cluster::cost::KernelKind;
+use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
+use gcbfs_graph::VertexId;
+use rayon::prelude::*;
+
+/// Result of one multi-source batch.
+#[derive(Clone, Debug)]
+pub struct MsBfsResult {
+    /// The batched sources, in bit order.
+    pub sources: Vec<VertexId>,
+    /// `depths[k][v]` = hop distance from `sources[k]` to `v`.
+    pub depths: Vec<Vec<u32>>,
+    /// BFS levels processed (max over sources).
+    pub iterations: u32,
+    /// Edges examined — shared across the whole batch.
+    pub edges_examined: u64,
+    /// Modeled per-phase totals.
+    pub phases: PhaseTimes,
+    /// Modeled elapsed seconds (overlap rule).
+    pub modeled_seconds: f64,
+    /// Bytes crossing rank boundaries.
+    pub remote_bytes: u64,
+}
+
+impl MsBfsResult {
+    /// The single-run result view for source `k` (depths only).
+    pub fn depths_of(&self, k: usize) -> &[u32] {
+        &self.depths[k]
+    }
+}
+
+/// Per-GPU MS-BFS state.
+struct MsGpu {
+    /// Sources that reached each owned slot (cumulative).
+    masks: Vec<u64>,
+    /// Sources that reached each owned slot at the current level.
+    new_bits: Vec<u64>,
+    /// Per-slot per-source depth, row-major `slot * k_count + k`.
+    depths: Vec<u32>,
+}
+
+impl DistributedGraph {
+    /// Runs up to 64 breadth-first searches simultaneously (forward-only).
+    ///
+    /// # Errors
+    /// Returns [`BuildError::SourceOutOfRange`] if any source is invalid;
+    /// panics if more than 64 sources are given.
+    pub fn run_multi_source(
+        &self,
+        sources: &[VertexId],
+        config: &BfsConfig,
+    ) -> Result<MsBfsResult, BuildError> {
+        assert!(
+            (1..=64).contains(&sources.len()),
+            "MS-BFS batches 1..=64 sources, got {}",
+            sources.len()
+        );
+        for &s in sources {
+            if s >= self.num_vertices {
+                return Err(BuildError::SourceOutOfRange {
+                    source: s,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        let k_count = sources.len();
+        let topo = self.topology;
+        let p = topo.num_gpus() as usize;
+        let d = self.separation.num_delegates() as usize;
+        let cost = &config.cost;
+
+        let mut gpus: Vec<MsGpu> = self
+            .subgraphs
+            .iter()
+            .map(|sg| {
+                let n_local = sg.num_local as usize;
+                MsGpu {
+                    masks: vec![0u64; n_local],
+                    new_bits: vec![0u64; n_local],
+                    depths: vec![UNREACHED; n_local * k_count],
+                }
+            })
+            .collect();
+        // Delegate state, replicated: cumulative masks, new bits, depths.
+        let mut delegate_masks = vec![0u64; d];
+        let mut delegate_new = vec![0u64; d];
+        let mut delegate_depths = vec![UNREACHED; d * k_count];
+
+        // Seed every source at depth 0.
+        for (k, &s) in sources.iter().enumerate() {
+            let bit = 1u64 << k;
+            if let Some(x) = self.separation.delegate_id(s) {
+                delegate_masks[x as usize] |= bit;
+                delegate_new[x as usize] |= bit;
+                delegate_depths[x as usize * k_count + k] = 0;
+            } else {
+                let flat = topo.flat(topo.vertex_owner(s));
+                let slot = topo.local_index(s) as usize;
+                gpus[flat].masks[slot] |= bit;
+                gpus[flat].new_bits[slot] |= bit;
+                gpus[flat].depths[slot * k_count + k] = 0;
+            }
+        }
+
+        let mut phases_total = PhaseTimes::zero();
+        let mut modeled = 0.0f64;
+        let mut remote_bytes = 0u64;
+        let mut edges_examined = 0u64;
+        let mut iter = 0u32;
+
+        loop {
+            let any_normal = gpus.iter().any(|g| g.new_bits.iter().any(|&b| b != 0));
+            let any_delegate = delegate_new.iter().any(|&b| b != 0);
+            if !any_normal && !any_delegate {
+                break;
+            }
+            let next_depth = iter + 1;
+
+            // ---- Local expansion on every GPU. ----
+            struct Out {
+                /// Newly proposed bits per owned slot (before dedup).
+                proposals: Vec<u64>,
+                /// Delegate bit proposals from nd/dd edges.
+                delegate_proposals: Vec<u64>,
+                /// Remote nn proposals: (dest flat, dest slot, bits).
+                remote: Vec<(usize, u32, u64)>,
+                edges: u64,
+                vertices: u64,
+            }
+            let delegate_new_ref = &delegate_new;
+            let delegate_masks_ref = &delegate_masks;
+            let outs: Vec<Out> = gpus
+                .par_iter()
+                .enumerate()
+                .map(|(flat, g)| {
+                    let sg = &self.subgraphs[flat];
+                    let gpu = topo.unflat(flat);
+                    let mut proposals = vec![0u64; g.masks.len()];
+                    let mut delegate_proposals = vec![0u64; d];
+                    let mut remote = Vec::new();
+                    let mut edges = 0u64;
+                    let mut vertices = 0u64;
+                    // Normal frontier pushes over nn and nd.
+                    for slot in 0..g.masks.len() as u32 {
+                        let bits = g.new_bits[slot as usize];
+                        if bits == 0 {
+                            continue;
+                        }
+                        vertices += 1;
+                        for &v_global in sg.nn.row(slot) {
+                            edges += 1;
+                            let owner = topo.vertex_owner(v_global);
+                            let vslot = topo.local_index(v_global);
+                            if owner == gpu {
+                                proposals[vslot as usize] |= bits;
+                            } else {
+                                remote.push((topo.flat(owner), vslot, bits));
+                            }
+                        }
+                        for &x in sg.nd.row(slot) {
+                            edges += 1;
+                            delegate_proposals[x as usize] |= bits;
+                        }
+                    }
+                    // Delegate frontier pushes over dd and dn (local
+                    // portions, replicated new bits).
+                    for x in 0..d as u32 {
+                        let bits = delegate_new_ref[x as usize];
+                        if bits == 0 {
+                            continue;
+                        }
+                        vertices += 1;
+                        for &y in sg.dd.row(x) {
+                            edges += 1;
+                            delegate_proposals[y as usize] |= bits;
+                        }
+                        for &u in sg.dn.row(x) {
+                            edges += 1;
+                            proposals[u as usize] |= bits;
+                        }
+                    }
+                    // Drop already-covered delegate bits early (the
+                    // bitmask analogue of the previsit dedup).
+                    for (prop, &have) in delegate_proposals.iter_mut().zip(delegate_masks_ref) {
+                        *prop &= !have;
+                    }
+                    Out { proposals, delegate_proposals, remote, edges, vertices }
+                })
+                .collect();
+
+            let mut phases = PhaseTimes::zero();
+            for out in &outs {
+                let t = cost.device.kernel_time(KernelKind::DynamicVisit, out.edges)
+                    + cost.device.kernel_time(KernelKind::Previsit, out.vertices);
+                phases.computation = phases.computation.max(t);
+            }
+            edges_examined += outs.iter().map(|o| o.edges).sum::<u64>();
+
+            // ---- Delegate bit reduction: d x u64 words, same two-phase
+            // OR collective as single BFS (64x the bytes). ----
+            let mut reduced_new = vec![0u64; d];
+            if d > 0 && outs.iter().any(|o| o.delegate_proposals.iter().any(|&b| b != 0)) {
+                let words: Vec<Vec<u64>> =
+                    outs.iter().map(|o| o.delegate_proposals.clone()).collect();
+                let outcome = allreduce_or(topo, cost, &words, config.blocking_reduce);
+                phases.local_comm += outcome.local_time;
+                phases.remote_delegate += outcome.global_time;
+                if topo.num_ranks() > 1 {
+                    remote_bytes += 2 * outcome.bytes_per_message * topo.num_ranks() as u64;
+                }
+                reduced_new = outcome.reduced;
+                for (nb, &have) in reduced_new.iter_mut().zip(&delegate_masks) {
+                    *nb &= !have;
+                }
+            }
+            phases.remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true);
+
+            // ---- Remote nn exchange: 12 bytes per (slot, bits) update. ----
+            let mut delivered: Vec<Vec<(u32, u64)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut send_bytes = vec![0u64; p];
+            let mut recv_bytes = vec![0u64; p];
+            for (from, out) in outs.iter().enumerate() {
+                for &(to, slot, bits) in &out.remote {
+                    send_bytes[from] += 12;
+                    recv_bytes[to] += 12;
+                    delivered[to].push((slot, bits));
+                }
+            }
+            for flat in 0..p {
+                let t = cost.network.p2p_time(send_bytes[flat].max(recv_bytes[flat]), false);
+                phases.remote_normal = phases.remote_normal.max(t);
+            }
+            remote_bytes += send_bytes.iter().sum::<u64>();
+
+            // ---- Apply updates: set depths for newly covered bits. ----
+            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(
+                |((g, out), inbox)| {
+                    let mut proposals = out.proposals;
+                    for (slot, bits) in inbox {
+                        proposals[slot as usize] |= bits;
+                    }
+                    #[allow(clippy::needless_range_loop)] // parallel arrays share the index
+                    for slot in 0..g.masks.len() {
+                        let fresh = proposals[slot] & !g.masks[slot];
+                        g.new_bits[slot] = fresh;
+                        if fresh == 0 {
+                            continue;
+                        }
+                        g.masks[slot] |= fresh;
+                        let mut bits = fresh;
+                        while bits != 0 {
+                            let k = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            g.depths[slot * k_count + k] = next_depth;
+                        }
+                    }
+                },
+            );
+            for x in 0..d {
+                let fresh = reduced_new[x];
+                delegate_new[x] = fresh;
+                if fresh == 0 {
+                    continue;
+                }
+                delegate_masks[x] |= fresh;
+                let mut bits = fresh;
+                while bits != 0 {
+                    let k = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    delegate_depths[x * k_count + k] = next_depth;
+                }
+            }
+
+            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            modeled += timing.elapsed();
+            phases_total = phases_total.combine(&phases);
+            iter += 1;
+        }
+
+        // ---- Assemble per-source depth vectors. ----
+        let n = self.num_vertices as usize;
+        let mut depths: Vec<Vec<u32>> = (0..k_count).map(|_| vec![UNREACHED; n]).collect();
+        for x in 0..d {
+            let v = self.separation.original(x as u32) as usize;
+            for (k, dvec) in depths.iter_mut().enumerate() {
+                dvec[v] = delegate_depths[x * k_count + k];
+            }
+        }
+        for (flat, g) in gpus.iter().enumerate() {
+            let gpu = topo.unflat(flat);
+            for slot in 0..g.masks.len() {
+                if g.masks[slot] == 0 {
+                    continue;
+                }
+                let v = topo.global_id(gpu, slot as u32) as usize;
+                for (k, dvec) in depths.iter_mut().enumerate() {
+                    let dv = g.depths[slot * k_count + k];
+                    if dv != UNREACHED {
+                        dvec[v] = dv;
+                    }
+                }
+            }
+        }
+
+        Ok(MsBfsResult {
+            sources: sources.to_vec(),
+            depths,
+            iterations: iter,
+            edges_examined,
+            phases: phases_total,
+            modeled_seconds: modeled,
+            remote_bytes,
+        })
+    }
+}
+
+/// Convenience: the workload a batch saved versus running each source
+/// separately (edges examined by `separate` runs divided by the batch's).
+pub fn batch_sharing_factor(batch: &MsBfsResult, separate: &[BfsResult]) -> f64 {
+    let separate_edges: u64 = separate.iter().map(|r| r.stats.total_edges_examined()).sum();
+    separate_edges as f64 / batch.edges_examined.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_cluster::topology::Topology;
+    use gcbfs_graph::reference::bfs_depths;
+    use gcbfs_graph::rmat::RmatConfig;
+    use gcbfs_graph::{builders, Csr};
+
+    fn sources_for(graph: &gcbfs_graph::EdgeList, count: usize) -> Vec<u64> {
+        let degrees = graph.out_degrees();
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(count).collect()
+    }
+
+    #[test]
+    fn matches_reference_per_source_on_rmat() {
+        let graph = RmatConfig::graph500(9).generate();
+        let csr = Csr::from_edge_list(&graph);
+        let config = BfsConfig::new(8).with_direction_optimization(false);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let sources = sources_for(&graph, 17);
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        for (k, &s) in sources.iter().enumerate() {
+            assert_eq!(batch.depths_of(k), bfs_depths(&csr, s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn full_64_source_batch() {
+        let graph = RmatConfig::graph500(10).generate();
+        let csr = Csr::from_edge_list(&graph);
+        let config = BfsConfig::new(16);
+        let dist = DistributedGraph::build(&graph, Topology::new(3, 2), &config).unwrap();
+        let sources = sources_for(&graph, 64);
+        assert_eq!(sources.len(), 64);
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        for k in [0usize, 13, 31, 63] {
+            assert_eq!(batch.depths_of(k), bfs_depths(&csr, sources[k]));
+        }
+        assert!(batch.iterations >= 2);
+    }
+
+    #[test]
+    fn delegate_and_normal_sources_mix() {
+        let graph = builders::double_star(8);
+        let csr = Csr::from_edge_list(&graph);
+        let config = BfsConfig::new(5);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        // Hub 0 is a delegate, leaf 3 is normal.
+        let sources = vec![0u64, 3];
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        assert_eq!(batch.depths_of(0), bfs_depths(&csr, 0));
+        assert_eq!(batch.depths_of(1), bfs_depths(&csr, 3));
+    }
+
+    #[test]
+    fn batching_shares_edge_traversals() {
+        // The whole point of MS-BFS: one batch examines far fewer edges
+        // than 32 separate (forward-only) runs.
+        let graph = RmatConfig::graph500(10).generate();
+        let config = BfsConfig::new(16).with_direction_optimization(false);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let sources = sources_for(&graph, 32);
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        let separate: Vec<BfsResult> =
+            sources.iter().map(|&s| dist.run(s, &config).unwrap()).collect();
+        let sharing = batch_sharing_factor(&batch, &separate);
+        assert!(sharing > 4.0, "sharing factor only {sharing:.2}");
+        // And it matches each separate run's depths.
+        for (k, r) in separate.iter().enumerate() {
+            assert_eq!(batch.depths_of(k), &r.depths[..]);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let graph = builders::path(4);
+        let config = BfsConfig::new(4);
+        let dist = DistributedGraph::build(&graph, Topology::new(1, 1), &config).unwrap();
+        assert!(matches!(
+            dist.run_multi_source(&[9], &config),
+            Err(BuildError::SourceOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_oversized_batch() {
+        let graph = builders::path(80);
+        let config = BfsConfig::new(4);
+        let dist = DistributedGraph::build(&graph, Topology::new(1, 1), &config).unwrap();
+        let sources: Vec<u64> = (0..65).collect();
+        let _ = dist.run_multi_source(&sources, &config);
+    }
+}

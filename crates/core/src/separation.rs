@@ -1,0 +1,146 @@
+//! Vertex separation by out-degree (§III-A).
+//!
+//! Vertices with out-degree greater than the threshold `TH` become
+//! *delegates*: they are renumbered into a dense `0..d` id space and
+//! replicated on every GPU. Everything else is a *normal* vertex, owned by
+//! exactly one GPU (Algorithm 1's `P`/`G` functions in
+//! `gcbfs_cluster::topology`).
+
+use gcbfs_graph::VertexId;
+
+/// The delegate/normal split of a graph's vertices.
+#[derive(Clone, Debug)]
+pub struct Separation {
+    /// Global ids of the delegates, ascending; the position in this vector
+    /// is the dense delegate id.
+    delegates: Vec<VertexId>,
+    /// `delegate_index[v]` = delegate id + 1, or 0 if `v` is normal.
+    /// (Offset by one so the common case packs into a plain `u32` vec.)
+    delegate_index: Vec<u32>,
+    /// The threshold used.
+    threshold: u64,
+}
+
+impl Separation {
+    /// Separates vertices given their out-degrees: `degrees[v] > threshold`
+    /// makes `v` a delegate.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX - 1` delegates result (local ids are
+    /// 32-bit by design, §III-C).
+    pub fn from_degrees(degrees: &[u64], threshold: u64) -> Self {
+        let mut delegates = Vec::new();
+        let mut delegate_index = vec![0u32; degrees.len()];
+        for (v, &deg) in degrees.iter().enumerate() {
+            if deg > threshold {
+                let id = delegates.len() as u64;
+                assert!(id < u32::MAX as u64 - 1, "delegate ids must fit in 32 bits");
+                delegates.push(v as VertexId);
+                delegate_index[v] = id as u32 + 1;
+            }
+        }
+        Self { delegates, delegate_index, threshold }
+    }
+
+    /// The threshold `TH` this separation was built with.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Number of delegates `d`.
+    pub fn num_delegates(&self) -> u32 {
+        self.delegates.len() as u32
+    }
+
+    /// Number of vertices overall.
+    pub fn num_vertices(&self) -> u64 {
+        self.delegate_index.len() as u64
+    }
+
+    /// Whether `v` is a delegate.
+    #[inline]
+    pub fn is_delegate(&self, v: VertexId) -> bool {
+        self.delegate_index[v as usize] != 0
+    }
+
+    /// The dense delegate id of `v`, if it is a delegate.
+    #[inline]
+    pub fn delegate_id(&self, v: VertexId) -> Option<u32> {
+        let idx = self.delegate_index[v as usize];
+        (idx != 0).then(|| idx - 1)
+    }
+
+    /// The global vertex id behind delegate `id`.
+    #[inline]
+    pub fn original(&self, id: u32) -> VertexId {
+        self.delegates[id as usize]
+    }
+
+    /// All delegate global ids, ascending.
+    pub fn delegates(&self) -> &[VertexId] {
+        &self.delegates
+    }
+
+    /// Fraction of vertices that are delegates (the `d` curve of Figs. 5,
+    /// 7, 12).
+    pub fn delegate_fraction(&self) -> f64 {
+        if self.delegate_index.is_empty() {
+            0.0
+        } else {
+            self.delegates.len() as f64 / self.delegate_index.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_by_threshold() {
+        let degrees = vec![3, 10, 0, 11, 10];
+        let s = Separation::from_degrees(&degrees, 10);
+        assert_eq!(s.num_delegates(), 1);
+        assert!(s.is_delegate(3));
+        assert!(!s.is_delegate(1)); // exactly TH stays normal
+        assert_eq!(s.delegate_id(3), Some(0));
+        assert_eq!(s.delegate_id(0), None);
+        assert_eq!(s.original(0), 3);
+    }
+
+    #[test]
+    fn delegate_ids_are_dense_and_ordered() {
+        let degrees = vec![100, 1, 100, 1, 100];
+        let s = Separation::from_degrees(&degrees, 5);
+        assert_eq!(s.delegates(), &[0, 2, 4]);
+        assert_eq!(s.delegate_id(0), Some(0));
+        assert_eq!(s.delegate_id(2), Some(1));
+        assert_eq!(s.delegate_id(4), Some(2));
+        for id in 0..3 {
+            assert_eq!(s.delegate_id(s.original(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn threshold_zero_makes_every_connected_vertex_a_delegate() {
+        let degrees = vec![1, 0, 2];
+        let s = Separation::from_degrees(&degrees, 0);
+        assert_eq!(s.num_delegates(), 2);
+        assert!(!s.is_delegate(1));
+    }
+
+    #[test]
+    fn huge_threshold_makes_no_delegates() {
+        let degrees = vec![1, 5, 9];
+        let s = Separation::from_degrees(&degrees, u64::MAX);
+        assert_eq!(s.num_delegates(), 0);
+        assert_eq!(s.delegate_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction() {
+        let degrees = vec![10, 10, 0, 0];
+        let s = Separation::from_degrees(&degrees, 5);
+        assert!((s.delegate_fraction() - 0.5).abs() < 1e-12);
+    }
+}

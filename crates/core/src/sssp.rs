@@ -1,0 +1,482 @@
+//! Distributed single-source shortest paths on the degree-separated
+//! distribution — the paper's §VII future work made concrete: "more
+//! attributes on vertices and edges than a single label".
+//!
+//! Level-synchronous Bellman–Ford with active sets: every round, vertices
+//! whose tentative distance improved relax their out-edges. Delegate
+//! distances are 64-bit values merged by a **min** allreduce; remote `nn`
+//! relaxations carry `(slot, distance)` pairs. The four-subgraph edge
+//! placement (Algorithm 1) is reused verbatim — only the per-edge payload
+//! (a weight) is new, stored in weight arrays parallel to the subgraph
+//! CSRs.
+
+use crate::config::BfsConfig;
+use crate::distributor::{classify, owner, EdgeClass};
+use crate::driver::BuildError;
+use crate::separation::Separation;
+use gcbfs_cluster::collectives::allreduce_min;
+use gcbfs_cluster::cost::KernelKind;
+use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_graph::weighted::{WeightedEdgeList, UNREACHABLE};
+use gcbfs_graph::VertexId;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A weighted local CSR: rows and columns 32-bit, weights parallel.
+#[derive(Clone, Debug, Default)]
+struct WLocalCsr {
+    offsets: Vec<u32>,
+    cols: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl WLocalCsr {
+    fn build(rows: u32, edges: &[(u32, u32, u32)]) -> Self {
+        let mut offsets = vec![0u32; rows as usize + 1];
+        for &(r, _, _) in edges {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets[..rows as usize].to_vec();
+        let mut cols = vec![0u32; edges.len()];
+        let mut weights = vec![0u32; edges.len()];
+        for &(r, c, w) in edges {
+            let pos = &mut cursor[r as usize];
+            cols[*pos as usize] = c;
+            weights[*pos as usize] = w;
+            *pos += 1;
+        }
+        Self { offsets, cols, weights }
+    }
+
+    #[inline]
+    fn row(&self, r: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.offsets[r as usize] as usize;
+        let hi = self.offsets[r as usize + 1] as usize;
+        self.cols[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+}
+
+/// A weighted `nn` CSR: 64-bit global destinations.
+#[derive(Clone, Debug, Default)]
+struct WNnCsr {
+    offsets: Vec<u32>,
+    cols: Vec<u64>,
+    weights: Vec<u32>,
+}
+
+impl WNnCsr {
+    fn build(rows: u32, edges: &[(u32, u64, u32)]) -> Self {
+        let mut offsets = vec![0u32; rows as usize + 1];
+        for &(r, _, _) in edges {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets[..rows as usize].to_vec();
+        let mut cols = vec![0u64; edges.len()];
+        let mut weights = vec![0u32; edges.len()];
+        for &(r, c, w) in edges {
+            let pos = &mut cursor[r as usize];
+            cols[*pos as usize] = c;
+            weights[*pos as usize] = w;
+            *pos += 1;
+        }
+        Self { offsets, cols, weights }
+    }
+
+    #[inline]
+    fn row(&self, r: u32) -> impl Iterator<Item = (u64, u32)> + '_ {
+        let lo = self.offsets[r as usize] as usize;
+        let hi = self.offsets[r as usize + 1] as usize;
+        self.cols[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+}
+
+/// One GPU's weighted subgraphs.
+#[derive(Clone, Debug)]
+struct WGpuSubgraphs {
+    num_local: u32,
+    nn: WNnCsr,
+    nd: WLocalCsr,
+    dn: WLocalCsr,
+    dd: WLocalCsr,
+}
+
+/// A weighted graph distributed across the simulated cluster for SSSP.
+#[derive(Clone, Debug)]
+pub struct DistributedSssp {
+    topology: Topology,
+    separation: Arc<Separation>,
+    subgraphs: Vec<Arc<WGpuSubgraphs>>,
+    num_vertices: u64,
+}
+
+/// Result of a distributed SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Shortest-path distance of every vertex ([`UNREACHABLE`] if none).
+    pub distances: Vec<u64>,
+    /// Relaxation rounds until convergence.
+    pub rounds: u32,
+    /// Edges relaxed across all rounds.
+    pub edges_relaxed: u64,
+    /// Modeled per-phase totals.
+    pub phases: PhaseTimes,
+    /// Modeled elapsed seconds.
+    pub modeled_seconds: f64,
+    /// Bytes crossing rank boundaries.
+    pub remote_bytes: u64,
+}
+
+impl DistributedSssp {
+    /// Distributes `graph` with Algorithm 1 (degrees and threshold as for
+    /// BFS) and attaches the edge weights.
+    pub fn build(graph: &WeightedEdgeList, topology: Topology, config: &BfsConfig) -> Self {
+        let topo_list = graph.topology();
+        let degrees = topo_list.out_degrees();
+        let separation = Separation::from_degrees(&degrees, config.degree_threshold);
+        let p = topology.num_gpus() as usize;
+        let mut nn: Vec<Vec<(u32, u64, u32)>> = vec![Vec::new(); p];
+        let mut nd: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); p];
+        let mut dn: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); p];
+        let mut dd: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); p];
+        for &(u, v, w) in &graph.edges {
+            let class = classify(u, v, &separation);
+            let flat = topology.flat(owner(u, v, class, &degrees, &topology));
+            match class {
+                EdgeClass::Nn => nn[flat].push((topology.local_index(u), v, w)),
+                EdgeClass::Nd => nd[flat].push((
+                    topology.local_index(u),
+                    separation.delegate_id(v).unwrap(),
+                    w,
+                )),
+                EdgeClass::Dn => dn[flat].push((
+                    separation.delegate_id(u).unwrap(),
+                    topology.local_index(v),
+                    w,
+                )),
+                EdgeClass::Dd => dd[flat].push((
+                    separation.delegate_id(u).unwrap(),
+                    separation.delegate_id(v).unwrap(),
+                    w,
+                )),
+            }
+        }
+        let d = separation.num_delegates();
+        let subgraphs: Vec<Arc<WGpuSubgraphs>> = (0..p)
+            .map(|flat| {
+                let gpu = topology.unflat(flat);
+                let num_local = topology.owned_count(gpu, graph.num_vertices);
+                Arc::new(WGpuSubgraphs {
+                    num_local,
+                    nn: WNnCsr::build(num_local, &nn[flat]),
+                    nd: WLocalCsr::build(num_local, &nd[flat]),
+                    dn: WLocalCsr::build(d, &dn[flat]),
+                    dd: WLocalCsr::build(d, &dd[flat]),
+                })
+            })
+            .collect();
+        Self {
+            topology,
+            separation: Arc::new(separation),
+            subgraphs,
+            num_vertices: graph.num_vertices,
+        }
+    }
+
+    /// Runs Bellman–Ford from `source` to convergence.
+    ///
+    /// # Errors
+    /// Returns [`BuildError::SourceOutOfRange`] for an invalid source.
+    pub fn run(&self, source: VertexId, config: &BfsConfig) -> Result<SsspResult, BuildError> {
+        if source >= self.num_vertices {
+            return Err(BuildError::SourceOutOfRange {
+                source,
+                num_vertices: self.num_vertices,
+            });
+        }
+        let topo = self.topology;
+        let p = topo.num_gpus() as usize;
+        let d = self.separation.num_delegates() as usize;
+        let cost = &config.cost;
+
+        let mut dist_local: Vec<Vec<u64>> = self
+            .subgraphs
+            .iter()
+            .map(|sg| vec![UNREACHABLE; sg.num_local as usize])
+            .collect();
+        let mut delegate_dist = vec![UNREACHABLE; d];
+        let mut active_local: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+        let mut active_delegates: Vec<u32> = Vec::new();
+
+        if let Some(x) = self.separation.delegate_id(source) {
+            delegate_dist[x as usize] = 0;
+            active_delegates.push(x);
+        } else {
+            let flat = topo.flat(topo.vertex_owner(source));
+            let slot = topo.local_index(source);
+            dist_local[flat][slot as usize] = 0;
+            active_local[flat].push(slot);
+        }
+
+        let mut phases_total = PhaseTimes::zero();
+        let mut modeled = 0.0f64;
+        let mut remote_bytes = 0u64;
+        let mut edges_relaxed = 0u64;
+        let mut rounds = 0u32;
+
+        while active_local.iter().any(|a| !a.is_empty()) || !active_delegates.is_empty() {
+            struct Out {
+                local_props: Vec<(u32, u64)>,
+                delegate_props: Vec<u64>,
+                remote: Vec<(usize, u32, u64)>,
+                edges: u64,
+                vertices: u64,
+            }
+            let active_delegates_ref = &active_delegates;
+            let delegate_dist_ref = &delegate_dist;
+            let outs: Vec<Out> = active_local
+                .par_iter()
+                .zip(dist_local.par_iter())
+                .enumerate()
+                .map(|(flat, (active, dist))| {
+                    let sg = &self.subgraphs[flat];
+                    let gpu = topo.unflat(flat);
+                    let mut local_props = Vec::new();
+                    let mut delegate_props = vec![UNREACHABLE; d];
+                    let mut remote = Vec::new();
+                    let mut edges = 0u64;
+                    let vertices = active.len() as u64 + active_delegates_ref.len() as u64;
+                    for &u in active {
+                        let du = dist[u as usize];
+                        for (v_global, w) in sg.nn.row(u) {
+                            edges += 1;
+                            let cand = du + w as u64;
+                            let vowner = topo.vertex_owner(v_global);
+                            let slot = topo.local_index(v_global);
+                            if vowner == gpu {
+                                local_props.push((slot, cand));
+                            } else {
+                                remote.push((topo.flat(vowner), slot, cand));
+                            }
+                        }
+                        for (x, w) in sg.nd.row(u) {
+                            edges += 1;
+                            let prop = &mut delegate_props[x as usize];
+                            *prop = (*prop).min(du + w as u64);
+                        }
+                    }
+                    for &x in active_delegates_ref {
+                        let dx = delegate_dist_ref[x as usize];
+                        for (y, w) in sg.dd.row(x) {
+                            edges += 1;
+                            let prop = &mut delegate_props[y as usize];
+                            *prop = (*prop).min(dx + w as u64);
+                        }
+                        for (u, w) in sg.dn.row(x) {
+                            edges += 1;
+                            local_props.push((u, dx + w as u64));
+                        }
+                    }
+                    Out { local_props, delegate_props, remote, edges, vertices }
+                })
+                .collect();
+
+            let mut phases = PhaseTimes::zero();
+            for out in &outs {
+                let t = cost.device.kernel_time(KernelKind::DynamicVisit, out.edges)
+                    + cost.device.kernel_time(KernelKind::Previsit, out.vertices);
+                phases.computation = phases.computation.max(t);
+            }
+            edges_relaxed += outs.iter().map(|o| o.edges).sum::<u64>();
+
+            // Delegate distance min-reduce.
+            let mut reduced = Vec::new();
+            if d > 0 {
+                let words: Vec<Vec<u64>> =
+                    outs.iter().map(|o| o.delegate_props.clone()).collect();
+                let outcome = allreduce_min(topo, cost, &words, config.blocking_reduce);
+                phases.local_comm += outcome.local_time;
+                phases.remote_delegate += outcome.global_time;
+                if topo.num_ranks() > 1 {
+                    remote_bytes += 2 * outcome.bytes_per_message * topo.num_ranks() as u64;
+                }
+                reduced = outcome.reduced;
+            }
+            phases.remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true);
+
+            // Remote relaxations: 12 bytes per (slot, distance).
+            let mut delivered: Vec<Vec<(u32, u64)>> = (0..p).map(|_| Vec::new()).collect();
+            let mut send_bytes = vec![0u64; p];
+            let mut recv_bytes = vec![0u64; p];
+            for (from, out) in outs.iter().enumerate() {
+                for &(to, slot, cand) in &out.remote {
+                    send_bytes[from] += 12;
+                    recv_bytes[to] += 12;
+                    delivered[to].push((slot, cand));
+                }
+            }
+            for flat in 0..p {
+                let t = cost.network.p2p_time(send_bytes[flat].max(recv_bytes[flat]), false);
+                phases.remote_normal = phases.remote_normal.max(t);
+            }
+            remote_bytes += send_bytes.iter().sum::<u64>();
+
+            // Apply improvements.
+            active_local = dist_local
+                .par_iter_mut()
+                .zip(outs)
+                .zip(delivered)
+                .map(|((dist, out), inbox)| {
+                    let mut next = Vec::new();
+                    for (slot, cand) in out.local_props.into_iter().chain(inbox) {
+                        let cur = &mut dist[slot as usize];
+                        if cand < *cur {
+                            *cur = cand;
+                            next.push(slot);
+                        }
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    next
+                })
+                .collect();
+            active_delegates.clear();
+            for x in 0..d {
+                if reduced.get(x).copied().unwrap_or(UNREACHABLE) < delegate_dist[x] {
+                    delegate_dist[x] = reduced[x];
+                    active_delegates.push(x as u32);
+                }
+            }
+
+            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            modeled += timing.elapsed();
+            phases_total = phases_total.combine(&phases);
+            rounds += 1;
+        }
+
+        // Assemble.
+        let mut distances = vec![UNREACHABLE; self.num_vertices as usize];
+        for (flat, local) in dist_local.iter().enumerate() {
+            let gpu = topo.unflat(flat);
+            for (slot, &dl) in local.iter().enumerate() {
+                if dl != UNREACHABLE {
+                    distances[topo.global_id(gpu, slot as u32) as usize] = dl;
+                }
+            }
+        }
+        for (x, &dx) in delegate_dist.iter().enumerate() {
+            if dx != UNREACHABLE {
+                distances[self.separation.original(x as u32) as usize] = dx;
+            }
+        }
+
+        Ok(SsspResult {
+            source,
+            distances,
+            rounds,
+            edges_relaxed,
+            phases: phases_total,
+            modeled_seconds: modeled,
+            remote_bytes,
+        })
+    }
+
+    /// Number of delegates in the separation.
+    pub fn num_delegates(&self) -> u32 {
+        self.separation.num_delegates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_graph::builders;
+    use gcbfs_graph::rmat::RmatConfig;
+    use gcbfs_graph::weighted::{dijkstra, WeightedCsr};
+
+    fn check(graph: &WeightedEdgeList, topo: Topology, th: u64, sources: &[u64]) {
+        let config = BfsConfig::new(th);
+        let dist = DistributedSssp::build(graph, topo, &config);
+        let csr = WeightedCsr::from_edge_list(graph);
+        for &s in sources {
+            let r = dist.run(s, &config).unwrap();
+            assert_eq!(r.distances, dijkstra(&csr, s), "source {s}, topo {topo:?}, th {th}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_rmat() {
+        let topo_list = RmatConfig::graph500(9).generate();
+        let graph = WeightedEdgeList::from_topology(&topo_list, 16, 7);
+        let degrees = topo_list.out_degrees();
+        let sources: Vec<u64> =
+            (0..topo_list.num_vertices).filter(|&v| degrees[v as usize] > 0).take(4).collect();
+        check(&graph, Topology::new(2, 2), 8, &sources);
+        check(&graph, Topology::new(3, 1), 32, &sources);
+    }
+
+    #[test]
+    fn matches_dijkstra_on_structured_graphs() {
+        for base in [builders::grid(5, 6), builders::double_star(7), builders::cycle(17)] {
+            let graph = WeightedEdgeList::from_topology(&base, 9, 3);
+            check(&graph, Topology::new(2, 2), 3, &[0, base.num_vertices / 2]);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_bfs_depths() {
+        let base = RmatConfig::graph500(8).generate();
+        let graph = WeightedEdgeList::from_topology(&base, 1, 0);
+        let config = BfsConfig::new(8);
+        let dist = DistributedSssp::build(&graph, Topology::new(2, 2), &config);
+        let src = base
+            .out_degrees()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, deg)| *deg)
+            .unwrap()
+            .0 as u64;
+        let r = dist.run(src, &config).unwrap();
+        let depths = gcbfs_graph::reference::bfs_depths(
+            &gcbfs_graph::Csr::from_edge_list(&base),
+            src,
+        );
+        for (v, (&got, &want)) in r.distances.iter().zip(&depths).enumerate() {
+            let want64 = if want == u32::MAX { UNREACHABLE } else { want as u64 };
+            assert_eq!(got, want64, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn rounds_exceed_bfs_levels_on_weighted_graphs() {
+        // Bellman–Ford revisits vertices when cheaper paths arrive later;
+        // rounds >= the unweighted diameter.
+        let base = builders::grid(6, 6);
+        let graph = WeightedEdgeList::from_topology(&base, 10, 1);
+        let config = BfsConfig::new(3);
+        let dist = DistributedSssp::build(&graph, Topology::new(2, 2), &config);
+        let r = dist.run(0, &config).unwrap();
+        assert!(r.rounds >= 10, "rounds {}", r.rounds);
+        assert!(r.edges_relaxed > base.num_edges());
+    }
+
+    #[test]
+    fn source_out_of_range() {
+        let base = builders::path(4);
+        let graph = WeightedEdgeList::from_topology(&base, 4, 0);
+        let config = BfsConfig::new(4);
+        let dist = DistributedSssp::build(&graph, Topology::new(1, 1), &config);
+        assert!(matches!(
+            dist.run(44, &config),
+            Err(BuildError::SourceOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-iteration and per-run statistics.
+//!
+//! Everything the paper's evaluation reports is derived from these records:
+//! runtime breakdowns by phase (Figs. 8, 10), communication volumes (§V's
+//! analysis), direction choices, the number of iterations `S` and the
+//! number of iterations needing mask reductions `S'` ("about half of S"),
+//! and the Graph500 TEPS metric.
+
+use crate::kernels::KernelWork;
+use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
+
+/// One BFS iteration's cluster-wide record.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// Iteration index (super-step), starting at 0.
+    pub iter: u32,
+    /// Normal-frontier size entering this iteration (summed over GPUs).
+    pub frontier_len: u64,
+    /// Newly visited delegates entering this iteration.
+    pub new_delegates: u64,
+    /// Workload counters summed over GPUs.
+    pub work: KernelWork,
+    /// GPUs that ran the (dd, dn, nd) kernels backward.
+    pub backward_gpus: (u32, u32, u32),
+    /// Normal-vertex updates transmitted (after uniquify).
+    pub nn_updates_sent: u64,
+    /// Bytes crossing rank boundaries this iteration.
+    pub remote_bytes: u64,
+    /// Whether the delegate mask reduction ran (counts toward `S'`).
+    pub mask_reduced: bool,
+    /// Modeled timing of this iteration.
+    pub timing: IterationTiming,
+}
+
+/// A whole run's statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-iteration records; `iterations()` = `len()` = the paper's `S`.
+    pub records: Vec<IterationRecord>,
+    /// Wall-clock seconds of the Rust execution (the simulator's own
+    /// speed — *not* comparable to the paper's numbers).
+    pub wall_seconds: f64,
+}
+
+impl RunStats {
+    /// Number of iterations `S`.
+    pub fn iterations(&self) -> u32 {
+        self.records.len() as u32
+    }
+
+    /// Iterations that required a delegate mask reduction (`S'`).
+    pub fn mask_reductions(&self) -> u32 {
+        self.records.iter().filter(|r| r.mask_reduced).count() as u32
+    }
+
+    /// Phase totals over all iterations (the stacked bars of Figs. 8/10).
+    pub fn phase_totals(&self) -> PhaseTimes {
+        self.records
+            .iter()
+            .map(|r| r.timing.phases)
+            .fold(PhaseTimes::zero(), |acc, p| acc.combine(&p))
+    }
+
+    /// Total modeled elapsed seconds (with overlap).
+    pub fn modeled_elapsed(&self) -> f64 {
+        self.records.iter().map(|r| r.timing.elapsed()).sum()
+    }
+
+    /// Total edges examined by the traversal (the measured workload `m'`
+    /// plus delegate parent-search overhead).
+    pub fn total_edges_examined(&self) -> u64 {
+        self.records.iter().map(|r| r.work.total_edges()).sum()
+    }
+
+    /// Total bytes that crossed rank boundaries.
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.remote_bytes).sum()
+    }
+
+    /// Total normal-vertex updates transmitted.
+    pub fn total_nn_updates(&self) -> u64 {
+        self.records.iter().map(|r| r.nn_updates_sent).sum()
+    }
+}
+
+/// Geometric mean of positive samples — the paper reports "the geometric
+/// mean of edge traversal rates" over its 140 random sources (§VI-A3).
+pub fn geometric_mean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "geometric mean of an empty sample set");
+    assert!(samples.iter().all(|&s| s > 0.0), "geometric mean requires positive samples");
+    let log_sum: f64 = samples.iter().map(|&s| s.ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_cluster::timing::PhaseTimes;
+
+    fn record(iter: u32, mask_reduced: bool, comp: f64) -> IterationRecord {
+        IterationRecord {
+            iter,
+            frontier_len: 10,
+            new_delegates: 2,
+            work: KernelWork { nn_edges: 5, ..Default::default() },
+            backward_gpus: (0, 0, 0),
+            nn_updates_sent: 3,
+            remote_bytes: 12,
+            mask_reduced,
+            timing: IterationTiming {
+                phases: PhaseTimes {
+                    computation: comp,
+                    local_comm: 0.0,
+                    remote_normal: 1.0,
+                    remote_delegate: 2.0,
+                },
+                blocking_reduce: true,
+            },
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let stats = RunStats {
+            records: vec![record(0, true, 4.0), record(1, false, 6.0)],
+            wall_seconds: 0.1,
+        };
+        assert_eq!(stats.iterations(), 2);
+        assert_eq!(stats.mask_reductions(), 1);
+        assert_eq!(stats.phase_totals().computation, 10.0);
+        assert_eq!(stats.modeled_elapsed(), (4.0 + 3.0) + (6.0 + 3.0));
+        assert_eq!(stats.total_edges_examined(), 10);
+        assert_eq!(stats.total_remote_bytes(), 24);
+        assert_eq!(stats.total_nn_updates(), 6);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert!((geometric_mean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = RunStats::default();
+        assert_eq!(stats.iterations(), 0);
+        assert_eq!(stats.modeled_elapsed(), 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Per-GPU four-subgraph storage with 32-bit local ids (§III-C, Table I).
+//!
+//! Each GPU stores CSRs for its `nn`, `nd`, `dn`, `dd` edges. Thanks to the
+//! bounded destination ranges of the edge distributor, all ids are 32-bit
+//! except `nn` destinations (global 64-bit). Alongside the CSRs we keep the
+//! reverse-traversal aids of §IV-B: the source list of the `nd` subgraph
+//! (used by backward `dn` visits) and source masks for `dd` and `dn` (used
+//! by backward `dd`/`nd` visits).
+
+use crate::distributor::GpuEdgeSet;
+use crate::masks::DelegateMask;
+
+/// A CSR whose rows and columns are both 32-bit local ids.
+#[derive(Clone, Debug, Default)]
+pub struct LocalCsr {
+    /// `rows + 1` offsets (4 bytes each, per Table I).
+    pub offsets: Vec<u32>,
+    /// Destination local ids (4 bytes each).
+    pub cols: Vec<u32>,
+}
+
+impl LocalCsr {
+    /// Builds from `(row, col)` pairs over `rows` rows, sorting each
+    /// neighbor list.
+    pub fn build(rows: u32, edges: &[(u32, u32)]) -> Self {
+        let mut offsets = vec![0u32; rows as usize + 1];
+        for &(r, _) in edges {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..rows as usize].to_vec();
+        let mut cols = vec![0u32; edges.len()];
+        for &(r, c) in edges {
+            let pos = &mut cursor[r as usize];
+            cols[*pos as usize] = c;
+            *pos += 1;
+        }
+        let mut out = Self { offsets, cols };
+        out.sort_rows();
+        out
+    }
+
+    fn sort_rows(&mut self) {
+        for r in 0..self.num_rows() as usize {
+            let (lo, hi) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+            self.cols[lo..hi].sort_unstable();
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.cols.len() as u64
+    }
+
+    /// Neighbor list of row `r`.
+    #[inline]
+    pub fn row(&self, r: u32) -> &[u32] {
+        &self.cols[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
+    }
+
+    /// Out-degree of row `r`.
+    #[inline]
+    pub fn degree(&self, r: u32) -> u32 {
+        self.offsets[r as usize + 1] - self.offsets[r as usize]
+    }
+
+    /// Row indices with at least one edge, ascending.
+    pub fn non_empty_rows(&self) -> Vec<u32> {
+        (0..self.num_rows()).filter(|&r| self.degree(r) > 0).collect()
+    }
+}
+
+/// The `nn` CSR: 32-bit local sources, 64-bit global destinations.
+#[derive(Clone, Debug, Default)]
+pub struct NnCsr {
+    /// `rows + 1` offsets (4 bytes each).
+    pub offsets: Vec<u32>,
+    /// Global destination vertex ids (8 bytes each, per Table I).
+    pub cols: Vec<u64>,
+}
+
+impl NnCsr {
+    /// Builds from `(local row, global col)` pairs.
+    pub fn build(rows: u32, edges: &[(u32, u64)]) -> Self {
+        let mut offsets = vec![0u32; rows as usize + 1];
+        for &(r, _) in edges {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..rows as usize].to_vec();
+        let mut cols = vec![0u64; edges.len()];
+        for &(r, c) in edges {
+            let pos = &mut cursor[r as usize];
+            cols[*pos as usize] = c;
+            *pos += 1;
+        }
+        let mut out = Self { offsets, cols };
+        for r in 0..rows as usize {
+            let (lo, hi) = (out.offsets[r] as usize, out.offsets[r + 1] as usize);
+            out.cols[lo..hi].sort_unstable();
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.cols.len() as u64
+    }
+
+    /// Neighbor list of row `r` (global ids).
+    #[inline]
+    pub fn row(&self, r: u32) -> &[u64] {
+        &self.cols[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
+    }
+
+    /// Out-degree of row `r`.
+    #[inline]
+    pub fn degree(&self, r: u32) -> u32 {
+        self.offsets[r as usize + 1] - self.offsets[r as usize]
+    }
+}
+
+/// Memory usage of one GPU's subgraphs, following Table I exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Bytes of `nn` row offsets.
+    pub nn_offsets: u64,
+    /// Bytes of `nn` column indices (8 B each — global ids).
+    pub nn_cols: u64,
+    /// Bytes of `nd` row offsets.
+    pub nd_offsets: u64,
+    /// Bytes of `nd` column indices.
+    pub nd_cols: u64,
+    /// Bytes of `dn` row offsets.
+    pub dn_offsets: u64,
+    /// Bytes of `dn` column indices.
+    pub dn_cols: u64,
+    /// Bytes of `dd` row offsets.
+    pub dd_offsets: u64,
+    /// Bytes of `dd` column indices.
+    pub dd_cols: u64,
+}
+
+impl MemoryUsage {
+    /// Total bytes on this GPU.
+    pub fn total(&self) -> u64 {
+        self.nn_offsets
+            + self.nn_cols
+            + self.nd_offsets
+            + self.nd_cols
+            + self.dn_offsets
+            + self.dn_cols
+            + self.dd_offsets
+            + self.dd_cols
+    }
+}
+
+/// All subgraphs and traversal aids of one GPU.
+#[derive(Clone, Debug)]
+pub struct GpuSubgraphs {
+    /// Owned local vertex slots (≈ `n/p`; includes the unused slots of
+    /// delegate-owned ids, which simply stay empty).
+    pub num_local: u32,
+    /// Global delegate count `d` (rows of `dn`/`dd`).
+    pub num_delegates: u32,
+    /// normal → normal edges (64-bit global destinations).
+    pub nn: NnCsr,
+    /// normal → delegate edges.
+    pub nd: LocalCsr,
+    /// delegate → normal edges.
+    pub dn: LocalCsr,
+    /// delegate → delegate edges.
+    pub dd: LocalCsr,
+    /// Local normal vertices with at least one `nd` edge — "a source list
+    /// of the normal-to-delegate subgraph", the candidates of the backward
+    /// `dn` visit (§IV-B).
+    pub nd_sources: Vec<u32>,
+    /// Delegates with local `dn` edges — candidates of backward `nd`.
+    pub dn_source_mask: DelegateMask,
+    /// Delegates with local `dd` edges — candidates of backward `dd`.
+    pub dd_source_mask: DelegateMask,
+}
+
+impl GpuSubgraphs {
+    /// Builds the four CSRs and reverse aids from the distributed edges.
+    pub fn build(num_local: u32, num_delegates: u32, edges: &GpuEdgeSet) -> Self {
+        let nn = NnCsr::build(num_local, &edges.nn);
+        let nd = LocalCsr::build(num_local, &edges.nd);
+        let dn = LocalCsr::build(num_delegates, &edges.dn);
+        let dd = LocalCsr::build(num_delegates, &edges.dd);
+        let nd_sources = nd.non_empty_rows();
+        let mut dn_source_mask = DelegateMask::new(num_delegates);
+        for r in dn.non_empty_rows() {
+            dn_source_mask.set(r);
+        }
+        let mut dd_source_mask = DelegateMask::new(num_delegates);
+        for r in dd.non_empty_rows() {
+            dd_source_mask.set(r);
+        }
+        Self { num_local, num_delegates, nn, nd, dn, dd, nd_sources, dn_source_mask, dd_source_mask }
+    }
+
+    /// Total edges stored on this GPU.
+    pub fn num_edges(&self) -> u64 {
+        self.nn.num_edges() + self.nd.num_edges() + self.dn.num_edges() + self.dd.num_edges()
+    }
+
+    /// Memory usage per Table I: 4-byte offsets everywhere, 4-byte columns
+    /// except the 8-byte global `nn` destinations.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            nn_offsets: self.nn.offsets.len() as u64 * 4,
+            nn_cols: self.nn.cols.len() as u64 * 8,
+            nd_offsets: self.nd.offsets.len() as u64 * 4,
+            nd_cols: self.nd.cols.len() as u64 * 4,
+            dn_offsets: self.dn.offsets.len() as u64 * 4,
+            dn_cols: self.dn.cols.len() as u64 * 4,
+            dd_offsets: self.dd.offsets.len() as u64 * 4,
+            dd_cols: self.dd.cols.len() as u64 * 4,
+        }
+    }
+}
+
+/// Table I's closed-form total across all GPUs:
+/// `8n + 8d·p + 4m + 4|Enn|` bytes.
+pub fn paper_total_bytes(n: u64, d: u64, p: u64, m: u64, enn: u64) -> u64 {
+    8 * n + 8 * d * p + 4 * m + 4 * enn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> GpuEdgeSet {
+        GpuEdgeSet {
+            nn: vec![(0, 100), (0, 7), (2, 3)],
+            nd: vec![(1, 0), (1, 1), (0, 1)],
+            dn: vec![(0, 1), (1, 1), (1, 0)],
+            dd: vec![(0, 1), (1, 0)],
+        }
+    }
+
+    #[test]
+    fn local_csr_rows_sorted() {
+        let csr = LocalCsr::build(3, &[(1, 9), (1, 2), (0, 5), (1, 4)]);
+        assert_eq!(csr.row(0), &[5]);
+        assert_eq!(csr.row(1), &[2, 4, 9]);
+        assert_eq!(csr.row(2), &[] as &[u32]);
+        assert_eq!(csr.degree(1), 3);
+        assert_eq!(csr.non_empty_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn nn_csr_keeps_global_ids() {
+        let csr = NnCsr::build(2, &[(0, 1u64 << 40), (0, 3)]);
+        assert_eq!(csr.row(0), &[3, 1u64 << 40]);
+        assert_eq!(csr.num_edges(), 2);
+    }
+
+    #[test]
+    fn build_wires_reverse_aids() {
+        let g = GpuSubgraphs::build(3, 2, &sample_edges());
+        assert_eq!(g.nd_sources, vec![0, 1]);
+        assert!(g.dn_source_mask.get(0) && g.dn_source_mask.get(1));
+        assert!(g.dd_source_mask.get(0) && g.dd_source_mask.get(1));
+        assert_eq!(g.num_edges(), 11);
+    }
+
+    #[test]
+    fn memory_usage_matches_table_1_shape() {
+        let g = GpuSubgraphs::build(3, 2, &sample_edges());
+        let mu = g.memory_usage();
+        // nn: (3+1)*4 offsets + 3*8 cols
+        assert_eq!(mu.nn_offsets, 16);
+        assert_eq!(mu.nn_cols, 24);
+        // nd: (3+1)*4 + 3*4
+        assert_eq!(mu.nd_offsets, 16);
+        assert_eq!(mu.nd_cols, 12);
+        // dn/dd rows are delegate-indexed: (2+1)*4 offsets
+        assert_eq!(mu.dn_offsets, 12);
+        assert_eq!(mu.dd_cols, 8);
+        assert_eq!(mu.total(), 16 + 24 + 16 + 12 + 12 + 12 + 12 + 8);
+    }
+
+    #[test]
+    fn paper_total_formula() {
+        assert_eq!(paper_total_bytes(8, 2, 4, 100, 10), 64 + 64 + 400 + 40);
+    }
+
+    #[test]
+    fn empty_subgraphs() {
+        let g = GpuSubgraphs::build(0, 0, &GpuEdgeSet::default());
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.nd_sources.is_empty());
+        assert_eq!(g.memory_usage().total(), 4 * 4); // four 1-entry offset arrays
+    }
+}

@@ -1,0 +1,194 @@
+//! Human-readable per-iteration traces of a BFS run.
+//!
+//! Formats the [`RunStats`](crate::stats::RunStats) records as the kind of
+//! table the paper's own discussion walks through: frontier sizes, kernel
+//! directions, workloads, communication volumes, and the four-phase
+//! timing. Used by the `gcbfs bfs --trace` CLI flag and handy when tuning
+//! `TH` or the switching factors.
+
+use crate::driver::BfsResult;
+use crate::stats::IterationRecord;
+use std::fmt;
+
+/// Wrapper that renders a full run as a per-iteration table.
+pub struct RunTrace<'a>(pub &'a BfsResult);
+
+/// One row of the trace.
+struct Row<'a>(&'a IterationRecord);
+
+impl fmt::Display for Row<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        let dirs = format!(
+            "{}{}{}",
+            dir_char(r.backward_gpus.0),
+            dir_char(r.backward_gpus.1),
+            dir_char(r.backward_gpus.2),
+        );
+        write!(
+            f,
+            "{:>4} {:>10} {:>8} {:>4} {:>11} {:>11} {:>9} {:>5} {:>9.3} {:>9.3}",
+            r.iter,
+            r.frontier_len,
+            r.new_delegates,
+            dirs,
+            r.work.total_edges(),
+            r.nn_updates_sent,
+            r.remote_bytes,
+            if r.mask_reduced { "yes" } else { "-" },
+            r.timing.phases.computation * 1e3,
+            r.timing.elapsed() * 1e3,
+        )
+    }
+}
+
+/// `F` all-forward, `B` all-backward, `m` mixed across GPUs.
+fn dir_char(backward_gpus: u32) -> char {
+    match backward_gpus {
+        0 => 'F',
+        _ => 'B',
+    }
+}
+
+impl fmt::Display for RunTrace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = &self.0.stats;
+        writeln!(
+            f,
+            "{:>4} {:>10} {:>8} {:>4} {:>11} {:>11} {:>9} {:>5} {:>9} {:>9}",
+            "iter",
+            "frontier",
+            "newdeleg",
+            "dirs",
+            "edges",
+            "nn sent",
+            "rbytes",
+            "mask",
+            "comp(ms)",
+            "elap(ms)",
+        )?;
+        for rec in &stats.records {
+            writeln!(f, "{}", Row(rec))?;
+        }
+        writeln!(
+            f,
+            "S = {} iterations (S' = {} with mask reductions); modeled {:.3} ms; \
+             {} edges examined; {} remote bytes",
+            stats.iterations(),
+            stats.mask_reductions(),
+            stats.modeled_elapsed() * 1e3,
+            stats.total_edges_examined(),
+            stats.total_remote_bytes(),
+        )
+    }
+}
+
+/// Summarizes the direction trajectory of one kernel across iterations:
+/// e.g. `"FFBBB"` — the paper's "once the traversal switches to the
+/// backward direction, it does not need to change back" is visible as a
+/// single F→B transition.
+pub fn direction_trajectory(result: &BfsResult, kernel: Kernel) -> String {
+    result
+        .stats
+        .records
+        .iter()
+        .map(|r| {
+            let backward = match kernel {
+                Kernel::Dd => r.backward_gpus.0,
+                Kernel::Dn => r.backward_gpus.1,
+                Kernel::Nd => r.backward_gpus.2,
+            };
+            dir_char(backward)
+        })
+        .collect()
+}
+
+/// Which DO kernel a trajectory refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// delegate → delegate.
+    Dd,
+    /// delegate → normal.
+    Dn,
+    /// normal → delegate.
+    Nd,
+}
+
+/// Number of direction changes in a trajectory string.
+pub fn direction_switches(trajectory: &str) -> usize {
+    trajectory.as_bytes().windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// True when a trajectory follows the paper's RMAT pattern: forward for
+/// zero or more iterations, then backward for the rest (at most one
+/// switch, in the forward→backward direction).
+pub fn is_single_switch(trajectory: &str) -> bool {
+    direction_switches(trajectory) <= 1 && !trajectory.starts_with('B')
+        || trajectory.chars().all(|c| c == 'B')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BfsConfig;
+    use crate::driver::DistributedGraph;
+    use gcbfs_cluster::topology::Topology;
+    use gcbfs_graph::rmat::RmatConfig;
+
+    fn run() -> BfsResult {
+        let graph = RmatConfig::graph500(9).generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let src = graph
+            .out_degrees()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| d)
+            .unwrap()
+            .0 as u64;
+        dist.run(src, &config).unwrap()
+    }
+
+    #[test]
+    fn trace_renders_every_iteration() {
+        let r = run();
+        let text = format!("{}", RunTrace(&r));
+        // Header + one row per iteration + summary line.
+        assert_eq!(text.lines().count(), 2 + r.iterations() as usize);
+        assert!(text.contains("S = "));
+        assert!(text.contains("edges examined"));
+    }
+
+    #[test]
+    fn trajectories_have_run_length() {
+        let r = run();
+        for k in [Kernel::Dd, Kernel::Dn, Kernel::Nd] {
+            let t = direction_trajectory(&r, k);
+            assert_eq!(t.len(), r.iterations() as usize);
+            assert!(t.chars().all(|c| c == 'F' || c == 'B'));
+        }
+    }
+
+    #[test]
+    fn rmat_kernels_switch_at_most_once() {
+        // §VI-B: "For RMAT, once the traversal switches to the backward
+        // direction, it does not need to change back."
+        let r = run();
+        for k in [Kernel::Dd, Kernel::Dn, Kernel::Nd] {
+            let t = direction_trajectory(&r, k);
+            assert!(is_single_switch(&t), "kernel {k:?} trajectory {t}");
+        }
+    }
+
+    #[test]
+    fn switch_counting() {
+        assert_eq!(direction_switches("FFBB"), 1);
+        assert_eq!(direction_switches("FBFB"), 3);
+        assert_eq!(direction_switches("FFFF"), 0);
+        assert_eq!(direction_switches(""), 0);
+        assert!(is_single_switch("FFB"));
+        assert!(is_single_switch("FFFF"));
+        assert!(is_single_switch("BBB"));
+        assert!(!is_single_switch("FBF"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Sequential reference betweenness centrality (Brandes' algorithm).
+//!
+//! Ground truth for the distributed betweenness in `gcbfs-core` — the
+//! flagship "building block" workload of the paper's introduction
+//! ("traversals ... such as betweenness centrality"). Unweighted Brandes:
+//! one BFS per source counting shortest paths `σ`, then a reverse
+//! level-order dependency accumulation
+//! `δ(v) = Σ_{w: succ} (σ(v)/σ(w)) (1 + δ(w))`.
+
+use crate::csr::Csr;
+use crate::edgelist::VertexId;
+use crate::reference::UNREACHED;
+use std::collections::VecDeque;
+
+/// Betweenness scores accumulated over the given sources (exact Brandes
+/// when `sources` is every vertex; a sampled estimate otherwise).
+pub fn betweenness(graph: &Csr, sources: &[VertexId]) -> Vec<f64> {
+    let n = graph.num_vertices() as usize;
+    let mut bc = vec![0f64; n];
+    for &s in sources {
+        accumulate_source(graph, s, &mut bc);
+    }
+    bc
+}
+
+fn accumulate_source(graph: &Csr, s: VertexId, bc: &mut [f64]) {
+    let n = graph.num_vertices() as usize;
+    let mut depth = vec![UNREACHED; n];
+    let mut sigma = vec![0f64; n];
+    let mut order: Vec<VertexId> = Vec::new();
+    let mut queue = VecDeque::new();
+    depth[s as usize] = 0;
+    sigma[s as usize] = 1.0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = depth[u as usize];
+        for &v in graph.neighbors(u) {
+            if depth[v as usize] == UNREACHED {
+                depth[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+            if depth[v as usize] == du + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+    let mut delta = vec![0f64; n];
+    for &w in order.iter().rev() {
+        let dw = depth[w as usize];
+        if dw == 0 {
+            continue;
+        }
+        // Push w's dependency share to its predecessors.
+        let share = (1.0 + delta[w as usize]) / sigma[w as usize];
+        for &v in graph.neighbors(w) {
+            if depth[v as usize] + 1 == dw {
+                delta[v as usize] += sigma[v as usize] * share;
+            }
+        }
+        bc[w as usize] += delta[w as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn all_sources(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn path_center_dominates() {
+        // On a path, the middle vertex lies on the most shortest paths.
+        let g = Csr::from_edge_list(&builders::path(5));
+        let bc = betweenness(&g, &all_sources(5));
+        // Known closed form for P5 (undirected counted per direction):
+        // endpoints 0; next 2*3=... check ordering and symmetry instead.
+        assert!(bc[2] > bc[1] && bc[1] > bc[0]);
+        assert_eq!(bc[0], bc[4]);
+        assert_eq!(bc[1], bc[3]);
+        assert_eq!(bc[0], 0.0);
+    }
+
+    #[test]
+    fn star_hub_takes_everything() {
+        let g = Csr::from_edge_list(&builders::star(6));
+        let bc = betweenness(&g, &all_sources(7));
+        // Every leaf-to-leaf shortest path passes the hub: 6*5 = 30 ordered
+        // pairs.
+        assert!((bc[0] - 30.0).abs() < 1e-9, "hub bc = {}", bc[0]);
+        assert!(bc[1..].iter().all(|&b| b.abs() < 1e-12));
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let g = Csr::from_edge_list(&builders::cycle(8));
+        let bc = betweenness(&g, &all_sources(8));
+        for &b in &bc {
+            assert!((b - bc[0]).abs() < 1e-9);
+        }
+        assert!(bc[0] > 0.0);
+    }
+
+    #[test]
+    fn split_paths_share_dependency() {
+        // Diamond 0-{1,2}-3: the pair (0,3) has two shortest paths through
+        // 1 and 2 (half a unit each per direction), and the pair (1,2) has
+        // two through 0 and 3 — by symmetry every vertex ends up with 1.0.
+        let mut g = crate::EdgeList::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        g.symmetrize();
+        let csr = Csr::from_edge_list(&g);
+        let bc = betweenness(&csr, &all_sources(4));
+        for (v, &b) in bc.iter().enumerate() {
+            assert!((b - 1.0).abs() < 1e-9, "bc[{v}] = {b}");
+        }
+    }
+
+    #[test]
+    fn sampling_subsets_accumulate() {
+        let g = Csr::from_edge_list(&builders::grid(3, 3));
+        let full = betweenness(&g, &all_sources(9));
+        let a = betweenness(&g, &[0, 1, 2, 3]);
+        let b = betweenness(&g, &[4, 5, 6, 7, 8]);
+        for i in 0..9 {
+            assert!((full[i] - (a[i] + b[i])).abs() < 1e-9);
+        }
+    }
+}

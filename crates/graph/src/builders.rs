@@ -1,0 +1,133 @@
+//! Small deterministic graphs for unit tests across the workspace.
+//!
+//! All builders return *symmetric* edge lists (edge-doubled), matching the
+//! paper's assumption that input graphs are symmetric (§II-A).
+
+use crate::edgelist::EdgeList;
+
+/// A path `0 - 1 - ... - (n-1)`.
+pub fn path(n: u64) -> EdgeList {
+    let mut g = EdgeList::new(n, (1..n).map(|v| (v - 1, v)).collect());
+    g.symmetrize();
+    g
+}
+
+/// A cycle over `n >= 3` vertices.
+pub fn cycle(n: u64) -> EdgeList {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<(u64, u64)> = (1..n).map(|v| (v - 1, v)).collect();
+    edges.push((n - 1, 0));
+    let mut g = EdgeList::new(n, edges);
+    g.symmetrize();
+    g
+}
+
+/// A star: center `0` connected to leaves `1..=leaves`.
+pub fn star(leaves: u64) -> EdgeList {
+    let mut g = EdgeList::new(leaves + 1, (1..=leaves).map(|v| (0, v)).collect());
+    g.symmetrize();
+    g
+}
+
+/// A complete graph on `n` vertices.
+pub fn complete(n: u64) -> EdgeList {
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+/// A `rows x cols` grid with 4-neighborhood; vertex `(r, c)` has id
+/// `r * cols + c`.
+pub fn grid(rows: u64, cols: u64) -> EdgeList {
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols));
+            }
+        }
+    }
+    let mut g = EdgeList::new(rows * cols, edges);
+    g.symmetrize();
+    g
+}
+
+/// Two stars (hubs `0` and `1`) joined hub-to-hub, with `leaves` leaves
+/// each — the smallest graph exercising all four edge classes (`dd` between
+/// hubs, `dn`/`nd` hub-leaf, and `nn` if extra leaf-leaf edges are added).
+pub fn double_star(leaves: u64) -> EdgeList {
+    let n = 2 + 2 * leaves;
+    let mut edges = vec![(0, 1)];
+    for i in 0..leaves {
+        edges.push((0, 2 + i));
+        edges.push((1, 2 + leaves + i));
+    }
+    // A few leaf-leaf (normal-normal) edges.
+    for i in 0..leaves.saturating_sub(1) {
+        edges.push((2 + i, 2 + leaves + i));
+    }
+    let mut g = EdgeList::new(n, edges);
+    g.symmetrize();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::reference::bfs_depths;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn cycle_depths() {
+        let csr = Csr::from_edge_list(&cycle(6));
+        assert_eq!(bfs_depths(&csr, 0), vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.num_vertices, 6);
+        assert_eq!(g.out_degrees()[0], 5);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn complete_is_symmetric() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn grid_depths() {
+        let csr = Csr::from_edge_list(&grid(3, 3));
+        let d = bfs_depths(&csr, 0);
+        assert_eq!(d[8], 4); // opposite corner: Manhattan distance
+    }
+
+    #[test]
+    fn double_star_has_all_edge_classes() {
+        let g = double_star(3);
+        let degs = g.out_degrees();
+        assert!(degs[0] >= 4 && degs[1] >= 4);
+        assert!(degs[2..].iter().all(|&d| d <= 2));
+        assert!(g.is_symmetric());
+    }
+}

@@ -1,0 +1,91 @@
+//! Sequential reference connected components (union–find).
+//!
+//! Ground truth for the distributed label-propagation components in
+//! `gcbfs-core` (the "community detection" building-block workload the
+//! paper's introduction motivates). Labels are canonical: every vertex is
+//! labeled with the smallest vertex id in its component.
+
+use crate::edgelist::EdgeList;
+
+/// Union–find with path halving and union by smaller-root.
+struct Dsu {
+    parent: Vec<u64>,
+}
+
+impl Dsu {
+    fn new(n: u64) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut v: u64) -> u64 {
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand;
+            v = grand;
+        }
+        v
+    }
+
+    fn union(&mut self, a: u64, b: u64) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        // Root at the smaller id so labels come out canonical.
+        if ra < rb {
+            self.parent[rb as usize] = ra;
+        } else if rb < ra {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Canonical component label (smallest member id) of every vertex.
+pub fn components(graph: &EdgeList) -> Vec<u64> {
+    let mut dsu = Dsu::new(graph.num_vertices);
+    for &(u, v) in &graph.edges {
+        dsu.union(u, v);
+    }
+    (0..graph.num_vertices).map(|v| dsu.find(v)).collect()
+}
+
+/// Number of connected components (isolated vertices count as singletons).
+pub fn count_components(labels: &[u64]) -> u64 {
+    labels.iter().enumerate().filter(|&(v, &l)| v as u64 == l).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn path_is_one_component() {
+        let labels = components(&builders::path(6));
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(count_components(&labels), 1);
+    }
+
+    #[test]
+    fn disjoint_pieces() {
+        // Two triangles: {0,1,2} and {3,4,5}, plus isolated 6.
+        let mut g = EdgeList::new(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        g.symmetrize();
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 6]);
+        assert_eq!(count_components(&labels), 3);
+    }
+
+    #[test]
+    fn labels_are_canonical_minima() {
+        let mut g = EdgeList::new(5, vec![(4, 2), (2, 3)]);
+        g.symmetrize();
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        let g = EdgeList::new(4, vec![]);
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+        assert_eq!(count_components(&labels), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Compressed sparse row (CSR) representation.
+//!
+//! The paper deliberately keeps the *standard* CSR format (§II-D) so that
+//! BFS can sit inside larger workflows without format conversion. This CSR
+//! is the one used by the reference BFS, the single-node baselines, and the
+//! per-GPU subgraphs in `gcbfs-core` (there with 32-bit column indices).
+
+use crate::edgelist::{EdgeList, VertexId};
+use rayon::prelude::*;
+
+/// A CSR graph: `row_offsets[v]..row_offsets[v+1]` indexes the neighbor
+/// list of vertex `v` inside `col_indices`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Csr {
+    /// `n + 1` offsets into `col_indices`.
+    pub row_offsets: Vec<u64>,
+    /// Destination vertex of every edge, grouped by source.
+    pub col_indices: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list using a parallel counting sort.
+    /// Neighbor lists come out sorted by destination.
+    pub fn from_edge_list(list: &EdgeList) -> Self {
+        let n = list.num_vertices as usize;
+        let mut row_offsets = vec![0u64; n + 1];
+        for &(u, _) in &list.edges {
+            row_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let mut cursor = row_offsets[..n].to_vec();
+        let mut col_indices = vec![0u64; list.edges.len()];
+        for &(u, v) in &list.edges {
+            let c = &mut cursor[u as usize];
+            col_indices[*c as usize] = v;
+            *c += 1;
+        }
+        // Sorting each neighbor list keeps the representation canonical and
+        // makes backward-pull early exit deterministic.
+        {
+            let offsets = &row_offsets;
+            let cols = &mut col_indices;
+            // Split into per-vertex slices in parallel.
+            let mut slices: Vec<&mut [u64]> = Vec::with_capacity(n);
+            let mut rest: &mut [u64] = cols;
+            let mut prev = 0u64;
+            for v in 0..n {
+                let len = (offsets[v + 1] - prev) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                slices.push(head);
+                rest = tail;
+                prev = offsets[v + 1];
+            }
+            slices.par_iter_mut().for_each(|s| s.sort_unstable());
+        }
+        Self { row_offsets, col_indices }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        (self.row_offsets.len() - 1) as u64
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.col_indices.len() as u64
+    }
+
+    /// Neighbor list of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.row_offsets[v as usize] as usize;
+        let hi = self.row_offsets[v as usize + 1] as usize;
+        &self.col_indices[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> u64 {
+        self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]
+    }
+
+    /// Memory footprint in bytes of the conventional single-graph CSR with
+    /// 64-bit offsets and 64-bit column indices: `8n + 8m` (Table I's
+    /// "CSR without degree separation" comparison point).
+    pub fn conventional_bytes(n: u64, m: u64) -> u64 {
+        8 * n + 8 * m
+    }
+
+    /// Memory footprint in bytes of the conventional edge-list format with
+    /// two 64-bit endpoints per edge: `16m` (Table I's comparison point).
+    pub fn edge_list_bytes(m: u64) -> u64 {
+        16 * m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr() -> Csr {
+        Csr::from_edge_list(&EdgeList::new(4, vec![(0, 2), (0, 1), (2, 3), (1, 2), (0, 3)]))
+    }
+
+    #[test]
+    fn offsets_and_degrees() {
+        let c = csr();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 5);
+        assert_eq!(c.out_degree(0), 3);
+        assert_eq!(c.out_degree(3), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let c = csr();
+        assert_eq!(c.neighbors(0), &[1, 2, 3]);
+        assert_eq!(c.neighbors(1), &[2]);
+        assert_eq!(c.neighbors(3), &[] as &[u64]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Csr::from_edge_list(&EdgeList::new(3, vec![]));
+        assert_eq!(c.num_vertices(), 3);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.neighbors(1), &[] as &[u64]);
+    }
+
+    #[test]
+    fn conventional_sizes_match_paper_formulas() {
+        // Table I cites 16m for edge lists and 8n + 8m for plain CSR.
+        assert_eq!(Csr::edge_list_bytes(10), 160);
+        assert_eq!(Csr::conventional_bytes(4, 10), 32 + 80);
+    }
+
+    #[test]
+    fn roundtrip_preserves_edge_multiset() {
+        let list = EdgeList::new(5, vec![(4, 0), (0, 4), (4, 1), (4, 1), (2, 2)]);
+        let c = Csr::from_edge_list(&list);
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        for v in 0..c.num_vertices() {
+            for &w in c.neighbors(v) {
+                edges.push((v, w));
+            }
+        }
+        let mut expect = list.edges.clone();
+        expect.sort_unstable();
+        edges.sort_unstable();
+        assert_eq!(edges, expect);
+    }
+}

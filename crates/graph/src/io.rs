@@ -1,0 +1,184 @@
+//! Graph serialization in standard interchange formats.
+//!
+//! The paper deliberately sticks to standard representations so BFS can be
+//! "a component of a complex workflow with many components that use
+//! standard formats for passing data between them" (§II-D). This module
+//! provides the two formats such workflows actually exchange:
+//!
+//! * a whitespace text edge list (`u v` per line, `#` comments, compatible
+//!   with SNAP / common graph tooling);
+//! * a compact little-endian binary edge list (`u64 n`, `u64 m`, then
+//!   `m` pairs of `u64`).
+
+use crate::edgelist::EdgeList;
+use std::io::{self, BufRead, BufWriter, Read, Write};
+
+/// Magic header of the binary format.
+const MAGIC: &[u8; 8] = b"GCBFSEL1";
+
+/// Writes the text edge-list format.
+pub fn write_text<W: Write>(graph: &EdgeList, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# gcbfs edge list: {} vertices, {} edges", graph.num_vertices, graph.num_edges())?;
+    writeln!(w, "# vertices {}", graph.num_vertices)?;
+    for &(u, v) in &graph.edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads the text edge-list format. Lines starting with `#` are comments;
+/// a `# vertices N` comment fixes the vertex count, otherwise it is
+/// `max endpoint + 1`.
+pub fn read_text<R: Read>(reader: R) -> io::Result<EdgeList> {
+    let buf = io::BufReader::new(reader);
+    let mut edges = Vec::new();
+    let mut declared_n: Option<u64> = None;
+    let mut max_endpoint = 0u64;
+    for line in buf.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("vertices") {
+                if let Some(n) = parts.next().and_then(|s| s.parse().ok()) {
+                    declared_n = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<u64> {
+            s.and_then(|x| x.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed edge line"))
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_endpoint = max_endpoint.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_endpoint + 1 });
+    if edges.iter().any(|&(u, v)| u >= n || v >= n) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint exceeds vertex count"));
+    }
+    Ok(EdgeList { num_vertices: n, edges })
+}
+
+/// Writes the binary edge-list format.
+pub fn write_binary<W: Write>(graph: &EdgeList, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&graph.num_vertices.to_le_bytes())?;
+    w.write_all(&graph.num_edges().to_le_bytes())?;
+    for &(u, v) in &graph.edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary edge-list format.
+pub fn read_binary<R: Read>(mut reader: R) -> io::Result<EdgeList> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut word = [0u8; 8];
+    reader.read_exact(&mut word)?;
+    let n = u64::from_le_bytes(word);
+    reader.read_exact(&mut word)?;
+    let m = u64::from_le_bytes(word);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        reader.read_exact(&mut word)?;
+        let u = u64::from_le_bytes(word);
+        reader.read_exact(&mut word)?;
+        let v = u64::from_le_bytes(word);
+        if u >= n || v >= n {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint exceeds vertex count"));
+        }
+        edges.push((u, v));
+    }
+    Ok(EdgeList { num_vertices: n, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::rmat::RmatConfig;
+
+    #[test]
+    fn text_roundtrip() {
+        let g = builders::double_star(4);
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_infers_vertex_count_without_header() {
+        let input = "0 3\n2 1\n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices, 4);
+        assert_eq!(g.edges, vec![(0, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text("0 banana\n".as_bytes()).is_err());
+        assert!(read_text("7\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn text_respects_declared_count_with_isolated_tail() {
+        let input = "# vertices 10\n0 1\n";
+        let g = read_text(input.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices, 10);
+    }
+
+    #[test]
+    fn binary_roundtrip_rmat() {
+        let g = RmatConfig::graph500(7).generate();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        assert!(read_binary(&b"NOTMAGIC"[..]).is_err());
+        let g = builders::path(3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_endpoint() {
+        let g = builders::path(3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Corrupt the vertex count downwards.
+        buf[8..16].copy_from_slice(&1u64.to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = EdgeList::new(5, vec![]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        let mut tbuf = Vec::new();
+        write_text(&g, &mut tbuf).unwrap();
+        assert_eq!(read_text(&tbuf[..]).unwrap(), g);
+    }
+}

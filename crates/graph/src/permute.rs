@@ -1,0 +1,169 @@
+//! Deterministic bijective vertex permutation.
+//!
+//! Graph500 (and the paper, §VI-A3) randomizes vertex numbers *after* edge
+//! generation "using a deterministic hashing function", so that the high
+//! degree vertices of an RMAT graph are not clustered at low ids — which
+//! would otherwise bias any modulo-based partitioner such as Algorithm 1.
+//!
+//! We implement the hash as a four-round Feistel network over the smallest
+//! power-of-two domain covering `n`, with cycle-walking to restrict it to
+//! `0..n`. This is a true bijection (so the permuted graph is isomorphic to
+//! the original), deterministic in the seed, and invertible.
+
+use crate::edgelist::VertexId;
+
+/// A keyed bijection on `0..domain`.
+#[derive(Clone, Debug)]
+pub struct VertexPermutation {
+    domain: u64,
+    /// Bits of each Feistel half.
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+const ROUNDS: usize = 4;
+
+impl VertexPermutation {
+    /// Creates a permutation of `0..domain` keyed by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u64, seed: u64) -> Self {
+        assert!(domain > 0, "permutation domain must be non-empty");
+        // Total bits covering the domain, rounded up to an even count so the
+        // two Feistel halves are equal width.
+        let total_bits = 64 - (domain - 1).max(1).leading_zeros();
+        let half_bits = total_bits.div_ceil(2).max(1);
+        let mut keys = [0u64; ROUNDS];
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for k in &mut keys {
+            state = splitmix64(state);
+            *k = state;
+        }
+        Self { domain, half_bits, keys }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Applies the permutation.
+    pub fn apply(&self, v: VertexId) -> VertexId {
+        debug_assert!(v < self.domain);
+        let mut x = v;
+        // Cycle-walk: keep encrypting until we land back inside the domain.
+        // Expected iterations < 4 since the power-of-two domain is < 4n.
+        loop {
+            x = self.feistel(x, false);
+            if x < self.domain {
+                return x;
+            }
+        }
+    }
+
+    /// Inverts the permutation.
+    pub fn invert(&self, v: VertexId) -> VertexId {
+        debug_assert!(v < self.domain);
+        let mut x = v;
+        loop {
+            x = self.feistel(x, true);
+            if x < self.domain {
+                return x;
+            }
+        }
+    }
+
+    fn feistel(&self, v: u64, inverse: bool) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (v >> self.half_bits) & mask;
+        let mut right = v & mask;
+        if !inverse {
+            for r in 0..ROUNDS {
+                let f = round(right, self.keys[r]) & mask;
+                let new_left = right;
+                right = left ^ f;
+                left = new_left;
+            }
+        } else {
+            for r in (0..ROUNDS).rev() {
+                let f = round(left, self.keys[r]) & mask;
+                let new_right = left;
+                left = right ^ f;
+                right = new_right;
+            }
+        }
+        (left << self.half_bits) | right
+    }
+}
+
+/// Feistel round function: a cheap mix of the half-block with the round key.
+#[inline]
+fn round(x: u64, key: u64) -> u64 {
+    splitmix64(x ^ key)
+}
+
+/// The splitmix64 finalizer: a well-tested 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn is_a_bijection_on_odd_domain() {
+        let p = VertexPermutation::new(1000, 42);
+        let image: HashSet<u64> = (0..1000).map(|v| p.apply(v)).collect();
+        assert_eq!(image.len(), 1000);
+        assert!(image.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn is_a_bijection_on_power_of_two_domain() {
+        let p = VertexPermutation::new(1 << 10, 7);
+        let image: HashSet<u64> = (0..(1 << 10)).map(|v| p.apply(v)).collect();
+        assert_eq!(image.len(), 1 << 10);
+    }
+
+    #[test]
+    fn invert_is_inverse() {
+        let p = VertexPermutation::new(12345, 99);
+        for v in (0..12345).step_by(7) {
+            assert_eq!(p.invert(p.apply(v)), v);
+            assert_eq!(p.apply(p.invert(v)), v);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = VertexPermutation::new(500, 1);
+        let b = VertexPermutation::new(500, 1);
+        let c = VertexPermutation::new(500, 2);
+        assert!((0..500).all(|v| a.apply(v) == b.apply(v)));
+        assert!((0..500).any(|v| a.apply(v) != c.apply(v)));
+    }
+
+    #[test]
+    fn domain_one_is_identity() {
+        let p = VertexPermutation::new(1, 3);
+        assert_eq!(p.apply(0), 0);
+    }
+
+    #[test]
+    fn scatters_adjacent_ids() {
+        // The whole point: consecutive ids (RMAT hubs) must not stay
+        // consecutive, or the modulo partitioner would be biased.
+        let p = VertexPermutation::new(1 << 16, 5);
+        let adjacent_pairs = (0..1000u64)
+            .filter(|&v| p.apply(v).abs_diff(p.apply(v + 1)) == 1)
+            .count();
+        assert!(adjacent_pairs < 10, "permutation barely scatters: {adjacent_pairs}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Graph500-conformant RMAT generator.
+//!
+//! Matches the paper's setup (§VI-A3): edge factor 16, RMAT parameters
+//! `A, B, C, D = 0.57, 0.19, 0.19, 0.05`, vertex numbers randomized by a
+//! deterministic hash after edge generation, and the graph made undirected
+//! by edge doubling. For a scale-`N` graph, `n = 2^N` and the doubled edge
+//! count is `2^N * 2 * edge_factor`; Graph500 TEPS are computed against
+//! `2^N * edge_factor` (see [`RmatConfig::graph500_edges`]).
+//!
+//! The paper generated RMAT on the GPUs themselves; here generation is a
+//! rayon-parallel loop, deterministic in the seed regardless of thread
+//! count (each chunk derives its own RNG stream from the seed).
+
+use crate::edgelist::EdgeList;
+use crate::permute::VertexPermutation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Configuration of an RMAT graph.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// Graph500 scale: the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Directed edges generated per vertex before doubling (Graph500: 16).
+    pub edge_factor: u32,
+    /// Quadrant probabilities. Must sum to 1.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// RNG seed; the same seed always yields the same graph.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The Graph500 defaults used throughout the paper.
+    pub fn graph500(scale: u32) -> Self {
+        Self { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, seed: 0x5eed }
+    }
+
+    /// With a different seed (for repeated-source experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of vertices `n = 2^scale`.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Directed edges before doubling: `n * edge_factor`.
+    pub fn num_generated_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor as u64
+    }
+
+    /// The edge count Graph500 uses in the TEPS denominator (`m/2` of the
+    /// doubled graph, i.e. the generated count).
+    pub fn graph500_edges(&self) -> u64 {
+        self.num_generated_edges()
+    }
+
+    /// Implied `d` probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Generates the directed RMAT edge list (before doubling or vertex
+    /// randomization).
+    pub fn generate_directed(&self) -> EdgeList {
+        assert!(
+            (self.a + self.b + self.c) < 1.0 + 1e-9 && self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            "RMAT probabilities must be non-negative and sum to at most 1"
+        );
+        let m = self.num_generated_edges() as usize;
+        let scale = self.scale;
+        let (a, b, c) = (self.a, self.b, self.c);
+        let seed = self.seed;
+        const CHUNK: usize = 1 << 14;
+        let num_chunks = m.div_ceil(CHUNK);
+        let edges: Vec<(u64, u64)> = (0..num_chunks)
+            .into_par_iter()
+            .flat_map_iter(|chunk| {
+                let lo = chunk * CHUNK;
+                let hi = (lo + CHUNK).min(m);
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (chunk as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                (lo..hi).map(move |_| sample_rmat_edge(&mut rng, scale, a, b, c))
+            })
+            .collect();
+        EdgeList::new(self.num_vertices(), edges)
+    }
+
+    /// Generates the full Graph500 input: RMAT edges, vertex ids randomized
+    /// by a deterministic bijective hash, then made undirected by doubling.
+    pub fn generate(&self) -> EdgeList {
+        let mut list = self.generate_directed();
+        let perm = VertexPermutation::new(self.num_vertices(), self.seed ^ 0xbadc_0ffe);
+        list.renumber(|v| perm.apply(v));
+        list.symmetrize();
+        list
+    }
+}
+
+/// Samples one RMAT edge by descending `scale` levels of the adjacency
+/// matrix quadrants.
+#[inline]
+fn sample_rmat_edge(rng: &mut StdRng, scale: u32, a: f64, b: f64, c: f64) -> (u64, u64) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for level in (0..scale).rev() {
+        let r: f64 = rng.random();
+        let bit = 1u64 << level;
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= bit;
+        } else if r < a + b + c {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_graph500_spec() {
+        let cfg = RmatConfig::graph500(10);
+        assert_eq!(cfg.num_vertices(), 1024);
+        assert_eq!(cfg.num_generated_edges(), 1024 * 16);
+        assert_eq!(cfg.graph500_edges(), 1024 * 16);
+        let g = cfg.generate();
+        assert_eq!(g.num_vertices, 1024);
+        // Doubling at most doubles (self-loops are not doubled).
+        assert!(g.num_edges() <= 2 * cfg.num_generated_edges());
+        assert!(g.num_edges() > cfg.num_generated_edges());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RmatConfig::graph500(8).generate();
+        let b = RmatConfig::graph500(8).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RmatConfig::graph500(8).generate();
+        let b = RmatConfig::graph500(8).with_seed(123).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_graph_is_symmetric() {
+        assert!(RmatConfig::graph500(8).generate().is_symmetric());
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // RMAT with Graph500 parameters is scale-free: the max out-degree
+        // should be far above the mean (32 after doubling).
+        let g = RmatConfig::graph500(12).generate();
+        let degs = g.out_degrees();
+        let max = *degs.iter().max().unwrap();
+        assert!(max > 200, "max degree {max} not scale-free-like");
+        // ... and plenty of vertices should be isolated or near-isolated.
+        let low = degs.iter().filter(|&&d| d <= 1).count();
+        assert!(low > (g.num_vertices as usize) / 10);
+    }
+
+    #[test]
+    fn quadrant_probabilities_respected() {
+        // With a = 1 every edge is (0, 0).
+        let cfg = RmatConfig { scale: 6, edge_factor: 4, a: 1.0, b: 0.0, c: 0.0, seed: 1 };
+        let g = cfg.generate_directed();
+        assert!(g.edges.iter().all(|&e| e == (0, 0)));
+        // With d = 1 every edge is (n-1, n-1).
+        let cfg = RmatConfig { scale: 6, edge_factor: 4, a: 0.0, b: 0.0, c: 0.0, seed: 1 };
+        let g = cfg.generate_directed();
+        assert!(g.edges.iter().all(|&e| e == (63, 63)));
+    }
+
+    #[test]
+    fn deterministic_across_thread_pools() {
+        let in_one_thread = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| RmatConfig::graph500(8).generate());
+        let parallel = RmatConfig::graph500(8).generate();
+        assert_eq!(in_one_thread, parallel);
+    }
+}

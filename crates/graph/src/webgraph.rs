@@ -1,0 +1,108 @@
+//! Long-tail web-like generator: the stand-in for the WDC 2012 graph.
+//!
+//! The WDC experiment (§VI-D) exercises a regime the RMAT experiments never
+//! reach: BFS with *hundreds* of iterations ("about 330 iterations ...
+//! long-tail behavior"), where per-iteration overhead dominates and the
+//! direction-optimization bookkeeping costs more than it saves, making
+//! DOBFS slightly *slower* than BFS. Any graph whose level structure is a
+//! dense scale-free core plus long chain peripheries reproduces that
+//! regime, so we synthesize exactly that: an RMAT core, a configurable
+//! number of chains hanging off random core vertices, and a fraction of
+//! isolated vertices (WDC has 402 M zero-degree vertices of 4.29 G).
+
+use crate::edgelist::EdgeList;
+use crate::permute::VertexPermutation;
+use crate::rmat::RmatConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic long-tail web graph.
+#[derive(Clone, Copy, Debug)]
+pub struct WebGraphConfig {
+    /// RMAT scale of the dense core.
+    pub core_scale: u32,
+    /// Number of chains attached to random core vertices.
+    pub num_chains: u64,
+    /// Length (vertex count) of each chain; BFS depth grows to roughly this.
+    pub chain_length: u64,
+    /// Number of isolated (zero-degree) vertices appended.
+    pub num_isolated: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WebGraphConfig {
+    /// A scaled-down WDC-like configuration with a BFS depth of several
+    /// hundred levels.
+    pub fn wdc_like(core_scale: u32) -> Self {
+        Self {
+            core_scale,
+            num_chains: 16,
+            chain_length: 300,
+            num_isolated: (1u64 << core_scale) / 10,
+            seed: 0x7eb_c1a2,
+        }
+    }
+
+    /// Total vertex count: core + chains + isolated.
+    pub fn num_vertices(&self) -> u64 {
+        (1u64 << self.core_scale) + self.num_chains * self.chain_length + self.num_isolated
+    }
+
+    /// Generates the symmetric long-tail graph with randomized vertex ids.
+    pub fn generate(&self) -> EdgeList {
+        let core_n = 1u64 << self.core_scale;
+        let mut core = RmatConfig::graph500(self.core_scale).with_seed(self.seed).generate_directed();
+        let mut edges = std::mem::take(&mut core.edges);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc41a);
+        let mut next = core_n;
+        for _ in 0..self.num_chains {
+            // Anchor each chain at a random core vertex, then extend.
+            let mut prev = rng.random_range(0..core_n);
+            for _ in 0..self.chain_length {
+                edges.push((prev, next));
+                prev = next;
+                next += 1;
+            }
+        }
+        let mut list = EdgeList::new(self.num_vertices(), edges);
+        let perm = VertexPermutation::new(self.num_vertices(), self.seed ^ 0x3b5d);
+        list.renumber(|v| perm.apply(v));
+        list.symmetrize();
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::bfs_depths;
+
+    #[test]
+    fn produces_long_tail_bfs() {
+        let cfg = WebGraphConfig { core_scale: 8, num_chains: 4, chain_length: 150, num_isolated: 32, seed: 7 };
+        let g = cfg.generate();
+        let csr = crate::Csr::from_edge_list(&g);
+        // Start from some reached vertex; depth must extend past the chains.
+        let src = (0..g.num_vertices).find(|&v| csr.out_degree(v) > 0).unwrap();
+        let depths = bfs_depths(&csr, src);
+        let max_depth = depths.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap();
+        assert!(max_depth >= 140, "max depth {max_depth}, expected a long tail");
+    }
+
+    #[test]
+    fn counts_line_up() {
+        let cfg = WebGraphConfig { core_scale: 6, num_chains: 2, chain_length: 10, num_isolated: 5, seed: 1 };
+        assert_eq!(cfg.num_vertices(), 64 + 20 + 5);
+        let g = cfg.generate();
+        assert_eq!(g.num_vertices, cfg.num_vertices());
+        assert!(g.is_symmetric());
+        assert!(g.count_zero_degree() >= 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WebGraphConfig::wdc_like(6);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+}

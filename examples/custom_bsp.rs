@@ -1,0 +1,122 @@
+//! Building your own distributed graph algorithm on the cluster substrate.
+//!
+//! The `gcbfs-core` crate automates degree separation, but the simulated
+//! cluster underneath (`gcbfs-cluster`) is a general BSP machine: a device
+//! grid, a deterministic message fabric, collectives, and a cost model.
+//! This example implements a *plain* 1D-partitioned BFS directly on
+//! [`Fabric`] — roughly what §II-C's conventional implementations do — and
+//! then shows how much the degree-separated engine improves on it, on the
+//! same graph and the same simulated hardware.
+//!
+//! Run with: `cargo run --release --example custom_bsp`
+
+use gpu_cluster_bfs::cluster::Fabric;
+use gpu_cluster_bfs::graph::reference::{bfs_depths, UNREACHED};
+use gpu_cluster_bfs::prelude::*;
+
+fn main() {
+    let rmat = RmatConfig::graph500(13);
+    let graph = rmat.generate();
+    let topology = Topology::new(2, 2);
+    let p = topology.num_gpus() as u64;
+    println!(
+        "graph: scale {} RMAT on a {}x{} device grid",
+        rmat.scale,
+        topology.num_ranks(),
+        topology.gpus_per_rank()
+    );
+
+    // ---- Hand-rolled 1D BFS on the raw fabric. ----
+    // Partition: vertex v lives on GPU (v mod p); its local row is the
+    // slice of the CSR it owns.
+    let csr = Csr::from_edge_list(&graph);
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+
+    // Per-GPU state: depth of owned vertices, current frontier.
+    struct Gpu {
+        depths: Vec<u32>, // indexed by v / p
+        frontier: Vec<u64>,
+    }
+    let owned = |gpu: u64| -> u64 { (graph.num_vertices - gpu + p - 1) / p };
+    let mut states: Vec<Gpu> = (0..p)
+        .map(|g| Gpu { depths: vec![UNREACHED; owned(g) as usize], frontier: Vec::new() })
+        .collect();
+    states[(source % p) as usize].depths[(source / p) as usize] = 0;
+    states[(source % p) as usize].frontier.push(source);
+
+    let mut fabric: Fabric<u64> = Fabric::new(topology);
+    let mut level = 0u32;
+    loop {
+        let next = level + 1;
+        let active: usize = states.iter().map(|s| s.frontier.len()).sum();
+        if active == 0 && fabric.is_quiescent() {
+            break;
+        }
+        // One superstep: absorb remote discoveries from the previous
+        // superstep (same BFS level as the local frontier), then expand
+        // both together, sending cross-partition discoveries to their
+        // owners for the next superstep.
+        fabric.step(&mut states, |gpu, state, inbox, out| {
+            let mut frontier = std::mem::take(&mut state.frontier);
+            for (_, v) in inbox {
+                let slot = (v / p) as usize;
+                if state.depths[slot] == UNREACHED {
+                    state.depths[slot] = level;
+                    frontier.push(v);
+                }
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            let mut new_frontier = Vec::new();
+            for &u in &frontier {
+                for &v in csr.neighbors(u) {
+                    let owner = (v % p) as usize;
+                    if owner == gpu {
+                        let slot = (v / p) as usize;
+                        if state.depths[slot] == UNREACHED {
+                            state.depths[slot] = next;
+                            new_frontier.push(v);
+                        }
+                    } else {
+                        out.send(owner, v);
+                    }
+                }
+            }
+            new_frontier.sort_unstable();
+            new_frontier.dedup();
+            state.frontier = new_frontier;
+        });
+        level += 1;
+    }
+
+    // Assemble and validate against the reference.
+    let mut depths = vec![UNREACHED; graph.num_vertices as usize];
+    for (g, state) in states.iter().enumerate() {
+        for (slot, &d) in state.depths.iter().enumerate() {
+            if d != UNREACHED {
+                depths[slot * p as usize + g] = d;
+            }
+        }
+    }
+    let expect = bfs_depths(&csr, source);
+    assert_eq!(depths, expect, "hand-rolled fabric BFS must be correct");
+    println!("hand-rolled 1D BFS on the fabric: correct, {level} supersteps");
+
+    // ---- The degree-separated engine on the same graph/hardware. ----
+    let config = BfsConfig::new(16);
+    let dist = DistributedGraph::build(&graph, topology, &config).expect("build");
+    let r = dist.run(source, &config).expect("run");
+    assert_eq!(r.depths, expect);
+    println!(
+        "degree-separated DOBFS: correct, {} iterations, {:.3} ms modeled, {} edges examined",
+        r.iterations(),
+        r.modeled_seconds() * 1e3,
+        r.stats.total_edges_examined()
+    );
+    println!(
+        "(the hand-rolled version broadcasts discoveries as 8-byte global ids and walks \
+         every edge; the engine's delegate masks, 32-bit locals, and per-subgraph DO are \
+         what Figs. 6-11 quantify)"
+    );
+}

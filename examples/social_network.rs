@@ -1,0 +1,73 @@
+//! Social-network analysis scenario (the paper's Friendster experiment,
+//! §VI-D): tune the degree threshold for a power-law social graph, then
+//! use BFS hop distances to compute reachability statistics — the kind of
+//! building block a betweenness-centrality or community-detection
+//! pipeline would call in a loop.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use gpu_cluster_bfs::graph::stats::DegreeStats;
+use gpu_cluster_bfs::prelude::*;
+
+fn main() {
+    // A Friendster-like graph: half the vertices isolated, power-law
+    // degree distribution with a heavy tail.
+    let graph = PowerLawConfig::friendster_like(14).generate();
+    let degrees = graph.out_degrees();
+    let stats = DegreeStats::from_degrees(&degrees);
+    println!(
+        "social graph: {} vertices ({} isolated), {} edges, max degree {}, mean {:.1}",
+        stats.num_vertices, stats.zero_degree, stats.num_edges, stats.max_degree, stats.mean_degree
+    );
+
+    let topology = Topology::from_paper_notation(1, 2, 2);
+    let g500_edges = graph.num_edges() / 2;
+
+    // Sweep the degree threshold like Fig. 13 and keep the best.
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+    let mut best: Option<(u64, f64)> = None;
+    println!("\nTH sweep (DOBFS, 4 simulated GPUs):");
+    for th in [8u64, 16, 32, 64, 128] {
+        let config = BfsConfig::new(th);
+        let dist = DistributedGraph::build(&graph, topology, &config).expect("build");
+        let r = dist.run(source, &config).expect("run");
+        let gteps = r.gteps(g500_edges);
+        println!(
+            "  TH {th:>4}: {:>6.3} GTEPS (modeled), {} delegates, {:.1}% nn edges",
+            gteps,
+            dist.separation().num_delegates(),
+            dist.class_counts().percentage(gpu_cluster_bfs::core::distributor::EdgeClass::Nn)
+        );
+        if best.is_none_or(|(_, g)| gteps > g) {
+            best = Some((th, gteps));
+        }
+    }
+    let (best_th, best_gteps) = best.unwrap();
+    println!("best threshold: {best_th} ({best_gteps:.3} GTEPS)");
+
+    // With the tuned threshold, compute reachability statistics from a few
+    // seed users — the inner loop of a centrality estimate.
+    let config = BfsConfig::new(best_th);
+    let dist = DistributedGraph::build(&graph, topology, &config).expect("build");
+    println!("\nreachability from 5 seed users:");
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut v = 0u64;
+    while seeds.len() < 5 && v < graph.num_vertices {
+        if degrees[v as usize] > 0 {
+            seeds.push(v);
+        }
+        v += 37; // arbitrary stride over user ids
+    }
+    for &seed in &seeds {
+        let r = dist.run(seed, &config).expect("run");
+        let reached = r.reached();
+        // Depth histogram: how many users within k hops?
+        let within2 = r.depths.iter().filter(|&&d| d <= 2).count();
+        let within3 = r.depths.iter().filter(|&&d| d <= 3).count();
+        println!(
+            "  user {seed:>6}: {reached:>6} reachable, {within2:>6} within 2 hops, \
+             {within3:>6} within 3 hops, eccentricity {}",
+            r.max_depth()
+        );
+    }
+}

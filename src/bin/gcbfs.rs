@@ -1,0 +1,378 @@
+//! `gcbfs` — command-line front-end for the GPU-cluster BFS reproduction.
+//!
+//! ```text
+//! gcbfs generate rmat --scale 16 --out graph.bin
+//! gcbfs generate powerlaw --scale 16 --out social.bin
+//! gcbfs generate web --scale 14 --out web.bin
+//! gcbfs info graph.bin
+//! gcbfs bfs graph.bin --ranks 4 --gpus 2 --threshold 45 [--source V]
+//!     [--no-do] [--local-all2all] [--uniquify] [--nonblocking] [--parents]
+//! gcbfs pagerank graph.bin --ranks 4 --gpus 2 --threshold 45
+//! ```
+//!
+//! Files ending in `.txt` use the text edge-list format; anything else the
+//! binary format (see `gcbfs_graph::io`).
+
+use gpu_cluster_bfs::core::pagerank::PageRankConfig;
+use gpu_cluster_bfs::graph::reference::{bfs_depths, validate_depths};
+use gpu_cluster_bfs::graph::{io, EdgeList};
+use gpu_cluster_bfs::prelude::*;
+use std::fs::File;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gcbfs generate <rmat|powerlaw|web> --scale N --out FILE [--seed S]
+  gcbfs info FILE
+  gcbfs bfs FILE [--ranks R] [--gpus G] [--threshold TH] [--source V]
+            [--no-do] [--local-all2all] [--uniquify] [--nonblocking]
+            [--parents] [--validate] [--trace]
+  gcbfs pagerank FILE [--ranks R] [--gpus G] [--threshold TH]
+            [--damping D] [--iterations N]
+  gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
+  gcbfs betweenness FILE [--ranks R] [--gpus G] [--threshold TH] [--samples K]
+  gcbfs sssp FILE [--ranks R] [--gpus G] [--threshold TH] [--source V]
+            [--max-weight W] [--weight-seed S]";
+
+/// Tiny flag parser: `--key value` options and `--flag` switches.
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    options: Vec<(&'a str, &'a str)>,
+    switches: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        options.push((name, it.next().unwrap().as_str()));
+                    }
+                    _ => switches.push(name),
+                }
+            } else {
+                positional.push(a.as_str());
+            }
+        }
+        Ok(Self { positional, options, switches })
+    }
+
+    fn opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.iter().find(|(k, _)| *k == name) {
+            Some((_, v)) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.options
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match args.positional.first().copied() {
+        Some("generate") => generate(&args),
+        Some("info") => info(&args),
+        Some("bfs") => bfs(&args),
+        Some("pagerank") => pagerank_cmd(&args),
+        Some("components") => components_cmd(&args),
+        Some("betweenness") => betweenness_cmd(&args),
+        Some("sssp") => sssp_cmd(&args),
+        Some(other) => Err(format!("unknown command: {other}")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn load(path: &str) -> Result<EdgeList, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if path.ends_with(".txt") {
+        io::read_text(file).map_err(|e| format!("cannot parse {path}: {e}"))
+    } else {
+        io::read_binary(file).map_err(|e| format!("cannot parse {path}: {e}"))
+    }
+}
+
+fn store(graph: &EdgeList, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    if path.ends_with(".txt") {
+        io::write_text(graph, file).map_err(|e| format!("cannot write {path}: {e}"))
+    } else {
+        io::write_binary(graph, file).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let family = *args.positional.get(1).ok_or("generate needs a family (rmat|powerlaw|web)")?;
+    let scale: u32 = args.opt("scale", 14)?;
+    let seed: u64 = args.opt("seed", 0x5eed)?;
+    let out = args.required("out")?;
+    let graph = match family {
+        "rmat" => RmatConfig::graph500(scale).with_seed(seed).generate(),
+        "powerlaw" => {
+            let mut cfg = PowerLawConfig::friendster_like(scale);
+            cfg.seed = seed;
+            cfg.generate()
+        }
+        "web" => {
+            let mut cfg = WebGraphConfig::wdc_like(scale);
+            cfg.seed = seed;
+            cfg.generate()
+        }
+        other => return Err(format!("unknown family: {other}")),
+    };
+    store(&graph, out)?;
+    println!(
+        "wrote {out}: {} vertices, {} directed edges ({family}, scale {scale})",
+        graph.num_vertices,
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("info needs a file")?;
+    let graph = load(path)?;
+    let stats = gpu_cluster_bfs::graph::stats::DegreeStats::from_graph(&graph);
+    println!("{path}:");
+    println!("  vertices      {}", stats.num_vertices);
+    println!("  edges         {}", stats.num_edges);
+    println!("  max degree    {}", stats.max_degree);
+    println!("  mean degree   {:.2}", stats.mean_degree);
+    println!("  zero-degree   {}", stats.zero_degree);
+    println!("  symmetric     {}", graph.is_symmetric());
+    Ok(())
+}
+
+fn topology(args: &Args) -> Result<Topology, String> {
+    let ranks: u32 = args.opt("ranks", 2)?;
+    let gpus: u32 = args.opt("gpus", 2)?;
+    if ranks == 0 || gpus == 0 {
+        return Err("--ranks and --gpus must be positive".into());
+    }
+    Ok(Topology::new(ranks, gpus))
+}
+
+fn pick_source(graph: &EdgeList, args: &Args) -> Result<u64, String> {
+    match args.options.iter().find(|(k, _)| *k == "source") {
+        Some((_, v)) => {
+            let s: u64 = v.parse().map_err(|_| format!("invalid --source: {v}"))?;
+            if s >= graph.num_vertices {
+                return Err(format!("source {s} out of range (n = {})", graph.num_vertices));
+            }
+            Ok(s)
+        }
+        None => {
+            let degrees = graph.out_degrees();
+            Ok(degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64)
+        }
+    }
+}
+
+fn bfs(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("bfs needs a file")?;
+    let graph = load(path)?;
+    let topo = topology(args)?;
+    let th: u64 = args.opt("threshold", 32)?;
+    let config = BfsConfig::new(th)
+        .with_direction_optimization(!args.switch("no-do"))
+        .with_local_all2all(args.switch("local-all2all"))
+        .with_uniquify(args.switch("uniquify"))
+        .with_blocking_reduce(!args.switch("nonblocking"));
+    let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
+    let source = pick_source(&graph, args)?;
+    let result = if args.switch("parents") {
+        dist.run_with_parents(source, &config)
+    } else {
+        dist.run(source, &config)
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "graph {path}: n = {}, m = {}, {} delegates (TH {th}), {} GPUs ({}x{})",
+        graph.num_vertices,
+        graph.num_edges(),
+        dist.separation().num_delegates(),
+        topo.num_gpus(),
+        topo.num_ranks(),
+        topo.gpus_per_rank()
+    );
+    println!(
+        "BFS from {source}: {} iterations, {} reached, max depth {}",
+        result.iterations(),
+        result.reached(),
+        result.max_depth()
+    );
+    println!(
+        "modeled {:.3} ms -> {:.3} GTEPS (Graph500 m/2 convention); wall {:.1} ms",
+        result.modeled_seconds() * 1e3,
+        result.gteps(graph.num_edges() / 2),
+        result.stats.wall_seconds * 1e3
+    );
+    if result.parents.is_some() {
+        println!(
+            "parent tree built (final exchange: {:.3} ms modeled)",
+            result.parent_exchange_seconds * 1e3
+        );
+    }
+    if args.switch("trace") {
+        println!();
+        print!("{}", gpu_cluster_bfs::core::trace::RunTrace(&result));
+    }
+    if args.switch("validate") {
+        let csr = Csr::from_edge_list(&graph);
+        let expect = bfs_depths(&csr, source);
+        if result.depths != expect {
+            return Err("validation FAILED: depths differ from reference".into());
+        }
+        validate_depths(&csr, source, &result.depths).map_err(|e| e.to_string())?;
+        if let Some(parents) = &result.parents {
+            gpu_cluster_bfs::graph::reference::validate_parents(
+                &csr,
+                source,
+                &result.depths,
+                parents,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        println!("validation: OK");
+    }
+    Ok(())
+}
+
+fn sssp_cmd(args: &Args) -> Result<(), String> {
+    use gpu_cluster_bfs::core::sssp::DistributedSssp;
+    use gpu_cluster_bfs::graph::weighted::{WeightedEdgeList, UNREACHABLE};
+    let path = args.positional.get(1).ok_or("sssp needs a file")?;
+    let graph = load(path)?;
+    let topo = topology(args)?;
+    let th: u64 = args.opt("threshold", 32)?;
+    let max_weight: u32 = args.opt("max-weight", 16)?;
+    let weight_seed: u64 = args.opt("weight-seed", 7)?;
+    let weighted = WeightedEdgeList::from_topology(&graph, max_weight, weight_seed);
+    let config = BfsConfig::new(th);
+    let dist = DistributedSssp::build(&weighted, topo, &config);
+    let source = pick_source(&graph, args)?;
+    let r = dist.run(source, &config).map_err(|e| e.to_string())?;
+    let reached = r.distances.iter().filter(|&&x| x != UNREACHABLE).count();
+    let max = r.distances.iter().filter(|&&x| x != UNREACHABLE).max().copied().unwrap_or(0);
+    println!(
+        "SSSP from {source} (weights 1..={max_weight}): {} rounds, {reached} reached, \
+         max distance {max}; {} edges relaxed; modeled {:.3} ms",
+        r.rounds,
+        r.edges_relaxed,
+        r.modeled_seconds * 1e3
+    );
+    Ok(())
+}
+
+fn components_cmd(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("components needs a file")?;
+    let graph = load(path)?;
+    let topo = topology(args)?;
+    let th: u64 = args.opt("threshold", 32)?;
+    let config = BfsConfig::new(th);
+    let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
+    let r = dist.connected_components(&config);
+    println!(
+        "connected components on {path}: {} components in {} sweeps; modeled {:.3} ms",
+        r.count(),
+        r.sweeps,
+        r.modeled_seconds * 1e3
+    );
+    // Largest components by size.
+    let mut sizes = std::collections::HashMap::new();
+    for &l in &r.labels {
+        *sizes.entry(l).or_insert(0u64) += 1;
+    }
+    let mut sorted: Vec<(u64, u64)> = sizes.into_iter().collect();
+    sorted.sort_by_key(|&(_, size)| std::cmp::Reverse(size));
+    println!("largest components:");
+    for &(label, size) in sorted.iter().take(5) {
+        println!("  component {label:>10}: {size} vertices");
+    }
+    Ok(())
+}
+
+fn betweenness_cmd(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("betweenness needs a file")?;
+    let graph = load(path)?;
+    let topo = topology(args)?;
+    let th: u64 = args.opt("threshold", 32)?;
+    let samples: usize = args.opt("samples", 16)?;
+    let config = BfsConfig::new(th);
+    let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
+    let degrees = graph.out_degrees();
+    let sources: Vec<u64> = (0..graph.num_vertices)
+        .filter(|&v| degrees[v as usize] > 0)
+        .step_by(((graph.num_vertices as usize / samples.max(1)).max(1)) | 1)
+        .take(samples)
+        .collect();
+    let r = dist.betweenness(&sources, &config).map_err(|e| e.to_string())?;
+    println!(
+        "sampled betweenness on {path}: {} sources, {} levels, modeled {:.3} ms",
+        r.sources.len(),
+        r.levels,
+        r.modeled_seconds * 1e3
+    );
+    let mut ranked: Vec<(usize, f64)> = r.scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top 10 by betweenness:");
+    for &(v, b) in ranked.iter().take(10) {
+        println!("  {v:>10}  {b:.3}  (degree {})", degrees[v]);
+    }
+    Ok(())
+}
+
+fn pagerank_cmd(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("pagerank needs a file")?;
+    let graph = load(path)?;
+    let topo = topology(args)?;
+    let th: u64 = args.opt("threshold", 32)?;
+    let bfs_config = BfsConfig::new(th);
+    let dist = DistributedGraph::build(&graph, topo, &bfs_config).map_err(|e| e.to_string())?;
+    let config = PageRankConfig {
+        damping: args.opt("damping", 0.85)?,
+        max_iterations: args.opt("iterations", 100)?,
+        ..Default::default()
+    };
+    let result = dist.pagerank(&config);
+    println!(
+        "PageRank on {path}: {} iterations to delta {:.3e}; modeled {:.3} ms",
+        result.iterations,
+        result.delta,
+        result.modeled_seconds * 1e3
+    );
+    let mut ranked: Vec<(usize, f64)> = result.scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top 10:");
+    for &(v, s) in ranked.iter().take(10) {
+        println!("  {v:>10}  {s:.6e}");
+    }
+    Ok(())
+}

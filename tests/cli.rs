@@ -1,0 +1,156 @@
+//! End-to-end tests of the `gcbfs` CLI binary: generate → info → bfs →
+//! pagerank pipelines over both file formats, plus error handling.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gcbfs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gcbfs")).args(args).output().expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gcbfs-test-{}-{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn generate_info_bfs_pipeline_binary_format() {
+    let file = tmp("pipeline.bin");
+    let path = file.to_str().unwrap();
+
+    let gen = gcbfs(&["generate", "rmat", "--scale", "9", "--out", path]);
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let info = gcbfs(&["info", path]);
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("vertices      512"), "{text}");
+    assert!(text.contains("symmetric     true"), "{text}");
+
+    let bfs = gcbfs(&[
+        "bfs", path, "--ranks", "2", "--gpus", "2", "--threshold", "8", "--validate",
+    ]);
+    assert!(bfs.status.success(), "{}", String::from_utf8_lossy(&bfs.stderr));
+    let text = String::from_utf8_lossy(&bfs.stdout);
+    assert!(text.contains("validation: OK"), "{text}");
+    assert!(text.contains("GTEPS"), "{text}");
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn text_format_and_parents() {
+    let file = tmp("graph.txt");
+    let path = file.to_str().unwrap();
+    let gen = gcbfs(&["generate", "powerlaw", "--scale", "9", "--out", path]);
+    assert!(gen.status.success());
+    let content = std::fs::read_to_string(&file).unwrap();
+    assert!(content.starts_with("# gcbfs edge list"));
+
+    let bfs = gcbfs(&["bfs", path, "--threshold", "8", "--parents", "--validate"]);
+    assert!(bfs.status.success(), "{}", String::from_utf8_lossy(&bfs.stderr));
+    let text = String::from_utf8_lossy(&bfs.stdout);
+    assert!(text.contains("parent tree built"), "{text}");
+    assert!(text.contains("validation: OK"), "{text}");
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn pagerank_command() {
+    let file = tmp("pr.bin");
+    let path = file.to_str().unwrap();
+    assert!(gcbfs(&["generate", "web", "--scale", "8", "--out", path]).status.success());
+    let pr = gcbfs(&["pagerank", path, "--iterations", "20"]);
+    assert!(pr.status.success(), "{}", String::from_utf8_lossy(&pr.stderr));
+    let text = String::from_utf8_lossy(&pr.stdout);
+    assert!(text.contains("top 10:"), "{text}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn components_and_betweenness_commands() {
+    let file = tmp("algos.bin");
+    let path = file.to_str().unwrap();
+    assert!(gcbfs(&["generate", "rmat", "--scale", "8", "--out", path]).status.success());
+    let cc = gcbfs(&["components", path]);
+    assert!(cc.status.success(), "{}", String::from_utf8_lossy(&cc.stderr));
+    assert!(String::from_utf8_lossy(&cc.stdout).contains("largest components:"));
+    let bc = gcbfs(&["betweenness", path, "--samples", "4"]);
+    assert!(bc.status.success(), "{}", String::from_utf8_lossy(&bc.stderr));
+    assert!(String::from_utf8_lossy(&bc.stdout).contains("top 10 by betweenness:"));
+    let sp = gcbfs(&["sssp", path, "--max-weight", "8"]);
+    assert!(sp.status.success(), "{}", String::from_utf8_lossy(&sp.stderr));
+    assert!(String::from_utf8_lossy(&sp.stdout).contains("edges relaxed"));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn bfs_trace_flag() {
+    let file = tmp("trace.bin");
+    let path = file.to_str().unwrap();
+    assert!(gcbfs(&["generate", "rmat", "--scale", "8", "--out", path]).status.success());
+    let out = gcbfs(&["bfs", path, "--trace"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("frontier"), "{text}");
+    assert!(text.contains("S = "), "{text}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn bfs_options_accepted() {
+    let file = tmp("opts.bin");
+    let path = file.to_str().unwrap();
+    assert!(gcbfs(&["generate", "rmat", "--scale", "8", "--out", path]).status.success());
+    let bfs = gcbfs(&[
+        "bfs", path, "--no-do", "--local-all2all", "--uniquify", "--nonblocking",
+        "--source", "3", "--validate",
+    ]);
+    assert!(bfs.status.success(), "{}", String::from_utf8_lossy(&bfs.stderr));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let out = gcbfs(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Missing file.
+    let out = gcbfs(&["info", "/nonexistent/graph.bin"]);
+    assert!(!out.status.success());
+    // Source out of range.
+    let file = tmp("err.bin");
+    let path = file.to_str().unwrap();
+    assert!(gcbfs(&["generate", "rmat", "--scale", "8", "--out", path]).status.success());
+    let out = gcbfs(&["bfs", path, "--source", "999999"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    // Bad option value.
+    let out = gcbfs(&["bfs", path, "--threshold", "banana"]);
+    assert!(!out.status.success());
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn deterministic_generation_via_seed() {
+    let a = tmp("seed-a.bin");
+    let b = tmp("seed-b.bin");
+    let c = tmp("seed-c.bin");
+    for (f, seed) in [(&a, "7"), (&b, "7"), (&c, "8")] {
+        assert!(gcbfs(&[
+            "generate", "rmat", "--scale", "8", "--seed", seed, "--out",
+            f.to_str().unwrap()
+        ])
+        .status
+        .success());
+    }
+    let bytes_a = std::fs::read(&a).unwrap();
+    assert_eq!(bytes_a, std::fs::read(&b).unwrap());
+    assert_ne!(bytes_a, std::fs::read(&c).unwrap());
+    for f in [a, b, c] {
+        std::fs::remove_file(f).ok();
+    }
+}

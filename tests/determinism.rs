@@ -1,0 +1,111 @@
+//! Determinism guarantees: every algorithm in the workspace produces
+//! bit-identical results and modeled times regardless of the host thread
+//! count. (The real machine is simulated; nothing about the simulation may
+//! depend on how the simulation itself is scheduled.)
+
+use gpu_cluster_bfs::core::driver::DistributedGraph;
+use gpu_cluster_bfs::core::pagerank::PageRankConfig;
+use gpu_cluster_bfs::prelude::*;
+
+/// Runs `f` once on the default pool and once on a single-thread pool.
+fn both_pools<T: PartialEq + std::fmt::Debug + Send>(f: impl Fn() -> T + Sync) {
+    let parallel = f();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(&f);
+    assert_eq!(parallel, single);
+}
+
+fn setup() -> (gpu_cluster_bfs::graph::EdgeList, BfsConfig, u64) {
+    let graph = RmatConfig::graph500(9).generate();
+    let config = BfsConfig::new(8);
+    let src = graph
+        .out_degrees()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, d)| d)
+        .unwrap()
+        .0 as u64;
+    (graph, config, src)
+}
+
+#[test]
+fn bfs_deterministic() {
+    let (graph, config, src) = setup();
+    both_pools(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let r = dist.run_with_parents(src, &config).unwrap();
+        let modeled_bits = r.modeled_seconds().to_bits();
+        let iterations = r.iterations();
+        (r.depths, r.parents, modeled_bits, iterations)
+    });
+}
+
+#[test]
+fn msbfs_deterministic() {
+    let (graph, config, _src) = setup();
+    let degrees = graph.out_degrees();
+    let sources: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(16).collect();
+    both_pools(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let r = dist.run_multi_source(&sources, &config).unwrap();
+        (r.depths, r.modeled_seconds.to_bits(), r.edges_examined)
+    });
+}
+
+#[test]
+fn pagerank_deterministic_bitwise() {
+    let (graph, config, _src) = setup();
+    let pr = PageRankConfig { max_iterations: 15, tolerance: 0.0, ..Default::default() };
+    both_pools(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(3, 2), &config).unwrap();
+        let r = dist.pagerank(&pr);
+        // Bitwise: floating-point summation order must be fixed.
+        let bits: Vec<u64> = r.scores.iter().map(|s| s.to_bits()).collect();
+        (bits, r.iterations)
+    });
+}
+
+#[test]
+fn components_deterministic() {
+    let (graph, config, _src) = setup();
+    both_pools(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let r = dist.connected_components(&config);
+        (r.labels, r.sweeps, r.modeled_seconds.to_bits())
+    });
+}
+
+#[test]
+fn betweenness_deterministic_bitwise() {
+    let (graph, config, _src) = setup();
+    let degrees = graph.out_degrees();
+    let sources: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(6).collect();
+    both_pools(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let r = dist.betweenness(&sources, &config).unwrap();
+        let bits: Vec<u64> = r.scores.iter().map(|s| s.to_bits()).collect();
+        bits
+    });
+}
+
+#[test]
+fn async_bfs_deterministic() {
+    let (graph, config, src) = setup();
+    both_pools(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let r = dist.run_async(src, &config).unwrap();
+        (r.depths, r.waves, r.modeled_seconds.to_bits())
+    });
+}
+
+#[test]
+fn generators_deterministic() {
+    both_pools(|| RmatConfig::graph500(9).generate());
+    both_pools(|| PowerLawConfig::friendster_like(9).generate());
+    both_pools(|| WebGraphConfig::wdc_like(7).generate());
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the degree-separated distributed BFS must
+//! produce exactly the reference hop distances for every graph family,
+//! topology, option set, and source we throw at it.
+
+use gpu_cluster_bfs::core::driver::DistributedGraph;
+use gpu_cluster_bfs::graph::reference::bfs_depths;
+use gpu_cluster_bfs::graph::{builders, EdgeList};
+use gpu_cluster_bfs::prelude::*;
+
+fn sources_for(graph: &EdgeList, count: usize) -> Vec<u64> {
+    let degrees = graph.out_degrees();
+    let mut picked = Vec::new();
+    let mut v = 0u64;
+    while picked.len() < count && v < graph.num_vertices {
+        if degrees[v as usize] > 0 {
+            picked.push(v);
+        }
+        v += graph.num_vertices / (count as u64 * 2) + 1;
+    }
+    picked
+}
+
+fn check(graph: &EdgeList, topo: Topology, config: &BfsConfig, sources: &[u64]) {
+    let dist = DistributedGraph::build(graph, topo, config).expect("build");
+    let csr = Csr::from_edge_list(graph);
+    for &s in sources {
+        let r = dist.run(s, config).expect("run");
+        assert_eq!(
+            r.depths,
+            bfs_depths(&csr, s),
+            "mismatch: topo {topo:?}, source {s}, config {config:?}"
+        );
+    }
+}
+
+#[test]
+fn rmat_across_topologies() {
+    let graph = RmatConfig::graph500(10).generate();
+    let sources = sources_for(&graph, 4);
+    let config = BfsConfig::new(16);
+    for topo in [
+        Topology::new(1, 1),
+        Topology::new(1, 4),
+        Topology::new(4, 1),
+        Topology::new(2, 2),
+        Topology::new(3, 2),
+        Topology::new(5, 3),
+    ] {
+        check(&graph, topo, &config, &sources);
+    }
+}
+
+#[test]
+fn rmat_across_option_sets() {
+    let graph = RmatConfig::graph500(10).generate();
+    let sources = sources_for(&graph, 3);
+    let topo = Topology::new(2, 2);
+    for doo in [false, true] {
+        for l in [false, true] {
+            for u in [false, true] {
+                for br in [false, true] {
+                    let config = BfsConfig::new(12)
+                        .with_direction_optimization(doo)
+                        .with_local_all2all(l)
+                        .with_uniquify(u)
+                        .with_blocking_reduce(br);
+                    check(&graph, topo, &config, &sources);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rmat_across_thresholds() {
+    let graph = RmatConfig::graph500(10).generate();
+    let sources = sources_for(&graph, 3);
+    let topo = Topology::new(2, 3);
+    // TH = 0 makes every connected vertex a delegate; huge TH makes none.
+    for th in [0u64, 1, 4, 16, 64, 1024, u64::MAX] {
+        check(&graph, topo, &BfsConfig::new(th), &sources);
+    }
+}
+
+#[test]
+fn powerlaw_graph() {
+    let graph = PowerLawConfig::friendster_like(11).generate();
+    let sources = sources_for(&graph, 4);
+    for topo in [Topology::new(2, 2), Topology::new(4, 2)] {
+        check(&graph, topo, &BfsConfig::new(16), &sources);
+        check(
+            &graph,
+            topo,
+            &BfsConfig::new(16).with_direction_optimization(false),
+            &sources,
+        );
+    }
+}
+
+#[test]
+fn long_tail_web_graph() {
+    let graph = WebGraphConfig::wdc_like(9).generate();
+    let sources = sources_for(&graph, 3);
+    check(&graph, Topology::new(2, 2), &BfsConfig::new(64), &sources);
+    check(&graph, Topology::new(3, 1), &BfsConfig::new(8), &sources);
+}
+
+#[test]
+fn structured_graphs() {
+    let config = BfsConfig::new(3);
+    for graph in [
+        builders::path(40),
+        builders::cycle(33),
+        builders::star(50),
+        builders::grid(7, 9),
+        builders::complete(12),
+        builders::double_star(10),
+    ] {
+        let sources = sources_for(&graph, 2);
+        check(&graph, Topology::new(2, 2), &config, &sources);
+    }
+}
+
+#[test]
+fn every_vertex_as_source_on_a_small_graph() {
+    // Exhaustive: all 16 sources of a double star, including hubs
+    // (delegates) and isolated-ish leaves.
+    let graph = builders::double_star(7);
+    let config = BfsConfig::new(5);
+    let all: Vec<u64> = (0..graph.num_vertices).collect();
+    check(&graph, Topology::new(2, 2), &config, &all);
+}
+
+#[test]
+fn more_gpus_than_vertices() {
+    let graph = builders::path(5);
+    let config = BfsConfig::new(3);
+    check(&graph, Topology::new(4, 3), &config, &[0, 2, 4]);
+}

@@ -1,0 +1,143 @@
+//! Graph500-protocol integration tests: structural validation of
+//! distributed results, the TEPS metric, the geometric-mean reporting
+//! protocol, and determinism guarantees.
+
+use gpu_cluster_bfs::core::driver::DistributedGraph;
+use gpu_cluster_bfs::core::stats::geometric_mean;
+use gpu_cluster_bfs::graph::reference::validate_depths;
+use gpu_cluster_bfs::prelude::*;
+
+fn connected_sources(graph: &gpu_cluster_bfs::graph::EdgeList, count: usize) -> Vec<u64> {
+    let degrees = graph.out_degrees();
+    (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(count).collect()
+}
+
+#[test]
+fn distributed_results_pass_structural_validation() {
+    let graph = RmatConfig::graph500(10).generate();
+    let csr = Csr::from_edge_list(&graph);
+    let config = BfsConfig::new(16);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    for s in connected_sources(&graph, 5) {
+        let r = dist.run(s, &config).unwrap();
+        validate_depths(&csr, s, &r.depths).unwrap();
+    }
+}
+
+#[test]
+fn teps_uses_graph500_edge_convention() {
+    let rmat = RmatConfig::graph500(10);
+    let graph = rmat.generate();
+    let config = BfsConfig::new(16);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let s = connected_sources(&graph, 1)[0];
+    let r = dist.run(s, &config).unwrap();
+    // graph500_edges is m/2 of the doubled graph = the generated count.
+    assert_eq!(rmat.graph500_edges(), rmat.num_generated_edges());
+    let teps = r.teps(rmat.graph500_edges());
+    assert!(teps > 0.0);
+    assert!((r.gteps(rmat.graph500_edges()) - teps / 1e9).abs() < 1e-9);
+    // TEPS must equal edges / modeled seconds exactly.
+    assert!(
+        (teps - rmat.graph500_edges() as f64 / r.modeled_seconds()).abs() < 1e-6 * teps
+    );
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let graph = RmatConfig::graph500(9).generate();
+    let config = BfsConfig::new(8);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let s = connected_sources(&graph, 1)[0];
+    let a = dist.run(s, &config).unwrap();
+    let b = dist.run(s, &config).unwrap();
+    assert_eq!(a.depths, b.depths);
+    assert_eq!(a.iterations(), b.iterations());
+    // Modeled time is a pure function of the run, so it matches exactly.
+    assert_eq!(a.modeled_seconds(), b.modeled_seconds());
+    assert_eq!(
+        a.stats.total_edges_examined(),
+        b.stats.total_edges_examined()
+    );
+}
+
+#[test]
+fn runs_are_deterministic_across_thread_pools() {
+    let graph = RmatConfig::graph500(9).generate();
+    let config = BfsConfig::new(8);
+    let s = connected_sources(&graph, 1)[0];
+    let parallel = {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        dist.run(s, &config).unwrap()
+    };
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| {
+            let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+            dist.run(s, &config).unwrap()
+        });
+    assert_eq!(parallel.depths, single.depths);
+    assert_eq!(parallel.modeled_seconds(), single.modeled_seconds());
+    assert_eq!(
+        parallel.stats.total_edges_examined(),
+        single.stats.total_edges_examined()
+    );
+}
+
+#[test]
+fn geometric_mean_protocol_over_sources() {
+    // The paper reports the geometric mean over 140 random sources; check
+    // the aggregation behaves (identical rates -> same value; mixed rates
+    // -> between min and max).
+    let graph = RmatConfig::graph500(9).generate();
+    let rmat_edges = RmatConfig::graph500(9).graph500_edges();
+    let config = BfsConfig::new(8);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 1), &config).unwrap();
+    let rates: Vec<f64> = connected_sources(&graph, 6)
+        .into_iter()
+        .map(|s| dist.run(s, &config).unwrap().gteps(rmat_edges))
+        .collect();
+    let gm = geometric_mean(&rates);
+    let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = rates.iter().copied().fold(0.0f64, f64::max);
+    assert!(gm >= min && gm <= max);
+}
+
+#[test]
+fn iteration_records_are_consistent() {
+    let graph = RmatConfig::graph500(10).generate();
+    let config = BfsConfig::new(16);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let s = connected_sources(&graph, 1)[0];
+    let r = dist.run(s, &config).unwrap();
+    let stats = &r.stats;
+    assert_eq!(stats.records.len() as u32, r.iterations());
+    // Iterations are numbered contiguously.
+    for (i, rec) in stats.records.iter().enumerate() {
+        assert_eq!(rec.iter, i as u32);
+        // Elapsed of every iteration is at most the sum of its parts.
+        assert!(rec.timing.elapsed() <= rec.timing.sum_of_parts() + 1e-12);
+    }
+    // S' <= S, and for RMAT the mask updates finish before the long tail:
+    assert!(stats.mask_reductions() <= stats.iterations());
+    // First iteration starts from one seed.
+    let first = &stats.records[0];
+    assert_eq!(first.frontier_len + first.new_delegates, 1);
+}
+
+#[test]
+fn delegate_and_normal_sources_agree() {
+    // Starting from a hub (delegate) and from a leaf must both validate.
+    let graph = gpu_cluster_bfs::graph::builders::star(64);
+    let csr = Csr::from_edge_list(&graph);
+    let config = BfsConfig::new(8);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    assert!(dist.separation().is_delegate(0));
+    for s in [0u64, 1, 63] {
+        let r = dist.run(s, &config).unwrap();
+        validate_depths(&csr, s, &r.depths).unwrap();
+        assert_eq!(r.reached(), 65);
+    }
+}
