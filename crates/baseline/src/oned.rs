@@ -99,8 +99,7 @@ impl OneDBfs {
         while frontiers.iter().any(|f| !f.is_empty()) {
             let depth = iterations;
             let frontier_len: usize = frontiers.iter().map(Vec::len).sum();
-            let frontier_out: u64 =
-                frontiers.iter().flatten().map(|&u| graph.out_degree(u)).sum();
+            let frontier_out: u64 = frontiers.iter().flatten().map(|&u| graph.out_degree(u)).sum();
             if self.direction_optimization {
                 if !backward && frontier_out as f64 > unexplored as f64 / self.alpha {
                     backward = true;

@@ -52,12 +52,7 @@ pub struct SingleNodeBfs {
 impl SingleNodeBfs {
     /// Plain BFS (no direction switching).
     pub fn plain() -> Self {
-        Self {
-            direction_optimization: false,
-            alpha: 14.0,
-            beta: 24.0,
-            device: DeviceModel::p100(),
-        }
+        Self { direction_optimization: false, alpha: 14.0, beta: 24.0, device: DeviceModel::p100() }
     }
 
     /// Direction-optimizing BFS with the standard α = 14, β = 24.
@@ -118,15 +113,20 @@ impl SingleNodeBfs {
                 }
             }
             unexplored = unexplored.saturating_sub(frontier_out);
-            modeled += self
-                .device
-                .kernel_time(KernelKind::DynamicVisit, edges_examined - examined_before)
-                + self.device.kernel_time(KernelKind::Previsit, frontier.len() as u64);
+            modeled +=
+                self.device.kernel_time(KernelKind::DynamicVisit, edges_examined - examined_before)
+                    + self.device.kernel_time(KernelKind::Previsit, frontier.len() as u64);
             frontier = next;
             iterations += 1;
         }
 
-        SingleResult { depths, iterations, backward_iterations, edges_examined, modeled_seconds: modeled }
+        SingleResult {
+            depths,
+            iterations,
+            backward_iterations,
+            edges_examined,
+            modeled_seconds: modeled,
+        }
     }
 }
 

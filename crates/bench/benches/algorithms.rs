@@ -26,9 +26,7 @@ fn bench_algorithms(c: &mut Criterion) {
     g.bench_function("msbfs_32_sources", |b| {
         b.iter(|| black_box(dist.run_multi_source(&sources, &config).unwrap()))
     });
-    g.bench_function("async_bfs", |b| {
-        b.iter(|| black_box(dist.run_async(hub, &config).unwrap()))
-    });
+    g.bench_function("async_bfs", |b| b.iter(|| black_box(dist.run_async(hub, &config).unwrap())));
     g.bench_function("connected_components", |b| {
         b.iter(|| black_box(dist.connected_components(&config)))
     });

@@ -30,7 +30,7 @@ fn bench_exchange(c: &mut Criterion) {
         .map(|g| {
             (0..10_000u32)
                 .map(|i| {
-                    let dest = topo.unflat(((g + 1 + i as usize) % 16) as usize);
+                    let dest = topo.unflat((g + 1 + i as usize) % 16);
                     (dest, i % 4096)
                 })
                 .collect()
@@ -38,12 +38,11 @@ fn bench_exchange(c: &mut Criterion) {
         .collect();
     let mut grp = c.benchmark_group("exchange");
     grp.sample_size(20);
-    for (name, l, u) in [("plain", false, false), ("local_a2a", true, false), ("a2a_uniquify", true, true)]
+    for (name, l, u) in
+        [("plain", false, false), ("local_a2a", true, false), ("a2a_uniquify", true, true)]
     {
         grp.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(exchange_normals(&topo, &cost, sends.clone(), l, u))
-            })
+            b.iter(|| black_box(exchange_normals(&topo, &cost, sends.clone(), l, u)))
         });
     }
     grp.finish();

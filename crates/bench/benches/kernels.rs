@@ -48,9 +48,7 @@ fn bench_masks(c: &mut Criterion) {
             black_box(x)
         })
     });
-    g.bench_function("new_bits_1m_bits", |b| {
-        b.iter(|| black_box(bmask.new_bits(&a).count()))
-    });
+    g.bench_function("new_bits_1m_bits", |b| b.iter(|| black_box(bmask.new_bits(&a).count())));
     g.finish();
 }
 

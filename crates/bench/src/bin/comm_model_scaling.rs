@@ -37,8 +37,7 @@ fn main() {
         // All three strategies charged to the same workload-scaled machine.
         let cost = CostModel::ray_scaled(ray_factor(per_gpu_scale));
         let th = BfsConfig::suggested_rmat_threshold(scale + 15).max(8);
-        let config =
-            BfsConfig::new(th).with_blocking_reduce(p >= 32).with_cost_model(cost);
+        let config = BfsConfig::new(th).with_blocking_reduce(p >= 32).with_cost_model(cost);
         let topo = if p >= 2 { Topology::new(p / 2, 2) } else { Topology::new(1, 1) };
         let dist = DistributedGraph::build(&graph, topo, &config).expect("build");
         let ours = dist.run(src, &config).expect("run");
@@ -61,24 +60,18 @@ fn main() {
             f2(ours_bytes as f64 / m as f64),
             f2(oned.comm_bytes as f64 / m as f64),
             f2(twod.comm_bytes as f64 / m as f64),
-            format!("{:.2}", ours.stats.phase_totals().remote_normal * 1e3
-                + ours.stats.phase_totals().remote_delegate * 1e3),
+            format!(
+                "{:.2}",
+                ours.stats.phase_totals().remote_normal * 1e3
+                    + ours.stats.phase_totals().remote_delegate * 1e3
+            ),
             format!("{:.2}", oned.comm_seconds * 1e3),
             format!("{:.2}", twod.comm_seconds * 1e3),
         ]);
     }
     print_table(
         "Communication per edge (bytes/edge) and modeled comm time (ms)",
-        &[
-            "p",
-            "scale",
-            "ours B/edge",
-            "1D B/edge",
-            "2D B/edge",
-            "ours ms",
-            "1D ms",
-            "2D ms",
-        ],
+        &["p", "scale", "ours B/edge", "1D B/edge", "2D B/edge", "ours ms", "1D ms", "2D ms"],
         &rows,
     );
     println!(

@@ -37,12 +37,10 @@ fn main() {
     let scaled = CostModel::ray_scaled(ray_factor(per_gpu_scale(scale, topo.num_gpus())));
     let unscaled = CostModel::ray();
     let mut rows = Vec::new();
-    for (name, graph, th, cost) in [
-        ("RMAT (dense core)", &rmat, 23u64, scaled),
-        ("web-like (long tail)", &web, 256, unscaled),
-    ] {
-        let config =
-            BfsConfig::new(th).with_direction_optimization(false).with_cost_model(cost);
+    for (name, graph, th, cost) in
+        [("RMAT (dense core)", &rmat, 23u64, scaled), ("web-like (long tail)", &web, 256, unscaled)]
+    {
+        let config = BfsConfig::new(th).with_direction_optimization(false).with_cost_model(cost);
         let dist = DistributedGraph::build(graph, topo, &config).expect("build");
         let sources = pick_sources(graph, num_sources(), 0xa57c);
         let mut bsp_ms = Vec::new();

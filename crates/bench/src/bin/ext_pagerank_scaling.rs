@@ -47,8 +47,7 @@ fn main() {
                 PageRankConfig { max_iterations: 10, tolerance: 0.0, cost, ..Default::default() };
             let pr = dist.pagerank(&pr_config);
             let per_iter_ms = pr.modeled_seconds * 1e3 / pr.iterations as f64;
-            let comm_share = 100.0
-                * (pr.phases.remote_normal + pr.phases.remote_delegate)
+            let comm_share = 100.0 * (pr.phases.remote_normal + pr.phases.remote_delegate)
                 / pr.phases.sum().max(1e-12);
             row.push(f2(per_iter_ms));
             row.push(f2(comm_share));

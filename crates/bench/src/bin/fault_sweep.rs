@@ -1,0 +1,135 @@
+//! Resilience sweep: the price of surviving faults.
+//!
+//! Not a paper figure — the paper measures fault-free runs — but the
+//! natural operational question its scale raises: what does BFS cost when
+//! the cluster misbehaves? Three sweeps, all verified bit-exact against
+//! the fault-free depths:
+//!
+//! 1. **Message-fault intensity**: drop/duplicate/delay probabilities from
+//!    0 to 20% per in-flight update; overhead comes from exchange
+//!    retransmissions with exponential backoff.
+//! 2. **Checkpoint cadence vs fail-stop**: a GPU dies mid-run; sparser
+//!    checkpoints are cheaper up front but waste more work at rollback.
+//! 3. **Random chaos plans**: seeded mixed plans ([`FaultPlan::random`])
+//!    as a smoke-level reproduction of the recovery property test.
+//!
+//! Environment knobs: `GCBFS_SCALE` (default 13), `GCBFS_TH`,
+//! `GCBFS_SEEDS` (random plans in sweep 3, default 10).
+//!
+//! Usage: `cargo run --release --bin fault_sweep`
+
+use gcbfs_bench::{env_or, f2, pct, print_table};
+use gcbfs_cluster::fault::FaultPlan;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::recovery::RecoveryConfig;
+use gcbfs_core::stats::FaultStats;
+use gcbfs_graph::rmat::RmatConfig;
+
+fn ms(s: f64) -> f64 {
+    s * 1e3
+}
+
+fn main() {
+    let scale = env_or("GCBFS_SCALE", 13) as u32;
+    let th = env_or("GCBFS_TH", BfsConfig::suggested_rmat_threshold(scale + 13).max(8));
+    let topo = Topology::new(2, 2);
+    let config = BfsConfig::new(th);
+    let graph = RmatConfig::graph500(scale).generate();
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+
+    println!("Fault sweep: RMAT scale {scale}, TH {th}, {} GPUs, source {source}", topo.num_gpus());
+    let dist = DistributedGraph::build(&graph, topo, &config).expect("build");
+    let clean = dist.run(source, &config).expect("fault-free run");
+    let base_s = clean.modeled_seconds();
+    println!("fault-free: {} iterations, {} ms modeled", clean.iterations(), f2(ms(base_s)));
+
+    let overhead = |f: &FaultStats| 100.0 * f.overhead_seconds() / base_s;
+
+    // ---- Sweep 1: message-fault intensity. ----
+    let mut rows = Vec::new();
+    for intensity in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let plan = FaultPlan::new(0xc0ffee)
+            .with_message_faults(intensity, intensity / 2.0, intensity / 2.0)
+            .with_max_delay(2);
+        let r = dist.run_with_faults(source, &config, &plan).expect("recovered");
+        assert_eq!(r.depths, clean.depths, "recovery must be bit-exact");
+        let f = &r.stats.fault;
+        rows.push(vec![
+            pct(intensity * 100.0),
+            f.injected_drops.to_string(),
+            f.injected_duplicates.to_string(),
+            f.injected_delays.to_string(),
+            f.retries.to_string(),
+            f2(ms(f.recovery_seconds)),
+            f2(ms(f.checkpoint_seconds)),
+            pct(overhead(f)),
+            "ok".into(),
+        ]);
+    }
+    print_table(
+        "message-fault intensity (drop p, dup p/2, delay p/2)",
+        &["p", "drops", "dups", "delays", "retries", "rec ms", "ckpt ms", "overhead", "depths"],
+        &rows,
+    );
+
+    // ---- Sweep 2: checkpoint cadence vs a mid-run fail-stop. ----
+    let fail_iter = (clean.iterations() / 2).max(1);
+    let mut rows = Vec::new();
+    for interval in [1u32, 2, 4, 8, 0] {
+        let cfg =
+            config.with_recovery(RecoveryConfig::default().with_checkpoint_interval(interval));
+        let plan = FaultPlan::new(1).with_fail_stop(1, fail_iter);
+        let r = dist.run_with_faults(source, &cfg, &plan).expect("recovered");
+        assert_eq!(r.depths, clean.depths, "recovery must be bit-exact");
+        let f = &r.stats.fault;
+        rows.push(vec![
+            if interval == 0 { "iter-0 only".into() } else { format!("every {interval}") },
+            f.checkpoints_taken.to_string(),
+            f.rollbacks.to_string(),
+            f.degraded_iterations.to_string(),
+            f2(ms(f.checkpoint_seconds)),
+            f2(ms(f.recovery_seconds)),
+            pct(overhead(f)),
+            "ok".into(),
+        ]);
+    }
+    print_table(
+        &format!("checkpoint cadence vs fail-stop of GPU 1 at iteration {fail_iter}"),
+        &["cadence", "ckpts", "rollbacks", "degraded", "ckpt ms", "rec ms", "overhead", "depths"],
+        &rows,
+    );
+
+    // ---- Sweep 3: random chaos plans. ----
+    let seeds = env_or("GCBFS_SEEDS", 10);
+    let mut rows = Vec::new();
+    for seed in 0..seeds {
+        let plan = FaultPlan::random(seed, topo.num_gpus() as usize, clean.iterations());
+        let r = dist.run_with_faults(source, &config, &plan).expect("recovered");
+        assert_eq!(r.depths, clean.depths, "recovery must be bit-exact");
+        let f = &r.stats.fault;
+        rows.push(vec![
+            seed.to_string(),
+            format!(
+                "{}d/{}u/{}l/{}c/{}f",
+                f.injected_drops,
+                f.injected_duplicates,
+                f.injected_delays,
+                f.injected_corruptions,
+                f.fail_stops
+            ),
+            f.retries.to_string(),
+            f.rollbacks.to_string(),
+            pct(overhead(f)),
+            "ok".into(),
+        ]);
+    }
+    print_table(
+        "random chaos plans (faults = drops/dups/delays/corruptions/fail-stops)",
+        &["seed", "faults", "retries", "rollbacks", "overhead", "depths"],
+        &rows,
+    );
+    println!("\nall {} plans recovered to bit-exact depths", rows.len());
+}

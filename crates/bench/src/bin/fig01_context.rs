@@ -28,21 +28,93 @@ struct Point {
 }
 
 const SURVEY: &[Point] = &[
-    Point { label: "[5] Pan (Gunrock)", category: "GPU 1 node", scale: 26, processors: 4, gteps: 46.1 },
+    Point {
+        label: "[5] Pan (Gunrock)",
+        category: "GPU 1 node",
+        scale: 26,
+        processors: 4,
+        gteps: 46.1,
+    },
     Point { label: "[9] Yasui", category: "CPU 1 node", scale: 33, processors: 128, gteps: 174.7 },
-    Point { label: "[9] Yasui (27)", category: "CPU 1 node", scale: 27, processors: 1, gteps: 40.0 },
-    Point { label: "[16] Buluc", category: "CPU cluster", scale: 36, processors: 4096, gteps: 850.0 },
-    Point { label: "[16] Buluc (33)", category: "CPU cluster", scale: 33, processors: 1024, gteps: 240.0 },
-    Point { label: "[14] Ueno (37)", category: "CPU cluster", scale: 37, processors: 8192, gteps: 5363.0 },
-    Point { label: "[14] Ueno (40)", category: "CPU cluster", scale: 40, processors: 82944, gteps: 38621.4 },
-    Point { label: "[15] Lin (40)", category: "CPU cluster", scale: 40, processors: 40768, gteps: 23755.7 },
+    Point {
+        label: "[9] Yasui (27)",
+        category: "CPU 1 node",
+        scale: 27,
+        processors: 1,
+        gteps: 40.0,
+    },
+    Point {
+        label: "[16] Buluc",
+        category: "CPU cluster",
+        scale: 36,
+        processors: 4096,
+        gteps: 850.0,
+    },
+    Point {
+        label: "[16] Buluc (33)",
+        category: "CPU cluster",
+        scale: 33,
+        processors: 1024,
+        gteps: 240.0,
+    },
+    Point {
+        label: "[14] Ueno (37)",
+        category: "CPU cluster",
+        scale: 37,
+        processors: 8192,
+        gteps: 5363.0,
+    },
+    Point {
+        label: "[14] Ueno (40)",
+        category: "CPU cluster",
+        scale: 40,
+        processors: 82944,
+        gteps: 38621.4,
+    },
+    Point {
+        label: "[15] Lin (40)",
+        category: "CPU cluster",
+        scale: 40,
+        processors: 40768,
+        gteps: 23755.7,
+    },
     Point { label: "[19] Fu", category: "GPU cluster", scale: 27, processors: 64, gteps: 29.1 },
     Point { label: "[21] Young", category: "GPU cluster", scale: 27, processors: 64, gteps: 3.26 },
-    Point { label: "[20] Krajecki", category: "GPU cluster", scale: 29, processors: 64, gteps: 13.7 },
-    Point { label: "[18] Bernaschi", category: "GPU cluster", scale: 33, processors: 4096, gteps: 828.39 },
-    Point { label: "[17] Ueno GPU", category: "GPU cluster", scale: 35, processors: 4096, gteps: 317.0 },
-    Point { label: "[1] TSUBAME", category: "GPU cluster", scale: 35, processors: 4096, gteps: 462.25 },
-    Point { label: "[T] This paper", category: "GPU cluster", scale: 33, processors: 124, gteps: 259.8 },
+    Point {
+        label: "[20] Krajecki",
+        category: "GPU cluster",
+        scale: 29,
+        processors: 64,
+        gteps: 13.7,
+    },
+    Point {
+        label: "[18] Bernaschi",
+        category: "GPU cluster",
+        scale: 33,
+        processors: 4096,
+        gteps: 828.39,
+    },
+    Point {
+        label: "[17] Ueno GPU",
+        category: "GPU cluster",
+        scale: 35,
+        processors: 4096,
+        gteps: 317.0,
+    },
+    Point {
+        label: "[1] TSUBAME",
+        category: "GPU cluster",
+        scale: 35,
+        processors: 4096,
+        gteps: 462.25,
+    },
+    Point {
+        label: "[T] This paper",
+        category: "GPU cluster",
+        scale: 33,
+        processors: 124,
+        gteps: 259.8,
+    },
 ];
 
 fn main() {

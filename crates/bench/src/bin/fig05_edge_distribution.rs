@@ -7,9 +7,9 @@
 //! percentage while nn edges remain under ~10%.
 
 use gcbfs_bench::{env_or, pct, print_table};
+use gcbfs_cluster::topology::Topology;
 use gcbfs_core::distributor::{distribute, EdgeClass};
 use gcbfs_core::separation::Separation;
-use gcbfs_cluster::topology::Topology;
 use gcbfs_graph::rmat::RmatConfig;
 
 fn main() {

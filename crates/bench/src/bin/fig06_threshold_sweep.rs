@@ -26,8 +26,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for th in [8u64, 16, 24, 32, 48, 64, 96, 128, 192, 256] {
-        let bfs_cfg =
-            BfsConfig::new(th).with_direction_optimization(false).with_cost_model(cost);
+        let bfs_cfg = BfsConfig::new(th).with_direction_optimization(false).with_cost_model(cost);
         let do_cfg = BfsConfig::new(th).with_cost_model(cost);
         let dist = DistributedGraph::build(&graph, topo, &bfs_cfg).expect("build");
         let bfs = run_many(&dist, &bfs_cfg, &sources, cfg.graph500_edges());

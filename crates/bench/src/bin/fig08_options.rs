@@ -64,7 +64,14 @@ fn main() {
         }
         print_table(
             &format!("Fig. 8 — runtime breakdown by option set, {label} (ms, modeled)"),
-            &["options", "Computation", "Local Comm", "Remote Normal", "Remote Delegate", "elapsed"],
+            &[
+                "options",
+                "Computation",
+                "Local Comm",
+                "Remote Normal",
+                "Remote Delegate",
+                "elapsed",
+            ],
             &rows,
         );
     }

@@ -7,9 +7,7 @@
 //! topologies, DOBFS several times above BFS; the paper switches IR→BR
 //! above 16 GPUs, which we mirror.
 
-use gcbfs_bench::{
-    env_or, f2, num_sources, pick_sources, print_table, ray_factor, run_many,
-};
+use gcbfs_bench::{env_or, f2, num_sources, pick_sources, print_table, ray_factor, run_many};
 use gcbfs_cluster::cost::CostModel;
 use gcbfs_cluster::topology::Topology;
 use gcbfs_core::config::BfsConfig;

@@ -30,11 +30,8 @@ fn main() {
             let cfg = RmatConfig::graph500(scale);
             let graph = cfg.generate();
             let th = BfsConfig::suggested_rmat_threshold(scale + 13).max(8);
-            let topo = if gpus == 1 {
-                Topology::new(1, 1)
-            } else {
-                Topology::new((gpus / 2).max(1), 2)
-            };
+            let topo =
+                if gpus == 1 { Topology::new(1, 1) } else { Topology::new((gpus / 2).max(1), 2) };
             // Paper: scales 28-30 unblocking, 31-33 blocking.
             let blocking = gpus >= 32;
             let config = BfsConfig::new(th)

@@ -30,8 +30,7 @@ fn main() {
         let m = graph.num_edges();
         let d = dist.separation().num_delegates() as u64;
         let measured = dist.total_graph_bytes();
-        let formula =
-            paper_total_bytes(n, d, topo.num_gpus() as u64, m, dist.class_counts().nn);
+        let formula = paper_total_bytes(n, d, topo.num_gpus() as u64, m, dist.class_counts().nn);
         let edge_list = Csr::edge_list_bytes(m);
         let csr = Csr::conventional_bytes(n, m);
         rows.push(vec![

@@ -25,13 +25,55 @@ struct PriorWork {
 }
 
 const PRIOR: &[PriorWork] = &[
-    PriorWork { name: "Pan et al. [5] (1 GPU)", scale: 24, processors: 1, gteps: 31.6, hardware: "1x1x1 P100" },
-    PriorWork { name: "Pan et al. [5] (4 GPUs)", scale: 26, processors: 4, gteps: 46.1, hardware: "1x1x4 P100" },
-    PriorWork { name: "Bernaschi et al. [18]", scale: 33, processors: 4096, gteps: 828.39, hardware: "4096x1x1 K20X" },
-    PriorWork { name: "Krajecki et al. [20]", scale: 29, processors: 64, gteps: 13.7, hardware: "64x1x1 K20Xm" },
-    PriorWork { name: "Yasui & Fujisawa [9]", scale: 33, processors: 128, gteps: 174.7, hardware: "128 Xeon (shared mem)" },
-    PriorWork { name: "Buluc et al. [16]", scale: 33, processors: 1024, gteps: 240.0, hardware: "1024 Xeon" },
-    PriorWork { name: "This paper [T]", scale: 33, processors: 124, gteps: 259.8, hardware: "31x2x2 P100" },
+    PriorWork {
+        name: "Pan et al. [5] (1 GPU)",
+        scale: 24,
+        processors: 1,
+        gteps: 31.6,
+        hardware: "1x1x1 P100",
+    },
+    PriorWork {
+        name: "Pan et al. [5] (4 GPUs)",
+        scale: 26,
+        processors: 4,
+        gteps: 46.1,
+        hardware: "1x1x4 P100",
+    },
+    PriorWork {
+        name: "Bernaschi et al. [18]",
+        scale: 33,
+        processors: 4096,
+        gteps: 828.39,
+        hardware: "4096x1x1 K20X",
+    },
+    PriorWork {
+        name: "Krajecki et al. [20]",
+        scale: 29,
+        processors: 64,
+        gteps: 13.7,
+        hardware: "64x1x1 K20Xm",
+    },
+    PriorWork {
+        name: "Yasui & Fujisawa [9]",
+        scale: 33,
+        processors: 128,
+        gteps: 174.7,
+        hardware: "128 Xeon (shared mem)",
+    },
+    PriorWork {
+        name: "Buluc et al. [16]",
+        scale: 33,
+        processors: 1024,
+        gteps: 240.0,
+        hardware: "1024 Xeon",
+    },
+    PriorWork {
+        name: "This paper [T]",
+        scale: 33,
+        processors: 124,
+        gteps: 259.8,
+        hardware: "31x2x2 P100",
+    },
 ];
 
 fn main() {

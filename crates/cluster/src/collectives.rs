@@ -180,6 +180,11 @@ pub struct RegroupOutcome<T> {
     pub items: Vec<Vec<(GpuId, T)>>,
     /// Items that crossed a GPU boundary inside their rank.
     pub moved_items: u64,
+    /// Exact per-peer transfer counts: `moved_counts[from][to]` is the
+    /// number of items GPU `from` shipped to GPU `to` (flat indices; the
+    /// diagonal — items kept in place — is always zero). Only same-rank
+    /// entries can be non-zero, since regrouping never leaves a rank.
+    pub moved_counts: Vec<Vec<u64>>,
 }
 
 /// The *Local All2all* optimization (§V-B): within each rank, exchange
@@ -194,19 +199,22 @@ pub fn local_all2all_regroup<T: Send>(
     assert_eq!(per_gpu_items.len(), p, "one item list per GPU required");
     let mut items: Vec<Vec<(GpuId, T)>> = (0..p).map(|_| Vec::new()).collect();
     let mut moved = 0u64;
+    let mut moved_counts = vec![vec![0u64; p]; p];
     for (flat, list) in per_gpu_items.into_iter().enumerate() {
         let holder = topology.unflat(flat);
         for (dest, payload) in list {
             // The regrouped holder is the GPU in the same rank whose slot
             // matches the destination's slot.
             let new_holder = GpuId { rank: holder.rank, gpu: dest.gpu };
+            let new_flat = topology.flat(new_holder);
             if new_holder != holder {
                 moved += 1;
+                moved_counts[flat][new_flat] += 1;
             }
-            items[topology.flat(new_holder)].push((dest, payload));
+            items[new_flat].push((dest, payload));
         }
     }
-    RegroupOutcome { items, moved_items: moved }
+    RegroupOutcome { items, moved_items: moved, moved_counts }
 }
 
 /// Verifies the post-regroup invariant: every held item's destination slot
@@ -248,8 +256,7 @@ mod tests {
     fn allreduce_multi_word() {
         let topo = Topology::new(2, 1);
         let cost = CostModel::ray();
-        let out =
-            allreduce_or(topo, &cost, &[vec![1, 0, u64::MAX], vec![2, 4, 0]], true);
+        let out = allreduce_or(topo, &cost, &[vec![1, 0, u64::MAX], vec![2, 4, 0]], true);
         assert_eq!(out.reduced, vec![3, 4, u64::MAX]);
     }
 
@@ -265,8 +272,7 @@ mod tests {
     fn allreduce_sum_adds_everything() {
         let topo = Topology::new(2, 2);
         let cost = CostModel::ray();
-        let values =
-            vec![vec![1.0, 0.5], vec![2.0, 0.0], vec![3.0, -1.0], vec![4.0, 0.25]];
+        let values = vec![vec![1.0, 0.5], vec![2.0, 0.0], vec![3.0, -1.0], vec![4.0, 0.25]];
         let out = allreduce_sum(topo, &cost, &values, true);
         assert_eq!(out.reduced, vec![10.0, -0.25]);
         assert_eq!(out.bytes_per_message, 16);
@@ -329,8 +335,21 @@ mod tests {
         assert!(regroup_invariant_holds(topo, &out.items));
         // Item 10 moved (0,0) -> (0,1); item 12 moved (1,1) -> (1,0).
         assert_eq!(out.moved_items, 2);
-        assert_eq!(out.items[topo.flat(GpuId { rank: 0, gpu: 1 })], vec![(GpuId { rank: 1, gpu: 1 }, 10)]);
-        assert_eq!(out.items[topo.flat(GpuId { rank: 1, gpu: 0 })], vec![(GpuId { rank: 0, gpu: 0 }, 12)]);
+        // Exact per-peer counts: one item each on those two edges, nothing
+        // else, and a zero diagonal.
+        assert_eq!(out.moved_counts[0][1], 1);
+        assert_eq!(out.moved_counts[3][2], 1);
+        let total: u64 = out.moved_counts.iter().flatten().sum();
+        assert_eq!(total, out.moved_items);
+        assert!((0..4).all(|g| out.moved_counts[g][g] == 0));
+        assert_eq!(
+            out.items[topo.flat(GpuId { rank: 0, gpu: 1 })],
+            vec![(GpuId { rank: 1, gpu: 1 }, 10)]
+        );
+        assert_eq!(
+            out.items[topo.flat(GpuId { rank: 1, gpu: 0 })],
+            vec![(GpuId { rank: 0, gpu: 0 }, 12)]
+        );
     }
 
     #[test]
@@ -339,9 +358,9 @@ mod tests {
         // pairs only connect equal slots: p^2/pgpu pairs, the paper's claim.
         let topo = Topology::new(3, 2);
         let mut per_gpu: Vec<Vec<(GpuId, u8)>> = vec![Vec::new(); 6];
-        for flat in 0..6 {
+        for holder in per_gpu.iter_mut() {
             for dest in topo.gpus() {
-                per_gpu[flat].push((dest, 0));
+                holder.push((dest, 0));
             }
         }
         let out = local_all2all_regroup(topo, per_gpu);

@@ -296,10 +296,7 @@ impl CostModel {
     /// throughput.
     pub fn ray_scaled(factor: f64) -> Self {
         assert!(factor >= 1.0, "scale factor must be >= 1");
-        Self {
-            device: DeviceModel::p100_scaled(factor),
-            network: NetworkModel::ray_scaled(factor),
-        }
+        Self { device: DeviceModel::p100_scaled(factor), network: NetworkModel::ray_scaled(factor) }
     }
 
     /// Inverse inter-node bandwidth `g` of the paper's analysis (s/byte).
@@ -344,8 +341,7 @@ mod tests {
             .iter()
             .copied()
             .max_by(|&a, &b| {
-                n.effective_internode_bandwidth(a)
-                    .total_cmp(&n.effective_internode_bandwidth(b))
+                n.effective_internode_bandwidth(a).total_cmp(&n.effective_internode_bandwidth(b))
             })
             .unwrap();
         assert!(
@@ -358,10 +354,7 @@ mod tests {
     fn optimal_message_size_is_about_4mb() {
         let n = NetworkModel::ray();
         let s = n.optimal_message_size();
-        assert!(
-            (2.0e6..=8.0e6).contains(&s),
-            "closed-form optimum {s} should sit near 4 MB"
-        );
+        assert!((2.0e6..=8.0e6).contains(&s), "closed-form optimum {s} should sit near 4 MB");
     }
 
     #[test]
@@ -371,8 +364,7 @@ mod tests {
         // the collapsed single-message rate.
         let big = 1u64 << 30;
         let t = n.p2p_time(big, false);
-        let optimal_rate =
-            n.effective_internode_bandwidth(n.optimal_message_size() as u64);
+        let optimal_rate = n.effective_internode_bandwidth(n.optimal_message_size() as u64);
         let ideal = big as f64 / optimal_rate + 2.0 * big as f64 / n.staging_bandwidth;
         assert!(t < 1.5 * ideal, "chunking broken: {t} vs ideal {ideal}");
         // And time must stay superlinear-free: 2x the bytes ≈ 2x the time.

@@ -10,8 +10,57 @@
 //! Delivery is deterministic regardless of host thread count: inboxes are
 //! ordered by sending GPU.
 
+use crate::fault::{FaultError, FaultInjector, MessageFate};
 use crate::topology::Topology;
 use rayon::prelude::*;
+
+/// Why a superstep could not run or deliver. The panicking
+/// [`Fabric::step`] wraps these as messages; the fallible
+/// [`Fabric::try_step`] and [`Fabric::step_with_faults`] surface them
+/// directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// `states.len()` does not match the device grid.
+    StateCountMismatch {
+        /// GPUs in the grid.
+        expected: usize,
+        /// States supplied.
+        actual: usize,
+    },
+    /// A message was addressed outside the device grid.
+    MisaddressedMessage {
+        /// Flat index of the sending GPU.
+        from: usize,
+        /// The invalid destination.
+        to: usize,
+        /// GPUs in the grid.
+        num_gpus: usize,
+    },
+    /// A fault was detected at the superstep boundary (fail-stop loss).
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StateCountMismatch { expected, actual } => {
+                write!(f, "one state per GPU required: got {actual} states for {expected} GPUs")
+            }
+            Self::MisaddressedMessage { from, to, num_gpus } => {
+                write!(f, "message from GPU {from} addressed to GPU {to}, grid has {num_gpus}")
+            }
+            Self::Fault(e) => write!(f, "fault detected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<FaultError> for FabricError {
+    fn from(e: FaultError) -> Self {
+        Self::Fault(e)
+    }
+}
 
 /// Messages produced by one GPU during a superstep.
 #[derive(Clone, Debug)]
@@ -49,13 +98,18 @@ pub struct Fabric<M> {
     /// `inboxes[gpu]` = messages delivered at the last superstep boundary,
     /// as `(from, payload)`, sorted by `from`.
     inboxes: Vec<Vec<(usize, M)>>,
+    /// Superstep counter (faults are scheduled against it).
+    superstep: u64,
+    /// Delayed messages as `(due_superstep, to, from, payload)`, waiting to
+    /// be merged into an inbox once their due superstep is delivered.
+    delayed: Vec<(u64, usize, usize, M)>,
 }
 
 impl<M: Send> Fabric<M> {
     /// Creates an idle fabric with empty inboxes.
     pub fn new(topology: Topology) -> Self {
         let inboxes = (0..topology.num_gpus() as usize).map(|_| Vec::new()).collect();
-        Self { topology, inboxes }
+        Self { topology, inboxes, superstep: 0, delayed: Vec::new() }
     }
 
     /// The device grid this fabric connects.
@@ -69,14 +123,77 @@ impl<M: Send> Fabric<M> {
     /// Returns the per-GPU results of `f` in flat order.
     ///
     /// # Panics
-    /// Panics if a message is addressed outside the device grid.
+    /// Panics if a message is addressed outside the device grid or the
+    /// state count does not match the grid. Use [`Fabric::try_step`] for
+    /// the typed-error equivalent.
     pub fn step<S, R, F>(&mut self, states: &mut [S], f: F) -> Vec<R>
     where
         S: Send,
         R: Send,
         F: Fn(usize, &mut S, Vec<(usize, M)>, &mut Outbox<M>) -> R + Sync,
     {
-        assert_eq!(states.len(), self.inboxes.len(), "one state per GPU required");
+        match self.try_step(states, f) {
+            Ok(r) => r,
+            Err(e @ FabricError::StateCountMismatch { .. }) => {
+                panic!("one state per GPU required: {e}")
+            }
+            Err(e @ FabricError::MisaddressedMessage { .. }) => {
+                panic!("{e}")
+            }
+            Err(e) => panic!("superstep failed: {e}"),
+        }
+    }
+
+    /// Fallible superstep: like [`Fabric::step`], but surfaces invalid
+    /// input as [`FabricError`] instead of panicking. On
+    /// [`FabricError::MisaddressedMessage`] the whole superstep's output
+    /// is discarded (BSP semantics: the superstep never commits).
+    pub fn try_step<S, R, F>(&mut self, states: &mut [S], f: F) -> Result<Vec<R>, FabricError>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(usize, &mut S, Vec<(usize, M)>, &mut Outbox<M>) -> R + Sync,
+    {
+        self.run_superstep(states, f, None, None)
+    }
+
+    /// Fault-injected superstep: each queued message consults `injector`
+    /// for its fate (deliver / drop / duplicate / delay by `k`
+    /// supersteps), and the injector's heartbeat is checked at the
+    /// delivery boundary — a scheduled fail-stop surfaces as
+    /// [`FabricError::Fault`] *after* delivery, modeling detection at the
+    /// end of the superstep. Requires `M: Clone` for duplication.
+    pub fn step_with_faults<S, R, F>(
+        &mut self,
+        states: &mut [S],
+        injector: &mut FaultInjector,
+        f: F,
+    ) -> Result<Vec<R>, FabricError>
+    where
+        S: Send,
+        R: Send,
+        M: Clone,
+        F: Fn(usize, &mut S, Vec<(usize, M)>, &mut Outbox<M>) -> R + Sync,
+    {
+        self.run_superstep(states, f, Some(injector), Some(&|m: &M| m.clone()))
+    }
+
+    fn run_superstep<S, R, F>(
+        &mut self,
+        states: &mut [S],
+        f: F,
+        mut injector: Option<&mut FaultInjector>,
+        dup: Option<&dyn Fn(&M) -> M>,
+    ) -> Result<Vec<R>, FabricError>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(usize, &mut S, Vec<(usize, M)>, &mut Outbox<M>) -> R + Sync,
+    {
+        let n = self.topology.num_gpus() as usize;
+        if states.len() != n {
+            return Err(FabricError::StateCountMismatch { expected: n, actual: states.len() });
+        }
         let inboxes = std::mem::take(&mut self.inboxes);
         let (results, outboxes): (Vec<R>, Vec<Outbox<M>>) = states
             .par_iter_mut()
@@ -88,37 +205,107 @@ impl<M: Send> Fabric<M> {
                 (r, outbox)
             })
             .unzip();
-        self.deliver(outboxes);
-        results
+        if let Err(e) = self.deliver(outboxes, injector.as_deref_mut(), dup) {
+            // The superstep never commits: restore empty inboxes so the
+            // fabric stays usable after the typed error.
+            self.inboxes = (0..n).map(|_| Vec::new()).collect();
+            return Err(e);
+        }
+        self.superstep += 1;
+        if let Some(inj) = injector {
+            inj.heartbeat(self.superstep.min(u32::MAX as u64) as u32 - 1)
+                .map_err(FabricError::Fault)?;
+        }
+        Ok(results)
     }
 
-    /// Delivers outboxes into inboxes, ordered by sending GPU.
-    fn deliver(&mut self, outboxes: Vec<Outbox<M>>) {
+    /// Delivers outboxes into inboxes, ordered by sending GPU; applies
+    /// per-message fates when an injector is active, where duplication
+    /// requires cloning (guaranteed by the `step_with_faults` bound; the
+    /// fault-free path never clones).
+    fn deliver(
+        &mut self,
+        outboxes: Vec<Outbox<M>>,
+        mut injector: Option<&mut FaultInjector>,
+        dup: Option<&dyn Fn(&M) -> M>,
+    ) -> Result<(), FabricError> {
         let n = self.topology.num_gpus() as usize;
+        let step = self.superstep;
         let mut inboxes: Vec<Vec<(usize, M)>> = (0..n).map(|_| Vec::new()).collect();
-        for (from, outbox) in outboxes.into_iter().enumerate() {
-            for (to, payload) in outbox.messages {
-                assert!(to < n, "message addressed to GPU {to}, grid has {n}");
+        // Messages delayed by earlier supersteps that are now due.
+        let mut still_delayed = Vec::new();
+        for (due, to, from, payload) in self.delayed.drain(..) {
+            if due <= step + 1 {
                 inboxes[to].push((from, payload));
+            } else {
+                still_delayed.push((due, to, from, payload));
+            }
+        }
+        self.delayed = still_delayed;
+        for (from, outbox) in outboxes.into_iter().enumerate() {
+            for (idx, (to, payload)) in outbox.messages.into_iter().enumerate() {
+                if to >= n {
+                    return Err(FabricError::MisaddressedMessage { from, to, num_gpus: n });
+                }
+                let fate = match injector.as_deref_mut() {
+                    Some(inj) => inj.message_fate(
+                        step.min(u32::MAX as u64) as u32,
+                        0,
+                        (from * n + to) as u64,
+                        idx as u64,
+                    ),
+                    None => MessageFate::Deliver,
+                };
+                match fate {
+                    MessageFate::Deliver => inboxes[to].push((from, payload)),
+                    MessageFate::Drop => {}
+                    MessageFate::Duplicate => {
+                        // `step_with_faults` (the only entry point with an
+                        // injector) bounds `M: Clone` and passes `dup`; the
+                        // fault-free path passes `None` and never sees a
+                        // `Duplicate` fate.
+                        let copy = dup.map(|d| d(&payload));
+                        inboxes[to].push((from, payload));
+                        if let Some(copy) = copy {
+                            inboxes[to].push((from, copy));
+                        }
+                    }
+                    MessageFate::Delay(k) => {
+                        self.delayed.push((step + 1 + k as u64, to, from, payload));
+                    }
+                }
             }
         }
         // `from` arrives in increasing order already (outer loop), but a
-        // stable sort makes the invariant explicit and future-proof.
+        // stable sort makes the invariant explicit and future-proof (and
+        // orders late-delivered delayed messages deterministically).
         for inbox in &mut inboxes {
             inbox.sort_by_key(|&(from, _)| from);
         }
         self.inboxes = inboxes;
+        Ok(())
     }
 
-    /// True if no messages are waiting anywhere (quiescence check used for
-    /// BFS termination).
+    /// True if no messages are waiting anywhere — neither queued for the
+    /// next superstep nor delayed in flight (quiescence check used for BFS
+    /// termination).
     pub fn is_quiescent(&self) -> bool {
-        self.inboxes.iter().all(Vec::is_empty)
+        self.inboxes.iter().all(Vec::is_empty) && self.delayed.is_empty()
     }
 
-    /// Total queued messages across all inboxes.
+    /// Total queued messages across all inboxes (excluding delayed ones).
     pub fn pending_messages(&self) -> usize {
         self.inboxes.iter().map(Vec::len).sum()
+    }
+
+    /// Messages currently held up by injected delays.
+    pub fn delayed_messages(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// Supersteps completed so far.
+    pub fn supersteps(&self) -> u64 {
+        self.superstep
     }
 }
 
@@ -215,5 +402,144 @@ mod tests {
         let mut fabric: Fabric<()> = Fabric::new(topo);
         let mut states = vec![()];
         fabric.step(&mut states, |_, _, _, _| ());
+    }
+
+    #[test]
+    fn try_step_surfaces_typed_errors() {
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<()> = Fabric::new(topo);
+        let mut short = vec![()];
+        assert_eq!(
+            fabric.try_step(&mut short, |_, _, _, _| ()),
+            Err(FabricError::StateCountMismatch { expected: 2, actual: 1 })
+        );
+        let mut states = vec![(), ()];
+        assert_eq!(
+            fabric.try_step(&mut states, |_, _, _, out| out.send(5, ())),
+            Err(FabricError::MisaddressedMessage { from: 0, to: 5, num_gpus: 2 })
+        );
+        // Errors are recoverable: a subsequent valid superstep works.
+        assert!(fabric.try_step(&mut states, |gpu, _, _, out| out.send(1 - gpu, ())).is_ok());
+        assert_eq!(fabric.pending_messages(), 2);
+    }
+
+    #[test]
+    fn fabric_error_display_is_informative() {
+        let e = FabricError::MisaddressedMessage { from: 1, to: 9, num_gpus: 4 };
+        let s = e.to_string();
+        assert!(s.contains("GPU 9") && s.contains("4"), "got: {s}");
+        let f = FabricError::Fault(crate::fault::FaultError::GpuFailed { gpu: 3, iteration: 2 });
+        assert!(f.to_string().contains("GPU 3"));
+    }
+
+    #[test]
+    fn benign_injector_changes_nothing() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let topo = Topology::new(2, 2);
+        let run = |inject: bool| {
+            let mut fabric: Fabric<u64> = Fabric::new(topo);
+            let mut states = vec![0u64; 4];
+            let mut inj = FaultInjector::new(FaultPlan::new(1));
+            for _ in 0..4 {
+                let f =
+                    |gpu: usize, s: &mut u64, inbox: Vec<(usize, u64)>, out: &mut Outbox<u64>| {
+                        *s += inbox.iter().map(|&(_, v)| v).sum::<u64>();
+                        out.send((gpu + 1) % 4, gpu as u64 + 1);
+                    };
+                if inject {
+                    fabric.step_with_faults(&mut states, &mut inj, f).unwrap();
+                } else {
+                    fabric.step(&mut states, f);
+                }
+            }
+            states
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        let mut inj = FaultInjector::new(FaultPlan::new(11).with_message_faults(1.0, 0.0, 0.0));
+        let mut states = vec![0u32; 2];
+        fabric
+            .step_with_faults(&mut states, &mut inj, |gpu, _, _, out| {
+                out.send(1 - gpu, 7);
+            })
+            .unwrap();
+        assert!(fabric.is_quiescent(), "all messages dropped");
+        assert_eq!(inj.counters().drops, 2);
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        let mut inj = FaultInjector::new(FaultPlan::new(11).with_message_faults(0.0, 1.0, 0.0));
+        let mut states = vec![0u32; 2];
+        fabric
+            .step_with_faults(&mut states, &mut inj, |gpu, _, _, out| {
+                if gpu == 0 {
+                    out.send(1, 7);
+                }
+            })
+            .unwrap();
+        assert_eq!(fabric.pending_messages(), 2);
+        fabric
+            .step_with_faults(&mut states, &mut inj, |_, s, inbox, _| {
+                *s += inbox.iter().map(|&(_, v)| v).sum::<u32>();
+            })
+            .unwrap();
+        assert_eq!(states[1], 14, "duplicate delivered twice");
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_arrive() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(11).with_message_faults(0.0, 0.0, 1.0).with_max_delay(1),
+        );
+        let mut states = vec![0u32; 2];
+        fabric
+            .step_with_faults(&mut states, &mut inj, |gpu, _, _, out| {
+                if gpu == 0 {
+                    out.send(1, 9);
+                }
+            })
+            .unwrap();
+        assert_eq!(fabric.pending_messages(), 0, "delayed past this boundary");
+        assert_eq!(fabric.delayed_messages(), 1);
+        assert!(!fabric.is_quiescent(), "a delayed message still counts as in flight");
+        // Next superstep: the delayed message becomes deliverable.
+        fabric.step_with_faults(&mut states, &mut inj, |_, _, _, _| ()).unwrap();
+        assert_eq!(fabric.pending_messages(), 1);
+        fabric
+            .step_with_faults(&mut states, &mut inj, |_, s, inbox, _| {
+                *s += inbox.iter().map(|&(_, v)| v).sum::<u32>();
+            })
+            .unwrap();
+        assert_eq!(states[1], 9);
+        assert!(fabric.is_quiescent());
+    }
+
+    #[test]
+    fn fail_stop_surfaces_after_the_superstep() {
+        use crate::fault::{FaultError, FaultInjector, FaultPlan};
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        let mut inj = FaultInjector::new(FaultPlan::new(0).with_fail_stop(1, 1));
+        let mut states = vec![0u32; 2];
+        assert!(fabric.step_with_faults(&mut states, &mut inj, |_, _, _, _| ()).is_ok());
+        let err = fabric.step_with_faults(&mut states, &mut inj, |_, _, _, _| ()).unwrap_err();
+        assert!(matches!(err, FabricError::Fault(FaultError::GpuFailed { gpu: 1, .. })));
+        // One-shot: the fabric keeps working afterwards (degraded mode is
+        // the caller's concern).
+        assert!(fabric.step_with_faults(&mut states, &mut inj, |_, _, _, _| ()).is_ok());
+        assert_eq!(fabric.supersteps(), 3);
     }
 }

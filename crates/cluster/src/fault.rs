@@ -1,0 +1,564 @@
+//! Deterministic fault injection for the simulated cluster (the "chaos
+//! fabric").
+//!
+//! Distributed BFS at the paper's scale (hundreds of GPUs, thousands of
+//! supersteps across a Graph500 sweep) runs long enough that fail-stop
+//! device losses, flaky links, and congested NICs are operational
+//! realities. This module provides a *seeded, reproducible* fault model so
+//! the recovery machinery in `gcbfs-core` can be tested exhaustively:
+//!
+//! * [`FaultPlan`] — a declarative, serializable-in-spirit schedule of
+//!   faults: per-message drop/duplication/delay probabilities, scheduled
+//!   fail-stop GPU losses, delegate-mask word corruptions, and NIC
+//!   bandwidth degradation windows. The same plan + seed always produces
+//!   the same fault sequence, independent of host thread count.
+//! * [`FaultInjector`] — the stateful interpreter of a plan. One-shot
+//!   events (fail-stops, corruptions) remember that they fired, so a
+//!   rollback-and-replay after recovery does not re-trigger them: recovery
+//!   always terminates.
+//! * [`FaultError`] — the typed detection results surfaced at superstep
+//!   boundaries: heartbeat loss (fail-stop), per-peer ack count mismatch
+//!   (dropped/duplicated/delayed messages), and mask checksum mismatch
+//!   (corruption in the reduction).
+//!
+//! Detection model: the BSP driver already runs a tiny per-iteration
+//! blocking allreduce (the termination flag). The fault model treats that
+//! collective as the *control channel*: heartbeats and per-peer ack counts
+//! piggyback on it, so detection happens at superstep granularity and is
+//! charged no extra modeled time beyond retries and rollbacks themselves.
+
+use crate::topology::Topology;
+
+/// A typed fault detected at a superstep boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// A GPU missed its heartbeat: fail-stop loss detected.
+    GpuFailed {
+        /// Flat index of the failed GPU.
+        gpu: usize,
+        /// Iteration at which the loss was detected.
+        iteration: u32,
+    },
+    /// Per-peer ack counts of the normal-vertex exchange disagree with the
+    /// received updates (drop, duplication, or delay in flight).
+    ExchangeMismatch {
+        /// Iteration of the mismatching exchange.
+        iteration: u32,
+        /// Retry attempts already consumed when the error was surfaced.
+        attempts: u32,
+    },
+    /// A delegate-mask message failed its checksum in the reduction.
+    MaskChecksumMismatch {
+        /// Iteration of the corrupted reduction.
+        iteration: u32,
+        /// Flat index of the GPU whose mask words were corrupted.
+        gpu: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::GpuFailed { gpu, iteration } => {
+                write!(f, "GPU {gpu} failed (heartbeat lost at iteration {iteration})")
+            }
+            Self::ExchangeMismatch { iteration, attempts } => write!(
+                f,
+                "normal exchange ack mismatch at iteration {iteration} after {attempts} attempts"
+            ),
+            Self::MaskChecksumMismatch { iteration, gpu } => {
+                write!(f, "delegate mask checksum mismatch from GPU {gpu} at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A scheduled fail-stop loss of one GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailStop {
+    /// Flat index of the GPU that dies.
+    pub gpu: usize,
+    /// The superstep boundary at which its heartbeat goes missing.
+    pub iteration: u32,
+}
+
+/// A scheduled corruption of one delegate-mask word in transit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaskCorruption {
+    /// Flat index of the GPU whose outbound mask is corrupted.
+    pub gpu: usize,
+    /// First mask reduction at or after this iteration is hit.
+    pub iteration: u32,
+    /// Word index to corrupt (taken modulo the mask length).
+    pub word: usize,
+    /// Bits to flip (must be non-zero to have an effect).
+    pub xor: u64,
+}
+
+/// A window of degraded NIC bandwidth (congestion, link retraining).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NicDegradation {
+    /// First affected iteration (inclusive).
+    pub from_iteration: u32,
+    /// First unaffected iteration (exclusive).
+    pub until_iteration: u32,
+    /// Slowdown factor applied to remote transfer times (`>= 1`).
+    pub factor: f64,
+}
+
+/// The fate the injector assigns to one in-flight message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered normally.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Delivered twice.
+    Duplicate,
+    /// Delivered `1..=n` supersteps late.
+    Delay(u32),
+}
+
+/// A deterministic, seeded schedule of faults for one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-message fault stream.
+    pub seed: u64,
+    /// Probability an in-flight normal-vertex update is dropped.
+    pub drop_prob: f64,
+    /// Probability an update is duplicated.
+    pub duplicate_prob: f64,
+    /// Probability an update is delayed to a later superstep.
+    pub delay_prob: f64,
+    /// Maximum delay in supersteps (delays are uniform in `1..=max_delay`).
+    pub max_delay: u32,
+    /// Scheduled fail-stop GPU losses.
+    pub fail_stops: Vec<FailStop>,
+    /// Scheduled delegate-mask corruptions.
+    pub mask_corruptions: Vec<MaskCorruption>,
+    /// NIC bandwidth degradation windows.
+    pub nic_degradations: Vec<NicDegradation>,
+}
+
+impl FaultPlan {
+    /// A benign plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 1,
+            fail_stops: Vec::new(),
+            mask_corruptions: Vec::new(),
+            nic_degradations: Vec::new(),
+        }
+    }
+
+    /// Sets per-message drop/duplicate/delay probabilities.
+    pub fn with_message_faults(mut self, drop: f64, duplicate: f64, delay: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop), "drop_prob must be a probability");
+        assert!((0.0..=1.0).contains(&duplicate), "duplicate_prob must be a probability");
+        assert!((0.0..=1.0).contains(&delay), "delay_prob must be a probability");
+        self.drop_prob = drop;
+        self.duplicate_prob = duplicate;
+        self.delay_prob = delay;
+        self
+    }
+
+    /// Sets the maximum message delay in supersteps.
+    pub fn with_max_delay(mut self, supersteps: u32) -> Self {
+        self.max_delay = supersteps.max(1);
+        self
+    }
+
+    /// Schedules a fail-stop loss of `gpu` at `iteration`.
+    pub fn with_fail_stop(mut self, gpu: usize, iteration: u32) -> Self {
+        self.fail_stops.push(FailStop { gpu, iteration });
+        self
+    }
+
+    /// Schedules a delegate-mask word corruption.
+    pub fn with_mask_corruption(
+        mut self,
+        gpu: usize,
+        iteration: u32,
+        word: usize,
+        xor: u64,
+    ) -> Self {
+        self.mask_corruptions.push(MaskCorruption { gpu, iteration, word, xor });
+        self
+    }
+
+    /// Adds a NIC degradation window.
+    pub fn with_nic_degradation(mut self, from: u32, until: u32, factor: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        self.nic_degradations.push(NicDegradation {
+            from_iteration: from,
+            until_iteration: until,
+            factor,
+        });
+        self
+    }
+
+    /// True if the plan can never perturb anything.
+    pub fn is_benign(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.fail_stops.is_empty()
+            && self.mask_corruptions.is_empty()
+            && self.nic_degradations.is_empty()
+    }
+
+    /// Generates a random-but-deterministic plan for property tests: mixes
+    /// message-level faults, possibly one fail-stop, a couple of mask
+    /// corruptions, and a degradation window, all derived from `seed`.
+    ///
+    /// `num_gpus` bounds fault targets; `horizon` bounds fault iterations
+    /// (schedule faults within the first `horizon` supersteps).
+    pub fn random(seed: u64, num_gpus: usize, horizon: u32) -> Self {
+        let mut s = seed;
+        let mut next = || splitmix64(&mut s);
+        let unit = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let horizon = horizon.max(1);
+        let mut plan = Self::new(next())
+            .with_message_faults(unit(next()) * 0.4, unit(next()) * 0.3, unit(next()) * 0.3)
+            .with_max_delay(1 + (next() % 3) as u32);
+        if num_gpus > 1 && next() % 2 == 0 {
+            plan = plan.with_fail_stop(
+                (next() % num_gpus as u64) as usize,
+                (next() % horizon as u64) as u32,
+            );
+        }
+        for _ in 0..(next() % 3) {
+            plan = plan.with_mask_corruption(
+                (next() % num_gpus as u64) as usize,
+                (next() % horizon as u64) as u32,
+                (next() % 64) as usize,
+                next() | 1, // non-zero
+            );
+        }
+        if next() % 2 == 0 {
+            let from = (next() % horizon as u64) as u32;
+            plan = plan.with_nic_degradation(
+                from,
+                from + 1 + (next() % 4) as u32,
+                1.0 + unit(next()) * 3.0,
+            );
+        }
+        plan
+    }
+}
+
+/// Per-category counters of faults actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped.
+    pub drops: u64,
+    /// Messages duplicated.
+    pub duplicates: u64,
+    /// Messages delayed.
+    pub delays: u64,
+    /// Mask words corrupted.
+    pub corruptions: u64,
+    /// Fail-stop losses fired.
+    pub fail_stops: u64,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a message coordinate into 64 uniform bits, independent of any
+/// other coordinate — the basis of thread-count-independent fault streams.
+#[inline]
+fn coordinate_hash(seed: u64, iteration: u32, attempt: u32, channel: u64, index: u64) -> u64 {
+    let mut s = seed
+        ^ (iteration as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ channel.wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ index.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    splitmix64(&mut s)
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The stateful interpreter of a [`FaultPlan`].
+///
+/// Message fates are pure functions of `(seed, iteration, attempt,
+/// channel, index)`, so retries (a different `attempt`) resample
+/// independently and replays after rollback (same coordinates) reproduce
+/// identical faults. Scheduled one-shot events (fail-stops, corruptions)
+/// are remembered once fired and never fire again — rollback-and-replay
+/// recovery therefore always terminates.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    fired_fail_stops: Vec<bool>,
+    fired_corruptions: Vec<bool>,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Creates an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired_fail_stops = vec![false; plan.fail_stops.len()];
+        let fired_corruptions = vec![false; plan.mask_corruptions.len()];
+        Self { plan, fired_fail_stops, fired_corruptions, counters: FaultCounters::default() }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of faults injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Heartbeat check at a superstep boundary: the first scheduled,
+    /// not-yet-fired fail-stop with `iteration <= current` fires and is
+    /// surfaced as [`FaultError::GpuFailed`]. Subsequent heartbeats (e.g.
+    /// after rollback) pass.
+    pub fn heartbeat(&mut self, iteration: u32) -> Result<(), FaultError> {
+        for (i, fs) in self.plan.fail_stops.iter().enumerate() {
+            if !self.fired_fail_stops[i] && fs.iteration <= iteration {
+                self.fired_fail_stops[i] = true;
+                self.counters.fail_stops += 1;
+                return Err(FaultError::GpuFailed { gpu: fs.gpu, iteration });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decides the fate of message `index` on `channel` (any stable id for
+    /// a (from, to) pair or destination) at `(iteration, attempt)`.
+    /// Deterministic and stateless apart from counters.
+    pub fn message_fate(
+        &mut self,
+        iteration: u32,
+        attempt: u32,
+        channel: u64,
+        index: u64,
+    ) -> MessageFate {
+        let p = &self.plan;
+        if p.drop_prob == 0.0 && p.duplicate_prob == 0.0 && p.delay_prob == 0.0 {
+            return MessageFate::Deliver;
+        }
+        let h = coordinate_hash(p.seed, iteration, attempt, channel, index);
+        let u = unit_f64(h);
+        if u < p.drop_prob {
+            self.counters.drops += 1;
+            MessageFate::Drop
+        } else if u < p.drop_prob + p.duplicate_prob {
+            self.counters.duplicates += 1;
+            MessageFate::Duplicate
+        } else if u < p.drop_prob + p.duplicate_prob + p.delay_prob {
+            self.counters.delays += 1;
+            let extra = coordinate_hash(p.seed ^ 0xdead_beef, iteration, attempt, channel, index);
+            MessageFate::Delay(1 + (extra % self.plan.max_delay.max(1) as u64) as u32)
+        } else {
+            MessageFate::Deliver
+        }
+    }
+
+    /// Applies every matching not-yet-fired mask corruption for
+    /// `iteration` to `words` (one word vector per GPU). Returns the GPU
+    /// index of the first corruption applied, if any — the detection side
+    /// sees this as a checksum mismatch on that GPU's mask message.
+    pub fn corrupt_mask_words(&mut self, iteration: u32, words: &mut [Vec<u64>]) -> Option<usize> {
+        let mut first = None;
+        for (i, c) in self.plan.mask_corruptions.iter().enumerate() {
+            if self.fired_corruptions[i] || c.iteration > iteration {
+                continue;
+            }
+            let Some(target) = words.get_mut(c.gpu) else { continue };
+            if target.is_empty() || c.xor == 0 {
+                self.fired_corruptions[i] = true;
+                continue;
+            }
+            let w = c.word % target.len();
+            target[w] ^= c.xor;
+            self.fired_corruptions[i] = true;
+            self.counters.corruptions += 1;
+            first.get_or_insert(c.gpu);
+        }
+        first
+    }
+
+    /// The remote-bandwidth slowdown factor active at `iteration` (`>= 1`;
+    /// overlapping windows take the worst factor).
+    pub fn bandwidth_factor(&self, iteration: u32) -> f64 {
+        self.plan
+            .nic_degradations
+            .iter()
+            .filter(|d| d.from_iteration <= iteration && iteration < d.until_iteration)
+            .map(|d| d.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// True if any one-shot event (fail-stop or corruption) is still armed.
+    pub fn has_pending_events(&self) -> bool {
+        self.fired_fail_stops.iter().any(|&f| !f) || self.fired_corruptions.iter().any(|&f| !f)
+    }
+}
+
+/// A plan-level sanity check used by tests and the sweep harness: the plan
+/// must be recoverable on `topology` — at least one GPU survives all
+/// scheduled fail-stops.
+pub fn plan_is_survivable(plan: &FaultPlan, topology: Topology) -> bool {
+    let p = topology.num_gpus() as usize;
+    let mut dead = vec![false; p];
+    for fs in &plan.fail_stops {
+        if fs.gpu < p {
+            dead[fs.gpu] = true;
+        }
+    }
+    dead.iter().any(|&d| !d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_does_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::new(7));
+        assert!(inj.plan().is_benign());
+        assert_eq!(inj.heartbeat(0), Ok(()));
+        for i in 0..100 {
+            assert_eq!(inj.message_fate(0, 0, 0, i), MessageFate::Deliver);
+        }
+        assert_eq!(inj.bandwidth_factor(3), 1.0);
+        assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn message_fates_are_deterministic_and_mixed() {
+        let plan = FaultPlan::new(42).with_message_faults(0.2, 0.1, 0.1);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let fa: Vec<_> = (0..500).map(|i| a.message_fate(3, 0, 1, i)).collect();
+        let fb: Vec<_> = (0..500).map(|i| b.message_fate(3, 0, 1, i)).collect();
+        assert_eq!(fa, fb, "same plan, same stream");
+        let drops = fa.iter().filter(|f| **f == MessageFate::Drop).count();
+        let dups = fa.iter().filter(|f| **f == MessageFate::Duplicate).count();
+        assert!(drops > 50 && drops < 150, "~20% drops, got {drops}");
+        assert!(dups > 20 && dups < 100, "~10% duplicates, got {dups}");
+        assert!(a.counters().drops == drops as u64);
+    }
+
+    #[test]
+    fn retries_resample_independently() {
+        let plan = FaultPlan::new(9).with_message_faults(0.5, 0.0, 0.0);
+        let mut inj = FaultInjector::new(plan);
+        let f0: Vec<_> = (0..64).map(|i| inj.message_fate(1, 0, 0, i)).collect();
+        let f1: Vec<_> = (0..64).map(|i| inj.message_fate(1, 1, 0, i)).collect();
+        assert_ne!(f0, f1, "attempt must salt the stream");
+    }
+
+    #[test]
+    fn delays_are_bounded() {
+        let plan = FaultPlan::new(5).with_message_faults(0.0, 0.0, 1.0).with_max_delay(3);
+        let mut inj = FaultInjector::new(plan);
+        for i in 0..200 {
+            match inj.message_fate(0, 0, 0, i) {
+                MessageFate::Delay(k) => assert!((1..=3).contains(&k)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fail_stop_fires_once() {
+        let plan = FaultPlan::new(1).with_fail_stop(2, 4);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.heartbeat(3), Ok(()));
+        assert_eq!(inj.heartbeat(4), Err(FaultError::GpuFailed { gpu: 2, iteration: 4 }));
+        // After rollback-and-replay the event must not re-fire.
+        assert_eq!(inj.heartbeat(4), Ok(()));
+        assert_eq!(inj.heartbeat(10), Ok(()));
+        assert!(!inj.has_pending_events());
+        assert_eq!(inj.counters().fail_stops, 1);
+    }
+
+    #[test]
+    fn late_detection_still_fires() {
+        // A fail-stop scheduled for iteration 2 detected first at 5.
+        let mut inj = FaultInjector::new(FaultPlan::new(1).with_fail_stop(0, 2));
+        assert_eq!(inj.heartbeat(5), Err(FaultError::GpuFailed { gpu: 0, iteration: 5 }));
+    }
+
+    #[test]
+    fn mask_corruption_is_one_shot_and_detected() {
+        let plan = FaultPlan::new(3).with_mask_corruption(1, 2, 0, 0b1010);
+        let mut inj = FaultInjector::new(plan);
+        let mut words = vec![vec![0u64; 2]; 4];
+        assert_eq!(inj.corrupt_mask_words(1, &mut words), None);
+        assert_eq!(inj.corrupt_mask_words(2, &mut words), Some(1));
+        assert_eq!(words[1][0], 0b1010);
+        // Retry with fresh words: nothing fires again.
+        let mut clean = vec![vec![0u64; 2]; 4];
+        assert_eq!(inj.corrupt_mask_words(2, &mut clean), None);
+        assert!(clean.iter().all(|w| w.iter().all(|&x| x == 0)));
+        assert_eq!(inj.counters().corruptions, 1);
+    }
+
+    #[test]
+    fn corruption_word_index_wraps() {
+        let plan = FaultPlan::new(3).with_mask_corruption(0, 0, 99, 1);
+        let mut inj = FaultInjector::new(plan);
+        let mut words = vec![vec![0u64; 4]];
+        assert_eq!(inj.corrupt_mask_words(0, &mut words), Some(0));
+        assert_eq!(words[0][99 % 4], 1);
+    }
+
+    #[test]
+    fn bandwidth_windows_take_worst_factor() {
+        let plan =
+            FaultPlan::new(0).with_nic_degradation(2, 6, 2.0).with_nic_degradation(4, 5, 3.5);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.bandwidth_factor(1), 1.0);
+        assert_eq!(inj.bandwidth_factor(2), 2.0);
+        assert_eq!(inj.bandwidth_factor(4), 3.5);
+        assert_eq!(inj.bandwidth_factor(5), 2.0);
+        assert_eq!(inj.bandwidth_factor(6), 1.0);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_survivable() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::random(seed, 4, 8);
+            let b = FaultPlan::random(seed, 4, 8);
+            assert_eq!(a, b);
+            assert!(plan_is_survivable(&a, Topology::new(2, 2)));
+            assert!(a.drop_prob <= 0.4 && a.delay_prob <= 0.3);
+            for c in &a.mask_corruptions {
+                assert_ne!(c.xor, 0);
+            }
+        }
+        // Different seeds must differ somewhere.
+        assert_ne!(FaultPlan::random(0, 4, 8), FaultPlan::random(1, 4, 8));
+    }
+
+    #[test]
+    fn survivability_requires_a_survivor() {
+        let topo = Topology::new(1, 2);
+        let all_dead = FaultPlan::new(0).with_fail_stop(0, 1).with_fail_stop(1, 2);
+        assert!(!plan_is_survivable(&all_dead, topo));
+        let one_left = FaultPlan::new(0).with_fail_stop(0, 1);
+        assert!(plan_is_survivable(&one_left, topo));
+    }
+}

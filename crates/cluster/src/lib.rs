@@ -21,13 +21,20 @@
 //!   remote normal exchange / remote delegate reduce) with the
 //!   stream-overlap rule of Fig. 3.
 
+//! * [`fault`] — the deterministic fault-injection layer (the "chaos
+//!   fabric"): seeded message drop/duplication/delay, scheduled fail-stop
+//!   GPU losses, delegate-mask corruption, and NIC degradation windows,
+//!   with typed detection errors surfaced at superstep boundaries.
+
 pub mod collectives;
 pub mod cost;
 pub mod fabric;
+pub mod fault;
 pub mod timing;
 pub mod topology;
 
 pub use cost::{CostModel, DeviceModel, NetworkModel};
-pub use fabric::Fabric;
+pub use fabric::{Fabric, FabricError};
+pub use fault::{FaultError, FaultInjector, FaultPlan};
 pub use timing::{IterationTiming, Phase, PhaseTimes};
 pub use topology::{GpuId, Topology};

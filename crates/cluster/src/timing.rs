@@ -166,7 +166,12 @@ mod tests {
     #[test]
     fn combine_and_max() {
         let a = sample();
-        let b = PhaseTimes { computation: 1.0, local_comm: 5.0, remote_normal: 0.0, remote_delegate: 9.0 };
+        let b = PhaseTimes {
+            computation: 1.0,
+            local_comm: 5.0,
+            remote_normal: 0.0,
+            remote_delegate: 9.0,
+        };
         let c = a.combine(&b);
         assert_eq!(c.computation, 5.0);
         assert_eq!(c.local_comm, 6.0);

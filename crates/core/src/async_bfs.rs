@@ -63,10 +63,7 @@ impl DistributedGraph {
         config: &BfsConfig,
     ) -> Result<AsyncBfsResult, BuildError> {
         if source >= self.num_vertices {
-            return Err(BuildError::SourceOutOfRange {
-                source,
-                num_vertices: self.num_vertices,
-            });
+            return Err(BuildError::SourceOutOfRange { source, num_vertices: self.num_vertices });
         }
         let topo = self.topology;
         let p = topo.num_gpus() as usize;
@@ -75,11 +72,8 @@ impl DistributedGraph {
         let net: &NetworkModel = &cost.network;
 
         // Per-GPU state: owned slot depths; replicated delegate depths.
-        let mut depths_local: Vec<Vec<u32>> = self
-            .subgraphs
-            .iter()
-            .map(|sg| vec![UNREACHED; sg.num_local as usize])
-            .collect();
+        let mut depths_local: Vec<Vec<u32>> =
+            self.subgraphs.iter().map(|sg| vec![UNREACHED; sg.num_local as usize]).collect();
         let mut delegate_depths = vec![UNREACHED; d];
         let mut frontiers: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
         let mut new_delegates: Vec<u32> = Vec::new();
@@ -192,8 +186,7 @@ impl DistributedGraph {
             let delegate_comm = if prank > 1 && !fresh_delegates.is_empty() {
                 // One aggregated tree broadcast per wave per rank level.
                 remote_bytes += delegate_update_bytes * (prank as u64 - 1);
-                NetworkModel::tree_depth(prank) as f64
-                    * net.p2p_time(delegate_update_bytes, false)
+                NetworkModel::tree_depth(prank) as f64 * net.p2p_time(delegate_update_bytes, false)
             } else {
                 0.0
             };
@@ -212,8 +205,8 @@ impl DistributedGraph {
             }
             let mut normal_comm = 0.0f64;
             for flat in 0..p {
-                normal_comm = normal_comm
-                    .max(net.p2p_time(send_bytes[flat].max(recv_bytes[flat]), false));
+                normal_comm =
+                    normal_comm.max(net.p2p_time(send_bytes[flat].max(recv_bytes[flat]), false));
             }
             remote_bytes += send_bytes.iter().sum::<u64>();
 
@@ -352,9 +345,6 @@ mod tests {
         let graph = builders::path(4);
         let config = BfsConfig::new(4);
         let dist = DistributedGraph::build(&graph, Topology::new(1, 1), &config).unwrap();
-        assert!(matches!(
-            dist.run_async(77, &config),
-            Err(BuildError::SourceOutOfRange { .. })
-        ));
+        assert!(matches!(dist.run_async(77, &config), Err(BuildError::SourceOutOfRange { .. })));
     }
 }

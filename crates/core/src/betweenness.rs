@@ -71,11 +71,8 @@ impl DistributedGraph {
             }
         }
         let n = self.num_vertices as usize;
-        let mut bc_normal: Vec<Vec<f64>> = self
-            .subgraphs
-            .iter()
-            .map(|sg| vec![0f64; sg.num_local as usize])
-            .collect();
+        let mut bc_normal: Vec<Vec<f64>> =
+            self.subgraphs.iter().map(|sg| vec![0f64; sg.num_local as usize]).collect();
         let d = self.separation.num_delegates() as usize;
         let mut bc_delegate = vec![0f64; d];
 
@@ -215,8 +212,7 @@ impl DistributedGraph {
                     let mut dsig = vec![0f64; d];
                     let mut remote = Vec::new();
                     let mut edges = 0u64;
-                    let vertices =
-                        frontier.len() as u64 + frontier_delegates_ref.len() as u64;
+                    let vertices = frontier.len() as u64 + frontier_delegates_ref.len() as u64;
                     for &u in frontier {
                         let su = g.sigma[u as usize];
                         for &v_global in sg.nn.row(u) {
@@ -268,8 +264,7 @@ impl DistributedGraph {
             // Delegate σ reduce.
             let mut reduced_sigma = vec![0f64; d];
             if d > 0 {
-                let words: Vec<Vec<f64>> =
-                    outs.iter().map(|o| o.delegate_sigma.clone()).collect();
+                let words: Vec<Vec<f64>> = outs.iter().map(|o| o.delegate_sigma.clone()).collect();
                 let outcome = allreduce_sum(topo, cost, &words, config.blocking_reduce);
                 ph.local_comm += outcome.local_time;
                 ph.remote_delegate += outcome.global_time;
@@ -298,24 +293,22 @@ impl DistributedGraph {
             remote_bytes += send_bytes.iter().sum::<u64>();
 
             // Apply: discover new vertices, accumulate σ.
-            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(
-                |((g, out), inbox)| {
-                    let mut next = Vec::new();
-                    for (slot, sig) in out.local_sigma.into_iter().chain(inbox) {
-                        let slot_us = slot as usize;
-                        if g.depth[slot_us] == UNREACHED {
-                            g.depth[slot_us] = next_depth;
-                            next.push(slot);
-                        }
-                        if g.depth[slot_us] == next_depth {
-                            g.sigma[slot_us] += sig;
-                        }
+            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(|((g, out), inbox)| {
+                let mut next = Vec::new();
+                for (slot, sig) in out.local_sigma.into_iter().chain(inbox) {
+                    let slot_us = slot as usize;
+                    if g.depth[slot_us] == UNREACHED {
+                        g.depth[slot_us] = next_depth;
+                        next.push(slot);
                     }
-                    next.sort_unstable();
-                    next.dedup();
-                    g.levels.push(next);
-                },
-            );
+                    if g.depth[slot_us] == next_depth {
+                        g.sigma[slot_us] += sig;
+                    }
+                }
+                next.sort_unstable();
+                next.dedup();
+                g.levels.push(next);
+            });
             let mut next_delegates = Vec::new();
             for x in 0..d {
                 if delegate_depth[x] == UNREACHED && reduced_sigma[x] > 0.0 {
@@ -379,8 +372,8 @@ impl DistributedGraph {
                         }
                     }
                     for &x in frontier_delegates_ref {
-                        let share = (1.0 + delegate_delta_ref[x as usize])
-                            / delegate_sigma_ref[x as usize];
+                        let share =
+                            (1.0 + delegate_delta_ref[x as usize]) / delegate_sigma_ref[x as usize];
                         for &y in sg.dd.row(x) {
                             edges += 1;
                             if delegate_depth_ref[y as usize].wrapping_add(1) == lv {
@@ -439,15 +432,13 @@ impl DistributedGraph {
 
             // Apply: δ(v) = σ(v) · Σ shares, for v at level lv - 1.
             let target = lv - 1;
-            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(
-                |((g, out), inbox)| {
-                    for (slot, c) in out.local_contrib.into_iter().chain(inbox) {
-                        if g.depth[slot as usize] == target {
-                            g.delta[slot as usize] += g.sigma[slot as usize] * c;
-                        }
+            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(|((g, out), inbox)| {
+                for (slot, c) in out.local_contrib.into_iter().chain(inbox) {
+                    if g.depth[slot as usize] == target {
+                        g.delta[slot as usize] += g.sigma[slot as usize] * c;
                     }
-                },
-            );
+                }
+            });
             for x in 0..d {
                 if delegate_depth[x] == target && reduced[x] != 0.0 {
                     delegate_delta[x] += delegate_sigma[x] * reduced[x];

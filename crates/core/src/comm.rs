@@ -68,23 +68,19 @@ pub fn exchange_normals(
     // Local all2all: regroup within ranks; moved items ride NVLink.
     let mut held: Vec<Vec<(GpuId, u32)>> = sends;
     if use_local_all2all {
-        let before_counts: Vec<usize> = held.iter().map(Vec::len).collect();
         let regrouped = local_all2all_regroup(*topo, held);
         held = regrouped.items;
         local_bytes += regrouped.moved_items * BYTES_PER_UPDATE;
-        // Each holder pays one NVLink message per peer it shipped items to;
-        // approximate with one aggregate transfer of its moved volume.
-        for (g, &before) in before_counts.iter().enumerate() {
-            // Items this GPU gave away (upper bound: everything it held
-            // that was not already in its own slot).
-            let holder = topo.unflat(g);
-            let kept = held[g].len().min(before);
-            let moved_out = before.saturating_sub(kept) as u64;
-            if moved_out > 0 {
-                local_time[g] +=
-                    cost.network.p2p_time(moved_out * BYTES_PER_UPDATE, true);
+        // Each holder pays one NVLink message per peer it actually shipped
+        // items to, with the exact per-peer volume reported by the
+        // regrouping (one `MPI_Isend`-like transfer per (holder, peer)
+        // pair, as the paper's implementation batches them).
+        for (g, peers) in regrouped.moved_counts.iter().enumerate() {
+            for (peer, &count) in peers.iter().enumerate() {
+                if peer != g && count > 0 {
+                    local_time[g] += cost.network.p2p_time(count * BYTES_PER_UPDATE, true);
+                }
             }
-            let _ = holder;
         }
     }
 
@@ -137,8 +133,7 @@ pub fn exchange_normals(
             delivered[dflat].extend(slots);
         }
     }
-    let remote_time: Vec<f64> =
-        send_time.iter().zip(&recv_time).map(|(&s, &r)| s.max(r)).collect();
+    let remote_time: Vec<f64> = send_time.iter().zip(&recv_time).map(|(&s, &r)| s.max(r)).collect();
 
     ExchangeResult {
         delivered,

@@ -74,19 +74,14 @@ impl DistributedGraph {
             .gpus()
             .enumerate()
             .map(|(flat, gpu)| {
-                (0..self.subgraphs[flat].num_local)
-                    .map(|slot| topo.global_id(gpu, slot))
-                    .collect()
+                (0..self.subgraphs[flat].num_local).map(|slot| topo.global_id(gpu, slot)).collect()
             })
             .collect();
         let mut delegate_labels: Vec<u64> =
             (0..d as u32).map(|x| self.separation.original(x)).collect();
         // Active sets: everything participates in the first sweep.
-        let mut active_local: Vec<Vec<u32>> = self
-            .subgraphs
-            .iter()
-            .map(|sg| (0..sg.num_local).collect())
-            .collect();
+        let mut active_local: Vec<Vec<u32>> =
+            self.subgraphs.iter().map(|sg| (0..sg.num_local).collect()).collect();
         let mut active_delegates: Vec<u32> = (0..d as u32).collect();
 
         let mut phases_total = PhaseTimes::zero();
@@ -165,8 +160,7 @@ impl DistributedGraph {
             // Delegate label min-reduce (u64::MAX proposals are identities).
             let mut reduced: Vec<u64> = Vec::new();
             if d > 0 {
-                let words: Vec<Vec<u64>> =
-                    outs.iter().map(|o| o.delegate_props.clone()).collect();
+                let words: Vec<Vec<u64>> = outs.iter().map(|o| o.delegate_props.clone()).collect();
                 let outcome = allreduce_min(topo, cost, &words, config.blocking_reduce);
                 phases.local_comm += outcome.local_time;
                 phases.remote_delegate += outcome.global_time;

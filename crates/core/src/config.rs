@@ -8,6 +8,7 @@
 //! factors; the paper's tuned values `(0.5, 0.05, 1e-7)` for `dd`, `dn`,
 //! `nd` are the defaults here.
 
+use crate::recovery::RecoveryConfig;
 use gcbfs_cluster::cost::CostModel;
 
 /// Direction-switching factor pair for one subgraph kernel (§IV-B):
@@ -61,6 +62,11 @@ pub struct BfsConfig {
     pub nd_factors: SwitchFactors,
     /// The machine model used for modeled time.
     pub cost: CostModel,
+    /// Recovery policy for fault-injected runs (checkpoint cadence, retry
+    /// budget, degraded mode). Inert on fault-free runs: no checkpoints are
+    /// taken and no retries happen unless a
+    /// [`FaultPlan`](gcbfs_cluster::fault::FaultPlan) is supplied.
+    pub recovery: RecoveryConfig,
 }
 
 impl BfsConfig {
@@ -89,6 +95,7 @@ impl BfsConfig {
             dn_factors: SwitchFactors::new(0.05),
             nd_factors: SwitchFactors::new(0.05),
             cost: CostModel::ray(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -138,6 +145,12 @@ impl BfsConfig {
         self
     }
 
+    /// Replaces the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// The suggested degree threshold for an RMAT graph of `scale`
     /// (Fig. 7): near-optimal `TH` grows by about √2 per scale, anchored at
     /// `TH = 64` for scale 30.
@@ -184,6 +197,15 @@ mod tests {
         assert_eq!(t32, 128);
         let t26 = BfsConfig::suggested_rmat_threshold(26);
         assert_eq!(t26, 16);
+    }
+
+    #[test]
+    fn recovery_knob_rides_along() {
+        let c = BfsConfig::new(8);
+        assert!(c.recovery.enabled, "recovery on by default");
+        let c = c.with_recovery(RecoveryConfig::disabled());
+        assert!(!c.recovery.enabled);
+        assert!(!c.recovery.degraded_mode);
     }
 
     #[test]

@@ -276,23 +276,11 @@ mod tests {
         let sep = Separation::from_degrees(&degrees, 1);
         let topo = Topology::new(4, 1);
         // dd edge 0->1: deg(0) < deg(1), owner = owner(0) = rank 0.
-        assert_eq!(
-            owner(0, 1, classify(0, 1, &sep), &degrees, &topo),
-            topo.vertex_owner(0)
-        );
-        assert_eq!(
-            owner(1, 0, classify(1, 0, &sep), &degrees, &topo),
-            topo.vertex_owner(0)
-        );
+        assert_eq!(owner(0, 1, classify(0, 1, &sep), &degrees, &topo), topo.vertex_owner(0));
+        assert_eq!(owner(1, 0, classify(1, 0, &sep), &degrees, &topo), topo.vertex_owner(0));
         // tie 2->3 and 3->2: owner(min) = owner(2).
-        assert_eq!(
-            owner(2, 3, classify(2, 3, &sep), &degrees, &topo),
-            topo.vertex_owner(2)
-        );
-        assert_eq!(
-            owner(3, 2, classify(3, 2, &sep), &degrees, &topo),
-            topo.vertex_owner(2)
-        );
+        assert_eq!(owner(2, 3, classify(2, 3, &sep), &degrees, &topo), topo.vertex_owner(2));
+        assert_eq!(owner(3, 2, classify(3, 2, &sep), &degrees, &topo), topo.vertex_owner(2));
     }
 
     #[test]

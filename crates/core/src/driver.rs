@@ -9,18 +9,21 @@
 //! iteration begins. Modeled Ray time is accumulated per phase with the
 //! overlap rule of `gcbfs_cluster::timing`.
 
+use crate::checkpoint::Checkpoint;
 use crate::comm::exchange_normals;
 use crate::config::BfsConfig;
 use crate::direction::{Direction, DirectionState};
 use crate::distributor::{distribute, EdgeClassCounts};
 use crate::kernels::{GpuWorker, KernelWork, LocalIterationOutput};
 use crate::masks::DelegateMask;
+use crate::recovery::{retry_backoff, DegradedMap};
 use crate::separation::Separation;
-use crate::stats::{IterationRecord, RunStats};
+use crate::stats::{FaultStats, IterationRecord, RunStats};
 use crate::subgraph::{GpuSubgraphs, MemoryUsage};
 use crate::UNREACHED;
 use gcbfs_cluster::collectives::allreduce_or;
 use gcbfs_cluster::cost::KernelKind;
+use gcbfs_cluster::fault::{FaultError, FaultInjector, FaultPlan, MessageFate};
 use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
 use gcbfs_cluster::topology::Topology;
 use gcbfs_graph::{EdgeList, VertexId};
@@ -48,10 +51,9 @@ impl std::fmt::Display for BuildError {
             Self::LocalIdsOverflow { per_gpu_vertices } => {
                 write!(f, "{per_gpu_vertices} vertices per GPU exceed 32-bit local ids")
             }
-            Self::DeviceMemoryExceeded { gpu, needed, available } => write!(
-                f,
-                "GPU {gpu} needs {needed} bytes of graph storage, device has {available}"
-            ),
+            Self::DeviceMemoryExceeded { gpu, needed, available } => {
+                write!(f, "GPU {gpu} needs {needed} bytes of graph storage, device has {available}")
+            }
             Self::SourceOutOfRange { source, num_vertices } => {
                 write!(f, "source {source} out of range (n = {num_vertices})")
             }
@@ -60,6 +62,49 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Why a run could not complete: either construction failed, or a detected
+/// fault could not be recovered under the configured
+/// [`RecoveryConfig`](crate::recovery::RecoveryConfig) (recovery disabled,
+/// retry budget exhausted without the reliable path, or an unsurvivable
+/// fail-stop pattern).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Graph or run construction failed.
+    Build(BuildError),
+    /// A detected fault was surfaced instead of recovered.
+    Fault(FaultError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "{e}"),
+            Self::Fault(e) => write!(f, "unrecovered fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Fault(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for RunError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<FaultError> for RunError {
+    fn from(e: FaultError) -> Self {
+        Self::Fault(e)
+    }
+}
 
 /// A graph distributed across the simulated cluster, ready to run BFS from
 /// any source. Building once serves any number of runs.
@@ -173,7 +218,35 @@ impl DistributedGraph {
     /// # Errors
     /// Returns [`BuildError::SourceOutOfRange`] for an invalid source.
     pub fn run(&self, source: VertexId, config: &BfsConfig) -> Result<BfsResult, BuildError> {
-        self.run_inner(source, config, false)
+        self.run_inner(source, config, false, None).map_err(|e| match e {
+            RunError::Build(b) => b,
+            RunError::Fault(f) => unreachable!("fault error without a fault plan: {f}"),
+        })
+    }
+
+    /// Runs (DO)BFS from `source` while `plan`'s faults are injected into
+    /// the exchanges, the mask reduction, and the heartbeat stream.
+    ///
+    /// With recovery enabled (the default), transient faults are retried
+    /// with backoff (escalating to the reliable verified path after
+    /// [`RecoveryConfig::max_retries`](crate::recovery::RecoveryConfig)
+    /// resampled attempts) and fail-stop losses roll back to the latest
+    /// checkpoint and continue in degraded mode — the returned depths are
+    /// bit-identical to the fault-free run, with every retry, rollback, and
+    /// checkpoint charged to [`RunStats::fault`]. With
+    /// [`RecoveryConfig::disabled`](crate::recovery::RecoveryConfig::disabled),
+    /// the first detected fault surfaces as [`RunError::Fault`].
+    ///
+    /// # Errors
+    /// [`RunError::Build`] for an invalid source; [`RunError::Fault`] when
+    /// a detected fault is not recovered under the configured policy.
+    pub fn run_with_faults(
+        &self,
+        source: VertexId,
+        config: &BfsConfig,
+        plan: &FaultPlan,
+    ) -> Result<BfsResult, RunError> {
+        self.run_inner(source, config, false, Some(plan))
     }
 
     /// Like [`DistributedGraph::run`], additionally producing the Graph500
@@ -186,7 +259,10 @@ impl DistributedGraph {
         source: VertexId,
         config: &BfsConfig,
     ) -> Result<BfsResult, BuildError> {
-        self.run_inner(source, config, true)
+        self.run_inner(source, config, true, None).map_err(|e| match e {
+            RunError::Build(b) => b,
+            RunError::Fault(f) => unreachable!("fault error without a fault plan: {f}"),
+        })
     }
 
     fn run_inner(
@@ -194,12 +270,13 @@ impl DistributedGraph {
         source: VertexId,
         config: &BfsConfig,
         track_parents: bool,
-    ) -> Result<BfsResult, BuildError> {
+        plan: Option<&FaultPlan>,
+    ) -> Result<BfsResult, RunError> {
         if source >= self.num_vertices {
-            return Err(BuildError::SourceOutOfRange {
+            return Err(RunError::Build(BuildError::SourceOutOfRange {
                 source,
                 num_vertices: self.num_vertices,
-            });
+            }));
         }
         let start = Instant::now();
         let topo = self.topology;
@@ -240,6 +317,15 @@ impl DistributedGraph {
             w.frontier.push(slot);
         }
 
+        // ---- Resilience state (inert without a fault plan). ----
+        let recovery = config.recovery;
+        let mut injector: Option<FaultInjector> = plan.map(|p| FaultInjector::new(p.clone()));
+        let mut fault = FaultStats::default();
+        let mut checkpoint: Option<Checkpoint> = None;
+        let mut degraded = DegradedMap::new(topo.num_gpus() as usize);
+        // Messages delayed in flight by the injector: `(due_iter, gpu, slot)`.
+        let mut delayed: Vec<(u32, usize, u32)> = Vec::new();
+
         let mut records: Vec<IterationRecord> = Vec::new();
         let mut iter: u32 = 0;
         loop {
@@ -248,6 +334,59 @@ impl DistributedGraph {
             if frontier_len == 0 && new_delegates == 0 {
                 break;
             }
+
+            // ---- Checkpoint cadence (before the heartbeat, so an
+            // iteration-0 fail-stop always has a rollback target). A
+            // re-entered iteration after rollback is not re-captured. ----
+            if injector.is_some()
+                && recovery.enabled
+                && (iter == 0
+                    || (recovery.checkpoint_interval > 0
+                        && iter.is_multiple_of(recovery.checkpoint_interval)))
+                && checkpoint.as_ref().is_none_or(|c| c.iter != iter)
+            {
+                let cp = Checkpoint::capture(iter, &workers, records.len());
+                fault.checkpoint_seconds += cp.modeled_seconds(cost);
+                fault.checkpoints_taken += 1;
+                checkpoint = Some(cp);
+            }
+
+            // ---- Heartbeat: fail-stop detection at the superstep
+            // boundary (piggybacked on the termination allreduce). ----
+            if let Some(inj) = injector.as_mut() {
+                if let Err(err) = inj.heartbeat(iter) {
+                    let FaultError::GpuFailed { gpu, .. } = err else { unreachable!() };
+                    if !(recovery.enabled && recovery.degraded_mode) {
+                        return Err(RunError::Fault(err));
+                    }
+                    if degraded.failed_count() + 1 >= topo.num_gpus() as usize {
+                        // No survivor would remain: unrecoverable.
+                        return Err(RunError::Fault(err));
+                    }
+                    let host = degraded.fail(gpu, &topo);
+                    let cp = checkpoint.as_ref().expect("implicit iteration-0 checkpoint");
+                    // Charge the wasted work between checkpoint and
+                    // failure, plus restoring every GPU from host memory
+                    // and shipping the dead GPU's partition to its buddy.
+                    let wasted: f64 =
+                        records[cp.records_len..].iter().map(|r| r.timing.elapsed()).sum();
+                    let reload = cp.modeled_seconds(cost)
+                        + cost.network.p2p_time(
+                            Checkpoint::worker_bytes(&workers[gpu]),
+                            topo.same_rank(topo.unflat(gpu), topo.unflat(host)),
+                        );
+                    fault.recovery_seconds += wasted + reload;
+                    fault.rollbacks += 1;
+                    records.truncate(cp.records_len);
+                    cp.restore(&mut workers);
+                    iter = cp.iter;
+                    // In-flight stragglers are superseded by the restored
+                    // state (checkpoints sit at message-free boundaries).
+                    delayed.clear();
+                    continue;
+                }
+            }
+            let bw = injector.as_ref().map_or(1.0, |inj| inj.bandwidth_factor(iter));
 
             // ---- Local computation on every GPU, in parallel. ----
             let mut outputs: Vec<LocalIterationOutput> =
@@ -281,6 +420,19 @@ impl DistributedGraph {
                 })
                 .collect();
 
+            // Degraded mode: a buddy hosting a dead GPU's partition runs
+            // both partitions serially, so the dead GPU's computation time
+            // moves onto its host.
+            if degraded.any_failed() {
+                fault.degraded_iterations += 1;
+                let pairs: Vec<(usize, usize)> = degraded.pairs().collect();
+                for (failed, host) in pairs {
+                    let moved = phases[failed].computation;
+                    phases[failed].computation = 0.0;
+                    phases[host].computation += moved;
+                }
+            }
+
             // ---- Delegate mask reduction (only when something changed). ----
             let mask_changed = d > 0
                 && outputs
@@ -293,20 +445,45 @@ impl DistributedGraph {
             if mask_changed {
                 let words: Vec<Vec<u64>> =
                     outputs.iter().map(|o| o.output_mask.words().to_vec()).collect();
-                let outcome = allreduce_or(topo, cost, &words, config.blocking_reduce);
-                remote_delegate += outcome.global_time;
+                // Corrupted mask messages fail their checksum and the
+                // reduction is re-run (the corruption is one-shot, so the
+                // retry is clean); each discarded attempt plus its backoff
+                // is charged to recovery time.
+                let outcome = if let Some(inj) = injector.as_mut() {
+                    let mut attempt = 0u32;
+                    loop {
+                        let mut attempt_words = words.clone();
+                        let corrupted = inj.corrupt_mask_words(iter, &mut attempt_words);
+                        let out = allreduce_or(topo, cost, &attempt_words, config.blocking_reduce);
+                        match corrupted {
+                            None => break out,
+                            Some(gpu) => {
+                                if !recovery.enabled || attempt >= recovery.max_retries {
+                                    return Err(RunError::Fault(
+                                        FaultError::MaskChecksumMismatch { iteration: iter, gpu },
+                                    ));
+                                }
+                                fault.retries += 1;
+                                fault.recovery_seconds += out.global_time * bw
+                                    + out.local_time
+                                    + retry_backoff(recovery.retry_backoff_seconds, attempt);
+                                attempt += 1;
+                            }
+                        }
+                    }
+                } else {
+                    allreduce_or(topo, cost, &words, config.blocking_reduce)
+                };
+                remote_delegate += outcome.global_time * bw;
                 local_mask_time = outcome.local_time;
                 // Total volume 2·(d/8)·prank (§V-A), zero on a single rank.
                 if topo.num_ranks() > 1 {
-                    mask_remote_bytes =
-                        2 * outcome.bytes_per_message * topo.num_ranks() as u64;
+                    mask_remote_bytes = 2 * outcome.bytes_per_message * topo.num_ranks() as u64;
                 }
                 let mut reduced = DelegateMask::new(d);
                 reduced.set_words(outcome.reduced);
                 let next_depth = iter + 1;
-                workers
-                    .par_iter_mut()
-                    .for_each(|w| w.consume_reduced_mask(&reduced, next_depth));
+                workers.par_iter_mut().for_each(|w| w.consume_reduced_mask(&reduced, next_depth));
                 // Mask copy/OR work on the delegate stream.
                 let mask_ops = cost.device.kernel_time(KernelKind::MaskOps, reduced.byte_size());
                 for ph in &mut phases {
@@ -316,11 +493,66 @@ impl DistributedGraph {
             // Per-iteration synchronization (termination/activity flag): a
             // tiny blocking allreduce — the "per-iteration overhead of a
             // few µs" the WDC analysis talks about (§VI-D).
-            remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true);
+            remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true) * bw;
 
             // ---- Normal vertex exchange. ----
             let sends = outputs.iter_mut().map(|o| std::mem::take(&mut o.remote_nn)).collect();
-            let ex = exchange_normals(&topo, cost, sends, config.local_all2all, config.uniquify);
+            let mut ex =
+                exchange_normals(&topo, cost, sends, config.local_all2all, config.uniquify);
+
+            // Perturb the delivery with the injector's message fates.
+            // Drops and delays leave the per-peer ack counts short, so the
+            // whole exchange is retransmitted (resampling the fault
+            // stream); after `max_retries` failed attempts the transport
+            // escalates to the verified reliable path, which always
+            // succeeds. Duplicates are delivered — the depth update is
+            // idempotent — and delayed copies surface in a later
+            // superstep as no-ops. Each failed attempt's transfer time
+            // plus its exponential backoff is charged to recovery time.
+            let delivered: Vec<Vec<u32>> = if let Some(inj) = injector.as_mut() {
+                let worst_remote = ex.remote_time.iter().cloned().fold(0.0, f64::max) * bw;
+                let mut attempt = 0u32;
+                loop {
+                    if recovery.enabled && attempt >= recovery.max_retries {
+                        break ex.delivered.clone(); // reliable-path escalation
+                    }
+                    let mut tampered = false;
+                    let mut perturbed: Vec<Vec<u32>> = Vec::with_capacity(ex.delivered.len());
+                    for (g, list) in ex.delivered.iter().enumerate() {
+                        let mut out = Vec::with_capacity(list.len());
+                        for (i, &slot) in list.iter().enumerate() {
+                            match inj.message_fate(iter, attempt, g as u64, i as u64) {
+                                MessageFate::Deliver => out.push(slot),
+                                MessageFate::Duplicate => {
+                                    out.push(slot);
+                                    out.push(slot);
+                                }
+                                MessageFate::Drop => tampered = true,
+                                MessageFate::Delay(k) => {
+                                    tampered = true;
+                                    delayed.push((iter + k, g, slot));
+                                }
+                            }
+                        }
+                        perturbed.push(out);
+                    }
+                    if !tampered {
+                        break perturbed;
+                    }
+                    if !recovery.enabled {
+                        return Err(RunError::Fault(FaultError::ExchangeMismatch {
+                            iteration: iter,
+                            attempts: attempt + 1,
+                        }));
+                    }
+                    fault.retries += 1;
+                    fault.recovery_seconds +=
+                        worst_remote + retry_backoff(recovery.retry_backoff_seconds, attempt);
+                    attempt += 1;
+                }
+            } else {
+                std::mem::take(&mut ex.delivered)
+            };
 
             // Form next frontiers: local discoveries + applied remote updates.
             let next_depth = iter + 1;
@@ -328,11 +560,28 @@ impl DistributedGraph {
                 let w = &mut workers[g];
                 debug_assert!(w.frontier.is_empty());
                 w.frontier = std::mem::take(&mut out.next_frontier);
-                for &slot in &ex.delivered[g] {
+                for &slot in &delivered[g] {
                     if let Some(s) = w.apply_remote_update(slot, next_depth) {
                         w.frontier.push(s);
                     }
                 }
+            }
+            // Late-arriving copies from failed attempts land now; the
+            // accepted retransmission already applied every update, so
+            // these are idempotent no-ops (kept for model fidelity).
+            if !delayed.is_empty() {
+                let mut still_pending = Vec::with_capacity(delayed.len());
+                for (due, g, slot) in delayed.drain(..) {
+                    if due <= iter {
+                        let w = &mut workers[g];
+                        if let Some(s) = w.apply_remote_update(slot, next_depth) {
+                            w.frontier.push(s);
+                        }
+                    } else {
+                        still_pending.push((due, g, slot));
+                    }
+                }
+                delayed = still_pending;
             }
 
             // ---- Assemble cluster-wide iteration timing and stats. ----
@@ -340,7 +589,7 @@ impl DistributedGraph {
             for (g, ph) in phases.iter().enumerate() {
                 let mut p = *ph;
                 p.local_comm = ex.local_time[g] + local_mask_time;
-                p.remote_normal = ex.remote_time[g];
+                p.remote_normal = ex.remote_time[g] * bw;
                 cluster = cluster.max(&p);
             }
             cluster.remote_delegate = remote_delegate;
@@ -405,7 +654,17 @@ impl DistributedGraph {
             (None, 0.0)
         };
 
-        let stats = RunStats { records, wall_seconds: start.elapsed().as_secs_f64() };
+        // ---- Fault accounting (all zeros on fault-free runs). ----
+        if let Some(inj) = &injector {
+            let c = inj.counters();
+            fault.injected_drops = c.drops;
+            fault.injected_duplicates = c.duplicates;
+            fault.injected_delays = c.delays;
+            fault.injected_corruptions = c.corruptions;
+            fault.fail_stops = c.fail_stops;
+        }
+
+        let stats = RunStats { records, wall_seconds: start.elapsed().as_secs_f64(), fault };
         Ok(BfsResult { source, depths, parents, parent_exchange_seconds, stats })
     }
 
@@ -705,13 +964,7 @@ mod tests {
         let graph = RmatConfig::graph500(8).generate();
         let csr = Csr::from_edge_list(&graph);
         let topo = Topology::new(3, 2);
-        let src = graph
-            .out_degrees()
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, d)| d)
-            .unwrap()
-            .0 as u64;
+        let src = graph.out_degrees().iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
         for (doo, l, u) in [(true, false, false), (false, true, true), (true, true, true)] {
             let config = BfsConfig::new(8)
                 .with_direction_optimization(doo)
@@ -743,5 +996,170 @@ mod tests {
             let r = dist.run(source, &config).unwrap();
             assert_eq!(r.depths, bfs_depths(&csr, source));
         }
+    }
+
+    // ---- Fault injection and recovery. ----
+
+    use crate::recovery::RecoveryConfig;
+    use gcbfs_cluster::fault::FaultPlan;
+
+    fn rmat_fixture() -> (EdgeList, DistributedGraph, BfsConfig, u64) {
+        let graph = RmatConfig::graph500(8).generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let degrees = graph.out_degrees();
+        let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        (graph, dist, config, source)
+    }
+
+    #[test]
+    fn benign_plan_matches_fault_free_but_pays_for_insurance() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let clean = dist.run(source, &config).unwrap();
+        let r = dist.run_with_faults(source, &config, &FaultPlan::new(7)).unwrap();
+        assert_eq!(r.depths, bfs_depths(&Csr::from_edge_list(&graph), source));
+        assert_eq!(r.depths, clean.depths);
+        let f = &r.stats.fault;
+        assert!(!f.any_faults());
+        assert_eq!((f.retries, f.rollbacks), (0, 0));
+        assert_eq!(f.recovery_seconds, 0.0);
+        // Checkpoints are insurance: charged whenever fault tolerance is
+        // armed, whether or not a fault ever fires.
+        assert!(f.checkpoints_taken > 0);
+        assert!(f.checkpoint_seconds > 0.0);
+        assert!(r.modeled_seconds() > clean.modeled_seconds());
+    }
+
+    #[test]
+    fn message_faults_recover_to_reference_depths() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let plan = FaultPlan::new(99).with_message_faults(0.2, 0.1, 0.1).with_max_delay(2);
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect, "recovery must be bit-exact");
+        let f = &r.stats.fault;
+        assert!(f.any_faults());
+        assert!(f.injected_drops > 0, "a 20% drop rate must fire");
+        assert!(f.retries > 0);
+        assert!(f.recovery_seconds > 0.0, "retries are charged");
+    }
+
+    #[test]
+    fn fail_stop_rolls_back_and_continues_degraded() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let plan = FaultPlan::new(1).with_fail_stop(2, 1);
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect);
+        let f = &r.stats.fault;
+        assert_eq!(f.fail_stops, 1);
+        assert_eq!(f.rollbacks, 1);
+        assert!(f.degraded_iterations > 0, "survivor hosts the dead partition");
+        assert!(f.recovery_seconds > 0.0, "wasted work + reload are charged");
+        assert!(f.checkpoints_taken > 0);
+    }
+
+    #[test]
+    fn mask_corruption_is_detected_and_retried() {
+        let graph = builders::double_star(4);
+        let config = BfsConfig::new(3);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), 0);
+        let plan = FaultPlan::new(3).with_mask_corruption(1, 0, 0, 0xff);
+        let r = dist.run_with_faults(0, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect);
+        let f = &r.stats.fault;
+        assert_eq!(f.injected_corruptions, 1);
+        assert!(f.retries >= 1, "the corrupted reduction re-runs");
+        assert!(f.recovery_seconds > 0.0);
+    }
+
+    #[test]
+    fn nic_degradation_slows_the_run_without_changing_depths() {
+        let (_, dist, config, source) = rmat_fixture();
+        let clean = dist.run_with_faults(source, &config, &FaultPlan::new(0)).unwrap();
+        let plan = FaultPlan::new(0).with_nic_degradation(0, 100, 4.0);
+        let slow = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(slow.depths, clean.depths);
+        assert!(
+            slow.stats.phase_totals().remote_normal >= clean.stats.phase_totals().remote_normal
+        );
+        assert!(slow.modeled_seconds() > clean.modeled_seconds());
+    }
+
+    #[test]
+    fn disabled_recovery_surfaces_typed_faults() {
+        let (_, dist, config, source) = rmat_fixture();
+        let off = config.with_recovery(RecoveryConfig::disabled());
+        // Dropped updates: ack mismatch.
+        let drops = FaultPlan::new(11).with_message_faults(1.0, 0.0, 0.0);
+        assert!(matches!(
+            dist.run_with_faults(source, &off, &drops),
+            Err(RunError::Fault(FaultError::ExchangeMismatch { attempts: 1, .. }))
+        ));
+        // Fail-stop: heartbeat loss.
+        let dead = FaultPlan::new(1).with_fail_stop(0, 1);
+        assert!(matches!(
+            dist.run_with_faults(source, &off, &dead),
+            Err(RunError::Fault(FaultError::GpuFailed { gpu: 0, .. }))
+        ));
+        // Degraded mode off (but retries on) also refuses fail-stops.
+        let no_degrade = config.with_recovery(RecoveryConfig::default().with_degraded_mode(false));
+        assert!(matches!(
+            dist.run_with_faults(source, &no_degrade, &dead),
+            Err(RunError::Fault(FaultError::GpuFailed { .. }))
+        ));
+        // Corrupted mask words: checksum mismatch.
+        let corrupt = FaultPlan::new(5).with_mask_corruption(0, 0, 0, 0b1);
+        assert!(matches!(
+            dist.run_with_faults(source, &off, &corrupt),
+            Err(RunError::Fault(FaultError::MaskChecksumMismatch { gpu: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let (_, dist, config, source) = rmat_fixture();
+        let plan = FaultPlan::random(5, 4, 8);
+        let a = dist.run_with_faults(source, &config, &plan).unwrap();
+        let b = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(a.depths, b.depths);
+        assert_eq!(a.stats.fault, b.stats.fault, "fault accounting is seeded");
+        assert_eq!(a.modeled_seconds(), b.modeled_seconds());
+    }
+
+    #[test]
+    fn unsurvivable_plan_is_a_typed_error() {
+        let graph = builders::path(9);
+        let config = BfsConfig::new(10);
+        let dist = DistributedGraph::build(&graph, Topology::new(1, 2), &config).unwrap();
+        let plan = FaultPlan::new(0).with_fail_stop(0, 0).with_fail_stop(1, 1);
+        assert!(matches!(
+            dist.run_with_faults(0, &config, &plan),
+            Err(RunError::Fault(FaultError::GpuFailed { .. }))
+        ));
+    }
+
+    #[test]
+    fn run_error_display_and_source() {
+        use std::error::Error;
+        let b = RunError::Build(BuildError::SourceOutOfRange { source: 9, num_vertices: 4 });
+        assert!(b.to_string().contains("out of range"));
+        assert!(b.source().is_some());
+        let f = RunError::Fault(FaultError::GpuFailed { gpu: 1, iteration: 3 });
+        assert!(f.to_string().contains("unrecovered fault"));
+        assert!(f.source().is_some());
+        assert_eq!(RunError::from(BuildError::SourceOutOfRange { source: 9, num_vertices: 4 }), b);
+    }
+
+    #[test]
+    fn local_ids_overflow_is_detected_before_allocation() {
+        let graph = EdgeList { num_vertices: u32::MAX as u64 + 2, edges: Vec::new() };
+        let config = BfsConfig::new(4);
+        let err = DistributedGraph::build(&graph, Topology::new(1, 1), &config).unwrap_err();
+        assert!(
+            matches!(err, BuildError::LocalIdsOverflow { per_gpu_vertices } if per_gpu_vertices > u32::MAX as u64)
+        );
+        assert!(err.to_string().contains("32-bit local ids"));
     }
 }

@@ -261,16 +261,17 @@ impl GpuWorker {
                 // Global-direction ablation: one decision for everything,
                 // using the summed workloads and the dd factor pair.
                 let fv = (fv_dd + fv_dn + fv_nd) as f64;
-                let bv = [bv_dd, bv_dn, bv_nd]
-                    .into_iter()
-                    .filter(|b| b.is_finite())
-                    .sum::<f64>();
+                let bv = [bv_dd, bv_dn, bv_nd].into_iter().filter(|b| b.is_finite()).sum::<f64>();
                 let bv = if bv == 0.0 { f64::INFINITY } else { bv };
                 let dir = self.dir_dd.decide(fv, bv);
                 ChosenDirections { dd: dir, dn: dir, nd: dir }
             }
         } else {
-            ChosenDirections { dd: Direction::Forward, dn: Direction::Forward, nd: Direction::Forward }
+            ChosenDirections {
+                dd: Direction::Forward,
+                dn: Direction::Forward,
+                nd: Direction::Forward,
+            }
         };
 
         // ---- Normal stream visits: nn (forward only), then nd. ----
@@ -387,8 +388,7 @@ impl GpuWorker {
                                 self.depths_local[u as usize] = next_depth;
                                 next_frontier.push(u);
                                 if self.track_parents {
-                                    self.parents_local[u as usize] =
-                                        DELEGATE_PARENT_TAG | x as u64;
+                                    self.parents_local[u as usize] = DELEGATE_PARENT_TAG | x as u64;
                                 }
                             }
                         }
@@ -410,8 +410,7 @@ impl GpuWorker {
                             self.depths_local[u as usize] = next_depth;
                             next_frontier.push(u);
                             if self.track_parents {
-                                self.parents_local[u as usize] =
-                                    DELEGATE_PARENT_TAG | x as u64;
+                                self.parents_local[u as usize] = DELEGATE_PARENT_TAG | x as u64;
                             }
                             break;
                         }
@@ -484,7 +483,13 @@ mod tests {
             sep.num_delegates(),
             &dist.per_gpu[0],
         );
-        let w = GpuWorker::new(topo.unflat(0), Arc::new(sg), forward_only(), forward_only(), forward_only());
+        let w = GpuWorker::new(
+            topo.unflat(0),
+            Arc::new(sg),
+            forward_only(),
+            forward_only(),
+            forward_only(),
+        );
         (w, topo, sep)
     }
 
@@ -542,7 +547,13 @@ mod tests {
                     sep.num_delegates(),
                     &dist.per_gpu[i],
                 );
-                GpuWorker::new(topo.unflat(i), Arc::new(sg), forward_only(), forward_only(), forward_only())
+                GpuWorker::new(
+                    topo.unflat(i),
+                    Arc::new(sg),
+                    forward_only(),
+                    forward_only(),
+                    forward_only(),
+                )
             })
             .collect();
         // Seed leaf 2 (owner: rank 0 since 2 % 2 == 0).
@@ -627,8 +638,13 @@ mod tests {
         assert_eq!(sep.num_delegates(), 0);
         let dist = distribute(&g, &sep, &degrees, &topo);
         let sg = GpuSubgraphs::build(6, 0, &dist.per_gpu[0]);
-        let mut w =
-            GpuWorker::new(topo.unflat(0), Arc::new(sg), forward_only(), forward_only(), forward_only());
+        let mut w = GpuWorker::new(
+            topo.unflat(0),
+            Arc::new(sg),
+            forward_only(),
+            forward_only(),
+            forward_only(),
+        );
         w.depths_local[0] = 0;
         w.frontier.push(0);
         let out = w.run_iteration(0, &topo);

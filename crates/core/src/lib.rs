@@ -17,10 +17,14 @@
 //!   [`comm`] (collectives live in `gcbfs-cluster`);
 //! * §VI the driver tying it together, per-iteration statistics, and the
 //!   Graph500 TEPS reporting → [`driver`], [`stats`];
-//! * delegate visited bitmasks → [`masks`]; run options → [`config`].
+//! * delegate visited bitmasks → [`masks`]; run options → [`config`];
+//! * resilience: checkpoint/restart → [`checkpoint`], retry and
+//!   degraded-mode policy → [`recovery`] (fault injection itself lives in
+//!   `gcbfs_cluster::fault`).
 
 pub mod async_bfs;
 pub mod betweenness;
+pub mod checkpoint;
 pub mod comm;
 pub mod components;
 pub mod config;
@@ -31,16 +35,19 @@ pub mod kernels;
 pub mod masks;
 pub mod msbfs;
 pub mod pagerank;
+pub mod recovery;
 pub mod separation;
 pub mod sssp;
 pub mod stats;
 pub mod subgraph;
 pub mod trace;
 
+pub use checkpoint::Checkpoint;
 pub use config::BfsConfig;
-pub use driver::{BfsResult, BuildError, DistributedGraph};
+pub use driver::{BfsResult, BuildError, DistributedGraph, RunError};
+pub use recovery::RecoveryConfig;
 pub use separation::Separation;
-pub use stats::RunStats;
+pub use stats::{FaultStats, RunStats};
 
 /// Depth marker for unreached vertices (matches `gcbfs_graph::reference`).
 pub const UNREACHED: u32 = u32::MAX;

@@ -255,29 +255,27 @@ impl DistributedGraph {
             remote_bytes += send_bytes.iter().sum::<u64>();
 
             // ---- Apply updates: set depths for newly covered bits. ----
-            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(
-                |((g, out), inbox)| {
-                    let mut proposals = out.proposals;
-                    for (slot, bits) in inbox {
-                        proposals[slot as usize] |= bits;
+            gpus.par_iter_mut().zip(outs).zip(delivered).for_each(|((g, out), inbox)| {
+                let mut proposals = out.proposals;
+                for (slot, bits) in inbox {
+                    proposals[slot as usize] |= bits;
+                }
+                #[allow(clippy::needless_range_loop)] // parallel arrays share the index
+                for slot in 0..g.masks.len() {
+                    let fresh = proposals[slot] & !g.masks[slot];
+                    g.new_bits[slot] = fresh;
+                    if fresh == 0 {
+                        continue;
                     }
-                    #[allow(clippy::needless_range_loop)] // parallel arrays share the index
-                    for slot in 0..g.masks.len() {
-                        let fresh = proposals[slot] & !g.masks[slot];
-                        g.new_bits[slot] = fresh;
-                        if fresh == 0 {
-                            continue;
-                        }
-                        g.masks[slot] |= fresh;
-                        let mut bits = fresh;
-                        while bits != 0 {
-                            let k = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            g.depths[slot * k_count + k] = next_depth;
-                        }
+                    g.masks[slot] |= fresh;
+                    let mut bits = fresh;
+                    while bits != 0 {
+                        let k = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        g.depths[slot * k_count + k] = next_depth;
                     }
-                },
-            );
+                }
+            });
             for x in 0..d {
                 let fresh = reduced_new[x];
                 delegate_new[x] = fresh;

@@ -116,8 +116,7 @@ impl DistributedGraph {
                         is_delegate_slot[slot as usize] = true;
                     } else {
                         normal_scores[slot as usize] = uniform;
-                        normal_degrees[slot as usize] =
-                            sg.nn.degree(slot) + sg.nd.degree(slot);
+                        normal_degrees[slot as usize] = sg.nn.degree(slot) + sg.nd.degree(slot);
                     }
                 }
                 PrGpu { normal_scores, normal_degrees, is_delegate_slot }
@@ -128,9 +127,7 @@ impl DistributedGraph {
         let degree_partials: Vec<Vec<f64>> = self
             .subgraphs
             .iter()
-            .map(|sg| {
-                (0..d as u32).map(|x| (sg.dn.degree(x) + sg.dd.degree(x)) as f64).collect()
-            })
+            .map(|sg| (0..d as u32).map(|x| (sg.dn.degree(x) + sg.dd.degree(x)) as f64).collect())
             .collect();
         let delegate_outdeg = if d > 0 {
             allreduce_sum(topo, cost, &degree_partials, config.blocking_reduce).reduced
@@ -263,17 +260,14 @@ impl DistributedGraph {
                 // Approximate per-GPU NIC occupancy with one aggregated
                 // message (contributions to many peers coalesce per §VI-A1).
                 let intra = topo.gpus_per_rank() == topo.num_gpus();
-                let t = cost
-                    .network
-                    .p2p_time(send_bytes[flat].max(recv_bytes[flat]), intra);
+                let t = cost.network.p2p_time(send_bytes[flat].max(recv_bytes[flat]), intra);
                 phases.remote_normal = phases.remote_normal.max(t);
                 let _ = from_gpu;
             }
             remote_bytes += send_bytes.iter().sum::<u64>();
 
             // ---- Apply updates and compute the L1 delta. ----
-            let base = (1.0 - config.damping) * uniform
-                + config.damping * dangling * uniform;
+            let base = (1.0 - config.damping) * uniform + config.damping * dangling * uniform;
             let damping = config.damping;
             let deltas: Vec<f64> = gpus
                 .par_iter_mut()
@@ -307,11 +301,9 @@ impl DistributedGraph {
             delegate_scores = new_delegate_scores;
             delta = deltas.iter().sum::<f64>() + delegate_delta;
             // The global delta check is one more scalar allreduce.
-            phases.remote_delegate +=
-                cost.network.allreduce_time(8, topo.num_ranks(), true);
+            phases.remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true);
 
-            let timing =
-                IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
             modeled += timing.elapsed();
             phases_total = phases_total.combine(&phases);
             iterations += 1;
@@ -354,10 +346,7 @@ mod tests {
     fn assert_scores_close(a: &[f64], b: &[f64]) {
         assert_eq!(a.len(), b.len());
         for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (x - y).abs() <= 1e-9 + 1e-6 * y.abs(),
-                "score mismatch at {i}: {x} vs {y}"
-            );
+            assert!((x - y).abs() <= 1e-9 + 1e-6 * y.abs(), "score mismatch at {i}: {x} vs {y}");
         }
     }
 
@@ -404,13 +393,8 @@ mod tests {
         let topo = Topology::new(2, 2);
         let bfs_config = BfsConfig::new(8);
         let dist = DistributedGraph::build(&graph, topo, &bfs_config).unwrap();
-        let src = graph
-            .out_degrees()
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, deg)| *deg)
-            .unwrap()
-            .0 as u64;
+        let src =
+            graph.out_degrees().iter().enumerate().max_by_key(|&(_, deg)| *deg).unwrap().0 as u64;
         let bfs = dist.run(src, &bfs_config).unwrap();
         let pr = dist.pagerank(&PageRankConfig {
             max_iterations: bfs.iterations(),

@@ -1,0 +1,226 @@
+//! Recovery policy: bounded retry-with-backoff for transient faults and
+//! degraded-mode redistribution after fail-stop GPU losses.
+//!
+//! Two recovery tiers, matching the two fault classes of
+//! [`gcbfs_cluster::fault`]:
+//!
+//! 1. **Transient faults** (dropped/duplicated/delayed updates detected by
+//!    per-peer ack counts; corrupted mask words detected by checksums) are
+//!    handled *within* the iteration: the affected exchange or reduction
+//!    is re-run with exponential backoff, up to
+//!    [`RecoveryConfig::max_retries`] resampled attempts. The transport
+//!    then escalates to a verified reliable path (retransmission with
+//!    per-message acks — the way MPI itself survives link-level loss), so
+//!    a recovering run always makes progress. Every retry's transfer time
+//!    and backoff wait is charged to
+//!    [`FaultStats::recovery_seconds`](crate::stats::FaultStats).
+//! 2. **Fail-stop losses** (missed heartbeats) cannot be retried: the GPU
+//!    is gone. In degraded mode the failed GPU's partition is
+//!    redistributed to a surviving *buddy* (same rank when possible —
+//!    NVLink-reachable memory), the run rolls back to the latest
+//!    checkpoint, and replays forward with the buddy executing both
+//!    partitions serially. The wasted work between checkpoint and failure
+//!    plus the state-reload cost is charged to `recovery_seconds`.
+//!
+//! Both tiers preserve the bit-exactness contract: recovery replays the
+//! same deterministic computation, so depths match the fault-free run.
+
+use gcbfs_cluster::topology::Topology;
+
+/// Knobs of the recovery policy; part of [`BfsConfig`](crate::BfsConfig).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryConfig {
+    /// Master switch. When false, any detected fault surfaces as a typed
+    /// error from `run_with_faults` instead of being recovered.
+    pub enabled: bool,
+    /// Take a checkpoint every `k` iterations (`0` = only the implicit
+    /// iteration-0 checkpoint, which is always captured on fault-injected
+    /// runs so rollback is always possible).
+    pub checkpoint_interval: u32,
+    /// Resampled retry attempts per detected transient fault before the
+    /// transport escalates to the reliable (verified) path.
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt. Charged
+    /// as modeled time to `recovery_seconds`.
+    pub retry_backoff_seconds: f64,
+    /// Redistribute a failed GPU's partition to a survivor and continue
+    /// (true), or surface the loss as a typed error (false).
+    pub degraded_mode: bool,
+}
+
+impl Default for RecoveryConfig {
+    /// Checkpoint every 4 iterations, 3 retries at 50 µs base backoff,
+    /// degraded mode on.
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            checkpoint_interval: 4,
+            max_retries: 3,
+            retry_backoff_seconds: 50e-6,
+            degraded_mode: true,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// A policy that surfaces every detected fault as a typed error.
+    pub fn disabled() -> Self {
+        Self { enabled: false, degraded_mode: false, ..Self::default() }
+    }
+
+    /// Sets the checkpoint cadence.
+    pub fn with_checkpoint_interval(mut self, k: u32) -> Self {
+        self.checkpoint_interval = k;
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Enables/disables degraded-mode continuation after fail-stop.
+    pub fn with_degraded_mode(mut self, on: bool) -> Self {
+        self.degraded_mode = on;
+        self
+    }
+}
+
+/// Exponential backoff before retry `attempt` (0-based): `base * 2^attempt`.
+pub fn retry_backoff(base_seconds: f64, attempt: u32) -> f64 {
+    base_seconds * 2f64.powi(attempt.min(16) as i32)
+}
+
+/// Which survivor hosts each failed GPU's partition in degraded mode.
+///
+/// The map is deterministic: a failed GPU is hosted by the next surviving
+/// GPU of its own rank (its partition is NVLink-reachable from there), or
+/// the next surviving GPU in flat order when the whole rank is gone.
+#[derive(Clone, Debug, Default)]
+pub struct DegradedMap {
+    /// `host_of[flat]` = the survivor hosting this GPU's partition, or
+    /// `None` while the GPU is alive.
+    host_of: Vec<Option<usize>>,
+}
+
+impl DegradedMap {
+    /// An all-alive map over `num_gpus` GPUs.
+    pub fn new(num_gpus: usize) -> Self {
+        Self { host_of: vec![None; num_gpus] }
+    }
+
+    /// Marks `gpu` failed and assigns its host. Returns the host's flat
+    /// index.
+    ///
+    /// # Panics
+    /// Panics if no GPU survives (an unrecoverable plan; callers should
+    /// check [`gcbfs_cluster::fault::plan_is_survivable`] first).
+    pub fn fail(&mut self, gpu: usize, topology: &Topology) -> usize {
+        let p = self.host_of.len();
+        assert!(gpu < p, "failed GPU out of range");
+        self.host_of[gpu] = Some(gpu); // provisional; fixed below
+        let alive = |g: usize| self.host_of[g].is_none();
+        let rank_of = |g: usize| topology.unflat(g).rank;
+        // Prefer a survivor in the same rank, scanning from the failed
+        // GPU's slot for determinism.
+        let same_rank =
+            (1..p).map(|d| (gpu + d) % p).find(|&g| alive(g) && rank_of(g) == rank_of(gpu));
+        let host = same_rank
+            .or_else(|| (1..p).map(|d| (gpu + d) % p).find(|&g| alive(g)))
+            .expect("at least one GPU must survive");
+        self.host_of[gpu] = Some(host);
+        // Re-home any partition previously hosted by the newly failed GPU.
+        for g in 0..p {
+            if g != gpu && self.host_of[g] == Some(gpu) {
+                self.host_of[g] = Some(host);
+            }
+        }
+        host
+    }
+
+    /// True if `gpu` has failed.
+    pub fn is_failed(&self, gpu: usize) -> bool {
+        self.host_of[gpu].is_some()
+    }
+
+    /// The survivor hosting `gpu`'s partition (itself when alive).
+    pub fn host(&self, gpu: usize) -> usize {
+        self.host_of[gpu].unwrap_or(gpu)
+    }
+
+    /// True if any GPU has failed.
+    pub fn any_failed(&self) -> bool {
+        self.host_of.iter().any(Option::is_some)
+    }
+
+    /// Number of failed GPUs.
+    pub fn failed_count(&self) -> usize {
+        self.host_of.iter().filter(|h| h.is_some()).count()
+    }
+
+    /// `(failed, host)` pairs, in flat order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.host_of.iter().enumerate().filter_map(|(g, h)| h.map(|host| (g, host)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let r = RecoveryConfig::default();
+        assert!(r.enabled && r.degraded_mode);
+        assert!(r.checkpoint_interval > 0 && r.max_retries > 0);
+        let off = RecoveryConfig::disabled();
+        assert!(!off.enabled && !off.degraded_mode);
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let b = 1e-4;
+        assert_eq!(retry_backoff(b, 0), 1e-4);
+        assert_eq!(retry_backoff(b, 1), 2e-4);
+        assert_eq!(retry_backoff(b, 3), 8e-4);
+        // Capped exponent keeps the charge finite even for absurd attempts.
+        assert!(retry_backoff(b, 1000).is_finite());
+    }
+
+    #[test]
+    fn buddy_is_same_rank_when_possible() {
+        let topo = Topology::new(2, 2); // flats: 0,1 = rank 0; 2,3 = rank 1
+        let mut map = DegradedMap::new(4);
+        assert!(!map.any_failed());
+        let host = map.fail(2, &topo);
+        assert_eq!(host, 3, "buddy in the same rank");
+        assert!(map.is_failed(2));
+        assert_eq!(map.host(2), 3);
+        assert_eq!(map.host(0), 0, "survivors host themselves");
+        assert_eq!(map.failed_count(), 1);
+        assert_eq!(map.pairs().collect::<Vec<_>>(), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn falls_back_across_ranks_and_rehomes() {
+        let topo = Topology::new(2, 2);
+        let mut map = DegradedMap::new(4);
+        assert_eq!(map.fail(2, &topo), 3);
+        // Now rank 1's other GPU dies too: its host must come from rank 0,
+        // and GPU 2's partition must move off the dead host.
+        let host = map.fail(3, &topo);
+        assert_eq!(host, 0);
+        assert_eq!(map.host(2), 0, "re-homed off the dead buddy");
+        assert_eq!(map.failed_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn total_loss_is_unrecoverable() {
+        let topo = Topology::new(1, 2);
+        let mut map = DegradedMap::new(2);
+        map.fail(0, &topo);
+        map.fail(1, &topo);
+    }
+}

@@ -152,16 +152,12 @@ impl DistributedSssp {
             let flat = topology.flat(owner(u, v, class, &degrees, &topology));
             match class {
                 EdgeClass::Nn => nn[flat].push((topology.local_index(u), v, w)),
-                EdgeClass::Nd => nd[flat].push((
-                    topology.local_index(u),
-                    separation.delegate_id(v).unwrap(),
-                    w,
-                )),
-                EdgeClass::Dn => dn[flat].push((
-                    separation.delegate_id(u).unwrap(),
-                    topology.local_index(v),
-                    w,
-                )),
+                EdgeClass::Nd => {
+                    nd[flat].push((topology.local_index(u), separation.delegate_id(v).unwrap(), w))
+                }
+                EdgeClass::Dn => {
+                    dn[flat].push((separation.delegate_id(u).unwrap(), topology.local_index(v), w))
+                }
                 EdgeClass::Dd => dd[flat].push((
                     separation.delegate_id(u).unwrap(),
                     separation.delegate_id(v).unwrap(),
@@ -197,21 +193,15 @@ impl DistributedSssp {
     /// Returns [`BuildError::SourceOutOfRange`] for an invalid source.
     pub fn run(&self, source: VertexId, config: &BfsConfig) -> Result<SsspResult, BuildError> {
         if source >= self.num_vertices {
-            return Err(BuildError::SourceOutOfRange {
-                source,
-                num_vertices: self.num_vertices,
-            });
+            return Err(BuildError::SourceOutOfRange { source, num_vertices: self.num_vertices });
         }
         let topo = self.topology;
         let p = topo.num_gpus() as usize;
         let d = self.separation.num_delegates() as usize;
         let cost = &config.cost;
 
-        let mut dist_local: Vec<Vec<u64>> = self
-            .subgraphs
-            .iter()
-            .map(|sg| vec![UNREACHABLE; sg.num_local as usize])
-            .collect();
+        let mut dist_local: Vec<Vec<u64>> =
+            self.subgraphs.iter().map(|sg| vec![UNREACHABLE; sg.num_local as usize]).collect();
         let mut delegate_dist = vec![UNREACHABLE; d];
         let mut active_local: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
         let mut active_delegates: Vec<u32> = Vec::new();
@@ -300,8 +290,7 @@ impl DistributedSssp {
             // Delegate distance min-reduce.
             let mut reduced = Vec::new();
             if d > 0 {
-                let words: Vec<Vec<u64>> =
-                    outs.iter().map(|o| o.delegate_props.clone()).collect();
+                let words: Vec<Vec<u64>> = outs.iter().map(|o| o.delegate_props.clone()).collect();
                 let outcome = allreduce_min(topo, cost, &words, config.blocking_reduce);
                 phases.local_comm += outcome.local_time;
                 phases.remote_delegate += outcome.global_time;
@@ -437,18 +426,11 @@ mod tests {
         let graph = WeightedEdgeList::from_topology(&base, 1, 0);
         let config = BfsConfig::new(8);
         let dist = DistributedSssp::build(&graph, Topology::new(2, 2), &config);
-        let src = base
-            .out_degrees()
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, deg)| *deg)
-            .unwrap()
-            .0 as u64;
+        let src =
+            base.out_degrees().iter().enumerate().max_by_key(|&(_, deg)| *deg).unwrap().0 as u64;
         let r = dist.run(src, &config).unwrap();
-        let depths = gcbfs_graph::reference::bfs_depths(
-            &gcbfs_graph::Csr::from_edge_list(&base),
-            src,
-        );
+        let depths =
+            gcbfs_graph::reference::bfs_depths(&gcbfs_graph::Csr::from_edge_list(&base), src);
         for (v, (&got, &want)) in r.distances.iter().zip(&depths).enumerate() {
             let want64 = if want == u32::MAX { UNREACHABLE } else { want as u64 };
             assert_eq!(got, want64, "vertex {v}");
@@ -474,9 +456,6 @@ mod tests {
         let graph = WeightedEdgeList::from_topology(&base, 4, 0);
         let config = BfsConfig::new(4);
         let dist = DistributedSssp::build(&graph, Topology::new(1, 1), &config);
-        assert!(matches!(
-            dist.run(44, &config),
-            Err(BuildError::SourceOutOfRange { .. })
-        ));
+        assert!(matches!(dist.run(44, &config), Err(BuildError::SourceOutOfRange { .. })));
     }
 }

@@ -32,6 +32,56 @@ pub struct IterationRecord {
     pub timing: IterationTiming,
 }
 
+/// Fault-injection and recovery accounting of one run. All zeros on
+/// fault-free runs, so resilience bookkeeping never perturbs the paper's
+/// headline numbers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Normal-vertex updates dropped in flight by the injector.
+    pub injected_drops: u64,
+    /// Updates duplicated in flight.
+    pub injected_duplicates: u64,
+    /// Updates delayed to a later superstep.
+    pub injected_delays: u64,
+    /// Delegate-mask words corrupted in the reduction.
+    pub injected_corruptions: u64,
+    /// Fail-stop GPU losses detected by heartbeat.
+    pub fail_stops: u64,
+    /// Transient-fault retries performed (exchange re-runs and mask
+    /// reduction re-runs).
+    pub retries: u64,
+    /// Rollbacks to a checkpoint after a fail-stop.
+    pub rollbacks: u64,
+    /// Checkpoints captured.
+    pub checkpoints_taken: u64,
+    /// Modeled seconds spent capturing checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Modeled seconds of recovery work: retry transfers, backoff waits,
+    /// state reloads, and iterations discarded by rollback.
+    pub recovery_seconds: f64,
+    /// Iterations executed with at least one GPU in degraded mode (its
+    /// partition hosted by a surviving buddy).
+    pub degraded_iterations: u64,
+}
+
+impl FaultStats {
+    /// Total modeled resilience overhead (checkpointing + recovery),
+    /// included in [`RunStats::modeled_elapsed`].
+    pub fn overhead_seconds(&self) -> f64 {
+        self.checkpoint_seconds + self.recovery_seconds
+    }
+
+    /// True if any fault was injected or any recovery action taken.
+    pub fn any_faults(&self) -> bool {
+        self.injected_drops
+            + self.injected_duplicates
+            + self.injected_delays
+            + self.injected_corruptions
+            + self.fail_stops
+            > 0
+    }
+}
+
 /// A whole run's statistics.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -40,6 +90,8 @@ pub struct RunStats {
     /// Wall-clock seconds of the Rust execution (the simulator's own
     /// speed — *not* comparable to the paper's numbers).
     pub wall_seconds: f64,
+    /// Fault-injection and recovery accounting (all zero without faults).
+    pub fault: FaultStats,
 }
 
 impl RunStats {
@@ -61,9 +113,11 @@ impl RunStats {
             .fold(PhaseTimes::zero(), |acc, p| acc.combine(&p))
     }
 
-    /// Total modeled elapsed seconds (with overlap).
+    /// Total modeled elapsed seconds (with overlap), including any
+    /// checkpointing and recovery overhead — resilience is charged, not
+    /// hidden.
     pub fn modeled_elapsed(&self) -> f64 {
-        self.records.iter().map(|r| r.timing.elapsed()).sum()
+        self.records.iter().map(|r| r.timing.elapsed()).sum::<f64>() + self.fault.overhead_seconds()
     }
 
     /// Total edges examined by the traversal (the measured workload `m'`
@@ -124,6 +178,7 @@ mod tests {
         let stats = RunStats {
             records: vec![record(0, true, 4.0), record(1, false, 6.0)],
             wall_seconds: 0.1,
+            fault: FaultStats::default(),
         };
         assert_eq!(stats.iterations(), 2);
         assert_eq!(stats.mask_reductions(), 1);

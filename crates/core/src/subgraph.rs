@@ -211,7 +211,17 @@ impl GpuSubgraphs {
         for r in dd.non_empty_rows() {
             dd_source_mask.set(r);
         }
-        Self { num_local, num_delegates, nn, nd, dn, dd, nd_sources, dn_source_mask, dd_source_mask }
+        Self {
+            num_local,
+            num_delegates,
+            nn,
+            nd,
+            dn,
+            dd,
+            nd_sources,
+            dn_source_mask,
+            dd_source_mask,
+        }
     }
 
     /// Total edges stored on this GPU.

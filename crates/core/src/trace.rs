@@ -139,13 +139,7 @@ mod tests {
         let graph = RmatConfig::graph500(9).generate();
         let config = BfsConfig::new(8);
         let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
-        let src = graph
-            .out_degrees()
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, d)| d)
-            .unwrap()
-            .0 as u64;
+        let src = graph.out_degrees().iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
         dist.run(src, &config).unwrap()
     }
 

@@ -1,0 +1,69 @@
+//! Property tests of the chaos fabric: any survivable seeded fault plan
+//! must recover to depths bit-identical to the fault-free reference, with
+//! deterministic fault accounting.
+
+use gcbfs_cluster::fault::{plan_is_survivable, FaultPlan};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::BfsConfig;
+use gcbfs_graph::reference::bfs_depths;
+use gcbfs_graph::rmat::RmatConfig;
+use gcbfs_graph::Csr;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    dist: DistributedGraph,
+    config: BfsConfig,
+    reference: Vec<u32>,
+    source: u64,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let graph = RmatConfig::graph500(8).generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let degrees = graph.out_degrees();
+        let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        let reference = bfs_depths(&Csr::from_edge_list(&graph), source);
+        Fixture { dist, config, reference, source }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline acceptance property: a random mix of drops,
+    /// duplicates, delays, a possible fail-stop, mask corruptions, and a
+    /// NIC degradation window never changes the answer — only the bill.
+    #[test]
+    fn random_fault_plans_recover_reference_depths(seed in 0u64..u64::MAX / 2) {
+        let fx = fixture();
+        let plan = FaultPlan::random(seed, 4, 8);
+        prop_assert!(plan_is_survivable(&plan, fx.dist.topology()));
+        let r = fx.dist.run_with_faults(fx.source, &fx.config, &plan)
+            .expect("survivable plans must recover");
+        prop_assert_eq!(&r.depths, &fx.reference);
+        // Recovery is charged, never free: if anything fired, time accrued.
+        let f = &r.stats.fault;
+        if f.any_faults() && (f.retries > 0 || f.rollbacks > 0) {
+            prop_assert!(f.recovery_seconds > 0.0);
+        }
+        prop_assert!(r.modeled_seconds().is_finite() && r.modeled_seconds() > 0.0);
+    }
+
+    /// Same plan, same run: the whole fault stream and its accounting are
+    /// functions of the seed.
+    #[test]
+    fn fault_accounting_is_deterministic(seed in 0u64..u64::MAX / 2) {
+        let fx = fixture();
+        let plan = FaultPlan::random(seed, 4, 8);
+        let a = fx.dist.run_with_faults(fx.source, &fx.config, &plan).unwrap();
+        let b = fx.dist.run_with_faults(fx.source, &fx.config, &plan).unwrap();
+        prop_assert_eq!(&a.depths, &b.depths);
+        prop_assert_eq!(&a.stats.fault, &b.stats.fault);
+        prop_assert_eq!(a.stats.iterations(), b.stats.iterations());
+    }
+}

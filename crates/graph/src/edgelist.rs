@@ -47,12 +47,8 @@ impl EdgeList {
     /// This is exactly the Graph500 preparation step the paper applies to
     /// RMAT, Friendster, and WDC inputs.
     pub fn symmetrize(&mut self) {
-        let reverse: Vec<(VertexId, VertexId)> = self
-            .edges
-            .par_iter()
-            .filter(|&&(u, v)| u != v)
-            .map(|&(u, v)| (v, u))
-            .collect();
+        let reverse: Vec<(VertexId, VertexId)> =
+            self.edges.par_iter().filter(|&&(u, v)| u != v).map(|&(u, v)| (v, u)).collect();
         self.edges.extend(reverse);
     }
 

@@ -99,7 +99,10 @@ pub fn read_binary<R: Read>(mut reader: R) -> io::Result<EdgeList> {
         reader.read_exact(&mut word)?;
         let v = u64::from_le_bytes(word);
         if u >= n || v >= n {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "endpoint exceeds vertex count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "endpoint exceeds vertex count",
+            ));
         }
         edges.push((u, v));
     }

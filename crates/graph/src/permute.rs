@@ -161,9 +161,8 @@ mod tests {
         // The whole point: consecutive ids (RMAT hubs) must not stay
         // consecutive, or the modulo partitioner would be biased.
         let p = VertexPermutation::new(1 << 16, 5);
-        let adjacent_pairs = (0..1000u64)
-            .filter(|&v| p.apply(v).abs_diff(p.apply(v + 1)) == 1)
-            .count();
+        let adjacent_pairs =
+            (0..1000u64).filter(|&v| p.apply(v).abs_diff(p.apply(v + 1)) == 1).count();
         assert!(adjacent_pairs < 10, "permutation barely scatters: {adjacent_pairs}");
     }
 }

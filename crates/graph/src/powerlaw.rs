@@ -66,9 +66,8 @@ impl PowerLawConfig {
             (0.0..1.0).contains(&self.isolated_fraction),
             "isolated fraction must be in [0, 1)"
         );
-        let active = ((self.num_vertices as f64) * (1.0 - self.isolated_fraction))
-            .round()
-            .max(1.0) as u64;
+        let active =
+            ((self.num_vertices as f64) * (1.0 - self.isolated_fraction)).round().max(1.0) as u64;
         // Chung–Lu weights w_i ~ (i + 1)^(-1/(gamma - 1)) produce a degree
         // distribution with exponent gamma.
         let alpha = 1.0 / (self.exponent - 1.0);

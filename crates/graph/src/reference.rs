@@ -153,11 +153,12 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::SourceDepth { actual } => write!(f, "source depth is {actual}, expected 0"),
-            Self::ExtraRoot { vertex } => write!(f, "vertex {vertex} has depth 0 but is not the source"),
-            Self::EdgeSpansLevels { from, to, from_depth, to_depth } => write!(
-                f,
-                "edge {from}->{to} spans depths {from_depth}->{to_depth}"
-            ),
+            Self::ExtraRoot { vertex } => {
+                write!(f, "vertex {vertex} has depth 0 but is not the source")
+            }
+            Self::EdgeSpansLevels { from, to, from_depth, to_depth } => {
+                write!(f, "edge {from}->{to} spans depths {from_depth}->{to_depth}")
+            }
             Self::ReachabilityLeak { from, to } => {
                 write!(f, "reached vertex {from} has unreached neighbor {to}")
             }
@@ -197,7 +198,11 @@ impl std::error::Error for ValidationError {}
 ///
 /// Together with symmetry these force `depths` to equal the true hop
 /// distances, so the check is complete, not just necessary.
-pub fn validate_depths(graph: &Csr, source: VertexId, depths: &[u32]) -> Result<(), ValidationError> {
+pub fn validate_depths(
+    graph: &Csr,
+    source: VertexId,
+    depths: &[u32],
+) -> Result<(), ValidationError> {
     let n = graph.num_vertices() as usize;
     if depths.len() != n {
         return Err(ValidationError::WrongLength { expected: n, actual: depths.len() });

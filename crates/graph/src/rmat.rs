@@ -71,7 +71,10 @@ impl RmatConfig {
     /// randomization).
     pub fn generate_directed(&self) -> EdgeList {
         assert!(
-            (self.a + self.b + self.c) < 1.0 + 1e-9 && self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            (self.a + self.b + self.c) < 1.0 + 1e-9
+                && self.a >= 0.0
+                && self.b >= 0.0
+                && self.c >= 0.0,
             "RMAT probabilities must be non-negative and sum to at most 1"
         );
         let m = self.num_generated_edges() as usize;

@@ -43,7 +43,11 @@ impl DegreeStats {
             num_vertices: degrees.len() as u64,
             num_edges,
             max_degree,
-            mean_degree: if degrees.is_empty() { 0.0 } else { num_edges as f64 / degrees.len() as f64 },
+            mean_degree: if degrees.is_empty() {
+                0.0
+            } else {
+                num_edges as f64 / degrees.len() as f64
+            },
             zero_degree,
             log2_histogram,
         }

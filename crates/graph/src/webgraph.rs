@@ -52,7 +52,8 @@ impl WebGraphConfig {
     /// Generates the symmetric long-tail graph with randomized vertex ids.
     pub fn generate(&self) -> EdgeList {
         let core_n = 1u64 << self.core_scale;
-        let mut core = RmatConfig::graph500(self.core_scale).with_seed(self.seed).generate_directed();
+        let mut core =
+            RmatConfig::graph500(self.core_scale).with_seed(self.seed).generate_directed();
         let mut edges = std::mem::take(&mut core.edges);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc41a);
         let mut next = core_n;
@@ -80,7 +81,13 @@ mod tests {
 
     #[test]
     fn produces_long_tail_bfs() {
-        let cfg = WebGraphConfig { core_scale: 8, num_chains: 4, chain_length: 150, num_isolated: 32, seed: 7 };
+        let cfg = WebGraphConfig {
+            core_scale: 8,
+            num_chains: 4,
+            chain_length: 150,
+            num_isolated: 32,
+            seed: 7,
+        };
         let g = cfg.generate();
         let csr = crate::Csr::from_edge_list(&g);
         // Start from some reached vertex; depth must extend past the chains.
@@ -92,7 +99,13 @@ mod tests {
 
     #[test]
     fn counts_line_up() {
-        let cfg = WebGraphConfig { core_scale: 6, num_chains: 2, chain_length: 10, num_isolated: 5, seed: 1 };
+        let cfg = WebGraphConfig {
+            core_scale: 6,
+            num_chains: 2,
+            chain_length: 10,
+            num_isolated: 5,
+            seed: 1,
+        };
         assert_eq!(cfg.num_vertices(), 64 + 20 + 5);
         let g = cfg.generate();
         assert_eq!(g.num_vertices, cfg.num_vertices());

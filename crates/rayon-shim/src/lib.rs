@@ -1,0 +1,359 @@
+//! Sequential, deterministic drop-in for the subset of the `rayon` API this
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rayon` cannot be vendored. This shim keeps every call site unchanged
+//! (`par_iter`, `par_chunks`, `into_par_iter`, `ThreadPoolBuilder`, ...)
+//! while executing sequentially. That is semantically safe here by design:
+//! the repository's own determinism tests (`tests/determinism.rs`) require
+//! every algorithm to produce bit-identical results regardless of the host
+//! thread count, so a one-thread execution is always a valid schedule.
+//!
+//! "Parallel iterators" are thin wrappers over `std` iterators with the
+//! rayon-flavored combinators the workspace calls (`flat_map_iter`,
+//! `reduce(identity, op)`, ...). Swapping the real rayon back in is a
+//! one-line change in the workspace `Cargo.toml`.
+
+use std::ops::Range;
+
+/// Number of worker threads of the current pool. The shim always runs
+/// sequentially, so this is 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Builder for a (sequential) thread pool; mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a new builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the requested thread count (ignored: the shim is sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {})
+    }
+}
+
+/// Error building a thread pool (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A (sequential) thread pool; mirrors `rayon::ThreadPool`.
+pub struct ThreadPool {}
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool: sequentially, on the calling thread.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        f()
+    }
+}
+
+/// The shim's "parallel" iterator: a lazy wrapper over a `std` iterator
+/// exposing the rayon combinator names (notably `reduce(identity, op)` and
+/// `flat_map_iter`, whose signatures differ from `std::iter::Iterator`).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filters items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Filter + map in one pass.
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each item to a serial iterator and flattens (rayon's
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Maps each item to an iterable and flattens (alias of
+    /// [`ParIter::flat_map_iter`] in the shim).
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pairs items with those of another parallel iterator.
+    pub fn zip<J: IntoParIter>(self, other: J) -> ParIter<std::iter::Zip<I, J::Inner>> {
+        ParIter(self.0.zip(other.into_par_inner()))
+    }
+
+    /// Numbers items from 0.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Consumes the iterator, applying `f` to each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Splits an iterator of pairs into two collections.
+    pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+    where
+        I: Iterator<Item = (A, B)>,
+        FromA: Default + Extend<A>,
+        FromB: Default + Extend<B>,
+    {
+        self.0.unzip()
+    }
+
+    /// Rayon-style reduction: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: FnOnce() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Whether any item satisfies `f`.
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.any(f)
+    }
+
+    /// Whether all items satisfy `f`.
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.all(f)
+    }
+
+    /// Finds the first item satisfying `f` (rayon's `find_any`, which in a
+    /// sequential schedule is simply the first match).
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, f: F) -> Option<I::Item> {
+        let mut it = self.0;
+        it.find(f)
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into the shim's parallel iterator; lets `zip` accept
+/// `ParIter`s, `Vec`s, and any other iterable (rayon's `zip` similarly
+/// accepts `IntoParallelIterator` arguments).
+pub trait IntoParIter {
+    /// Underlying serial iterator type.
+    type Inner: Iterator;
+    /// Unwraps into the serial iterator.
+    fn into_par_inner(self) -> Self::Inner;
+}
+
+impl<T: IntoIterator> IntoParIter for T {
+    type Inner = T::IntoIter;
+    fn into_par_inner(self) -> Self::Inner {
+        self.into_iter()
+    }
+}
+
+/// Owning conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<A> IntoParallelIterator for Range<A>
+where
+    Range<A>: Iterator<Item = A>,
+{
+    type Item = A;
+    type Iter = Range<A>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Borrowing slice operations (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel chunked iteration.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable slice operations (`par_iter_mut`, `par_chunks_mut`, parallel
+/// sorts).
+pub trait ParallelSliceMut<T> {
+    /// Parallel exclusive iteration.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel chunked exclusive iteration.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Parallel unstable sort (sequential in the shim).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Parallel unstable sort by key (sequential in the shim).
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+/// Runs two closures (sequentially in the shim) and returns both results;
+/// mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The rayon prelude: glob-import to get the `par_*` methods.
+pub mod prelude {
+    pub use crate::{IntoParIter, IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunked_reduce_matches_serial() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 =
+            data.par_chunks(7).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn zip_and_unzip() {
+        let a = [1, 2, 3];
+        let mut b = [10, 20, 30];
+        a.par_iter().zip(b.par_iter_mut()).for_each(|(x, y)| *y += x);
+        assert_eq!(b, [11, 22, 33]);
+        let (l, r): (Vec<i32>, Vec<i32>) = a.par_iter().map(|&x| (x, -x)).unzip();
+        assert_eq!(l, vec![1, 2, 3]);
+        assert_eq!(r, vec![-1, -2, -3]);
+    }
+
+    #[test]
+    fn sort_and_pool() {
+        let mut v = vec![3u64, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.install(|| 42), 42);
+        assert_eq!(crate::current_num_threads(), 1);
+    }
+}

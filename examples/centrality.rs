@@ -23,11 +23,8 @@ fn main() {
 
     // Sample 64 sources among connected vertices.
     let degrees = graph.out_degrees();
-    let sources: Vec<u64> = (0..graph.num_vertices)
-        .filter(|&v| degrees[v as usize] > 0)
-        .step_by(37)
-        .take(64)
-        .collect();
+    let sources: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).step_by(37).take(64).collect();
     println!("batching {} BFS sources into one MS-BFS traversal", sources.len());
 
     let batch = dist.run_multi_source(&sources, &config).expect("run");
@@ -39,8 +36,7 @@ fn main() {
     );
 
     // The sharing win versus running each source separately.
-    let separate: Vec<_> =
-        sources.iter().map(|&s| dist.run(s, &config).expect("run")).collect();
+    let separate: Vec<_> = sources.iter().map(|&s| dist.run(s, &config).expect("run")).collect();
     let separate_ms: f64 = separate.iter().map(|r| r.modeled_seconds() * 1e3).sum();
     println!(
         "vs separate runs: {:.3} ms total, sharing factor {:.1}x on edges, {:.1}x on time",

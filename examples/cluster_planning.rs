@@ -33,8 +33,7 @@ fn main() {
         }
         let n = 1u64 << best;
         let m = n * 32;
-        let per_gpu =
-            paper_total_bytes(n, n / 50, gpus, m, m * 6 / 100).div_ceil(gpus) >> 20;
+        let per_gpu = paper_total_bytes(n, n / 50, gpus, m, m * 6 / 100).div_ceil(gpus) >> 20;
         println!("{gpus:>6} {best:>12} {per_gpu:>14} {:>10}", "yes");
     }
     println!(
@@ -47,17 +46,11 @@ fn main() {
     let rmat = RmatConfig::graph500(16);
     let graph = rmat.generate();
     let config = BfsConfig::new(45);
-    let dist =
-        DistributedGraph::build(&graph, Topology::new(8, 2), &config).expect("build");
+    let dist = DistributedGraph::build(&graph, Topology::new(8, 2), &config).expect("build");
     let measured = dist.total_graph_bytes();
     let d = dist.separation().num_delegates() as u64;
-    let predicted = paper_total_bytes(
-        graph.num_vertices,
-        d,
-        16,
-        graph.num_edges(),
-        dist.class_counts().nn,
-    );
+    let predicted =
+        paper_total_bytes(graph.num_vertices, d, 16, graph.num_edges(), dist.class_counts().nn);
     println!(
         "  measured {measured} bytes vs model {predicted} bytes ({:+.2}%)",
         100.0 * (measured as f64 - predicted as f64) / predicted as f64
@@ -67,7 +60,9 @@ fn main() {
     // d·log(prank)/4 · S · g.
     println!("\ncommunication budget per DOBFS run (paper's closed form):");
     let g = cost.g();
-    for (label, scale, prank) in [("12 GPUs / scale 30", 30u32, 6u32), ("124 GPUs / scale 33", 33, 62)] {
+    for (label, scale, prank) in
+        [("12 GPUs / scale 30", 30u32, 6u32), ("124 GPUs / scale 33", 33, 62)]
+    {
         let n = 1u64 << scale;
         let d = n / 50;
         let s_iters = 7.0;

@@ -38,7 +38,7 @@ fn main() {
         depths: Vec<u32>, // indexed by v / p
         frontier: Vec<u64>,
     }
-    let owned = |gpu: u64| -> u64 { (graph.num_vertices - gpu + p - 1) / p };
+    let owned = |gpu: u64| -> u64 { (graph.num_vertices - gpu).div_ceil(p) };
     let mut states: Vec<Gpu> = (0..p)
         .map(|g| Gpu { depths: vec![UNREACHED; owned(g) as usize], frontier: Vec::new() })
         .collect();

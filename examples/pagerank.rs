@@ -40,7 +40,8 @@ fn main() {
     let mut ranked: Vec<(usize, f64)> = result.scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     let csr = Csr::from_edge_list(&graph);
-    let reference = reference_pagerank(&csr, config.damping, config.tolerance, config.max_iterations);
+    let reference =
+        reference_pagerank(&csr, config.damping, config.tolerance, config.max_iterations);
     println!("\ntop 5 vertices by rank (distributed vs reference):");
     for &(v, s) in ranked.iter().take(5) {
         println!(

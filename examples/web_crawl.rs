@@ -43,11 +43,7 @@ fn main() {
             .iter()
             .filter(|rec| rec.frontier_len + rec.new_delegates <= 2 * gen.num_chains)
             .count();
-        let heavy = records
-            .iter()
-            .map(|rec| rec.work.total_edges())
-            .max()
-            .unwrap_or(0);
+        let heavy = records.iter().map(|rec| rec.work.total_edges()).max().unwrap_or(0);
         println!(
             "  {tiny} of {} iterations touch <= 2 vertices; heaviest iteration examines \
              {heavy} edges; mask reductions in {} iterations (S' << S)",

@@ -89,12 +89,7 @@ fn dobfs_saves_edges_everywhere_on_rmat() {
     let d = dist.separation().num_delegates() as u64;
     let p = 4u64;
     let bound = single_do.edges_examined + d * p * 32;
-    assert!(
-        ours_edges <= bound,
-        "workload {} exceeds m' + d*p*b bound {}",
-        ours_edges,
-        bound
-    );
+    assert!(ours_edges <= bound, "workload {} exceeds m' + d*p*b bound {}", ours_edges, bound);
 }
 
 #[test]

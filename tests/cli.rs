@@ -28,9 +28,8 @@ fn generate_info_bfs_pipeline_binary_format() {
     assert!(text.contains("vertices      512"), "{text}");
     assert!(text.contains("symmetric     true"), "{text}");
 
-    let bfs = gcbfs(&[
-        "bfs", path, "--ranks", "2", "--gpus", "2", "--threshold", "8", "--validate",
-    ]);
+    let bfs =
+        gcbfs(&["bfs", path, "--ranks", "2", "--gpus", "2", "--threshold", "8", "--validate"]);
     assert!(bfs.status.success(), "{}", String::from_utf8_lossy(&bfs.stderr));
     let text = String::from_utf8_lossy(&bfs.stdout);
     assert!(text.contains("validation: OK"), "{text}");
@@ -105,8 +104,15 @@ fn bfs_options_accepted() {
     let path = file.to_str().unwrap();
     assert!(gcbfs(&["generate", "rmat", "--scale", "8", "--out", path]).status.success());
     let bfs = gcbfs(&[
-        "bfs", path, "--no-do", "--local-all2all", "--uniquify", "--nonblocking",
-        "--source", "3", "--validate",
+        "bfs",
+        path,
+        "--no-do",
+        "--local-all2all",
+        "--uniquify",
+        "--nonblocking",
+        "--source",
+        "3",
+        "--validate",
     ]);
     assert!(bfs.status.success(), "{}", String::from_utf8_lossy(&bfs.stderr));
     std::fs::remove_file(&file).ok();
@@ -141,7 +147,13 @@ fn deterministic_generation_via_seed() {
     let c = tmp("seed-c.bin");
     for (f, seed) in [(&a, "7"), (&b, "7"), (&c, "8")] {
         assert!(gcbfs(&[
-            "generate", "rmat", "--scale", "8", "--seed", seed, "--out",
+            "generate",
+            "rmat",
+            "--scale",
+            "8",
+            "--seed",
+            seed,
+            "--out",
             f.to_str().unwrap()
         ])
         .status

@@ -10,24 +10,14 @@ use gpu_cluster_bfs::prelude::*;
 /// Runs `f` once on the default pool and once on a single-thread pool.
 fn both_pools<T: PartialEq + std::fmt::Debug + Send>(f: impl Fn() -> T + Sync) {
     let parallel = f();
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap()
-        .install(&f);
+    let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(&f);
     assert_eq!(parallel, single);
 }
 
 fn setup() -> (gpu_cluster_bfs::graph::EdgeList, BfsConfig, u64) {
     let graph = RmatConfig::graph500(9).generate();
     let config = BfsConfig::new(8);
-    let src = graph
-        .out_degrees()
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, d)| d)
-        .unwrap()
-        .0 as u64;
+    let src = graph.out_degrees().iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
     (graph, config, src)
 }
 

@@ -88,12 +88,7 @@ fn powerlaw_graph() {
     let sources = sources_for(&graph, 4);
     for topo in [Topology::new(2, 2), Topology::new(4, 2)] {
         check(&graph, topo, &BfsConfig::new(16), &sources);
-        check(
-            &graph,
-            topo,
-            &BfsConfig::new(16).with_direction_optimization(false),
-            &sources,
-        );
+        check(&graph, topo, &BfsConfig::new(16).with_direction_optimization(false), &sources);
     }
 }
 

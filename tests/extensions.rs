@@ -58,8 +58,7 @@ fn pagerank_matches_reference_through_io_roundtrip() {
     let dist = DistributedGraph::build(&reloaded, Topology::new(2, 2), &bfs_config).unwrap();
     let pr_config = PageRankConfig { max_iterations: 40, tolerance: 1e-12, ..Default::default() };
     let ours = dist.pagerank(&pr_config);
-    let reference =
-        reference_pagerank(&Csr::from_edge_list(&graph), pr_config.damping, 1e-12, 40);
+    let reference = reference_pagerank(&Csr::from_edge_list(&graph), pr_config.damping, 1e-12, 40);
     for (a, b) in ours.scores.iter().zip(&reference.scores) {
         assert!((a - b).abs() < 1e-9 + 1e-6 * b.abs());
     }
@@ -72,13 +71,7 @@ fn pagerank_ranks_hubs_first_on_scale_free_graphs() {
     let config = BfsConfig::new(16);
     let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
     let pr = dist.pagerank(&PageRankConfig::default());
-    let top = pr
-        .scores
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .unwrap()
-        .0;
+    let top = pr.scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
     // The top-ranked vertex must be among the highest-degree vertices.
     let max_deg = *degrees.iter().max().unwrap();
     assert!(degrees[top] as f64 >= 0.2 * max_deg as f64);

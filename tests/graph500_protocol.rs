@@ -38,9 +38,7 @@ fn teps_uses_graph500_edge_convention() {
     assert!(teps > 0.0);
     assert!((r.gteps(rmat.graph500_edges()) - teps / 1e9).abs() < 1e-9);
     // TEPS must equal edges / modeled seconds exactly.
-    assert!(
-        (teps - rmat.graph500_edges() as f64 / r.modeled_seconds()).abs() < 1e-6 * teps
-    );
+    assert!((teps - rmat.graph500_edges() as f64 / r.modeled_seconds()).abs() < 1e-6 * teps);
 }
 
 #[test]
@@ -55,10 +53,7 @@ fn repeated_runs_are_deterministic() {
     assert_eq!(a.iterations(), b.iterations());
     // Modeled time is a pure function of the run, so it matches exactly.
     assert_eq!(a.modeled_seconds(), b.modeled_seconds());
-    assert_eq!(
-        a.stats.total_edges_examined(),
-        b.stats.total_edges_examined()
-    );
+    assert_eq!(a.stats.total_edges_examined(), b.stats.total_edges_examined());
 }
 
 #[test]
@@ -70,20 +65,13 @@ fn runs_are_deterministic_across_thread_pools() {
         let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
         dist.run(s, &config).unwrap()
     };
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap()
-        .install(|| {
-            let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
-            dist.run(s, &config).unwrap()
-        });
+    let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        dist.run(s, &config).unwrap()
+    });
     assert_eq!(parallel.depths, single.depths);
     assert_eq!(parallel.modeled_seconds(), single.modeled_seconds());
-    assert_eq!(
-        parallel.stats.total_edges_examined(),
-        single.stats.total_edges_examined()
-    );
+    assert_eq!(parallel.stats.total_edges_examined(), single.stats.total_edges_examined());
 }
 
 #[test]

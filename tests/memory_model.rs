@@ -48,10 +48,7 @@ fn suitable_threshold_hits_the_paper_ratios() {
     let csr = Csr::conventional_bytes(graph.num_vertices, graph.num_edges()) as f64;
     let vs_edge_list = ours / edge_list;
     let vs_csr = ours / csr;
-    assert!(
-        (0.26..=0.40).contains(&vs_edge_list),
-        "vs edge list: {vs_edge_list} (paper: ~1/3)"
-    );
+    assert!((0.26..=0.40).contains(&vs_edge_list), "vs edge list: {vs_edge_list} (paper: ~1/3)");
     assert!((0.5..=0.70).contains(&vs_csr), "vs CSR: {vs_csr} (paper: a little over 1/2)");
 }
 

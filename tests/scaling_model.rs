@@ -24,10 +24,7 @@ fn dobfs_beats_bfs_on_rmat_at_suitable_threshold() {
     let dist = DistributedGraph::build(&graph, topo, &do_cfg).unwrap();
     let t_do = dist.run(src, &do_cfg).unwrap().modeled_seconds();
     let t_bfs = dist.run(src, &bfs_cfg).unwrap().modeled_seconds();
-    assert!(
-        t_do < 0.7 * t_bfs,
-        "DOBFS should clearly win on RMAT: {t_do} vs {t_bfs}"
-    );
+    assert!(t_do < 0.7 * t_bfs, "DOBFS should clearly win on RMAT: {t_do} vs {t_bfs}");
 }
 
 #[test]
@@ -75,8 +72,7 @@ fn communication_grows_slower_than_baselines() {
         let m = graph.num_edges() as f64;
 
         let config = BfsConfig::new(16);
-        let dist =
-            DistributedGraph::build(&graph, Topology::new(p / 2, 2), &config).unwrap();
+        let dist = DistributedGraph::build(&graph, Topology::new(p / 2, 2), &config).unwrap();
         let ours = dist.run(src, &config).unwrap();
         ours_growth.push(ours.stats.total_remote_bytes() as f64 / m);
 
@@ -116,10 +112,7 @@ fn blocking_reduce_wins_at_high_rank_counts() {
     let dist = DistributedGraph::build(&graph, topo, &br).unwrap();
     let t_br = dist.run(src, &br).unwrap().stats.phase_totals().remote_delegate;
     let t_ir = dist.run(src, &ir).unwrap().stats.phase_totals().remote_delegate;
-    assert!(
-        t_ir > 1.3 * t_br,
-        "IR should lose clearly at 32 ranks: IR {t_ir} vs BR {t_br}"
-    );
+    assert!(t_ir > 1.3 * t_br, "IR should lose clearly at 32 ranks: IR {t_ir} vs BR {t_br}");
 }
 
 #[test]
@@ -129,8 +122,7 @@ fn overlap_reduces_elapsed_below_sum_of_parts() {
     let scale = 13;
     let graph = RmatConfig::graph500(scale).generate();
     let cost = CostModel::ray_scaled(2f64.powi(26 - scale as i32 + 2));
-    let config =
-        BfsConfig::new(16).with_blocking_reduce(false).with_cost_model(cost);
+    let config = BfsConfig::new(16).with_blocking_reduce(false).with_cost_model(cost);
     let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
     let r = dist.run(hub(&graph), &config).unwrap();
     let elapsed = r.modeled_seconds();
