@@ -14,8 +14,9 @@
 //! of any rank are all held by the local GPU `x`, cutting the number of
 //! cross-rank communication pairs from `p²` to `p²/pgpu`.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, KernelKind};
 use crate::topology::{GpuId, Topology};
+use gcbfs_compress::{decode_mask, CodecCounts, CompressionMode};
 use rayon::prelude::*;
 
 /// Result of a two-phase bit-or allreduce.
@@ -25,11 +26,31 @@ pub struct AllreduceOutcome {
     pub reduced: Vec<u64>,
     /// Modeled time of the intra-rank reduce + broadcast (NVLink).
     pub local_time: f64,
-    /// Modeled time of the cross-rank allreduce (InfiniBand).
+    /// Modeled time of the cross-rank allreduce (InfiniBand), including
+    /// any codec work on the global phase's critical path.
     pub global_time: f64,
-    /// Bytes moved per rank pair in the global phase (the paper's
-    /// `2·d·prank/8` total volume divides into `d/8` per tree edge).
+    /// Bytes moved per rank pair in the global phase as charged to the
+    /// wire: the paper's `d/8` per tree edge uncompressed, or the largest
+    /// encoded rank contribution (floored at the transport envelope)
+    /// under a compressing mode — the tree round waits for its slowest
+    /// edge.
     pub bytes_per_message: u64,
+    /// The uncompressed `d/8` message size; equals
+    /// [`Self::bytes_per_message`] when compression is off.
+    pub raw_bytes_per_message: u64,
+    /// Critical-path codec time of the global phase (one encode plus one
+    /// decode of the full mask; ranks codec in parallel). Zero when
+    /// compression is off. Already included in [`Self::global_time`].
+    pub codec_seconds: f64,
+    /// Which mask codec each rank's global-phase contribution used.
+    pub codec_counts: CodecCounts,
+}
+
+impl AllreduceOutcome {
+    /// Raw-minus-wire per-message savings (0 when compression is off).
+    pub fn bytes_saved_per_message(&self) -> u64 {
+        self.raw_bytes_per_message.saturating_sub(self.bytes_per_message)
+    }
 }
 
 /// Two-phase bit-or allreduce of one `u64` mask word vector per GPU.
@@ -47,10 +68,45 @@ pub fn allreduce_or(
     masks: &[Vec<u64>],
     blocking: bool,
 ) -> AllreduceOutcome {
+    allreduce_or_compressed(topology, cost, masks, blocking, CompressionMode::Off, None)
+}
+
+/// [`allreduce_or`] with an optional compression mode on the global
+/// (InfiniBand) phase — the §V-A `d/8`-byte messages are this simulator's
+/// second remote-byte producer.
+///
+/// `prev_reduced` is the previous iteration's reduced mask, which every
+/// rank already holds after consuming the last collective; the
+/// differential [`gcbfs_compress::MaskCodec::SparseIndex`] codec encodes
+/// only the bits newly set since then (the visited mask is monotone, so
+/// the delta is tiny on most iterations). The *local* NVLink phase always
+/// moves raw masks.
+///
+/// Under a compressing mode every rank's global-phase contribution is
+/// really encoded and decoded, and the returned `reduced` is the OR of
+/// the *decoded* masks — bit-exactness survives the roundtrip by
+/// construction. Per-message wire cost is the largest encoded
+/// contribution (a tree round waits for its slowest edge), floored at
+/// the transport envelope.
+///
+/// # Panics
+/// Panics if mask lengths differ, the GPU count does not match the
+/// topology, or `prev_reduced` has a different width than the masks.
+pub fn allreduce_or_compressed(
+    topology: Topology,
+    cost: &CostModel,
+    masks: &[Vec<u64>],
+    blocking: bool,
+    mode: CompressionMode,
+    prev_reduced: Option<&[u64]>,
+) -> AllreduceOutcome {
     let p = topology.num_gpus() as usize;
     assert_eq!(masks.len(), p, "one mask per GPU required");
     let words = masks.first().map(Vec::len).unwrap_or(0);
     assert!(masks.iter().all(|m| m.len() == words), "mask lengths must agree");
+    if let Some(prev) = prev_reduced {
+        assert_eq!(prev.len(), words, "prev_reduced width must match the masks");
+    }
 
     let pgpu = topology.gpus_per_rank() as usize;
     // Local phase: OR within each rank (conceptually: peers push to GPU0).
@@ -67,19 +123,60 @@ pub fn allreduce_or(
         })
         .collect();
 
-    // Global phase: OR across ranks (conceptually: tree allreduce).
+    let raw_bytes = (words * 8) as u64;
+    let local_time = cost.network.local_reduce_time(raw_bytes, topology.gpus_per_rank())
+        + cost.network.local_broadcast_time(raw_bytes, topology.gpus_per_rank());
+    let nranks = topology.num_ranks();
+
+    let compressing = mode.is_on() && nranks > 1 && words > 0;
+    let mut codec_counts = CodecCounts::default();
+    let mut codec_seconds = 0f64;
     let mut reduced = vec![0u64; words];
-    for rank_mask in &per_rank {
-        for (a, &b) in reduced.iter_mut().zip(rank_mask) {
-            *a |= b;
+    let bytes_per_message;
+    let mut global_time;
+    if compressing {
+        // Each rank encodes its contribution against the shared previous
+        // reduction, the wire carries the encoded image, and the reduce
+        // consumes what decodes on the other side.
+        let mut max_wire = 0u64;
+        for rank_mask in &per_rank {
+            let codec = mode.mask_codec(prev_reduced, rank_mask).expect("mode.is_on()");
+            let encoded = codec.encode(prev_reduced, rank_mask).expect("mask encode cannot fail");
+            max_wire = max_wire.max(encoded.len() as u64);
+            codec_counts.record_mask(codec);
+            let (decoded, _) =
+                decode_mask(&encoded, prev_reduced).expect("self-encoded mask must decode");
+            debug_assert_eq!(&decoded, rank_mask, "mask roundtrip must be bit-exact");
+            for (a, &b) in reduced.iter_mut().zip(&decoded) {
+                *a |= b;
+            }
         }
+        bytes_per_message = max_wire;
+        global_time = cost.network.allreduce_time_floored(max_wire, nranks, blocking);
+        // One encode + one decode of the full mask sits on the critical
+        // path; ranks codec their contributions in parallel.
+        codec_seconds = cost.device.kernel_time(KernelKind::Compress, raw_bytes)
+            + cost.device.kernel_time(KernelKind::Decompress, raw_bytes);
+        global_time += codec_seconds;
+    } else {
+        for rank_mask in &per_rank {
+            for (a, &b) in reduced.iter_mut().zip(rank_mask) {
+                *a |= b;
+            }
+        }
+        bytes_per_message = raw_bytes;
+        global_time = cost.network.allreduce_time(raw_bytes, nranks, blocking);
     }
 
-    let bytes = (words * 8) as u64;
-    let local_time = cost.network.local_reduce_time(bytes, topology.gpus_per_rank())
-        + cost.network.local_broadcast_time(bytes, topology.gpus_per_rank());
-    let global_time = cost.network.allreduce_time(bytes, topology.num_ranks(), blocking);
-    AllreduceOutcome { reduced, local_time, global_time, bytes_per_message: bytes }
+    AllreduceOutcome {
+        reduced,
+        local_time,
+        global_time,
+        bytes_per_message,
+        raw_bytes_per_message: raw_bytes,
+        codec_seconds,
+        codec_counts,
+    }
 }
 
 /// Generic two-phase element-wise allreduce: intra-rank reduce (NVLink, to
@@ -321,6 +418,92 @@ mod tests {
         let sum = allreduce_sum(topo, &cost, &scores, true);
         assert_eq!(sum.bytes_per_message, 64 * or.bytes_per_message);
         assert!(sum.global_time > or.global_time);
+    }
+
+    #[test]
+    fn compressed_allreduce_reduces_identically() {
+        let topo = Topology::new(4, 2);
+        let cost = CostModel::ray();
+        let masks: Vec<Vec<u64>> =
+            (0..8).map(|g| (0..64).map(|w| ((g + w) % 7 == 0) as u64).collect()).collect();
+        let reference = allreduce_or(topo, &cost, &masks, true);
+        for mode in [
+            CompressionMode::Adaptive,
+            CompressionMode::Fixed(
+                gcbfs_compress::FrontierCodec::Raw32,
+                gcbfs_compress::MaskCodec::RleMask,
+            ),
+            CompressionMode::Fixed(
+                gcbfs_compress::FrontierCodec::Raw32,
+                gcbfs_compress::MaskCodec::SparseIndex,
+            ),
+        ] {
+            let out = allreduce_or_compressed(topo, &cost, &masks, true, mode, None);
+            assert_eq!(out.reduced, reference.reduced, "mode {mode} changed the reduction");
+            assert_eq!(out.raw_bytes_per_message, reference.bytes_per_message);
+            assert!(out.codec_counts.mask_total() as u32 == topo.num_ranks());
+        }
+    }
+
+    #[test]
+    fn sparse_masks_shrink_the_global_message() {
+        let topo = Topology::new(8, 1);
+        let cost = CostModel::ray();
+        // 4096 delegates, a handful set: the RLE/sparse regime.
+        let mut masks = vec![vec![0u64; 64]; 8];
+        for (g, m) in masks.iter_mut().enumerate() {
+            m[g * 7] = 1 << (g * 3);
+        }
+        let raw = allreduce_or(topo, &cost, &masks, true);
+        let out =
+            allreduce_or_compressed(topo, &cost, &masks, true, CompressionMode::Adaptive, None);
+        assert!(
+            out.bytes_per_message < raw.bytes_per_message,
+            "compressed {} must beat raw {}",
+            out.bytes_per_message,
+            raw.bytes_per_message
+        );
+        assert!(out.bytes_saved_per_message() > 0);
+        assert!(out.codec_seconds > 0.0);
+        assert_eq!(out.reduced, raw.reduced);
+    }
+
+    #[test]
+    fn differential_encoding_uses_prev_reduction() {
+        let topo = Topology::new(4, 1);
+        let cost = CostModel::ray();
+        // A saturated-ish mask that barely changed since last iteration:
+        // sparse-index against prev crushes it, plain RLE cannot.
+        let prev: Vec<u64> = (0..256).map(|w| (w as u64).wrapping_mul(0x9e37_79b9)).collect();
+        let mut masks = vec![prev.clone(); 4];
+        masks[2][100] |= 1 << 40;
+        let with_prev = allreduce_or_compressed(
+            topo,
+            &cost,
+            &masks,
+            true,
+            CompressionMode::Adaptive,
+            Some(&prev),
+        );
+        let without_prev =
+            allreduce_or_compressed(topo, &cost, &masks, true, CompressionMode::Adaptive, None);
+        assert!(with_prev.bytes_per_message < without_prev.bytes_per_message);
+        assert!(with_prev.codec_counts.sparse_index > 0);
+        assert_eq!(with_prev.reduced, without_prev.reduced);
+    }
+
+    #[test]
+    fn off_mode_is_bitwise_the_baseline() {
+        let topo = Topology::new(2, 2);
+        let cost = CostModel::ray();
+        let masks = vec![vec![0b0001u64], vec![0b0010], vec![0b0100], vec![0b1000]];
+        let out =
+            allreduce_or_compressed(topo, &cost, &masks, true, CompressionMode::Off, Some(&[0]));
+        let base = allreduce_or(topo, &cost, &masks, true);
+        assert_eq!(out.reduced, base.reduced);
+        assert_eq!(out.global_time, base.global_time);
+        assert_eq!(out.bytes_per_message, base.bytes_per_message);
+        assert_eq!(out.codec_seconds, 0.0);
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub enum KernelKind {
     Binning,
     /// Bitmask scan/reduce work (delegate masks).
     MaskOps,
+    /// Wire-payload compression (codec encode, charged per raw byte).
+    Compress,
+    /// Wire-payload decompression (codec decode, charged per raw byte).
+    Decompress,
 }
 
 /// GPU device model (P100-class).
@@ -51,6 +55,14 @@ pub struct DeviceModel {
     pub binning_items_per_sec: f64,
     /// Mask processing throughput (bytes/s).
     pub mask_bytes_per_sec: f64,
+    /// Codec encode throughput (raw bytes/s). Varint/RLE packing is
+    /// byte-serial per lane but embarrassingly parallel across messages;
+    /// GPU implementations sustain tens of GB/s, well above InfiniBand
+    /// wire rate — which is exactly why compressing can pay.
+    pub compress_bytes_per_sec: f64,
+    /// Codec decode throughput (raw bytes/s); decode is branchier than
+    /// encode, so it is modeled slightly slower.
+    pub decompress_bytes_per_sec: f64,
     /// Fixed overhead per kernel launch (s).
     pub kernel_launch_overhead: f64,
     /// Device memory (bytes); P100 = 16 GB.
@@ -68,6 +80,8 @@ impl DeviceModel {
             previsit_vertices_per_sec: base.previsit_vertices_per_sec / factor,
             binning_items_per_sec: base.binning_items_per_sec / factor,
             mask_bytes_per_sec: base.mask_bytes_per_sec / factor,
+            compress_bytes_per_sec: base.compress_bytes_per_sec / factor,
+            decompress_bytes_per_sec: base.decompress_bytes_per_sec / factor,
             ..base
         }
     }
@@ -80,6 +94,8 @@ impl DeviceModel {
             previsit_vertices_per_sec: 10.0e9,
             binning_items_per_sec: 8.0e9,
             mask_bytes_per_sec: 200.0e9,
+            compress_bytes_per_sec: 60.0e9,
+            decompress_bytes_per_sec: 45.0e9,
             kernel_launch_overhead: 4.0e-6,
             memory_bytes: 16 << 30,
         }
@@ -96,6 +112,8 @@ impl DeviceModel {
             KernelKind::Previsit => self.previsit_vertices_per_sec,
             KernelKind::Binning => self.binning_items_per_sec,
             KernelKind::MaskOps => self.mask_bytes_per_sec,
+            KernelKind::Compress => self.compress_bytes_per_sec,
+            KernelKind::Decompress => self.decompress_bytes_per_sec,
         };
         self.kernel_launch_overhead + workload as f64 / rate
     }
@@ -133,6 +151,12 @@ pub struct NetworkModel {
     pub iallreduce_rank_scale: f64,
     /// Fixed synchronization overhead of blocking `MPI_Allreduce`.
     pub allreduce_sync_overhead: f64,
+    /// Per-message wire floor (bytes): transport envelope, headers, and
+    /// minimum cell/packet occupancy. Compressed transfers are charged
+    /// `max(compressed_bytes, floor)` via [`Self::p2p_time_floored`], so
+    /// a codec can never model a message as cheaper than the physics of
+    /// putting *any* message on the wire.
+    pub message_floor_bytes: f64,
 }
 
 impl NetworkModel {
@@ -148,6 +172,7 @@ impl NetworkModel {
             staging_bandwidth: base.staging_bandwidth / factor,
             ramp_bytes: base.ramp_bytes / factor,
             falloff_reference_bytes: base.falloff_reference_bytes / factor,
+            message_floor_bytes: base.message_floor_bytes / factor,
             ..base
         }
     }
@@ -166,6 +191,7 @@ impl NetworkModel {
             iallreduce_base_efficiency: 0.7,
             iallreduce_rank_scale: 24.0,
             allreduce_sync_overhead: 6.0e-6,
+            message_floor_bytes: 64.0,
         }
     }
 
@@ -226,6 +252,32 @@ impl NetworkModel {
             let staging = 2.0 * bytes as f64 / self.staging_bandwidth;
             chunks * self.internode_latency + wire + staging
         }
+    }
+
+    /// [`Self::p2p_time`] with the per-message wire floor applied:
+    /// charges `max(bytes, message_floor_bytes)` for any nonzero message.
+    ///
+    /// Used by the *compressed* transfer paths only — a codec that shrinks
+    /// a payload below the transport envelope still pays for the
+    /// envelope, so compression can never model a transfer as cheaper
+    /// than the physics allow. The uncompressed paths keep the unfloored
+    /// [`Self::p2p_time`] so every baseline number is unchanged.
+    pub fn p2p_time_floored(&self, bytes: u64, intranode: bool) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.p2p_time(bytes.max(self.message_floor_bytes.ceil() as u64), intranode)
+    }
+
+    /// [`Self::allreduce_time`] with the per-message wire floor applied
+    /// to each tree round's payload (compressed collective path only).
+    pub fn allreduce_time_floored(&self, bytes: u64, nranks: u32, blocking: bool) -> f64 {
+        if nranks <= 1 {
+            return 0.0;
+        }
+        let floored =
+            if bytes == 0 { 0 } else { bytes.max(self.message_floor_bytes.ceil() as u64) };
+        self.allreduce_time(floored, nranks, blocking)
     }
 
     /// Tree depth of a collective over `nranks` ranks.
@@ -381,6 +433,67 @@ mod tests {
             assert!(t >= prev, "non-monotone at 2^{exp}");
             prev = t;
         }
+    }
+
+    #[test]
+    fn effective_bandwidth_is_monotone_through_the_small_message_regime() {
+        // §VI-A1: below ~2 MB latency dominates and effective bandwidth
+        // only climbs with message size. Compressed messages live in this
+        // regime, so the ramp must not reward shrinking a message.
+        let n = NetworkModel::ray();
+        let mut prev = 0.0;
+        for exp in 0..21 {
+            let bw = n.effective_internode_bandwidth(1u64 << exp);
+            assert!(bw > prev, "ramp must be strictly increasing at 2^{exp}");
+            prev = bw;
+        }
+        // And it never exceeds the nominal peak.
+        assert!(prev <= n.internode_bandwidth);
+    }
+
+    #[test]
+    fn message_floor_keeps_tiny_transfers_honest() {
+        let n = NetworkModel::ray();
+        let floor = n.message_floor_bytes.ceil() as u64;
+        // Below the floor, all messages cost the same as the floor itself.
+        assert_eq!(n.p2p_time_floored(1, false), n.p2p_time(floor, false));
+        assert_eq!(n.p2p_time_floored(floor - 1, true), n.p2p_time(floor, true));
+        // At or above the floor, the floored and plain flavors agree.
+        assert_eq!(n.p2p_time_floored(floor, false), n.p2p_time(floor, false));
+        assert_eq!(n.p2p_time_floored(4 << 20, false), n.p2p_time(4 << 20, false));
+        // Zero bytes (no message at all) stays free.
+        assert_eq!(n.p2p_time_floored(0, false), 0.0);
+        // The floor preserves monotonicity and positivity: no compressed
+        // payload can produce a negative or sub-floor transfer time.
+        let mut prev = 0.0;
+        for bytes in 1..200u64 {
+            let t = n.p2p_time_floored(bytes, false);
+            assert!(t >= n.p2p_time(floor, false));
+            assert!(t >= prev, "floored time must stay monotone at {bytes}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn floored_allreduce_matches_plain_above_the_floor() {
+        let n = NetworkModel::ray();
+        let floor = n.message_floor_bytes.ceil() as u64;
+        assert_eq!(n.allreduce_time_floored(1, 8, true), n.allreduce_time(floor, 8, true));
+        assert_eq!(n.allreduce_time_floored(1 << 20, 8, true), n.allreduce_time(1 << 20, 8, true));
+        assert_eq!(n.allreduce_time_floored(1, 1, true), 0.0);
+    }
+
+    #[test]
+    fn codec_kernels_are_cheaper_than_the_wire() {
+        // Compression only pays if encode+decode run faster than the
+        // bytes they save would have taken on InfiniBand.
+        let d = DeviceModel::p100();
+        let n = NetworkModel::ray();
+        let bytes = 4u64 << 20;
+        let codec = d.kernel_time(KernelKind::Compress, bytes)
+            + d.kernel_time(KernelKind::Decompress, bytes);
+        assert!(codec < n.p2p_time(bytes, false), "codec must beat the wire it saves");
+        assert_eq!(d.kernel_time(KernelKind::Compress, 0), 0.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::fault::{FaultError, FaultInjector, MessageFate};
 use crate::topology::Topology;
+use gcbfs_compress::{IntegrityError, SealedPayload};
 use rayon::prelude::*;
 
 /// Why a superstep could not run or deliver. The panicking
@@ -38,6 +39,19 @@ pub enum FabricError {
     },
     /// A fault was detected at the superstep boundary (fail-stop loss).
     Fault(FaultError),
+    /// A sealed compressed payload failed its checksum at the consumption
+    /// boundary ([`Fabric::step_sealed`]): the bytes were corrupted in
+    /// transit. The caller's retry path re-encodes — encoding is a pure
+    /// function of the input, so the retransmission carries the identical
+    /// wire image.
+    IntegrityFailure {
+        /// Flat index of the sending GPU.
+        from: usize,
+        /// Flat index of the receiving GPU.
+        to: usize,
+        /// The checksum mismatch.
+        error: IntegrityError,
+    },
 }
 
 impl std::fmt::Display for FabricError {
@@ -50,6 +64,9 @@ impl std::fmt::Display for FabricError {
                 write!(f, "message from GPU {from} addressed to GPU {to}, grid has {num_gpus}")
             }
             Self::Fault(e) => write!(f, "fault detected: {e}"),
+            Self::IntegrityFailure { from, to, error } => {
+                write!(f, "compressed payload from GPU {from} to GPU {to} corrupt: {error}")
+            }
         }
     }
 }
@@ -309,6 +326,80 @@ impl<M: Send> Fabric<M> {
     }
 }
 
+impl Fabric<SealedPayload> {
+    /// Superstep over a typed compressed-payload channel.
+    ///
+    /// Like [`Fabric::step_with_faults`] (pass `injector: None` for the
+    /// fault-free flavor), but every sealed payload waiting in an inbox is
+    /// checksum-verified *before* the closures consume it — a payload
+    /// corrupted in transit surfaces as
+    /// [`FabricError::IntegrityFailure`] instead of decoding into garbage
+    /// ids. Compressed bytes are denser than raw ones (one flipped bit
+    /// can shift every later varint), so the compressed channel gets the
+    /// end-to-end check the raw channel does not need.
+    ///
+    /// On an integrity failure the superstep never runs: inboxes are kept
+    /// so the caller can drop the poisoned message and retry —
+    /// re-encoding is deterministic, so the retransmitted payload seals
+    /// to the identical wire image.
+    pub fn step_sealed<S, R, F>(
+        &mut self,
+        states: &mut [S],
+        injector: Option<&mut FaultInjector>,
+        f: F,
+    ) -> Result<Vec<R>, FabricError>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(usize, &mut S, Vec<(usize, SealedPayload)>, &mut Outbox<SealedPayload>) -> R + Sync,
+    {
+        for (to, inbox) in self.inboxes.iter().enumerate() {
+            for (from, payload) in inbox {
+                if let Err(error) = payload.open() {
+                    return Err(FabricError::IntegrityFailure { from: *from, to, error });
+                }
+            }
+        }
+        self.run_superstep(states, f, injector, Some(&|m: &SealedPayload| m.clone()))
+    }
+
+    /// Chaos hook for tests and fault drills: flips one byte of the
+    /// `nth` pending sealed message (counting across inboxes in flat
+    /// order), breaking its seal. Returns `false` if there is no such
+    /// message or it has an empty payload.
+    pub fn corrupt_pending_payload(&mut self, nth: usize) -> bool {
+        let mut i = 0;
+        for inbox in &mut self.inboxes {
+            for (_, payload) in inbox.iter_mut() {
+                if i == nth {
+                    return match payload.bytes_mut().first_mut() {
+                        Some(b) => {
+                            *b ^= 0x01;
+                            true
+                        }
+                        None => false,
+                    };
+                }
+                i += 1;
+            }
+        }
+        false
+    }
+
+    /// Drops every pending sealed message whose seal no longer verifies,
+    /// returning how many were discarded — the receiver-side half of the
+    /// drop-and-retransmit recovery path.
+    pub fn drop_corrupt_pending(&mut self) -> usize {
+        let mut dropped = 0;
+        for inbox in &mut self.inboxes {
+            let before = inbox.len();
+            inbox.retain(|(_, payload)| payload.is_intact());
+            dropped += before - inbox.len();
+        }
+        dropped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +616,57 @@ mod tests {
             .unwrap();
         assert_eq!(states[1], 9);
         assert!(fabric.is_quiescent());
+    }
+
+    #[test]
+    fn sealed_channel_roundtrips_compressed_payloads() {
+        use gcbfs_compress::FrontierCodec;
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<SealedPayload> = Fabric::new(topo);
+        let ids: Vec<u32> = (100..200).collect();
+        let mut states: Vec<Vec<u32>> = vec![Vec::new(); 2];
+        let encoded = FrontierCodec::Bitmap.encode(&ids).unwrap();
+        fabric
+            .step_sealed(&mut states, None, |gpu, _, _, out| {
+                if gpu == 0 {
+                    out.send(1, SealedPayload::seal(encoded.clone()));
+                }
+            })
+            .unwrap();
+        fabric
+            .step_sealed(&mut states, None, |_, s, inbox, _| {
+                for (_, payload) in inbox {
+                    gcbfs_compress::decode_frontier_into(payload.open().unwrap(), s).unwrap();
+                }
+            })
+            .unwrap();
+        assert_eq!(states[1], ids);
+    }
+
+    #[test]
+    fn corrupted_sealed_payload_is_caught_before_consumption() {
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<SealedPayload> = Fabric::new(topo);
+        let mut states = vec![0u32; 2];
+        let send = |gpu: usize,
+                    _s: &mut u32,
+                    _in: Vec<(usize, SealedPayload)>,
+                    out: &mut Outbox<SealedPayload>| {
+            if gpu == 0 {
+                out.send(1, SealedPayload::seal(vec![1, 2, 3, 4]));
+            }
+        };
+        fabric.step_sealed(&mut states, None, send).unwrap();
+        assert!(fabric.corrupt_pending_payload(0), "one message must be pending");
+        let err = fabric.step_sealed(&mut states, None, |_, _, _, _| ()).unwrap_err();
+        assert!(matches!(err, FabricError::IntegrityFailure { from: 0, to: 1, .. }));
+        assert!(err.to_string().contains("corrupt"), "got: {err}");
+        // Recovery: drop the poisoned message, retransmit (deterministic
+        // re-encode → identical payload), and the channel is healthy.
+        assert_eq!(fabric.drop_corrupt_pending(), 1);
+        fabric.step_sealed(&mut states, None, send).unwrap();
+        let consumed = fabric.step_sealed(&mut states, None, |_, _, inbox, _| inbox.len()).unwrap();
+        assert_eq!(consumed, vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Property tests of the codec layer: every codec must be a bijection on
+//! its domain (`decode(encode(x)) == x`), stay within the universal size
+//! bound `raw + HEADER_BYTES`, and reject adversarial bytes with a typed
+//! error instead of panicking or fabricating data. Correct-by-accident is
+//! not enough here — a codec bug would silently corrupt BFS frontiers.
+
+use gcbfs_compress::{
+    decode_frontier, decode_mask, select_frontier_codec, select_mask_codec, DecodeError,
+    EncodeError, FrontierCodec, MaskCodec, SealedPayload, FRONTIER_ITEM_BYTES, HEADER_BYTES,
+    MASK_WORD_BYTES,
+};
+use proptest::prelude::*;
+
+/// Sorted non-decreasing ids: the compressed send path sorts each slot.
+fn sorted(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable();
+    ids
+}
+
+/// Strictly increasing ids (Bitmap's domain).
+fn unique_sorted(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- Frontier codecs. ----
+
+    #[test]
+    fn raw32_roundtrips_any_input(ids in proptest::collection::vec(0u32..u32::MAX, 0..200)) {
+        let enc = FrontierCodec::Raw32.encode(&ids).unwrap();
+        prop_assert!(enc.len() <= ids.len() * FRONTIER_ITEM_BYTES + HEADER_BYTES);
+        let (dec, codec) = decode_frontier(&enc).unwrap();
+        prop_assert_eq!(dec, ids);
+        prop_assert_eq!(codec, FrontierCodec::Raw32);
+    }
+
+    #[test]
+    fn varint_roundtrips_sorted_input(raw in proptest::collection::vec(0u32..1 << 22, 0..300)) {
+        let ids = sorted(raw);
+        let enc = FrontierCodec::VarintDelta.encode(&ids).unwrap();
+        prop_assert!(enc.len() <= ids.len() * FRONTIER_ITEM_BYTES + HEADER_BYTES);
+        let (dec, _) = decode_frontier(&enc).unwrap();
+        prop_assert_eq!(dec, ids);
+    }
+
+    #[test]
+    fn bitmap_roundtrips_unique_sorted_input(
+        raw in proptest::collection::vec(0u32..1 << 16, 0..300),
+    ) {
+        let ids = unique_sorted(raw);
+        let enc = FrontierCodec::Bitmap.encode(&ids).unwrap();
+        prop_assert!(enc.len() <= ids.len() * FRONTIER_ITEM_BYTES + HEADER_BYTES);
+        let (dec, _) = decode_frontier(&enc).unwrap();
+        prop_assert_eq!(dec, ids);
+    }
+
+    /// The selector only ever picks a codec whose precondition the input
+    /// meets, so select → encode → decode is total on sorted input.
+    #[test]
+    fn selected_codec_always_roundtrips(raw in proptest::collection::vec(0u32..1 << 20, 0..300)) {
+        let ids = sorted(raw);
+        let codec = select_frontier_codec(&ids);
+        let enc = codec.encode(&ids).expect("selector respects codec preconditions");
+        prop_assert!(enc.len() <= ids.len() * FRONTIER_ITEM_BYTES + HEADER_BYTES);
+        let (dec, _) = decode_frontier(&enc).unwrap();
+        prop_assert_eq!(dec, ids);
+    }
+
+    /// Encoding is a pure function of the input: the retransmission path
+    /// relies on re-encode producing the identical wire image.
+    #[test]
+    fn encode_is_deterministic(raw in proptest::collection::vec(0u32..1 << 20, 0..200)) {
+        let ids = sorted(raw);
+        for codec in [FrontierCodec::Raw32, FrontierCodec::VarintDelta] {
+            prop_assert_eq!(codec.encode(&ids).unwrap(), codec.encode(&ids).unwrap());
+        }
+        let seal_a = SealedPayload::seal(FrontierCodec::VarintDelta.encode(&ids).unwrap());
+        let seal_b = SealedPayload::seal(FrontierCodec::VarintDelta.encode(&ids).unwrap());
+        prop_assert_eq!(seal_a.open().unwrap(), seal_b.open().unwrap());
+    }
+
+    #[test]
+    fn unsorted_input_is_a_typed_error(a in 1u32..1 << 20, b in 1u32..1 << 20) {
+        let (hi, lo) = (a.max(b), a.min(b).saturating_sub(1));
+        let ids = [hi, lo]; // strictly decreasing
+        prop_assert_eq!(
+            FrontierCodec::VarintDelta.encode(&ids).unwrap_err(),
+            EncodeError::UnsortedInput
+        );
+        prop_assert_eq!(
+            FrontierCodec::Bitmap.encode(&ids).unwrap_err(),
+            EncodeError::UnsortedInput
+        );
+    }
+
+    // ---- Mask codecs. ----
+
+    #[test]
+    fn masks_roundtrip_without_history(
+        cur in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        for codec in MaskCodec::ALL {
+            let enc = codec.encode(None, &cur).unwrap();
+            prop_assert!(enc.len() <= cur.len() * MASK_WORD_BYTES + HEADER_BYTES);
+            let (dec, _) = decode_mask(&enc, None).unwrap();
+            prop_assert_eq!(&dec, &cur, "codec {} lost bits", codec.label());
+        }
+    }
+
+    /// The differential codec's real regime: `cur` is a superset of the
+    /// previous reduced mask (visited masks are monotone).
+    #[test]
+    fn masks_roundtrip_against_monotone_history(
+        cur in proptest::collection::vec(0u64..u64::MAX, 1..64),
+        keep in proptest::collection::vec(0u64..u64::MAX, 64usize),
+    ) {
+        let prev: Vec<u64> = cur.iter().zip(&keep).map(|(c, k)| c & k).collect();
+        for codec in MaskCodec::ALL {
+            let enc = codec.encode(Some(&prev), &cur).unwrap();
+            prop_assert!(enc.len() <= cur.len() * MASK_WORD_BYTES + HEADER_BYTES);
+            let (dec, _) = decode_mask(&enc, Some(&prev)).unwrap();
+            prop_assert_eq!(&dec, &cur, "codec {} lost bits", codec.label());
+        }
+    }
+
+    /// Even when `cur` is NOT a superset of `prev` (a rolled-back run),
+    /// every codec still roundtrips — SparseIndex falls back to raw.
+    #[test]
+    fn masks_roundtrip_against_arbitrary_history(
+        cur in proptest::collection::vec(0u64..u64::MAX, 1..48),
+        prev in proptest::collection::vec(0u64..u64::MAX, 48usize),
+    ) {
+        let prev = &prev[..cur.len()];
+        let codec = select_mask_codec(Some(prev), &cur);
+        let enc = codec.encode(Some(prev), &cur).unwrap();
+        prop_assert!(enc.len() <= cur.len() * MASK_WORD_BYTES + HEADER_BYTES);
+        let (dec, _) = decode_mask(&enc, Some(prev)).unwrap();
+        prop_assert_eq!(dec, cur);
+    }
+
+    // ---- Adversarial decode. ----
+
+    /// Random byte soup never panics and never silently succeeds with an
+    /// impossible element count.
+    #[test]
+    fn decoders_survive_byte_soup(bytes in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        if let Ok((ids, _)) = decode_frontier(&bytes) {
+            prop_assert!(ids.len() * FRONTIER_ITEM_BYTES <= bytes.len() * 8 + FRONTIER_ITEM_BYTES);
+        }
+        let _ = decode_mask(&bytes, None);
+    }
+
+    /// Any strict prefix of a valid message is detected as truncated or
+    /// malformed — never decoded to the wrong ids.
+    #[test]
+    fn truncation_is_detected(raw in proptest::collection::vec(0u32..1 << 20, 2..100)) {
+        let ids = sorted(raw);
+        for codec in [FrontierCodec::Raw32, FrontierCodec::VarintDelta] {
+            let enc = codec.encode(&ids).unwrap();
+            let cut = enc.len() - 1;
+            prop_assert!(
+                decode_frontier(&enc[..cut]).is_err(),
+                "prefix of a {} message must not decode",
+                codec.label()
+            );
+        }
+    }
+
+    /// A flipped bit in a sealed payload is always caught by the checksum.
+    #[test]
+    fn seal_catches_any_single_bitflip(
+        raw in proptest::collection::vec(0u32..1 << 20, 1..100),
+        flip in 0usize..1 << 16,
+    ) {
+        let ids = sorted(raw);
+        let enc = FrontierCodec::VarintDelta.encode(&ids).unwrap();
+        let mut sealed = SealedPayload::seal(enc);
+        let n = sealed.len();
+        let byte = flip / 8 % n;
+        sealed.bytes_mut()[byte] ^= 1 << (flip % 8);
+        prop_assert!(sealed.open().is_err(), "bitflip at byte {byte} escaped the checksum");
+    }
+}
+
+/// Adversarial headers claiming astronomical element counts must be
+/// rejected before any allocation happens — a 5-byte message must never
+/// cost gigabytes of zero-fill.
+#[test]
+fn hostile_counts_do_not_allocate() {
+    // Frontier: raw tag, count u32::MAX, no payload.
+    let hostile = [0x01u8, 0xff, 0xff, 0xff, 0xff];
+    assert!(matches!(decode_frontier(&hostile), Err(DecodeError::Truncated)));
+    // Varint tag with a count far beyond what one payload byte yields.
+    let hostile = [0x02u8, 0xff, 0xff, 0xff, 0xff, 0x00];
+    assert!(matches!(decode_frontier(&hostile), Err(DecodeError::Truncated)));
+    // Bitmap claiming 4 billion ids from a single word.
+    let mut hostile = vec![0x03u8, 0xff, 0xff, 0xff, 0xff];
+    hostile.extend_from_slice(&[0u8; 12]);
+    assert!(matches!(decode_frontier(&hostile), Err(DecodeError::Truncated)));
+    // RLE mask claiming 4 billion words of zeros from 2 payload bytes.
+    let hostile = [0x12u8, 0xff, 0xff, 0xff, 0xff, 0x80, 0x80];
+    assert!(decode_mask(&hostile, None).is_err());
+    // ... but the same width is accepted when `prev` vouches for it: the
+    // cap only guards the untrusted path (checked at a sane width here).
+    let wide = vec![0u64; gcbfs_compress::MAX_UNTRUSTED_WORDS / 1024];
+    let enc = MaskCodec::RleMask.encode(Some(&wide), &wide).unwrap();
+    assert_eq!(decode_mask(&enc, Some(&wide)).unwrap().0, wide);
+}
+
+/// Non-property edge cases that deserve exact assertions.
+#[test]
+fn exact_edges() {
+    // Empty messages are legal for every codec and cost only the header.
+    for codec in FrontierCodec::ALL {
+        let enc = codec.encode(&[]).unwrap();
+        assert_eq!(enc.len(), HEADER_BYTES);
+        assert_eq!(decode_frontier(&enc).unwrap().0, Vec::<u32>::new());
+    }
+    for codec in MaskCodec::ALL {
+        let enc = codec.encode(None, &[]).unwrap();
+        assert!(enc.len() <= HEADER_BYTES + 1);
+        assert_eq!(decode_mask(&enc, None).unwrap().0, Vec::<u64>::new());
+    }
+    // Unknown tags are typed errors.
+    let bogus = [0x7fu8, 1, 0, 0, 0, 42];
+    assert!(matches!(decode_frontier(&bogus), Err(DecodeError::UnknownTag(0x7f))));
+    // The empty buffer is truncated, not empty-message.
+    assert!(matches!(decode_frontier(&[]), Err(DecodeError::Truncated)));
+}

@@ -10,6 +10,7 @@
 
 use crate::recovery::RecoveryConfig;
 use gcbfs_cluster::cost::CostModel;
+use gcbfs_compress::CompressionMode;
 
 /// Direction-switching factor pair for one subgraph kernel (§IV-B):
 /// switch forward→backward when `FV > factor0 · BV`, and backward→forward
@@ -62,6 +63,14 @@ pub struct BfsConfig {
     pub nd_factors: SwitchFactors,
     /// The machine model used for modeled time.
     pub cost: CostModel,
+    /// Communication compression for the two remote-byte producers: the
+    /// nn-update exchange (§V-B's `4|Enn|` bytes) and the global delegate
+    /// mask reduction (§V-A's `d/8`-byte messages). `Off` (the default)
+    /// reproduces the paper's raw wire format bit-for-bit; `Adaptive`
+    /// picks a codec per message from a density measurement, mirroring
+    /// the direction-optimization crossover. Compression never changes
+    /// BFS results — every payload really roundtrips its codec.
+    pub compression: CompressionMode,
     /// Recovery policy for fault-injected runs (checkpoint cadence, retry
     /// budget, degraded mode). Inert on fault-free runs: no checkpoints are
     /// taken and no retries happen unless a
@@ -95,6 +104,7 @@ impl BfsConfig {
             dn_factors: SwitchFactors::new(0.05),
             nd_factors: SwitchFactors::new(0.05),
             cost: CostModel::ray(),
+            compression: CompressionMode::Off,
             recovery: RecoveryConfig::default(),
         }
     }
@@ -148,6 +158,12 @@ impl BfsConfig {
     /// Replaces the recovery policy.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Selects the communication-compression mode.
+    pub fn with_compression(mut self, compression: CompressionMode) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -206,6 +222,16 @@ mod tests {
         let c = c.with_recovery(RecoveryConfig::disabled());
         assert!(!c.recovery.enabled);
         assert!(!c.recovery.degraded_mode);
+    }
+
+    #[test]
+    fn compression_defaults_off_and_flips() {
+        let c = BfsConfig::new(8);
+        assert_eq!(c.compression, CompressionMode::Off);
+        assert!(!c.compression.is_on());
+        let c = c.with_compression(CompressionMode::Adaptive);
+        assert!(c.compression.is_on());
+        assert_eq!(c.compression.label(), "adaptive");
     }
 
     #[test]

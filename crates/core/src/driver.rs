@@ -10,7 +10,7 @@
 //! overlap rule of `gcbfs_cluster::timing`.
 
 use crate::checkpoint::Checkpoint;
-use crate::comm::exchange_normals;
+use crate::comm::exchange_normals_with;
 use crate::config::BfsConfig;
 use crate::direction::{Direction, DirectionState};
 use crate::distributor::{distribute, EdgeClassCounts};
@@ -21,7 +21,7 @@ use crate::separation::Separation;
 use crate::stats::{FaultStats, IterationRecord, RunStats};
 use crate::subgraph::{GpuSubgraphs, MemoryUsage};
 use crate::UNREACHED;
-use gcbfs_cluster::collectives::allreduce_or;
+use gcbfs_cluster::collectives::allreduce_or_compressed;
 use gcbfs_cluster::cost::KernelKind;
 use gcbfs_cluster::fault::{FaultError, FaultInjector, FaultPlan, MessageFate};
 use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
@@ -328,6 +328,10 @@ impl DistributedGraph {
 
         let mut records: Vec<IterationRecord> = Vec::new();
         let mut iter: u32 = 0;
+        // Previous iteration's *reduced* delegate mask — the shared
+        // reference the differential sparse-index mask codec encodes
+        // against (both ends of the collective hold it by construction).
+        let mut prev_reduced: Option<Vec<u64>> = None;
         loop {
             let frontier_len: u64 = workers.iter().map(|w| w.frontier.len() as u64).sum();
             let new_delegates = workers[0].new_delegates.len() as u64;
@@ -380,6 +384,10 @@ impl DistributedGraph {
                     records.truncate(cp.records_len);
                     cp.restore(&mut workers);
                     iter = cp.iter;
+                    // The codec reference mask is ahead of the restored
+                    // state; drop it so the next reduction encodes from
+                    // scratch (the codecs would fall back to raw anyway).
+                    prev_reduced = None;
                     // In-flight stragglers are superseded by the restored
                     // state (checkpoints sit at message-free boundaries).
                     delayed.clear();
@@ -442,6 +450,9 @@ impl DistributedGraph {
             let mut remote_delegate = 0.0;
             let mut local_mask_time = 0.0;
             let mut mask_remote_bytes = 0u64;
+            let mut iter_bytes_saved = 0u64;
+            let mut iter_codec_seconds = 0f64;
+            let mut iter_codec_counts = gcbfs_compress::CodecCounts::default();
             if mask_changed {
                 let words: Vec<Vec<u64>> =
                     outputs.iter().map(|o| o.output_mask.words().to_vec()).collect();
@@ -454,7 +465,14 @@ impl DistributedGraph {
                     loop {
                         let mut attempt_words = words.clone();
                         let corrupted = inj.corrupt_mask_words(iter, &mut attempt_words);
-                        let out = allreduce_or(topo, cost, &attempt_words, config.blocking_reduce);
+                        let out = allreduce_or_compressed(
+                            topo,
+                            cost,
+                            &attempt_words,
+                            config.blocking_reduce,
+                            config.compression,
+                            prev_reduced.as_deref(),
+                        );
                         match corrupted {
                             None => break out,
                             Some(gpu) => {
@@ -472,13 +490,29 @@ impl DistributedGraph {
                         }
                     }
                 } else {
-                    allreduce_or(topo, cost, &words, config.blocking_reduce)
+                    allreduce_or_compressed(
+                        topo,
+                        cost,
+                        &words,
+                        config.blocking_reduce,
+                        config.compression,
+                        prev_reduced.as_deref(),
+                    )
                 };
                 remote_delegate += outcome.global_time * bw;
                 local_mask_time = outcome.local_time;
-                // Total volume 2·(d/8)·prank (§V-A), zero on a single rank.
+                // Total volume 2·(d/8)·prank (§V-A) — per-message size is
+                // the compressed one when compression is on — zero on a
+                // single rank.
                 if topo.num_ranks() > 1 {
-                    mask_remote_bytes = 2 * outcome.bytes_per_message * topo.num_ranks() as u64;
+                    let nranks = topo.num_ranks() as u64;
+                    mask_remote_bytes = 2 * outcome.bytes_per_message * nranks;
+                    iter_bytes_saved += 2 * outcome.bytes_saved_per_message() * nranks;
+                }
+                iter_codec_seconds += outcome.codec_seconds;
+                iter_codec_counts.merge(&outcome.codec_counts);
+                if config.compression.is_on() {
+                    prev_reduced = Some(outcome.reduced.clone());
                 }
                 let mut reduced = DelegateMask::new(d);
                 reduced.set_words(outcome.reduced);
@@ -497,8 +531,17 @@ impl DistributedGraph {
 
             // ---- Normal vertex exchange. ----
             let sends = outputs.iter_mut().map(|o| std::mem::take(&mut o.remote_nn)).collect();
-            let mut ex =
-                exchange_normals(&topo, cost, sends, config.local_all2all, config.uniquify);
+            let mut ex = exchange_normals_with(
+                &topo,
+                cost,
+                sends,
+                config.local_all2all,
+                config.uniquify,
+                config.compression,
+            );
+            iter_bytes_saved += ex.bytes_saved();
+            iter_codec_seconds += ex.codec_seconds;
+            iter_codec_counts.merge(&ex.codec_counts);
 
             // Perturb the delivery with the injector's message fates.
             // Drops and delays leave the per-peer ack counts short, so the
@@ -622,6 +665,9 @@ impl DistributedGraph {
                 backward_gpus,
                 nn_updates_sent: ex.items_sent,
                 remote_bytes: ex.remote_bytes + mask_remote_bytes,
+                bytes_saved: iter_bytes_saved,
+                codec_seconds: iter_codec_seconds,
+                codec_counts: iter_codec_counts,
                 mask_reduced: mask_changed,
                 timing,
             });
@@ -998,6 +1044,69 @@ mod tests {
         }
     }
 
+    // ---- Communication compression. ----
+
+    use gcbfs_compress::{CompressionMode, FrontierCodec, MaskCodec};
+
+    #[test]
+    fn compression_is_bit_exact_across_every_mode() {
+        let graph = RmatConfig::graph500(8).generate();
+        let base = BfsConfig::new(8).with_local_all2all(true).with_uniquify(true);
+        let topo = Topology::new(2, 2);
+        let dist = DistributedGraph::build(&graph, topo, &base).unwrap();
+        let degrees = graph.out_degrees();
+        let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        let reference = dist.run(source, &base).unwrap();
+        assert_eq!(reference.stats.total_bytes_saved(), 0, "Off mode charges raw bytes");
+        for mode in [
+            CompressionMode::Adaptive,
+            CompressionMode::Fixed(FrontierCodec::VarintDelta, MaskCodec::SparseIndex),
+            CompressionMode::Fixed(FrontierCodec::Bitmap, MaskCodec::RleMask),
+            CompressionMode::Fixed(FrontierCodec::Raw32, MaskCodec::RawMask),
+        ] {
+            let config = base.with_compression(mode);
+            let r = dist.run(source, &config).unwrap();
+            assert_eq!(r.depths, reference.depths, "depths drifted under {mode}");
+            assert_eq!(
+                r.iterations(),
+                reference.iterations(),
+                "iteration count drifted under {mode}"
+            );
+            assert!(r.stats.total_codec_seconds() > 0.0, "codec work is charged under {mode}");
+        }
+    }
+
+    #[test]
+    fn adaptive_compression_mixes_codecs_and_saves_bytes() {
+        // Needs enough vertices per GPU that mid-traversal messages carry
+        // hundreds of ids — below that the 5-byte headers drown the
+        // savings, exactly the regime the floor tests pin down.
+        let graph = RmatConfig::graph500(12).generate();
+        let base = BfsConfig::new(8);
+        let topo = Topology::new(2, 2);
+        let dist = DistributedGraph::build(&graph, topo, &base).unwrap();
+        let degrees = graph.out_degrees();
+        let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        let raw = dist.run(source, &base).unwrap();
+        let config = base.with_compression(CompressionMode::Adaptive);
+        let r = dist.run(source, &config).unwrap();
+        assert_eq!(r.depths, raw.depths);
+        let stats = &r.stats;
+        assert!(stats.total_bytes_saved() > 0, "an RMAT run has compressible traffic");
+        assert!(stats.total_codec_seconds() > 0.0);
+        assert!(stats.compression_ratio() > 1.0);
+        assert!(
+            stats.total_remote_bytes() < raw.stats.total_remote_bytes(),
+            "the wire carries fewer bytes than the raw format"
+        );
+        let totals = stats.codec_totals();
+        assert!(
+            totals.distinct_frontier_codecs() >= 2,
+            "adaptive selection must mix frontier codecs across the run: {totals:?}"
+        );
+        assert!(totals.mask_total() > 0, "mask reductions flow through the codec layer");
+    }
+
     // ---- Fault injection and recovery. ----
 
     use crate::recovery::RecoveryConfig;
@@ -1126,6 +1235,51 @@ mod tests {
         assert_eq!(a.depths, b.depths);
         assert_eq!(a.stats.fault, b.stats.fault, "fault accounting is seeded");
         assert_eq!(a.modeled_seconds(), b.modeled_seconds());
+    }
+
+    #[test]
+    fn compression_survives_chaos_bit_exactly() {
+        // Satellite f: compressed messages cross the fault injector, get
+        // dropped/duplicated/delayed, and the deterministic re-encode on
+        // retransmit still recovers the reference depths. Scale 12 so the
+        // traversal has iterations whose messages genuinely compress.
+        let graph = RmatConfig::graph500(12).generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let degrees = graph.out_degrees();
+        let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let config = config.with_compression(CompressionMode::Adaptive);
+        let plan = FaultPlan::new(99).with_message_faults(0.2, 0.1, 0.1).with_max_delay(2);
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect, "compressed recovery must be bit-exact");
+        let f = &r.stats.fault;
+        assert!(f.any_faults());
+        assert!(f.retries > 0);
+        assert!(r.stats.total_bytes_saved() > 0, "compression stays active under faults");
+        // Deterministic: the same chaotic compressed run replays identically.
+        let again = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(again.depths, r.depths);
+        assert_eq!(again.stats.fault, r.stats.fault);
+        assert_eq!(again.stats.total_remote_bytes(), r.stats.total_remote_bytes());
+    }
+
+    #[test]
+    fn compression_survives_fail_stop_rollback() {
+        let graph = RmatConfig::graph500(12).generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let degrees = graph.out_degrees();
+        let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let config = config.with_compression(CompressionMode::Adaptive);
+        let plan = FaultPlan::new(1).with_fail_stop(2, 1);
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect);
+        let f = &r.stats.fault;
+        assert_eq!(f.fail_stops, 1);
+        assert_eq!(f.rollbacks, 1, "rollback resets the differential-mask baseline");
+        assert!(r.stats.total_bytes_saved() > 0);
     }
 
     #[test]

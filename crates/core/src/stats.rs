@@ -8,6 +8,7 @@
 
 use crate::kernels::KernelWork;
 use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
+use gcbfs_compress::CodecCounts;
 
 /// One BFS iteration's cluster-wide record.
 #[derive(Clone, Debug)]
@@ -24,8 +25,17 @@ pub struct IterationRecord {
     pub backward_gpus: (u32, u32, u32),
     /// Normal-vertex updates transmitted (after uniquify).
     pub nn_updates_sent: u64,
-    /// Bytes crossing rank boundaries this iteration.
+    /// Bytes crossing rank boundaries this iteration, as charged to the
+    /// wire (compressed when compression is on).
     pub remote_bytes: u64,
+    /// Bytes the same messages would have cost under the paper's raw wire
+    /// format minus what actually shipped; 0 when compression is off.
+    pub bytes_saved: u64,
+    /// Modeled codec (encode + decode) seconds this iteration; 0 when
+    /// compression is off. Already folded into the phase times.
+    pub codec_seconds: f64,
+    /// Which codecs this iteration's messages selected.
+    pub codec_counts: CodecCounts,
     /// Whether the delegate mask reduction ran (counts toward `S'`).
     pub mask_reduced: bool,
     /// Modeled timing of this iteration.
@@ -135,6 +145,37 @@ impl RunStats {
     pub fn total_nn_updates(&self) -> u64 {
         self.records.iter().map(|r| r.nn_updates_sent).sum()
     }
+
+    /// Total remote bytes saved by compression (0 when off).
+    pub fn total_bytes_saved(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes_saved).sum()
+    }
+
+    /// Total modeled codec seconds (0 when compression is off).
+    pub fn total_codec_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.codec_seconds).sum()
+    }
+
+    /// Codec selections summed over the whole run.
+    pub fn codec_totals(&self) -> CodecCounts {
+        let mut total = CodecCounts::default();
+        for r in &self.records {
+            total.merge(&r.codec_counts);
+        }
+        total
+    }
+
+    /// Compression ratio of the run's remote traffic: raw bytes over wire
+    /// bytes (1.0 when compression is off or nothing was sent).
+    pub fn compression_ratio(&self) -> f64 {
+        let wire = self.total_remote_bytes();
+        let raw = wire + self.total_bytes_saved();
+        if wire == 0 {
+            1.0
+        } else {
+            raw as f64 / wire as f64
+        }
+    }
 }
 
 /// Geometric mean of positive samples — the paper reports "the geometric
@@ -160,6 +201,9 @@ mod tests {
             backward_gpus: (0, 0, 0),
             nn_updates_sent: 3,
             remote_bytes: 12,
+            bytes_saved: 4,
+            codec_seconds: 0.5,
+            codec_counts: CodecCounts::default(),
             mask_reduced,
             timing: IterationTiming {
                 phases: PhaseTimes {
@@ -187,6 +231,11 @@ mod tests {
         assert_eq!(stats.total_edges_examined(), 10);
         assert_eq!(stats.total_remote_bytes(), 24);
         assert_eq!(stats.total_nn_updates(), 6);
+        assert_eq!(stats.total_bytes_saved(), 8);
+        assert_eq!(stats.total_codec_seconds(), 1.0);
+        // ratio = (24 + 8) / 24
+        assert!((stats.compression_ratio() - 32.0 / 24.0).abs() < 1e-12);
+        assert_eq!(stats.codec_totals(), CodecCounts::default());
     }
 
     #[test]

@@ -79,8 +79,31 @@ impl fmt::Display for RunTrace<'_> {
             stats.modeled_elapsed() * 1e3,
             stats.total_edges_examined(),
             stats.total_remote_bytes(),
-        )
+        )?;
+        // Only compressed runs get the codec summary — Off-mode traces
+        // render exactly as they did before the compression subsystem.
+        if stats.codec_totals().frontier_total() + stats.codec_totals().mask_total() > 0 {
+            writeln!(
+                f,
+                "compression: {} bytes saved (ratio {:.3}); codec {:.3} ms; \
+                 frontier trajectory {}",
+                stats.total_bytes_saved(),
+                stats.compression_ratio(),
+                stats.total_codec_seconds() * 1e3,
+                compression_trajectory(self.0),
+            )?;
+        }
+        Ok(())
     }
+}
+
+/// Summarizes which frontier codec dominated each iteration's nn-exchange:
+/// `'R'` raw32, `'V'` varint-delta, `'B'` bitmap, `'-'` when the iteration
+/// sent nothing cross-rank (or compression was off). Reads like the
+/// direction trajectories: the sparse→dense→sparse frontier arc shows up
+/// as `-VBBV-`-shaped strings.
+pub fn compression_trajectory(result: &BfsResult) -> String {
+    result.stats.records.iter().map(|r| r.codec_counts.dominant_frontier_char()).collect()
 }
 
 /// Summarizes the direction trajectory of one kernel across iterations:
@@ -151,6 +174,32 @@ mod tests {
         assert_eq!(text.lines().count(), 2 + r.iterations() as usize);
         assert!(text.contains("S = "));
         assert!(text.contains("edges examined"));
+    }
+
+    #[test]
+    fn compressed_trace_adds_a_codec_summary() {
+        use gcbfs_compress::CompressionMode;
+        let graph = RmatConfig::graph500(9).generate();
+        let config = BfsConfig::new(8).with_compression(CompressionMode::Adaptive);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let src = graph.out_degrees().iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        let r = dist.run(src, &config).unwrap();
+        let text = format!("{}", RunTrace(&r));
+        assert_eq!(text.lines().count(), 3 + r.iterations() as usize);
+        assert!(text.contains("compression: "));
+        assert!(text.contains("frontier trajectory"));
+        let t = compression_trajectory(&r);
+        assert_eq!(t.len(), r.iterations() as usize);
+        assert!(t.chars().all(|c| "RVB-".contains(c)));
+        assert!(t.chars().any(|c| c != '-'), "some iteration compressed a frontier: {t}");
+    }
+
+    #[test]
+    fn uncompressed_trajectory_is_all_dashes() {
+        let r = run();
+        let t = compression_trajectory(&r);
+        assert_eq!(t.len(), r.iterations() as usize);
+        assert!(t.chars().all(|c| c == '-'), "Off mode records no codecs: {t}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ export GCBFS_SOURCES=${GCBFS_SOURCES:-6}
 BINS="net_sweep table1_memory fig01_context fig05_edge_distribution fig06_threshold_sweep \
       fig07_suggested_thresholds fig08_options fig09_weak_scaling fig10_breakdown \
       fig11_strong_scaling fig12_friendster_distribution fig13_friendster_rate \
-      table2_comparison wdc_longtail comm_model_scaling ablation_direction ext_pagerank_scaling ext_async_comparison graph500_run fault_sweep"
+      table2_comparison wdc_longtail comm_model_scaling ablation_direction ext_pagerank_scaling ext_async_comparison graph500_run fault_sweep compression_sweep"
 for b in $BINS; do
   echo "=== $b ==="
   cargo run --release -q -p gcbfs-bench --bin "$b" > "results/$b.txt" 2>&1 \
