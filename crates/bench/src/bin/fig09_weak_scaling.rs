@@ -6,6 +6,10 @@
 //! Expected shape (paper): close-to-linear growth in GTEPS for both
 //! topologies, DOBFS several times above BFS; the paper switches IR→BR
 //! above 16 GPUs, which we mirror.
+//!
+//! `--smoke` shrinks to scale 10 per GPU, ≤8 GPUs, 2 sources — the
+//! fixed workload EXPERIMENTS.md uses for wall-clock before/after
+//! comparisons of the simulator itself.
 
 use gcbfs_bench::{env_or, f2, num_sources, pick_sources, print_table, ray_factor, run_many};
 use gcbfs_cluster::cost::CostModel;
@@ -15,12 +19,16 @@ use gcbfs_core::driver::DistributedGraph;
 use gcbfs_graph::rmat::RmatConfig;
 
 fn main() {
-    let per_gpu_scale = env_or("GCBFS_SCALE", 12) as u32;
-    let max_gpus = env_or("GCBFS_MAX_GPUS", 64) as u32;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_gpu_scale = if smoke { 10 } else { env_or("GCBFS_SCALE", 12) as u32 };
+    let max_gpus = if smoke { 8 } else { env_or("GCBFS_MAX_GPUS", 64) as u32 };
+    let sources_per_point = if smoke { 2 } else { num_sources() };
     println!(
-        "Fig. 9 reproduction: weak scaling, scale-{per_gpu_scale} RMAT per GPU \
-         (paper: scale-26 per GPU up to 124 GPUs)"
+        "Fig. 9 reproduction{}: weak scaling, scale-{per_gpu_scale} RMAT per GPU \
+         (paper: scale-26 per GPU up to 124 GPUs)",
+        if smoke { " (smoke)" } else { "" },
     );
+    let wall = std::time::Instant::now();
 
     let mut rows = Vec::new();
     let mut gpus = 1u32;
@@ -29,7 +37,7 @@ fn main() {
         let cfg = RmatConfig::graph500(scale);
         let graph = cfg.generate();
         let th = BfsConfig::suggested_rmat_threshold(scale + 13).max(8);
-        let sources = pick_sources(&graph, num_sources(), 0xf19 + gpus as u64);
+        let sources = pick_sources(&graph, sources_per_point, 0xf19 + gpus as u64);
         // Paper: IR below 32 GPUs, BR from 32 up.
         let blocking = gpus >= 32;
         let factor = ray_factor(per_gpu_scale);
@@ -67,6 +75,7 @@ fn main() {
         "\nShape check: near-linear GTEPS growth with GPU count; DOBFS well above BFS; \
          both topologies close (1x4 slightly ahead: more NVLink, fewer ranks)."
     );
+    println!("wall-clock: {:.2} s", wall.elapsed().as_secs_f64());
 }
 
 /// `*x2x2`-style topology: ranks of 2 GPUs (needs ≥ 4 GPUs to be faithful).

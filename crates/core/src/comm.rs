@@ -15,6 +15,7 @@ use gcbfs_cluster::topology::{GpuId, Topology};
 use gcbfs_compress::{
     decode_frontier_into, CodecCounts, CompressionMode, FrontierCodec, HEADER_BYTES,
 };
+use rayon::prelude::*;
 
 /// Bytes per exchanged normal-vertex update: one 32-bit destination-local
 /// id (§V-B's "4|Enn| bytes total volume").
@@ -147,15 +148,18 @@ pub fn exchange_normals_with(
         }
     }
 
-    // Uniquify: drop duplicate (destination, slot) pairs per holder.
+    // Uniquify: drop duplicate (destination, slot) pairs per holder. Each
+    // holder is independent, so this fans out across the host pool (the
+    // per-GPU results — and the ordered time accounting — are identical at
+    // any thread count).
     if use_uniquify {
-        for (g, list) in held.iter_mut().enumerate() {
+        held.par_iter_mut().zip(local_time.par_iter_mut()).for_each(|(list, lt)| {
             let n = list.len() as u64;
             list.sort_unstable_by_key(|&(dest, slot)| (topo.flat(dest), slot));
             list.dedup();
             // Sort + dedup charged as another binning pass.
-            local_time[g] += cost.device.kernel_time(KernelKind::Binning, n);
-        }
+            *lt += cost.device.kernel_time(KernelKind::Binning, n);
+        });
     }
 
     let items_sent: u64 = held.iter().map(|s| s.len() as u64).sum();
@@ -170,14 +174,17 @@ pub fn exchange_normals_with(
     let mut codec_seconds = 0f64;
     let mut codec_counts = CodecCounts::default();
     let mut scratch = Vec::new(); // reused encode buffer
-    for (g, list) in held.into_iter().enumerate() {
+                                  // Destination buckets, allocated once and reused across senders: the
+                                  // previous version allocated p fresh Vecs per sender (p² per exchange),
+                                  // which dominated the allocator profile at high GPU counts.
+    let mut by_dest: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    for (g, mut list) in held.into_iter().enumerate() {
         let holder = topo.unflat(g);
         // Group contiguously by destination (stable: preserves send order).
-        let mut by_dest: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        for (dest, slot) in list {
+        for (dest, slot) in list.drain(..) {
             by_dest[topo.flat(dest)].push(slot);
         }
-        for (dflat, mut slots) in by_dest.into_iter().enumerate() {
+        for (dflat, slots) in by_dest.iter_mut().enumerate() {
             if slots.is_empty() {
                 continue;
             }
@@ -185,7 +192,7 @@ pub fn exchange_normals_with(
             if dflat == g {
                 // Already at the destination (possible after regrouping):
                 // no transfer to model.
-                delivered[dflat].extend(slots);
+                delivered[dflat].append(slots);
                 continue;
             }
             let dest = topo.unflat(dflat);
@@ -201,16 +208,16 @@ pub fn exchange_normals_with(
                     remote_bytes += raw_bytes;
                     raw_remote_bytes += raw_bytes;
                 }
-                delivered[dflat].extend(slots);
+                delivered[dflat].append(slots);
                 continue;
             }
             // Cross-rank compressed message: sort (delta codecs need it;
             // the sort rides the encode kernel charge), select, encode,
             // charge the wire at the encoded size, decode at the receiver.
             slots.sort_unstable();
-            let codec = mode.frontier_codec(&slots).expect("mode.is_on() implies a codec");
+            let codec = mode.frontier_codec(slots).expect("mode.is_on() implies a codec");
             scratch.clear();
-            codec.encode_into(&slots, &mut scratch).expect("sorted input cannot be rejected");
+            codec.encode_into(slots, &mut scratch).expect("sorted input cannot be rejected");
             let wire_bytes = message_wire_bytes(slots.len(), Some((codec, &scratch)));
             debug_assert!(
                 wire_bytes - HEADER_BYTES as u64 <= raw_bytes,
@@ -234,6 +241,7 @@ pub fn exchange_normals_with(
             decode_frontier_into(&scratch, &mut delivered[dflat])
                 .expect("self-encoded message must decode");
             debug_assert_eq!(delivered[dflat].len() - before, slots.len());
+            slots.clear();
         }
     }
     let remote_time: Vec<f64> = send_time.iter().zip(&recv_time).map(|(&s, &r)| s.max(r)).collect();

@@ -138,6 +138,14 @@ pub struct DistributedEdges {
     pub class_counts: EdgeClassCounts,
 }
 
+/// Fixed edge-chunk granularity for parallel distribution. A constant —
+/// never derived from `rayon::current_num_threads()` — so the chunk
+/// boundaries, and therefore the ordered chunk merge below, are identical at
+/// any pool width. This is what makes the documented
+/// determinism-under-any-thread-count property load-bearing rather than an
+/// accident of a particular pool size.
+const DISTRIBUTE_CHUNK_EDGES: usize = 1 << 16;
+
 /// Distributes all edges of `graph` per Algorithm 1.
 pub fn distribute(
     graph: &EdgeList,
@@ -146,7 +154,7 @@ pub fn distribute(
     topo: &Topology,
 ) -> DistributedEdges {
     let p = topo.num_gpus() as usize;
-    let chunk_len = graph.edges.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let chunk_len = DISTRIBUTE_CHUNK_EDGES;
     // Each chunk fills its own per-GPU sets; chunks are then merged in
     // order, keeping the result deterministic under any thread count.
     let chunk_results: Vec<(Vec<GpuEdgeSet>, EdgeClassCounts)> = graph

@@ -603,6 +603,12 @@ impl DistributedGraph {
                 let w = &mut workers[g];
                 debug_assert!(w.frontier.is_empty());
                 w.frontier = std::mem::take(&mut out.next_frontier);
+                // The reduction is done with this iteration's output mask;
+                // hand its buffer back to the worker for reuse.
+                w.recycle_output_mask(std::mem::replace(
+                    &mut out.output_mask,
+                    DelegateMask::new(0),
+                ));
                 for &slot in &delivered[g] {
                     if let Some(s) = w.apply_remote_update(slot, next_depth) {
                         w.frontier.push(s);

@@ -126,6 +126,36 @@ pub struct GpuWorker {
     /// Retained remote `nn` updates for the end-of-run parent exchange:
     /// `(destination GPU, destination slot, parent global id, proposed depth)`.
     pub remote_parent_log: Vec<(GpuId, u32, u64, u32)>,
+    /// Per-worker reusable buffers for the iteration hot path. Pure scratch:
+    /// cleared before every use, never part of algorithm state (checkpoints
+    /// ignore it). Eliminates the per-iteration `Vec`/mask allocations that
+    /// dominated the allocator profile once the host pool made iterations
+    /// genuinely concurrent.
+    pub scratch: KernelScratch,
+}
+
+/// Reusable per-worker buffers for [`GpuWorker::run_iteration`].
+///
+/// Because each `GpuWorker` is processed by exactly one task per iteration
+/// (per-GPU fan-out), worker-owned scratch is automatically race-free and
+/// schedule-independent — unlike thread-local scratch, which would tie buffer
+/// contents to the (nondeterministic) task-to-thread assignment.
+#[derive(Clone, Debug, Default)]
+pub struct KernelScratch {
+    /// Previsit queue: frontier vertices with `nn` edges.
+    nn_queue: Vec<u32>,
+    /// Previsit queue: frontier vertices with `nd` edges.
+    nd_queue: Vec<u32>,
+    /// Previsit queue: new delegates with `dd` edges.
+    dd_queue: Vec<u32>,
+    /// Previsit queue: new delegates with `dn` edges.
+    dn_queue: Vec<u32>,
+    /// Recycled backing store for the next frontier (the previous input
+    /// frontier's buffer rotates back in here once consumed).
+    spare_frontier: Vec<u32>,
+    /// Recycled backing store for the iteration output mask (returned by the
+    /// driver after the reduction consumed it).
+    spare_mask: Option<DelegateMask>,
 }
 
 impl GpuWorker {
@@ -155,6 +185,7 @@ impl GpuWorker {
             parents_local: Vec::new(),
             delegate_parent_candidate: Vec::new(),
             remote_parent_log: Vec::new(),
+            scratch: KernelScratch::default(),
         }
     }
 
@@ -170,25 +201,37 @@ impl GpuWorker {
     /// producing depth-`iter + 1` discoveries.
     pub fn run_iteration(&mut self, iter: u32, topo: &Topology) -> LocalIterationOutput {
         let mut work = KernelWork::default();
-        let mut output_mask = self.visited_mask.clone();
-        let mut next_frontier: Vec<u32> = Vec::new();
+        // Reuse the recycled mask buffer when the driver returned one (see
+        // `recycle_output_mask`); clone only on the first iteration.
+        let mut output_mask = match self.scratch.spare_mask.take() {
+            Some(mut m) if m.num_bits() == self.visited_mask.num_bits() => {
+                m.copy_from(&self.visited_mask);
+                m
+            }
+            _ => self.visited_mask.clone(),
+        };
+        // The previous input frontier's buffer rotates back in as the next
+        // frontier's backing store (zero steady-state allocations).
+        let mut next_frontier: Vec<u32> = std::mem::take(&mut self.scratch.spare_frontier);
+        next_frontier.clear();
         let mut remote_nn: Vec<(GpuId, u32)> = Vec::new();
         let next_depth = iter + 1;
 
         // ---- Previsit: queues and forward workloads (FV). ----
         let sg = Arc::clone(&self.subgraphs);
-        let mut nn_queue = Vec::new();
-        let mut nd_queue = Vec::new();
+        let scratch = &mut self.scratch;
+        scratch.nn_queue.clear();
+        scratch.nd_queue.clear();
         // nn never direction-optimizes, so only nd's forward workload is
         // tracked on the normal stream.
         let mut fv_nd = 0u64;
         for &u in &self.frontier {
             if sg.nn.degree(u) > 0 {
-                nn_queue.push(u);
+                scratch.nn_queue.push(u);
             }
             let deg_nd = sg.nd.degree(u);
             if deg_nd > 0 {
-                nd_queue.push(u);
+                scratch.nd_queue.push(u);
                 fv_nd += deg_nd as u64;
             }
         }
@@ -196,18 +239,18 @@ impl GpuWorker {
             work.normal_previsit_vertices += self.frontier.len() as u64;
             work.normal_launches += 1;
         }
-        let mut dd_queue = Vec::new();
-        let mut dn_queue = Vec::new();
+        scratch.dd_queue.clear();
+        scratch.dn_queue.clear();
         let (mut fv_dd, mut fv_dn) = (0u64, 0u64);
         for &x in &self.new_delegates {
             let deg_dd = sg.dd.degree(x);
             if deg_dd > 0 {
-                dd_queue.push(x);
+                scratch.dd_queue.push(x);
                 fv_dd += deg_dd as u64;
             }
             let deg_dn = sg.dn.degree(x);
             if deg_dn > 0 {
-                dn_queue.push(x);
+                scratch.dn_queue.push(x);
                 fv_dn += deg_dn as u64;
             }
         }
@@ -275,9 +318,9 @@ impl GpuWorker {
         };
 
         // ---- Normal stream visits: nn (forward only), then nd. ----
-        if !nn_queue.is_empty() {
+        if !self.scratch.nn_queue.is_empty() {
             work.normal_launches += 1;
-            for &u in &nn_queue {
+            for &u in &self.scratch.nn_queue {
                 let u_global = topo.global_id(self.gpu, u);
                 for &v_global in sg.nn.row(u) {
                     work.nn_edges += 1;
@@ -302,9 +345,9 @@ impl GpuWorker {
         }
         match directions.nd {
             Direction::Forward => {
-                if !nd_queue.is_empty() {
+                if !self.scratch.nd_queue.is_empty() {
                     work.normal_launches += 1;
-                    for &u in &nd_queue {
+                    for &u in &self.scratch.nd_queue {
                         for &x in sg.nd.row(u) {
                             work.nd_edges += 1;
                             if output_mask.set(x) && self.track_parents {
@@ -344,9 +387,9 @@ impl GpuWorker {
         // ---- Delegate stream visits: dd, then dn. ----
         match directions.dd {
             Direction::Forward => {
-                if !dd_queue.is_empty() {
+                if !self.scratch.dd_queue.is_empty() {
                     work.delegate_launches += 1;
-                    for &x in &dd_queue {
+                    for &x in &self.scratch.dd_queue {
                         for &y in sg.dd.row(x) {
                             work.dd_edges += 1;
                             if output_mask.set(y) && self.track_parents {
@@ -379,9 +422,9 @@ impl GpuWorker {
         }
         match directions.dn {
             Direction::Forward => {
-                if !dn_queue.is_empty() {
+                if !self.scratch.dn_queue.is_empty() {
                     work.delegate_launches += 1;
-                    for &x in &dn_queue {
+                    for &x in &self.scratch.dn_queue {
                         for &u in sg.dn.row(x) {
                             work.dn_edges += 1;
                             if self.depths_local[u as usize] == UNREACHED {
@@ -420,9 +463,19 @@ impl GpuWorker {
             Direction::Backward => {}
         }
 
+        // The consumed input frontier's buffer becomes next iteration's
+        // spare (the driver installs `next_frontier` as the new frontier).
         self.frontier.clear();
+        self.scratch.spare_frontier = std::mem::take(&mut self.frontier);
         self.new_delegates.clear();
         LocalIterationOutput { next_frontier, remote_nn, output_mask, work, directions }
+    }
+
+    /// Hands an iteration's output mask buffer back for reuse. Called by the
+    /// driver once the reduction has consumed it; purely an allocation
+    /// optimization, with no effect on algorithm state.
+    pub fn recycle_output_mask(&mut self, mask: DelegateMask) {
+        self.scratch.spare_mask = Some(mask);
     }
 
     /// Applies a received remote `nn` update (destination-local slot) with
@@ -445,7 +498,13 @@ impl GpuWorker {
             self.delegate_depths[x as usize] = depth;
             self.new_delegates.push(x);
         }
-        self.visited_mask = reduced.clone();
+        // In-place copy: same value as `clone()`, reusing the existing
+        // buffer on the hot path.
+        if self.visited_mask.num_bits() == reduced.num_bits() {
+            self.visited_mask.copy_from(reduced);
+        } else {
+            self.visited_mask = reduced.clone();
+        }
     }
 }
 

@@ -61,6 +61,14 @@ impl DelegateMask {
         newly
     }
 
+    /// Overwrites `self` with `other`'s contents without reallocating —
+    /// the hot-path alternative to `clone()` when a mask buffer is reused
+    /// across iterations.
+    pub fn copy_from(&mut self, other: &Self) {
+        debug_assert_eq!(self.num_bits, other.num_bits);
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// ORs `other` into `self`.
     pub fn or_assign(&mut self, other: &Self) {
         debug_assert_eq!(self.num_bits, other.num_bits);

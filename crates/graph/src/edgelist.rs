@@ -71,28 +71,22 @@ impl EdgeList {
     }
 
     /// Out-degree of every vertex.
+    ///
+    /// Parallelized by scattering atomic increments over a shared counter
+    /// array instead of per-thread `vec![0; n]` locals. `u64` addition is
+    /// commutative and exact, so the result is bit-identical at any thread
+    /// count and under any schedule — and crucially the work decomposition
+    /// no longer depends on `rayon::current_num_threads()`, keeping the
+    /// determinism-under-any-pool-width property structural.
     pub fn out_degrees(&self) -> Vec<u64> {
+        use std::sync::atomic::{AtomicU64, Ordering};
         let n = self.num_vertices as usize;
-        let num_chunks = rayon::current_num_threads().max(1);
-        let chunk_len = self.edges.len().div_ceil(num_chunks).max(1);
-        self.edges
-            .par_chunks(chunk_len)
-            .map(|chunk| {
-                let mut local = vec![0u64; n];
-                for &(u, _) in chunk {
-                    local[u as usize] += 1;
-                }
-                local
-            })
-            .reduce(
-                || vec![0u64; n],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            )
+        let degrees: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let degrees_ref = &degrees;
+        self.edges.par_iter().for_each(|&(u, _)| {
+            degrees_ref[u as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        degrees.into_iter().map(AtomicU64::into_inner).collect()
     }
 
     /// Applies a vertex renumbering `f` to every endpoint.

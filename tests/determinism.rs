@@ -14,6 +14,19 @@ fn both_pools<T: PartialEq + std::fmt::Debug + Send>(f: impl Fn() -> T + Sync) {
     assert_eq!(parallel, single);
 }
 
+/// Runs `f` at thread counts 1, 2, 4, and 8 and asserts every result is
+/// bit-identical to the width-1 reference. Width 1 runs the chunked code
+/// path inline (same chunk boundaries, same merge order), so agreement
+/// here certifies the *structure* of the reduction, not luck of the
+/// schedule; widths above the host core count exercise oversubscription.
+fn width_matrix<T: PartialEq + std::fmt::Debug + Send>(f: impl Fn() -> T + Sync) {
+    let reference = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(&f);
+    for width in [2usize, 4, 8] {
+        let got = rayon::ThreadPoolBuilder::new().num_threads(width).build().unwrap().install(&f);
+        assert!(got == reference, "result drifted at {width} threads");
+    }
+}
+
 fn setup() -> (gpu_cluster_bfs::graph::EdgeList, BfsConfig, u64) {
     let graph = RmatConfig::graph500(9).generate();
     let config = BfsConfig::new(8);
@@ -98,4 +111,49 @@ fn generators_deterministic() {
     both_pools(|| RmatConfig::graph500(9).generate());
     both_pools(|| PowerLawConfig::friendster_like(9).generate());
     both_pools(|| WebGraphConfig::wdc_like(7).generate());
+}
+
+// ---- thread-count matrix (1/2/4/8) ------------------------------------
+//
+// The pairwise checks above catch a schedule dependence only if it shows
+// up between "default" and "one thread". The matrix below pins the full
+// pipeline — generation, distribution, traversal — at explicit widths
+// including oversubscribed ones, which is exactly what `GCBFS_THREADS`
+// lets an operator do in production.
+
+#[test]
+fn bfs_width_matrix_bitwise() {
+    let (graph, config, src) = setup();
+    width_matrix(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(4, 2), &config).unwrap();
+        let r = dist.run_with_parents(src, &config).unwrap();
+        let modeled_bits = r.modeled_seconds().to_bits();
+        let iterations = r.iterations();
+        (r.depths, r.parents, modeled_bits, iterations)
+    });
+}
+
+#[test]
+fn pagerank_width_matrix_bitwise() {
+    let (graph, config, _src) = setup();
+    let pr = PageRankConfig { max_iterations: 12, tolerance: 0.0, ..Default::default() };
+    width_matrix(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 3), &config).unwrap();
+        let r = dist.pagerank(&pr);
+        let bits: Vec<u64> = r.scores.iter().map(|s| s.to_bits()).collect();
+        (bits, r.iterations)
+    });
+}
+
+#[test]
+fn sssp_width_matrix_bitwise() {
+    use gpu_cluster_bfs::core::sssp::DistributedSssp;
+    use gpu_cluster_bfs::graph::weighted::WeightedEdgeList;
+    let (graph, config, src) = setup();
+    let weighted = WeightedEdgeList::from_topology(&graph, 12, 5);
+    width_matrix(|| {
+        let dist = DistributedSssp::build(&weighted, Topology::new(2, 2), &config);
+        let r = dist.run(src, &config).unwrap();
+        (r.distances, r.rounds, r.edges_relaxed, r.modeled_seconds.to_bits())
+    });
 }
