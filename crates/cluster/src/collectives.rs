@@ -17,6 +17,7 @@
 use crate::cost::{CostModel, KernelKind};
 use crate::topology::{GpuId, Topology};
 use gcbfs_compress::{decode_mask, CodecCounts, CompressionMode};
+use gcbfs_trace::CollectiveHop;
 use rayon::prelude::*;
 
 /// Result of a two-phase bit-or allreduce.
@@ -51,6 +52,35 @@ impl AllreduceOutcome {
     pub fn bytes_saved_per_message(&self) -> u64 {
         self.raw_bytes_per_message.saturating_sub(self.bytes_per_message)
     }
+}
+
+/// The per-hop wire picture of the global allreduce phase, for the
+/// observability subsystem.
+///
+/// The cost model charges `2 · bytes_per_message · num_ranks` remote
+/// bytes for the collective — a ring allreduce: a reduce pass of
+/// `num_ranks` hops `r → (r+1) mod num_ranks` followed by a broadcast
+/// pass of the same shape, each hop carrying one per-message payload.
+/// This function materializes exactly those hops, so the sum of the
+/// returned `wire_bytes` equals the bytes the driver charges for the
+/// mask reduction, hop for hop. A single-rank cluster reduces locally
+/// and produces no hops.
+pub fn mask_reduce_hops(num_ranks: u32, outcome: &AllreduceOutcome) -> Vec<CollectiveHop> {
+    if num_ranks <= 1 {
+        return Vec::new();
+    }
+    let mut hops = Vec::with_capacity(2 * num_ranks as usize);
+    for _pass in 0..2 {
+        for r in 0..num_ranks {
+            hops.push(CollectiveHop {
+                src_rank: r,
+                dst_rank: (r + 1) % num_ranks,
+                raw_bytes: outcome.raw_bytes_per_message,
+                wire_bytes: outcome.bytes_per_message,
+            });
+        }
+    }
+    hops
 }
 
 /// Two-phase bit-or allreduce of one `u64` mask word vector per GPU.
@@ -504,6 +534,31 @@ mod tests {
         assert_eq!(out.global_time, base.global_time);
         assert_eq!(out.bytes_per_message, base.bytes_per_message);
         assert_eq!(out.codec_seconds, 0.0);
+    }
+
+    #[test]
+    fn mask_hops_sum_to_charged_collective_bytes() {
+        let topo = Topology::new(4, 2);
+        let cost = CostModel::ray();
+        let masks: Vec<Vec<u64>> = (0..8).map(|g| vec![1u64 << g; 16]).collect();
+        let out = allreduce_or(topo, &cost, &masks, true);
+        let hops = mask_reduce_hops(topo.num_ranks(), &out);
+        // Ring allreduce: reduce pass + broadcast pass, one hop per rank each.
+        assert_eq!(hops.len(), 2 * topo.num_ranks() as usize);
+        let wire: u64 = hops.iter().map(|h| h.wire_bytes).sum();
+        assert_eq!(wire, 2 * out.bytes_per_message * topo.num_ranks() as u64);
+        let raw: u64 = hops.iter().map(|h| h.raw_bytes).sum();
+        assert_eq!(raw, 2 * out.raw_bytes_per_message * topo.num_ranks() as u64);
+        assert!(hops.iter().all(|h| h.src_rank != h.dst_rank && h.dst_rank < 4));
+    }
+
+    #[test]
+    fn mask_hops_empty_on_single_rank() {
+        let topo = Topology::new(1, 4);
+        let cost = CostModel::ray();
+        let masks = vec![vec![1u64]; 4];
+        let out = allreduce_or(topo, &cost, &masks, true);
+        assert!(mask_reduce_hops(1, &out).is_empty());
     }
 
     #[test]

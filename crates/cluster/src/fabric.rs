@@ -13,6 +13,7 @@
 use crate::fault::{FaultError, FaultInjector, MessageFate};
 use crate::topology::Topology;
 use gcbfs_compress::{IntegrityError, SealedPayload};
+use gcbfs_trace::{Channel, MessageEvent, MessageKind};
 use rayon::prelude::*;
 
 /// Why a superstep could not run or deliver. The panicking
@@ -120,13 +121,65 @@ pub struct Fabric<M> {
     /// Delayed messages as `(due_superstep, to, from, payload)`, waiting to
     /// be merged into an inbox once their due superstep is delivered.
     delayed: Vec<(u64, usize, usize, M)>,
+    /// When true, every actual delivery is appended to `observed`.
+    observe: bool,
+    /// Typed delivery events recorded since the last drain (see
+    /// [`Fabric::enable_observation`]).
+    observed: Vec<MessageEvent>,
 }
 
 impl<M: Send> Fabric<M> {
     /// Creates an idle fabric with empty inboxes.
     pub fn new(topology: Topology) -> Self {
         let inboxes = (0..topology.num_gpus() as usize).map(|_| Vec::new()).collect();
-        Self { topology, inboxes, superstep: 0, delayed: Vec::new() }
+        Self {
+            topology,
+            inboxes,
+            superstep: 0,
+            delayed: Vec::new(),
+            observe: false,
+            observed: Vec::new(),
+        }
+    }
+
+    /// Turns on delivery observation: every message that actually lands
+    /// in an inbox (including duplicates and late deliveries of delayed
+    /// messages; never drops, which do not deliver) is recorded as a
+    /// typed [`MessageEvent`]. The fabric has no cost model, so events
+    /// are stamped in *superstep coordinates* (`ts` = the superstep
+    /// index at delivery) and byte counts report the in-memory payload
+    /// envelope (`size_of::<M>()`); callers that want modeled-time
+    /// message accounting use the BFS driver's span sink instead.
+    pub fn enable_observation(&mut self) {
+        self.observe = true;
+    }
+
+    /// Takes the delivery events recorded since the last drain (empty
+    /// unless [`Fabric::enable_observation`] was called). Events are in
+    /// deterministic delivery order: delayed-then-due messages first,
+    /// then outboxes by sending GPU.
+    pub fn drain_observed(&mut self) -> Vec<MessageEvent> {
+        std::mem::take(&mut self.observed)
+    }
+
+    /// Builds the observation event for one delivery.
+    fn observe_delivery(&self, from: usize, to: usize) -> MessageEvent {
+        let bytes = std::mem::size_of::<M>() as u64;
+        let channel = if self.topology.unflat(from).rank == self.topology.unflat(to).rank {
+            Channel::IntraRank
+        } else {
+            Channel::CrossRank
+        };
+        MessageEvent {
+            iter: self.superstep.min(u32::MAX as u64) as u32,
+            ts: self.superstep as f64,
+            src: from as u32,
+            dst: to as u32,
+            channel,
+            kind: MessageKind::Fabric,
+            raw_bytes: bytes,
+            wire_bytes: bytes,
+        }
     }
 
     /// The device grid this fabric connects.
@@ -251,8 +304,12 @@ impl<M: Send> Fabric<M> {
         let mut inboxes: Vec<Vec<(usize, M)>> = (0..n).map(|_| Vec::new()).collect();
         // Messages delayed by earlier supersteps that are now due.
         let mut still_delayed = Vec::new();
+        let mut observed = Vec::new();
         for (due, to, from, payload) in self.delayed.drain(..) {
             if due <= step + 1 {
+                if self.observe {
+                    observed.push((from, to));
+                }
                 inboxes[to].push((from, payload));
             } else {
                 still_delayed.push((due, to, from, payload));
@@ -274,7 +331,12 @@ impl<M: Send> Fabric<M> {
                     None => MessageFate::Deliver,
                 };
                 match fate {
-                    MessageFate::Deliver => inboxes[to].push((from, payload)),
+                    MessageFate::Deliver => {
+                        if self.observe {
+                            observed.push((from, to));
+                        }
+                        inboxes[to].push((from, payload));
+                    }
                     MessageFate::Drop => {}
                     MessageFate::Duplicate => {
                         // `step_with_faults` (the only entry point with an
@@ -282,8 +344,14 @@ impl<M: Send> Fabric<M> {
                         // fault-free path passes `None` and never sees a
                         // `Duplicate` fate.
                         let copy = dup.map(|d| d(&payload));
+                        if self.observe {
+                            observed.push((from, to));
+                        }
                         inboxes[to].push((from, payload));
                         if let Some(copy) = copy {
+                            if self.observe {
+                                observed.push((from, to));
+                            }
                             inboxes[to].push((from, copy));
                         }
                     }
@@ -298,6 +366,10 @@ impl<M: Send> Fabric<M> {
         // orders late-delivered delayed messages deterministically).
         for inbox in &mut inboxes {
             inbox.sort_by_key(|&(from, _)| from);
+        }
+        for (from, to) in observed {
+            let ev = self.observe_delivery(from, to);
+            self.observed.push(ev);
         }
         self.inboxes = inboxes;
         Ok(())
@@ -616,6 +688,65 @@ mod tests {
             .unwrap();
         assert_eq!(states[1], 9);
         assert!(fabric.is_quiescent());
+    }
+
+    #[test]
+    fn observation_records_deliveries_with_channels() {
+        let topo = Topology::new(2, 2);
+        let mut fabric: Fabric<u64> = Fabric::new(topo);
+        fabric.enable_observation();
+        let mut states = vec![0u64; 4];
+        fabric.step(&mut states, |gpu, _, _, out| {
+            out.send((gpu + 1) % 4, gpu as u64);
+        });
+        let evs = fabric.drain_observed();
+        assert_eq!(evs.len(), 4);
+        assert!(evs.iter().all(|e| e.kind == MessageKind::Fabric && e.iter == 0));
+        // In a 2-rank × 2-GPU grid, 0→1 and 2→3 stay on-rank; 1→2 and
+        // 3→0 cross the rank boundary.
+        let chan = |src: u32| evs.iter().find(|e| e.src == src).map(|e| e.channel).unwrap();
+        assert_eq!(chan(0), Channel::IntraRank);
+        assert_eq!(chan(1), Channel::CrossRank);
+        assert_eq!(chan(2), Channel::IntraRank);
+        assert_eq!(chan(3), Channel::CrossRank);
+        // Drained: a second drain is empty until more traffic flows.
+        assert!(fabric.drain_observed().is_empty());
+    }
+
+    #[test]
+    fn observation_skips_drops_and_counts_duplicates() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let topo = Topology::new(1, 2);
+        // All-drop injector: nothing delivers, nothing observed.
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        fabric.enable_observation();
+        let mut inj = FaultInjector::new(FaultPlan::new(11).with_message_faults(1.0, 0.0, 0.0));
+        let mut states = vec![0u32; 2];
+        fabric
+            .step_with_faults(&mut states, &mut inj, |gpu, _, _, out| out.send(1 - gpu, 7))
+            .unwrap();
+        assert!(fabric.drain_observed().is_empty(), "drops never deliver");
+        // All-duplicate injector: each send is observed twice.
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        fabric.enable_observation();
+        let mut inj = FaultInjector::new(FaultPlan::new(11).with_message_faults(0.0, 1.0, 0.0));
+        fabric
+            .step_with_faults(&mut states, &mut inj, |gpu, _, _, out| {
+                if gpu == 0 {
+                    out.send(1, 7)
+                }
+            })
+            .unwrap();
+        assert_eq!(fabric.drain_observed().len(), 2);
+    }
+
+    #[test]
+    fn observation_off_by_default() {
+        let topo = Topology::new(1, 2);
+        let mut fabric: Fabric<u32> = Fabric::new(topo);
+        let mut states = vec![0u32; 2];
+        fabric.step(&mut states, |gpu, _, _, out| out.send(1 - gpu, 1));
+        assert!(fabric.drain_observed().is_empty());
     }
 
     #[test]

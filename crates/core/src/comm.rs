@@ -15,6 +15,7 @@ use gcbfs_cluster::topology::{GpuId, Topology};
 use gcbfs_compress::{
     decode_frontier_into, CodecCounts, CompressionMode, FrontierCodec, HEADER_BYTES,
 };
+use gcbfs_trace::MessageRecord;
 use rayon::prelude::*;
 
 /// Bytes per exchanged normal-vertex update: one 32-bit destination-local
@@ -54,6 +55,13 @@ pub struct ExchangeResult {
     pub codec_seconds: f64,
     /// Which frontier codec each cross-rank message used.
     pub codec_counts: CodecCounts,
+    /// One record per modeled point-to-point transfer, in charging order:
+    /// `(src, dst)` are flat GPU indices, `wire_bytes` is the exact value
+    /// charged to [`Self::remote_bytes`] / [`Self::local_bytes`], so the
+    /// cross-rank records always sum to `remote_bytes` and the intra-rank
+    /// ones to the exchange's share of `local_bytes`. Same-GPU deliveries
+    /// (possible after regrouping) model no transfer and record nothing.
+    pub messages: Vec<MessageRecord>,
 }
 
 impl ExchangeResult {
@@ -173,6 +181,7 @@ pub fn exchange_normals_with(
     let mut raw_remote_bytes = 0u64;
     let mut codec_seconds = 0f64;
     let mut codec_counts = CodecCounts::default();
+    let mut messages: Vec<MessageRecord> = Vec::new();
     let mut scratch = Vec::new(); // reused encode buffer
                                   // Destination buckets, allocated once and reused across senders: the
                                   // previous version allocated p fresh Vecs per sender (p² per exchange),
@@ -208,6 +217,13 @@ pub fn exchange_normals_with(
                     remote_bytes += raw_bytes;
                     raw_remote_bytes += raw_bytes;
                 }
+                messages.push(MessageRecord {
+                    src: g as u32,
+                    dst: dflat as u32,
+                    raw_bytes,
+                    wire_bytes: raw_bytes,
+                    intra,
+                });
                 delivered[dflat].append(slots);
                 continue;
             }
@@ -229,6 +245,13 @@ pub fn exchange_normals_with(
             recv_time[dflat] += t;
             remote_bytes += wire_bytes;
             raw_remote_bytes += raw_bytes;
+            messages.push(MessageRecord {
+                src: g as u32,
+                dst: dflat as u32,
+                raw_bytes,
+                wire_bytes,
+                intra: false,
+            });
             // Encode charged to the sender, decode to the receiver, both
             // per raw byte (the codecs stream the raw image once).
             let enc = cost.device.kernel_time(KernelKind::Compress, raw_bytes);
@@ -257,6 +280,7 @@ pub fn exchange_normals_with(
         items_sent,
         codec_seconds,
         codec_counts,
+        messages,
     }
 }
 
@@ -452,6 +476,30 @@ mod tests {
         let floor = cost.network.message_floor_bytes.ceil() as u64;
         let floor_time = cost.network.p2p_time(floor, false);
         assert!(ex.remote_time[0] >= floor_time);
+    }
+
+    #[test]
+    fn message_records_sum_to_charged_bytes() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        for mode in [CompressionMode::Off, CompressionMode::Adaptive] {
+            let mut sends = dense_sends(300);
+            sends[1] = vec![(gid(0, 0), 2), (gid(1, 1), 3)]; // intra + cross extras
+            let ex = exchange_normals_with(&topo, &cost, sends, false, false, mode);
+            let cross: u64 = ex.messages.iter().filter(|m| !m.intra).map(|m| m.wire_bytes).sum();
+            assert_eq!(cross, ex.remote_bytes, "mode {mode}");
+            let cross_raw: u64 = ex.messages.iter().filter(|m| !m.intra).map(|m| m.raw_bytes).sum();
+            assert_eq!(cross_raw, ex.raw_remote_bytes, "mode {mode}");
+            let intra: u64 = ex.messages.iter().filter(|m| m.intra).map(|m| m.wire_bytes).sum();
+            assert_eq!(
+                intra, ex.local_bytes,
+                "mode {mode}: no regrouping, so all local \
+                 bytes are intra-rank sends"
+            );
+            for m in &ex.messages {
+                assert_ne!(m.src, m.dst, "same-GPU deliveries record no message");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::recovery::RecoveryConfig;
 use gcbfs_cluster::cost::CostModel;
 use gcbfs_compress::CompressionMode;
+use gcbfs_trace::ObservabilityConfig;
 
 /// Direction-switching factor pair for one subgraph kernel (§IV-B):
 /// switch forward→backward when `FV > factor0 · BV`, and backward→forward
@@ -76,6 +77,14 @@ pub struct BfsConfig {
     /// taken and no retries happen unless a
     /// [`FaultPlan`](gcbfs_cluster::fault::FaultPlan) is supplied.
     pub recovery: RecoveryConfig,
+    /// Structured observability: when `Full`, the driver threads a
+    /// [`SpanSink`](gcbfs_trace::SpanSink) through the run and
+    /// [`BfsResult::observed`](crate::driver::BfsResult::observed) carries
+    /// the finished [`TraceLog`](gcbfs_trace::TraceLog). `Off` (the
+    /// default) records nothing and leaves every seed-visible number
+    /// bit-identical — no modeled-time arithmetic is added, removed or
+    /// reordered by observation.
+    pub observability: ObservabilityConfig,
 }
 
 impl BfsConfig {
@@ -106,6 +115,7 @@ impl BfsConfig {
             cost: CostModel::ray(),
             compression: CompressionMode::Off,
             recovery: RecoveryConfig::default(),
+            observability: ObservabilityConfig::Off,
         }
     }
 
@@ -164,6 +174,12 @@ impl BfsConfig {
     /// Selects the communication-compression mode.
     pub fn with_compression(mut self, compression: CompressionMode) -> Self {
         self.compression = compression;
+        self
+    }
+
+    /// Selects the observability mode (span/message/fault recording).
+    pub fn with_observability(mut self, observability: ObservabilityConfig) -> Self {
+        self.observability = observability;
         self
     }
 
@@ -232,6 +248,14 @@ mod tests {
         let c = c.with_compression(CompressionMode::Adaptive);
         assert!(c.compression.is_on());
         assert_eq!(c.compression.label(), "adaptive");
+    }
+
+    #[test]
+    fn observability_defaults_off_and_flips() {
+        let c = BfsConfig::new(8);
+        assert_eq!(c.observability, ObservabilityConfig::Off);
+        let c = c.with_observability(ObservabilityConfig::Full);
+        assert!(c.observability.is_on());
     }
 
     #[test]

@@ -21,12 +21,16 @@ use crate::separation::Separation;
 use crate::stats::{FaultStats, IterationRecord, RunStats};
 use crate::subgraph::{GpuSubgraphs, MemoryUsage};
 use crate::UNREACHED;
-use gcbfs_cluster::collectives::allreduce_or_compressed;
+use gcbfs_cluster::collectives::{allreduce_or_compressed, mask_reduce_hops};
 use gcbfs_cluster::cost::KernelKind;
 use gcbfs_cluster::fault::{FaultError, FaultInjector, FaultPlan, MessageFate};
 use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
 use gcbfs_cluster::topology::Topology;
 use gcbfs_graph::{EdgeList, VertexId};
+use gcbfs_trace::{
+    CollectiveHop, DirTag, FaultKind, KernelEvent, KernelTag, LanePhases, SinkMark, SpanSink,
+    StreamTag, TraceLog,
+};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -317,6 +321,15 @@ impl DistributedGraph {
             w.frontier.push(slot);
         }
 
+        // ---- Observability (inert when Off: the sink only *records* the
+        // very same f64 values the timing fold below computes — it adds,
+        // removes, and reorders no modeled-time arithmetic). ----
+        let mut sink: Option<SpanSink> = config
+            .observability
+            .is_on()
+            .then(|| SpanSink::new(topo.num_ranks(), topo.gpus_per_rank()));
+        let mut sink_mark: Option<SinkMark> = None;
+
         // ---- Resilience state (inert without a fault plan). ----
         let recovery = config.recovery;
         let mut injector: Option<FaultInjector> = plan.map(|p| FaultInjector::new(p.clone()));
@@ -350,9 +363,16 @@ impl DistributedGraph {
                 && checkpoint.as_ref().is_none_or(|c| c.iter != iter)
             {
                 let cp = Checkpoint::capture(iter, &workers, records.len());
-                fault.checkpoint_seconds += cp.modeled_seconds(cost);
+                let cp_seconds = cp.modeled_seconds(cost);
+                fault.checkpoint_seconds += cp_seconds;
                 fault.checkpoints_taken += 1;
                 checkpoint = Some(cp);
+                if let Some(s) = sink.as_mut() {
+                    s.record_fault(FaultKind::Checkpoint, iter, cp_seconds);
+                    // A rollback rewinds to here: iteration events after
+                    // this mark are vacated, fault spans are kept.
+                    sink_mark = Some(s.mark());
+                }
             }
 
             // ---- Heartbeat: fail-stop detection at the superstep
@@ -379,10 +399,17 @@ impl DistributedGraph {
                             Checkpoint::worker_bytes(&workers[gpu]),
                             topo.same_rank(topo.unflat(gpu), topo.unflat(host)),
                         );
-                    fault.recovery_seconds += wasted + reload;
+                    let spent = wasted + reload;
+                    fault.recovery_seconds += spent;
                     fault.rollbacks += 1;
                     records.truncate(cp.records_len);
                     cp.restore(&mut workers);
+                    if let Some(s) = sink.as_mut() {
+                        if let Some(m) = &sink_mark {
+                            s.truncate(m);
+                        }
+                        s.record_fault(FaultKind::Recovery, iter, spent);
+                    }
                     iter = cp.iter;
                     // The codec reference mask is ahead of the restored
                     // state; drop it so the next reduction encodes from
@@ -427,6 +454,18 @@ impl DistributedGraph {
                     }
                 })
                 .collect();
+
+            // Typed kernel spans for the trace: built from the same
+            // per-GPU work counters and priced with the same device model
+            // calls as the `phases` fold above, so per-stream span sums
+            // equal the driver's stream times bit-for-bit.
+            let observing = sink.is_some();
+            let mut kernel_events: Vec<Vec<KernelEvent>> = if observing {
+                outputs.iter().map(|o| o.kernel_events(&cost.device)).collect()
+            } else {
+                Vec::new()
+            };
+            let mut mask_hops: Vec<CollectiveHop> = Vec::new();
 
             // Degraded mode: a buddy hosting a dead GPU's partition runs
             // both partitions serially, so the dead GPU's computation time
@@ -482,9 +521,13 @@ impl DistributedGraph {
                                     ));
                                 }
                                 fault.retries += 1;
-                                fault.recovery_seconds += out.global_time * bw
+                                let spent = out.global_time * bw
                                     + out.local_time
                                     + retry_backoff(recovery.retry_backoff_seconds, attempt);
+                                fault.recovery_seconds += spent;
+                                if let Some(s) = sink.as_mut() {
+                                    s.record_fault(FaultKind::Retry, iter, spent);
+                                }
                                 attempt += 1;
                             }
                         }
@@ -514,6 +557,11 @@ impl DistributedGraph {
                 if config.compression.is_on() {
                     prev_reduced = Some(outcome.reduced.clone());
                 }
+                if observing {
+                    // Ring hops of the two-phase reduction; their wire sum
+                    // is exactly `mask_remote_bytes` by construction.
+                    mask_hops = mask_reduce_hops(topo.num_ranks(), &outcome);
+                }
                 let mut reduced = DelegateMask::new(d);
                 reduced.set_words(outcome.reduced);
                 let next_depth = iter + 1;
@@ -522,6 +570,17 @@ impl DistributedGraph {
                 let mask_ops = cost.device.kernel_time(KernelKind::MaskOps, reduced.byte_size());
                 for ph in &mut phases {
                     ph.computation += mask_ops;
+                }
+                if observing {
+                    for evs in &mut kernel_events {
+                        evs.push(KernelEvent {
+                            tag: KernelTag::MaskOps,
+                            dir: DirTag::NotApplicable,
+                            stream: StreamTag::Delegate,
+                            work: reduced.byte_size(),
+                            seconds: mask_ops,
+                        });
+                    }
                 }
             }
             // Per-iteration synchronization (termination/activity flag): a
@@ -589,8 +648,12 @@ impl DistributedGraph {
                         }));
                     }
                     fault.retries += 1;
-                    fault.recovery_seconds +=
+                    let spent =
                         worst_remote + retry_backoff(recovery.retry_backoff_seconds, attempt);
+                    fault.recovery_seconds += spent;
+                    if let Some(s) = sink.as_mut() {
+                        s.record_fault(FaultKind::Retry, iter, spent);
+                    }
                     attempt += 1;
                 }
             } else {
@@ -644,6 +707,28 @@ impl DistributedGraph {
             cluster.remote_delegate = remote_delegate;
             let timing =
                 IterationTiming { phases: cluster, blocking_reduce: config.blocking_reduce };
+            if let Some(s) = sink.as_mut() {
+                // One lane per GPU, carrying the very values the fold above
+                // combined — the sink re-runs the same fold to place spans.
+                let lanes: Vec<LanePhases> = phases
+                    .iter()
+                    .enumerate()
+                    .map(|(g, ph)| LanePhases {
+                        computation: ph.computation,
+                        local_comm: ex.local_time[g] + local_mask_time,
+                        remote_normal: ex.remote_time[g] * bw,
+                    })
+                    .collect();
+                s.record_iteration(
+                    iter,
+                    &lanes,
+                    remote_delegate,
+                    config.blocking_reduce,
+                    &kernel_events,
+                    &ex.messages,
+                    &mask_hops,
+                );
+            }
 
             let work_total = outputs.iter().fold(KernelWork::default(), |mut acc, o| {
                 acc.normal_previsit_vertices += o.work.normal_previsit_vertices;
@@ -716,8 +801,14 @@ impl DistributedGraph {
             fault.fail_stops = c.fail_stops;
         }
 
-        let stats = RunStats { records, wall_seconds: start.elapsed().as_secs_f64(), fault };
-        Ok(BfsResult { source, depths, parents, parent_exchange_seconds, stats })
+        let observed = sink.map(SpanSink::finish);
+        let stats = RunStats {
+            records,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            fault,
+            num_gpus: topo.num_gpus(),
+        };
+        Ok(BfsResult { source, depths, parents, parent_exchange_seconds, stats, observed })
     }
 
     /// Decodes per-GPU parent records into a global parent tree and models
@@ -818,6 +909,12 @@ pub struct BfsResult {
     pub parent_exchange_seconds: f64,
     /// Per-iteration statistics and timing.
     pub stats: RunStats,
+    /// The finished structured trace, present only when the run was
+    /// configured with
+    /// [`ObservabilityConfig::Full`](gcbfs_trace::ObservabilityConfig):
+    /// per-rank phase spans, typed kernel spans, per-peer message events,
+    /// collective hops, and fault spans, all in modeled-time coordinates.
+    pub observed: Option<TraceLog>,
 }
 
 impl BfsResult {

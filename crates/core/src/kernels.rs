@@ -15,7 +15,9 @@ use crate::direction::{backward_workload, Direction, DirectionState};
 use crate::masks::DelegateMask;
 use crate::subgraph::GpuSubgraphs;
 use crate::UNREACHED;
+use gcbfs_cluster::cost::{DeviceModel, KernelKind};
 use gcbfs_cluster::topology::{GpuId, Topology};
+use gcbfs_trace::{DirTag, KernelEvent, KernelTag, StreamTag};
 use std::sync::Arc;
 
 /// Parent marker for vertices whose parent is unknown (or unreached).
@@ -83,6 +85,75 @@ pub struct LocalIterationOutput {
     pub work: KernelWork,
     /// Directions chosen by the DO kernels.
     pub directions: ChosenDirections,
+}
+
+/// Maps a kernel's traversal [`Direction`] to the trace vocabulary.
+fn dir_tag(dir: Direction) -> DirTag {
+    match dir {
+        Direction::Forward => DirTag::Forward,
+        Direction::Backward => DirTag::Backward,
+    }
+}
+
+impl LocalIterationOutput {
+    /// Typed kernel-span events for this GPU's iteration, priced with the
+    /// same [`DeviceModel::kernel_time`] terms — in the same order — the
+    /// driver sums into the computation phase. Six events per iteration
+    /// (previsit + two visits per stream): the observability sink lays
+    /// them out sequentially per stream, so each stream's end lands
+    /// exactly on the driver's per-stream computation sum.
+    ///
+    /// The sum of `work` over the `visit_*` events is exactly
+    /// [`KernelWork::total_edges`] — the invariant `tests/observability.rs`
+    /// checks against the per-iteration records.
+    pub fn kernel_events(&self, dev: &DeviceModel) -> Vec<KernelEvent> {
+        let w = &self.work;
+        let d = self.directions;
+        vec![
+            KernelEvent {
+                tag: KernelTag::PrevisitNormal,
+                dir: DirTag::NotApplicable,
+                stream: StreamTag::Normal,
+                work: w.normal_previsit_vertices,
+                seconds: dev.kernel_time(KernelKind::Previsit, w.normal_previsit_vertices),
+            },
+            KernelEvent {
+                tag: KernelTag::VisitNn,
+                dir: DirTag::Forward, // nn never direction-optimizes (§IV-B)
+                stream: StreamTag::Normal,
+                work: w.nn_edges,
+                seconds: dev.kernel_time(KernelKind::DynamicVisit, w.nn_edges),
+            },
+            KernelEvent {
+                tag: KernelTag::VisitNd,
+                dir: dir_tag(d.nd),
+                stream: StreamTag::Normal,
+                work: w.nd_edges,
+                seconds: dev.kernel_time(KernelKind::DynamicVisit, w.nd_edges),
+            },
+            KernelEvent {
+                tag: KernelTag::PrevisitDelegate,
+                dir: DirTag::NotApplicable,
+                stream: StreamTag::Delegate,
+                work: w.delegate_previsit_vertices,
+                seconds: dev.kernel_time(KernelKind::Previsit, w.delegate_previsit_vertices),
+            },
+            KernelEvent {
+                tag: KernelTag::VisitDd,
+                dir: dir_tag(d.dd),
+                stream: StreamTag::Delegate,
+                work: w.dd_edges,
+                seconds: dev.kernel_time(KernelKind::MergeVisit, w.dd_edges),
+            },
+            KernelEvent {
+                tag: KernelTag::VisitDn,
+                dir: dir_tag(d.dn),
+                stream: StreamTag::Delegate,
+                work: w.dn_edges,
+                seconds: dev.kernel_time(KernelKind::DynamicVisit, w.dn_edges),
+            },
+        ]
+    }
 }
 
 /// The per-GPU BFS state and kernel implementations.
@@ -685,6 +756,38 @@ mod tests {
         assert!(out.remote_nn.is_empty());
         assert_eq!(out.work.total_edges(), 0);
         assert_eq!(out.work.normal_launches + out.work.delegate_launches, 0);
+    }
+
+    #[test]
+    fn kernel_events_cover_total_edges_and_stream_sums() {
+        use gcbfs_cluster::cost::CostModel;
+        let (mut w, topo, sep) = single_gpu_worker();
+        let src = sep.delegate_id(0).unwrap();
+        let mut seed = DelegateMask::new(w.visited_mask.num_bits());
+        seed.set(src);
+        w.consume_reduced_mask(&seed, 0);
+        let out = w.run_iteration(0, &topo);
+        let dev = CostModel::ray().device;
+        let events = out.kernel_events(&dev);
+        assert_eq!(events.len(), 6);
+        // Visit events' edge counts sum to the iteration's total edges.
+        let edge_sum: u64 = events.iter().filter(|e| e.tag.counts_edges()).map(|e| e.work).sum();
+        assert_eq!(edge_sum, out.work.total_edges());
+        // Per-stream seconds sum to the same values the driver charges.
+        let stream_sum = |s: StreamTag| -> f64 {
+            events.iter().filter(|e| e.stream == s).map(|e| e.seconds).sum()
+        };
+        let normal = dev.kernel_time(KernelKind::Previsit, out.work.normal_previsit_vertices)
+            + dev.kernel_time(KernelKind::DynamicVisit, out.work.nn_edges)
+            + dev.kernel_time(KernelKind::DynamicVisit, out.work.nd_edges);
+        let delegate = dev.kernel_time(KernelKind::Previsit, out.work.delegate_previsit_vertices)
+            + dev.kernel_time(KernelKind::MergeVisit, out.work.dd_edges)
+            + dev.kernel_time(KernelKind::DynamicVisit, out.work.dn_edges);
+        assert_eq!(stream_sum(StreamTag::Normal), normal);
+        assert_eq!(stream_sum(StreamTag::Delegate), delegate);
+        // Direction tags mirror the chosen directions.
+        let dd = events.iter().find(|e| e.tag == KernelTag::VisitDd).unwrap();
+        assert_eq!(dd.dir, dir_tag(out.directions.dd));
     }
 
     #[test]

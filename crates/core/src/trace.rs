@@ -13,17 +13,18 @@ use std::fmt;
 /// Wrapper that renders a full run as a per-iteration table.
 pub struct RunTrace<'a>(pub &'a BfsResult);
 
-/// One row of the trace.
-struct Row<'a>(&'a IterationRecord);
+/// One row of the trace (record + cluster GPU count for the direction
+/// column).
+struct Row<'a>(&'a IterationRecord, u32);
 
 impl fmt::Display for Row<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let r = self.0;
         let dirs = format!(
             "{}{}{}",
-            dir_char(r.backward_gpus.0),
-            dir_char(r.backward_gpus.1),
-            dir_char(r.backward_gpus.2),
+            dir_char(r.backward_gpus.0, self.1),
+            dir_char(r.backward_gpus.1, self.1),
+            dir_char(r.backward_gpus.2, self.1),
         );
         write!(
             f,
@@ -43,10 +44,20 @@ impl fmt::Display for Row<'_> {
 }
 
 /// `F` all-forward, `B` all-backward, `m` mixed across GPUs.
-fn dir_char(backward_gpus: u32) -> char {
-    match backward_gpus {
-        0 => 'F',
-        _ => 'B',
+///
+/// With per-kernel, per-GPU direction decisions the GPUs of one iteration
+/// can legitimately disagree; collapsing any nonzero backward count to `B`
+/// (the old rendering) hid that. `total_gpus == 0` — hand-built
+/// [`RunStats`](crate::stats::RunStats) values predating the
+/// [`num_gpus`](crate::stats::RunStats::num_gpus) field — falls back to
+/// the old nonzero→`B` behavior.
+fn dir_char(backward_gpus: u32, total_gpus: u32) -> char {
+    if backward_gpus == 0 {
+        'F'
+    } else if total_gpus == 0 || backward_gpus >= total_gpus {
+        'B'
+    } else {
+        'm'
     }
 }
 
@@ -68,7 +79,7 @@ impl fmt::Display for RunTrace<'_> {
             "elap(ms)",
         )?;
         for rec in &stats.records {
-            writeln!(f, "{}", Row(rec))?;
+            writeln!(f, "{}", Row(rec, stats.num_gpus))?;
         }
         writeln!(
             f,
@@ -121,7 +132,7 @@ pub fn direction_trajectory(result: &BfsResult, kernel: Kernel) -> String {
                 Kernel::Dn => r.backward_gpus.1,
                 Kernel::Nd => r.backward_gpus.2,
             };
-            dir_char(backward)
+            dir_char(backward, result.stats.num_gpus)
         })
         .collect()
 }
@@ -143,11 +154,13 @@ pub fn direction_switches(trajectory: &str) -> usize {
 }
 
 /// True when a trajectory follows the paper's RMAT pattern: forward for
-/// zero or more iterations, then backward for the rest (at most one
-/// switch, in the forward→backward direction).
+/// zero or more iterations, optionally mixed while the GPUs cross over at
+/// different iterations, then backward for the rest — `F* m* B*`, one
+/// logical forward→backward transition.
 pub fn is_single_switch(trajectory: &str) -> bool {
-    direction_switches(trajectory) <= 1 && !trajectory.starts_with('B')
-        || trajectory.chars().all(|c| c == 'B')
+    let rest = trajectory.trim_start_matches('F');
+    let rest = rest.trim_start_matches('m');
+    rest.chars().all(|c| c == 'B')
 }
 
 #[cfg(test)]
@@ -208,8 +221,20 @@ mod tests {
         for k in [Kernel::Dd, Kernel::Dn, Kernel::Nd] {
             let t = direction_trajectory(&r, k);
             assert_eq!(t.len(), r.iterations() as usize);
-            assert!(t.chars().all(|c| c == 'F' || c == 'B'));
+            assert!(t.chars().all(|c| c == 'F' || c == 'B' || c == 'm'), "{t}");
         }
+    }
+
+    #[test]
+    fn dir_char_renders_mixed_directions() {
+        // 0 backward GPUs: forward. All backward: B. In between: mixed.
+        assert_eq!(dir_char(0, 4), 'F');
+        assert_eq!(dir_char(4, 4), 'B');
+        assert_eq!(dir_char(1, 4), 'm');
+        assert_eq!(dir_char(3, 4), 'm');
+        // Legacy hand-built stats (num_gpus == 0): any nonzero count is B.
+        assert_eq!(dir_char(0, 0), 'F');
+        assert_eq!(dir_char(2, 0), 'B');
     }
 
     #[test]
@@ -233,5 +258,14 @@ mod tests {
         assert!(is_single_switch("FFFF"));
         assert!(is_single_switch("BBB"));
         assert!(!is_single_switch("FBF"));
+        // Mixed iterations sit inside the one crossover window.
+        assert!(is_single_switch("FFmBB"));
+        assert!(is_single_switch("FmmB"));
+        assert!(is_single_switch("mB"));
+        assert!(is_single_switch(""));
+        // ...but not after the traversal has gone backward, or F after m.
+        assert!(!is_single_switch("FBmB"));
+        assert!(!is_single_switch("FmF"));
+        assert!(!is_single_switch("BF"));
     }
 }

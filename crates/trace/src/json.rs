@@ -1,0 +1,324 @@
+//! A minimal JSON parser and a Chrome `trace_event` schema validator.
+//!
+//! The build environment is fully offline (no serde), so the workspace
+//! carries its own tiny recursive-descent parser. It accepts the JSON
+//! this workspace emits plus standard interchange JSON; it is not a
+//! hardened general-purpose parser (no duplicate-key policy, numbers go
+//! through `f64`).
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates a Chrome `trace_event` document.
+///
+/// Accepts either the object form (`{"traceEvents": [...]}`) or a bare
+/// event array, and requires every event to carry the format's required
+/// fields: `name` and `ph` (strings), `ts`, `pid` and `tid` (numbers).
+/// Returns the number of validated events.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    let events = match &doc {
+        Json::Arr(_) => doc.as_arr().unwrap(),
+        Json::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| "missing traceEvents array".to_string())?,
+        _ => return Err("top level must be an object or array".to_string()),
+    };
+    for (i, ev) in events.iter().enumerate() {
+        if !matches!(ev, Json::Obj(_)) {
+            return Err(format!("event {i} is not an object"));
+        }
+        for field in ["name", "ph"] {
+            if ev.get(field).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("event {i} missing string field '{field}'"));
+            }
+        }
+        for field in ["ts", "pid", "tid"] {
+            if ev.get(field).and_then(|v| v.as_num()).is_none() {
+                return Err(format!("event {i} missing numeric field '{field}'"));
+            }
+        }
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap();
+        if ph == "X" && ev.get("dur").and_then(|v| v.as_num()).is_none() {
+            return Err(format!("complete event {i} missing numeric 'dur'"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let doc = Json::parse(r#"{"a": 1.5, "b": [true, false, null], "s": "x\nyA", "neg": -2e3}"#)
+            .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_num(), Some(1.5));
+        assert_eq!(doc.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x\nyA"));
+        assert_eq!(doc.get("neg").unwrap().as_num(), Some(-2000.0));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("\"abc").is_err());
+        assert!(Json::parse("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote\" slash\\ newline\n tab\t ctrl\u{1} unicode\u{263a}";
+        let doc = Json::parse(&format!("{{\"k\": \"{}\"}}", escape(nasty))).unwrap();
+        assert_eq!(doc.get("k").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn validator_accepts_minimal_trace() {
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":5,"pid":0,"tid":0},
+            {"name":"b","ph":"i","ts":1,"pid":0,"tid":1},
+            {"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"rank 0"}}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(ok).unwrap(), 3);
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        let missing_ts = r#"[{"name":"a","ph":"X","dur":1,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(missing_ts).is_err());
+        let missing_dur = r#"[{"name":"a","ph":"X","ts":0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(missing_dur).is_err());
+        let not_obj = r#"[42]"#;
+        assert!(validate_chrome_trace(not_obj).is_err());
+        assert!(validate_chrome_trace(r#"{"events":[]}"#).is_err());
+    }
+}

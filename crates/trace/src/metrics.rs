@@ -1,0 +1,255 @@
+//! A small metrics registry with deterministic snapshot ordering.
+//!
+//! Counters, gauges and histograms are keyed by string name and stored
+//! in `BTreeMap`s, so a snapshot always lists metrics in the same
+//! (lexicographic) order regardless of insertion order or host thread
+//! count. [`MetricsRegistry::from_log`] derives the standard metric set
+//! from a [`TraceLog`], aggregating the same events the accounting
+//! invariants are checked against.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Channel, PhaseTag};
+use crate::sink::TraceLog;
+
+/// Power-of-two bucketed histogram of non-negative samples.
+///
+/// Bucket `i` counts samples with `value < 2^i` (after flooring at 1);
+/// the last bucket is an overflow bucket. Sample values are `u64`, so
+/// byte counts and work counts fit without rounding.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts; bucket `i` holds samples in `[2^(i-1), 2^i)`
+    /// (bucket 0 holds zeros and ones), last bucket overflows.
+    pub buckets: [u64; Histogram::NUM_BUCKETS],
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Number of buckets (covers up to 2^30, then overflow).
+    pub const NUM_BUCKETS: usize = 32;
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        // Bit length of the value, clamped so huge samples land in the
+        // final (overflow) bucket.
+        let idx = (64 - u64::leading_zeros(value.max(1)) as usize).min(Self::NUM_BUCKETS);
+        self.buckets[idx - 1] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean sample value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A deterministic, sorted view of the registry at one point in time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as stable `name value` lines (counters, then
+    /// gauges, then histogram count/sum pairs).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (n, v) in &self.counters {
+            let _ = writeln!(s, "{n} {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(s, "{n} {v}");
+        }
+        for (n, h) in &self.histograms {
+            let _ = writeln!(s, "{n}.count {}", h.count);
+            let _ = writeln!(s, "{n}.sum {}", h.sum);
+        }
+        s
+    }
+}
+
+/// Mutable counters/gauges/histograms keyed by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds `value` to gauge `name` (creating it at zero).
+    pub fn gauge_add(&mut self, name: &str, value: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Records a sample into histogram `name` (creating it empty).
+    pub fn histogram_observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Takes the deterministic sorted snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            histograms: self.histograms.iter().map(|(n, h)| (n.clone(), h.clone())).collect(),
+        }
+    }
+
+    /// Builds the standard metric set from a finished trace log.
+    ///
+    /// Counters: message counts and byte totals per channel, kernel work
+    /// per kernel tag, fault counts per kind, span and iteration counts.
+    /// Gauges: attributed seconds per phase and the critical-path total.
+    /// Histograms: wire bytes per message.
+    pub fn from_log(log: &TraceLog) -> Self {
+        let mut reg = Self::new();
+        reg.counter_add("trace.iterations", log.iterations.len() as u64);
+        reg.counter_add("trace.phase_spans", log.phase_spans.len() as u64);
+        reg.counter_add("trace.kernel_spans", log.kernel_spans.len() as u64);
+        for m in &log.messages {
+            let chan = m.channel.label();
+            reg.counter_add(&format!("message.{chan}.count"), 1);
+            reg.counter_add(&format!("message.{chan}.raw_bytes"), m.raw_bytes);
+            reg.counter_add(&format!("message.{chan}.wire_bytes"), m.wire_bytes);
+            reg.histogram_observe(&format!("message.{chan}.wire_bytes_hist"), m.wire_bytes);
+        }
+        for k in &log.kernel_spans {
+            let tag = k.tag.label();
+            reg.counter_add(&format!("kernel.{tag}.spans"), 1);
+            reg.counter_add(&format!("kernel.{tag}.work"), k.work);
+            reg.gauge_add(&format!("kernel.{tag}.seconds"), k.dur);
+        }
+        for f in &log.faults {
+            reg.counter_add(&format!("fault.{}.count", f.kind.label()), 1);
+            reg.gauge_add(&format!("fault.{}.seconds", f.kind.label()), f.dur);
+        }
+        let cp = log.critical_path();
+        let phases = cp.phase_attribution();
+        for (tag, secs) in PhaseTag::ALL.iter().zip(phases.iter()) {
+            reg.gauge_set(&format!("critical_path.{}.seconds", tag.label()), *secs);
+        }
+        reg.gauge_set("critical_path.total_seconds", cp.total_seconds());
+        // Convenience: cross-rank traffic is what §V's volume analysis
+        // plots; surface it under a short stable name too.
+        let remote: u64 = log
+            .messages
+            .iter()
+            .filter(|m| m.channel == Channel::CrossRank)
+            .map(|m| m.wire_bytes)
+            .sum();
+        reg.counter_add("traffic.cross_rank.wire_bytes", remote);
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LanePhases, MessageRecord};
+    use crate::sink::SpanSink;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.buckets[0], 2); // 0 and 1
+        assert_eq!(h.buckets[1], 2); // 2 and 3 (the [2, 4) bucket)
+        assert_eq!(h.buckets[10], 1); // 1024
+        assert!((h.mean() - 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets[Histogram::NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_regardless_of_insertion_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("zeta", 1);
+        reg.counter_add("alpha", 2);
+        reg.counter_add("mid", 3);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn render_text_is_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("b", 2);
+        reg.gauge_set("a", 1.5);
+        reg.histogram_observe("h", 7);
+        assert_eq!(reg.snapshot().render_text(), "b 2\na 1.5\nh.count 1\nh.sum 7\n");
+    }
+
+    #[test]
+    fn from_log_aggregates_messages_and_phases() {
+        let mut sink = SpanSink::new(2, 1);
+        let lanes = [
+            LanePhases { computation: 1.0, local_comm: 0.5, remote_normal: 0.25 },
+            LanePhases { computation: 2.0, local_comm: 0.25, remote_normal: 0.5 },
+        ];
+        let msgs = [
+            MessageRecord { src: 0, dst: 1, raw_bytes: 100, wire_bytes: 40, intra: false },
+            MessageRecord { src: 1, dst: 0, raw_bytes: 60, wire_bytes: 60, intra: false },
+        ];
+        sink.record_iteration(0, &lanes, 0.125, true, &[vec![], vec![]], &msgs, &[]);
+        let log = sink.finish();
+        let snap = MetricsRegistry::from_log(&log).snapshot();
+        assert_eq!(snap.counter("message.cross_rank.count"), Some(2));
+        assert_eq!(snap.counter("message.cross_rank.wire_bytes"), Some(100));
+        assert_eq!(snap.counter("traffic.cross_rank.wire_bytes"), Some(100));
+        assert_eq!(snap.counter("trace.iterations"), Some(1));
+        assert_eq!(snap.gauge("critical_path.total_seconds"), Some(2.0 + 0.5 + 0.5 + 0.125));
+    }
+}

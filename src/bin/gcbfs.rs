@@ -38,7 +38,7 @@ const USAGE: &str = "usage:
   gcbfs info FILE
   gcbfs bfs FILE [--ranks R] [--gpus G] [--threshold TH] [--source V]
             [--no-do] [--local-all2all] [--uniquify] [--nonblocking]
-            [--parents] [--validate] [--trace]
+            [--parents] [--validate] [--trace] [--profile OUT.json]
   gcbfs pagerank FILE [--ranks R] [--gpus G] [--threshold TH]
             [--damping D] [--iterations N]
   gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
@@ -199,11 +199,15 @@ fn bfs(args: &Args) -> Result<(), String> {
     let graph = load(path)?;
     let topo = topology(args)?;
     let th: u64 = args.opt("threshold", 32)?;
-    let config = BfsConfig::new(th)
+    let profile_out = args.options.iter().find(|(k, _)| *k == "profile").map(|(_, v)| *v);
+    let mut config = BfsConfig::new(th)
         .with_direction_optimization(!args.switch("no-do"))
         .with_local_all2all(args.switch("local-all2all"))
         .with_uniquify(args.switch("uniquify"))
         .with_blocking_reduce(!args.switch("nonblocking"));
+    if profile_out.is_some() {
+        config = config.with_observability(gpu_cluster_bfs::obs::ObservabilityConfig::Full);
+    }
     let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
     let source = pick_source(&graph, args)?;
     let result = if args.switch("parents") {
@@ -243,6 +247,14 @@ fn bfs(args: &Args) -> Result<(), String> {
     if args.switch("trace") {
         println!();
         print!("{}", gpu_cluster_bfs::core::trace::RunTrace(&result));
+    }
+    if let Some(out) = profile_out {
+        let log = result.observed.as_ref().expect("observability was enabled");
+        let chrome = gpu_cluster_bfs::obs::chrome::export_chrome(log);
+        std::fs::write(out, &chrome).map_err(|e| format!("cannot write {out}: {e}"))?;
+        let cp = log.critical_path();
+        println!("profile: wrote {out} ({} bytes)", chrome.len());
+        print!("{}", cp.summary());
     }
     if args.switch("validate") {
         let csr = Csr::from_edge_list(&graph);

@@ -15,7 +15,10 @@
 //!   distributor, four-subgraph storage, direction-optimized local
 //!   traversal, and the scalable communication model;
 //! * [`baseline`] — single-processor BFS/DOBFS and 1D/2D-partitioned
-//!   distributed baselines for comparison.
+//!   distributed baselines for comparison;
+//! * [`obs`] — structured observability: typed spans in modeled-time
+//!   coordinates, the metrics registry, Chrome-trace/JSON-lines exporters,
+//!   and the critical-path analyzer.
 //!
 //! ## Quickstart
 //!
@@ -40,8 +43,10 @@
 
 pub use gcbfs_baseline as baseline;
 pub use gcbfs_cluster as cluster;
+pub use gcbfs_compress as compress;
 pub use gcbfs_core as core;
 pub use gcbfs_graph as graph;
+pub use gcbfs_trace as obs;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {

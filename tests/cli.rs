@@ -99,6 +99,44 @@ fn bfs_trace_flag() {
 }
 
 #[test]
+fn bfs_profile_flag_writes_valid_chrome_trace() {
+    let file = tmp("profile.bin");
+    let out = tmp("profile.json");
+    let path = file.to_str().unwrap();
+    let out_path = out.to_str().unwrap();
+    assert!(gcbfs(&["generate", "rmat", "--scale", "8", "--out", path]).status.success());
+
+    let run = gcbfs(&["bfs", path, "--trace", "--profile", out_path]);
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    let text = String::from_utf8_lossy(&run.stdout);
+    assert!(text.contains("profile: wrote"), "{text}");
+    assert!(text.contains("critical path:"), "{text}");
+
+    // The written file is a schema-valid Chrome trace_event document.
+    let written = std::fs::read_to_string(&out).expect("profile file written");
+    let events =
+        gpu_cluster_bfs::obs::json::validate_chrome_trace(&written).expect("schema-valid trace");
+    assert!(events > 0, "trace must contain events");
+
+    // Profiling must not change the human-readable --trace output: the
+    // per-iteration table is identical with observability off.
+    let plain = gcbfs(&["bfs", path, "--trace"]);
+    assert!(plain.status.success());
+    let plain_text = String::from_utf8_lossy(&plain.stdout);
+    let table = |s: &str| -> String {
+        s.lines()
+            .skip_while(|l| !l.starts_with("iter"))
+            .take_while(|l| !l.starts_with("profile:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&text), table(&plain_text), "--trace output changed under --profile");
+
+    std::fs::remove_file(&file).ok();
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
 fn bfs_options_accepted() {
     let file = tmp("opts.bin");
     let path = file.to_str().unwrap();
