@@ -12,18 +12,30 @@
 //!    checkpoints are cheaper up front but waste more work at rollback.
 //! 3. **Random chaos plans**: seeded mixed plans ([`FaultPlan::random`])
 //!    as a smoke-level reproduction of the recovery property test.
+//! 4. **Chaos with compression on** (bit-exact under retransmission).
+//! 5. **Availability vs MTTF**: periodic fail-stop/rejoin churn at a
+//!    given mean-time-to-failure (in iterations); reports the surviving
+//!    GTEPS, recovery bill, and availability fraction.
 //!
 //! Environment knobs: `GCBFS_SCALE` (default 13), `GCBFS_TH`,
 //! `GCBFS_SEEDS` (random plans in sweep 3, default 10).
 //!
 //! Usage: `cargo run --release --bin fault_sweep`
+//!
+//! `--smoke [buddy|spread|spare|rejoin|all]` instead runs the elastic
+//! membership acceptance checks at scale `GCBFS_SCALE` (default 20) on a
+//! 16-GPU grid: spare absorption must keep the post-recovery
+//! per-iteration time within 5% of fault-free, and spreading must beat
+//! buddy hosting on the degraded per-iteration time by at least 1.5x.
+//! `GCBFS_JSON_OUT=/path.json` writes the smoke measurements as JSON.
 
 use gcbfs_bench::{env_or, f2, pct, print_table};
 use gcbfs_cluster::fault::FaultPlan;
+use gcbfs_cluster::timing::degraded_bound;
 use gcbfs_cluster::topology::Topology;
 use gcbfs_core::config::BfsConfig;
-use gcbfs_core::driver::DistributedGraph;
-use gcbfs_core::recovery::RecoveryConfig;
+use gcbfs_core::driver::{BfsResult, DistributedGraph};
+use gcbfs_core::recovery::{HostingPolicy, RecoveryConfig};
 use gcbfs_core::stats::FaultStats;
 use gcbfs_graph::rmat::RmatConfig;
 
@@ -31,7 +43,169 @@ fn ms(s: f64) -> f64 {
     s * 1e3
 }
 
+/// Mean modeled per-iteration time over a run's final (post-replay)
+/// iteration records.
+fn per_iteration_seconds(r: &BfsResult) -> f64 {
+    let sum: f64 = r.stats.records.iter().map(|rec| rec.timing.elapsed()).sum();
+    sum / r.stats.records.len().max(1) as f64
+}
+
+/// The `--smoke` mode: elastic-membership acceptance checks on a 16-GPU
+/// grid, one hosting trajectory per invocation (or `all`).
+fn smoke(mode: &str) {
+    let scale = env_or("GCBFS_SCALE", 20) as u32;
+    let th = env_or("GCBFS_TH", BfsConfig::suggested_rmat_threshold(scale + 13).max(8));
+    let topo = Topology::new(8, 2);
+    let config = BfsConfig::new(th);
+    let graph = RmatConfig::graph500(scale).generate();
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+    println!(
+        "Elastic membership smoke [{mode}]: RMAT scale {scale}, TH {th}, {} GPUs, source {source}",
+        topo.num_gpus()
+    );
+
+    let dist = DistributedGraph::build(&graph, topo, &config).expect("build");
+    let clean = dist.run(source, &config).expect("fault-free run");
+    let clean_iter_s = per_iteration_seconds(&clean);
+    println!(
+        "fault-free: {} iterations, {} ms modeled, {} ms/iter",
+        clean.iterations(),
+        f2(ms(clean.modeled_seconds())),
+        f2(ms(clean_iter_s))
+    );
+    let fail_iter = (clean.iterations() / 3).max(1);
+    let p = topo.num_gpus() as usize;
+
+    let run_mode = |hosting: HostingPolicy, spares: u32, rejoin_at: Option<u32>| {
+        let topo = Topology::new(8, 2).with_spares(spares);
+        let dist = DistributedGraph::build(&graph, topo, &config).expect("build");
+        let cfg = config.with_recovery(RecoveryConfig::default().with_hosting(hosting));
+        let mut plan = FaultPlan::new(0xe1a5).with_fail_stop(5, fail_iter);
+        if let Some(at) = rejoin_at {
+            plan = plan.with_rejoin(5, at);
+        }
+        let r = dist.run_with_faults(source, &cfg, &plan).expect("recovered");
+        assert_eq!(r.depths, clean.depths, "recovery must be bit-exact");
+        r
+    };
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut record = |name: &str, r: &BfsResult| {
+        let iter_s = per_iteration_seconds(r);
+        let f = &r.stats.fault;
+        rows.push(vec![
+            name.into(),
+            f.spare_absorptions.to_string(),
+            f.spread_hostings.to_string(),
+            f.rejoins.to_string(),
+            f.degraded_iterations.to_string(),
+            f2(ms(iter_s)),
+            format!("{:.3}", iter_s / clean_iter_s),
+            f2(ms(f.recovery_seconds)),
+            "ok".into(),
+        ]);
+        json.push(format!(
+            "{{\"mode\":\"{name}\",\"per_iter_ms\":{},\"ratio\":{},\"recovery_ms\":{},\"degraded_iterations\":{}}}",
+            ms(iter_s),
+            iter_s / clean_iter_s,
+            ms(f.recovery_seconds),
+            f.degraded_iterations
+        ));
+        iter_s
+    };
+
+    let all = mode == "all";
+    let mut buddy_iter_s = None;
+    let mut spread_iter_s = None;
+    if all || mode == "buddy" {
+        let r = run_mode(HostingPolicy::Buddy, 0, None);
+        assert!(r.stats.fault.degraded_iterations > 0);
+        buddy_iter_s = Some(record("buddy", &r));
+    }
+    if all || mode == "spread" {
+        let r = run_mode(HostingPolicy::Spread, 0, None);
+        assert_eq!(r.stats.fault.spread_hostings, 1);
+        let s = record("spread", &r);
+        // The water-filled plan must stay within the analytic bound
+        // (p+1)/p, with headroom for the comm-lane reassignment.
+        let bound = degraded_bound(p - 1);
+        assert!(
+            s / clean_iter_s <= bound * 1.10,
+            "spread degraded per-iteration {:.3}x exceeds (p+1)/p bound {bound:.3}",
+            s / clean_iter_s
+        );
+        spread_iter_s = Some(s);
+    }
+    if all || mode == "spare" {
+        let r = run_mode(HostingPolicy::Spread, 1, None);
+        let f = &r.stats.fault;
+        assert_eq!(f.spare_absorptions, 1, "the free spare absorbs the death");
+        assert_eq!(f.degraded_iterations, 0, "spare absorption never degrades");
+        let s = record("spare", &r);
+        assert!(
+            (s - clean_iter_s).abs() <= 0.05 * clean_iter_s,
+            "spare-absorbed per-iteration {} ms vs fault-free {} ms: more than 5% apart",
+            ms(s),
+            ms(clean_iter_s)
+        );
+    }
+    if all || mode == "rejoin" {
+        let rejoin_at = (fail_iter + 3).min(clean.iterations().saturating_sub(1));
+        let r = run_mode(HostingPolicy::Spread, 0, Some(rejoin_at));
+        assert_eq!(r.stats.fault.rejoins, 1, "the rejoin is detected and applied");
+        record("rejoin", &r);
+    }
+    if all {
+        let b = buddy_iter_s.unwrap();
+        let s = spread_iter_s.unwrap();
+        assert!(
+            b / s >= 1.5,
+            "spreading must beat buddy hosting by >=1.5x on the degraded \
+             per-iteration time (got {:.3}x)",
+            b / s
+        );
+        println!("\nspread vs buddy degraded per-iteration: {:.3}x", b / s);
+    }
+
+    print_table(
+        &format!("elastic membership smoke (fail GPU 5 at iteration {fail_iter})"),
+        &[
+            "mode", "spares", "spread", "rejoins", "degraded", "ms/iter", "vs clean", "rec ms",
+            "depths",
+        ],
+        &rows,
+    );
+    let doc = format!(
+        "{{\"scale\":{scale},\"gpus\":{p},\"clean_per_iter_ms\":{},\"modes\":[{}]}}",
+        ms(clean_iter_s),
+        json.join(",")
+    );
+    println!("\n{doc}");
+    if let Ok(path) = std::env::var("GCBFS_JSON_OUT") {
+        std::fs::write(&path, &doc).expect("write GCBFS_JSON_OUT");
+        println!("json written to {path}");
+    }
+    println!("\nall membership trajectories recovered to bit-exact depths");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let mode = args
+            .iter()
+            .position(|a| a == "--smoke")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "all".into());
+        assert!(
+            ["buddy", "spread", "spare", "rejoin", "all"].contains(&mode.as_str()),
+            "unknown smoke mode {mode:?}"
+        );
+        smoke(&mode);
+        return;
+    }
     let scale = env_or("GCBFS_SCALE", 13) as u32;
     let th = env_or("GCBFS_TH", BfsConfig::suggested_rmat_threshold(scale + 13).max(8));
     let topo = Topology::new(2, 2);
@@ -157,6 +331,56 @@ fn main() {
     print_table(
         "random chaos plans with adaptive compression",
         &["seed", "retries", "rollbacks", "rbytes", "saved", "ratio", "overhead", "depths"],
+        &rows,
+    );
+
+    // ---- Sweep 5: availability vs MTTF. ----
+    // Periodic fail-stop churn: one GPU dies every `mttf` iterations
+    // (round-robin victims) and rejoins two beats later, so the cluster
+    // oscillates between full strength and degraded spreading. Reports
+    // the GTEPS that survives the churn and the availability fraction
+    // (time not spent checkpointing or recovering).
+    let horizon = clean.iterations();
+    let mut rows = Vec::new();
+    for mttf in [0u32, 3, 2, 1] {
+        let mut plan = FaultPlan::new(0xa11ce);
+        if mttf > 0 {
+            let mut victim = 1usize;
+            // First loss after one clean iteration, then every `mttf`:
+            // BFS horizons are short, so an iteration-scale MTTF is the
+            // regime where churn actually lands inside the run.
+            let mut t = 1;
+            while t < horizon {
+                plan = plan.with_fail_stop(victim, t);
+                if t + 2 < horizon {
+                    // Only schedule rejoins the run can still observe;
+                    // later losses stay spread until the run ends.
+                    plan = plan.with_rejoin(victim, t + 2);
+                }
+                victim = (victim + 1) % topo.num_gpus() as usize;
+                t += mttf;
+            }
+        }
+        let r = dist.run_with_faults(source, &config, &plan).expect("recovered");
+        assert_eq!(r.depths, clean.depths, "recovery must be bit-exact");
+        let f = &r.stats.fault;
+        let total = r.modeled_seconds();
+        let gteps = r.stats.total_edges_examined() as f64 / total / 1e9;
+        let availability = 1.0 - (f.recovery_seconds + f.checkpoint_seconds) / total;
+        rows.push(vec![
+            if mttf == 0 { "inf".into() } else { format!("{mttf} iters") },
+            f.fail_stops.to_string(),
+            f.rejoins.to_string(),
+            f.degraded_iterations.to_string(),
+            format!("{gteps:.3}"),
+            f2(ms(f.recovery_seconds)),
+            pct(100.0 * availability),
+            "ok".into(),
+        ]);
+    }
+    print_table(
+        "availability vs MTTF (round-robin fail-stops, rejoin after 2 iterations)",
+        &["MTTF", "fails", "rejoins", "degraded", "GTEPS", "rec ms", "avail", "depths"],
         &rows,
     );
     println!("\nall plans recovered to bit-exact depths (raw and compressed wire)");

@@ -27,6 +27,7 @@
 //! piggyback on it, so detection happens at superstep granularity and is
 //! charged no extra modeled time beyond retries and rollbacks themselves.
 
+use crate::membership::HeartbeatStatus;
 use crate::topology::Topology;
 
 /// A typed fault detected at a superstep boundary.
@@ -54,6 +55,14 @@ pub enum FaultError {
         /// Flat index of the GPU whose mask words were corrupted.
         gpu: usize,
     },
+    /// A checkpoint snapshot failed its integrity seal when a rollback
+    /// tried to restore it: recovery cannot proceed from poisoned state.
+    CheckpointCorrupt {
+        /// Iteration at which the rollback was attempted.
+        iteration: u32,
+        /// Flat index of the GPU whose snapshot failed verification.
+        gpu: usize,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -69,6 +78,11 @@ impl std::fmt::Display for FaultError {
             Self::MaskChecksumMismatch { iteration, gpu } => {
                 write!(f, "delegate mask checksum mismatch from GPU {gpu} at iteration {iteration}")
             }
+            Self::CheckpointCorrupt { iteration, gpu } => write!(
+                f,
+                "checkpoint snapshot of GPU {gpu} failed its integrity seal \
+                 during rollback at iteration {iteration}"
+            ),
         }
     }
 }
@@ -90,6 +104,47 @@ pub struct MaskCorruption {
     /// Flat index of the GPU whose outbound mask is corrupted.
     pub gpu: usize,
     /// First mask reduction at or after this iteration is hit.
+    pub iteration: u32,
+    /// Word index to corrupt (taken modulo the mask length).
+    pub word: usize,
+    /// Bits to flip (must be non-zero to have an effect).
+    pub xor: u64,
+}
+
+/// A scheduled *rejoin* of a previously failed GPU: from `iteration` on,
+/// its heartbeats resume (the device was rebooted, or the partition was
+/// only transiently unreachable) and the membership layer can re-admit it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejoin {
+    /// Flat index of the GPU that comes back.
+    pub gpu: usize,
+    /// First superstep boundary at which its heartbeat reappears.
+    pub iteration: u32,
+}
+
+/// A window during which one GPU straggles: its heartbeats still arrive
+/// but late (latency multiplied by `slowdown`). Exercises the *suspected*
+/// branch of the membership state machine without ever losing the device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Straggler {
+    /// Flat index of the straggling GPU.
+    pub gpu: usize,
+    /// First affected iteration (inclusive).
+    pub from_iteration: u32,
+    /// First unaffected iteration (exclusive).
+    pub until_iteration: u32,
+    /// Heartbeat-latency multiplier (`>= 1`).
+    pub slowdown: f64,
+}
+
+/// A scheduled corruption of checkpointed state at rest: the snapshot
+/// covering `iteration` has one delegate-mask word of `gpu` flipped.
+/// Detection is the checkpoint's integrity seal, not a channel checksum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointCorruption {
+    /// Flat index of the GPU whose snapshotted mask is corrupted.
+    pub gpu: usize,
+    /// First checkpoint captured at or after this iteration is hit.
     pub iteration: u32,
     /// Word index to corrupt (taken modulo the mask length).
     pub word: usize,
@@ -136,8 +191,14 @@ pub struct FaultPlan {
     pub max_delay: u32,
     /// Scheduled fail-stop GPU losses.
     pub fail_stops: Vec<FailStop>,
+    /// Scheduled rejoins of previously failed GPUs.
+    pub rejoins: Vec<Rejoin>,
+    /// Scheduled straggler windows (late heartbeats, device alive).
+    pub stragglers: Vec<Straggler>,
     /// Scheduled delegate-mask corruptions.
     pub mask_corruptions: Vec<MaskCorruption>,
+    /// Scheduled at-rest checkpoint corruptions.
+    pub checkpoint_corruptions: Vec<CheckpointCorruption>,
     /// NIC bandwidth degradation windows.
     pub nic_degradations: Vec<NicDegradation>,
 }
@@ -152,7 +213,10 @@ impl FaultPlan {
             delay_prob: 0.0,
             max_delay: 1,
             fail_stops: Vec::new(),
+            rejoins: Vec::new(),
+            stragglers: Vec::new(),
             mask_corruptions: Vec::new(),
+            checkpoint_corruptions: Vec::new(),
             nic_degradations: Vec::new(),
         }
     }
@@ -177,6 +241,37 @@ impl FaultPlan {
     /// Schedules a fail-stop loss of `gpu` at `iteration`.
     pub fn with_fail_stop(mut self, gpu: usize, iteration: u32) -> Self {
         self.fail_stops.push(FailStop { gpu, iteration });
+        self
+    }
+
+    /// Schedules a rejoin of a previously failed `gpu` at `iteration`.
+    pub fn with_rejoin(mut self, gpu: usize, iteration: u32) -> Self {
+        self.rejoins.push(Rejoin { gpu, iteration });
+        self
+    }
+
+    /// Adds a straggler window on `gpu` (`slowdown >= 1` multiplies its
+    /// heartbeat latency; the device stays alive).
+    pub fn with_straggler(mut self, gpu: usize, from: u32, until: u32, slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "straggler slowdown must be >= 1");
+        self.stragglers.push(Straggler {
+            gpu,
+            from_iteration: from,
+            until_iteration: until,
+            slowdown,
+        });
+        self
+    }
+
+    /// Schedules an at-rest checkpoint corruption.
+    pub fn with_checkpoint_corruption(
+        mut self,
+        gpu: usize,
+        iteration: u32,
+        word: usize,
+        xor: u64,
+    ) -> Self {
+        self.checkpoint_corruptions.push(CheckpointCorruption { gpu, iteration, word, xor });
         self
     }
 
@@ -209,7 +304,10 @@ impl FaultPlan {
             && self.duplicate_prob == 0.0
             && self.delay_prob == 0.0
             && self.fail_stops.is_empty()
+            && self.rejoins.is_empty()
+            && self.stragglers.is_empty()
             && self.mask_corruptions.is_empty()
+            && self.checkpoint_corruptions.is_empty()
             && self.nic_degradations.is_empty()
     }
 
@@ -251,6 +349,59 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Generates a random-but-deterministic *elastic* plan for property
+    /// tests: multi-fail-stop schedules across the device grid, optional
+    /// rejoins of the lost devices, straggler windows, and occasional
+    /// checkpoint corruption — the full membership lifecycle. The caller
+    /// is responsible for checking survivability against a topology with
+    /// `spares` standby slots (see [`plan_is_survivable`]).
+    pub fn random_elastic(seed: u64, num_gpus: usize, horizon: u32) -> Self {
+        let mut s = seed ^ 0x5e1a_571c_e1a5_71c5; // salt: distinct stream from `random`
+        let mut next = || splitmix64(&mut s);
+        let unit = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let horizon = horizon.max(4);
+        let mut plan = Self::new(next())
+            .with_message_faults(unit(next()) * 0.2, unit(next()) * 0.2, unit(next()) * 0.2)
+            .with_max_delay(1 + (next() % 2) as u32);
+        // 0..=3 fail-stops on distinct GPUs, each optionally rejoining.
+        let max_fails = (num_gpus.saturating_sub(1)).min(3) as u64;
+        let fails = if max_fails == 0 { 0 } else { next() % (max_fails + 1) };
+        let mut victims: Vec<usize> = Vec::new();
+        for _ in 0..fails {
+            let gpu = (next() % num_gpus as u64) as usize;
+            if victims.contains(&gpu) {
+                continue;
+            }
+            victims.push(gpu);
+            let fail_at = (next() % (horizon as u64 - 2)) as u32;
+            plan = plan.with_fail_stop(gpu, fail_at);
+            if next() % 2 == 0 {
+                // Rejoin strictly after death can be confirmed (+2 beats).
+                let back = fail_at + 2 + (next() % 4) as u32;
+                plan = plan.with_rejoin(gpu, back);
+            }
+        }
+        if next() % 2 == 0 {
+            let gpu = (next() % num_gpus as u64) as usize;
+            let from = (next() % horizon as u64) as u32;
+            plan = plan.with_straggler(
+                gpu,
+                from,
+                from + 1 + (next() % 3) as u32,
+                2.0 + unit(next()) * 8.0,
+            );
+        }
+        if next() % 4 == 0 {
+            plan = plan.with_checkpoint_corruption(
+                (next() % num_gpus as u64) as usize,
+                (next() % horizon as u64) as u32,
+                (next() % 64) as usize,
+                next() | 1,
+            );
+        }
+        plan
+    }
 }
 
 /// Per-category counters of faults actually injected.
@@ -266,6 +417,10 @@ pub struct FaultCounters {
     pub corruptions: u64,
     /// Fail-stop losses fired.
     pub fail_stops: u64,
+    /// Rejoins of previously failed GPUs.
+    pub rejoins: u64,
+    /// Checkpoint-at-rest corruptions applied.
+    pub checkpoint_corruptions: u64,
 }
 
 #[inline]
@@ -278,9 +433,16 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Hashes a message coordinate into 64 uniform bits, independent of any
-/// other coordinate — the basis of thread-count-independent fault streams.
+/// other coordinate — the basis of thread-count-independent fault streams
+/// (and of the membership detector's reproducible heartbeat jitter).
 #[inline]
-fn coordinate_hash(seed: u64, iteration: u32, attempt: u32, channel: u64, index: u64) -> u64 {
+pub(crate) fn coordinate_hash(
+    seed: u64,
+    iteration: u32,
+    attempt: u32,
+    channel: u64,
+    index: u64,
+) -> u64 {
     let mut s = seed
         ^ (iteration as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ (attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
@@ -290,7 +452,7 @@ fn coordinate_hash(seed: u64, iteration: u32, attempt: u32, channel: u64, index:
 }
 
 #[inline]
-fn unit_f64(bits: u64) -> f64 {
+pub(crate) fn unit_f64(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -306,7 +468,12 @@ fn unit_f64(bits: u64) -> f64 {
 pub struct FaultInjector {
     plan: FaultPlan,
     fired_fail_stops: Vec<bool>,
+    fired_rejoins: Vec<bool>,
     fired_corruptions: Vec<bool>,
+    fired_checkpoint_corruptions: Vec<bool>,
+    /// Ground-truth liveness: `Some(iter)` if the GPU went silent at
+    /// `iter` and has not rejoined. Grown lazily by `heartbeat_arrivals`.
+    silent_since: Vec<Option<u32>>,
     counters: FaultCounters,
 }
 
@@ -314,8 +481,18 @@ impl FaultInjector {
     /// Creates an injector executing `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let fired_fail_stops = vec![false; plan.fail_stops.len()];
+        let fired_rejoins = vec![false; plan.rejoins.len()];
         let fired_corruptions = vec![false; plan.mask_corruptions.len()];
-        Self { plan, fired_fail_stops, fired_corruptions, counters: FaultCounters::default() }
+        let fired_checkpoint_corruptions = vec![false; plan.checkpoint_corruptions.len()];
+        Self {
+            plan,
+            fired_fail_stops,
+            fired_rejoins,
+            fired_corruptions,
+            fired_checkpoint_corruptions,
+            silent_since: Vec::new(),
+            counters: FaultCounters::default(),
+        }
     }
 
     /// The plan being executed.
@@ -341,6 +518,81 @@ impl FaultInjector {
             }
         }
         Ok(())
+    }
+
+    /// Ground-truth heartbeat observations for one superstep boundary:
+    /// one [`HeartbeatStatus`] per primary GPU. Fires not-yet-fired
+    /// fail-stops with `iteration <= current` (the GPU goes *silent*) and
+    /// rejoins (its heartbeats resume). Unlike the legacy [`Self::heartbeat`]
+    /// this never returns an error — deciding what silence *means* is the
+    /// membership detector's job, not the injector's.
+    ///
+    /// Idempotent under rollback-and-replay: silence and rejoins are
+    /// persistent ground truth, so replaying earlier boundaries reproduces
+    /// the same statuses.
+    pub fn heartbeat_arrivals(&mut self, iteration: u32, num_gpus: usize) -> Vec<HeartbeatStatus> {
+        if self.silent_since.len() < num_gpus {
+            self.silent_since.resize(num_gpus, None);
+        }
+        for (i, fs) in self.plan.fail_stops.iter().enumerate() {
+            if !self.fired_fail_stops[i] && fs.iteration <= iteration && fs.gpu < num_gpus {
+                self.fired_fail_stops[i] = true;
+                self.counters.fail_stops += 1;
+                self.silent_since[fs.gpu] = Some(iteration);
+            }
+        }
+        for (i, rj) in self.plan.rejoins.iter().enumerate() {
+            if !self.fired_rejoins[i]
+                && rj.iteration <= iteration
+                && rj.gpu < num_gpus
+                && self.silent_since[rj.gpu].is_some()
+            {
+                self.fired_rejoins[i] = true;
+                self.counters.rejoins += 1;
+                self.silent_since[rj.gpu] = None;
+            }
+        }
+        (0..num_gpus)
+            .map(|gpu| {
+                if self.silent_since[gpu].is_some() {
+                    HeartbeatStatus::Missing
+                } else {
+                    HeartbeatStatus::Arrived { slowdown: self.straggler_slowdown(gpu, iteration) }
+                }
+            })
+            .collect()
+    }
+
+    /// The heartbeat-latency multiplier active for `gpu` at `iteration`
+    /// (`>= 1`; overlapping straggler windows take the worst factor).
+    pub fn straggler_slowdown(&self, gpu: usize, iteration: u32) -> f64 {
+        self.plan
+            .stragglers
+            .iter()
+            .filter(|s| {
+                s.gpu == gpu && s.from_iteration <= iteration && iteration < s.until_iteration
+            })
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Iteration at which `gpu` went silent, if it is currently silent.
+    pub fn silent_since(&self, gpu: usize) -> Option<u32> {
+        self.silent_since.get(gpu).copied().flatten()
+    }
+
+    /// One-shot at-rest checkpoint corruption: the first not-yet-fired
+    /// entry with `iteration <= current` fires and is returned so the
+    /// checkpoint layer can tamper with the snapshot it just captured.
+    pub fn checkpoint_corruption(&mut self, iteration: u32) -> Option<CheckpointCorruption> {
+        for (i, c) in self.plan.checkpoint_corruptions.iter().enumerate() {
+            if !self.fired_checkpoint_corruptions[i] && c.iteration <= iteration {
+                self.fired_checkpoint_corruptions[i] = true;
+                self.counters.checkpoint_corruptions += 1;
+                return Some(*c);
+            }
+        }
+        None
     }
 
     /// Decides the fate of message `index` on `channel` (any stable id for
@@ -409,24 +661,73 @@ impl FaultInjector {
             .fold(1.0, f64::max)
     }
 
-    /// True if any one-shot event (fail-stop or corruption) is still armed.
+    /// True if any one-shot event (fail-stop, rejoin, or corruption) is
+    /// still armed.
     pub fn has_pending_events(&self) -> bool {
-        self.fired_fail_stops.iter().any(|&f| !f) || self.fired_corruptions.iter().any(|&f| !f)
+        self.fired_fail_stops.iter().any(|&f| !f)
+            || self.fired_rejoins.iter().any(|&f| !f)
+            || self.fired_corruptions.iter().any(|&f| !f)
+            || self.fired_checkpoint_corruptions.iter().any(|&f| !f)
     }
 }
 
-/// A plan-level sanity check used by tests and the sweep harness: the plan
-/// must be recoverable on `topology` — at least one GPU survives all
-/// scheduled fail-stops.
+/// The single point-in-time survivability predicate shared by the driver
+/// and the plan-level check: a failure is absorbable without a spare only
+/// if at least one primary member is still alive to host the partition.
+pub fn failure_is_survivable(alive: &[bool]) -> bool {
+    alive.iter().any(|&a| a)
+}
+
+/// A plan-level sanity check used by tests and the sweep harness: replays
+/// the plan's fail-stop/rejoin schedule in iteration order against
+/// `topology` (including its hot-spare pool) and reports whether every
+/// confirmed death can be absorbed — either by promoting a free spare, or
+/// by spreading onto at least one surviving primary
+/// ([`failure_is_survivable`]). Rejoins revive the member and release any
+/// spare that was covering its partition.
 pub fn plan_is_survivable(plan: &FaultPlan, topology: Topology) -> bool {
     let p = topology.num_gpus() as usize;
-    let mut dead = vec![false; p];
+    let mut alive = vec![true; p];
+    let mut spares_free = topology.num_spares() as usize;
+    let mut covered_by_spare = vec![false; p];
+    // (iteration, kind, gpu): deaths (kind 0) before rejoins (kind 1) at
+    // the same boundary — a rejoin only applies to an already-dead member.
+    let mut events: Vec<(u32, u8, usize)> = Vec::new();
     for fs in &plan.fail_stops {
         if fs.gpu < p {
-            dead[fs.gpu] = true;
+            events.push((fs.iteration, 0, fs.gpu));
         }
     }
-    dead.iter().any(|&d| !d)
+    for rj in &plan.rejoins {
+        if rj.gpu < p {
+            events.push((rj.iteration, 1, rj.gpu));
+        }
+    }
+    events.sort_unstable();
+    for (_, kind, gpu) in events {
+        if kind == 0 {
+            if !alive[gpu] {
+                continue; // duplicate fail-stop on an already-dead member
+            }
+            alive[gpu] = false;
+            if spares_free > 0 {
+                spares_free -= 1;
+                covered_by_spare[gpu] = true;
+            } else if !failure_is_survivable(&alive) {
+                return false;
+            }
+        } else {
+            if alive[gpu] {
+                continue; // rejoin of a member that never died
+            }
+            alive[gpu] = true;
+            if covered_by_spare[gpu] {
+                covered_by_spare[gpu] = false;
+                spares_free += 1;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -560,5 +861,109 @@ mod tests {
         assert!(!plan_is_survivable(&all_dead, topo));
         let one_left = FaultPlan::new(0).with_fail_stop(0, 1);
         assert!(plan_is_survivable(&one_left, topo));
+    }
+
+    #[test]
+    fn spares_and_rejoins_extend_survivability() {
+        let both_die = FaultPlan::new(0).with_fail_stop(0, 1).with_fail_stop(1, 3);
+        // Spreading needs a live primary: losing both members of a 1×2
+        // grid is fatal with one spare (the second death finds neither a
+        // free spare nor a survivor) but fine with two.
+        assert!(!plan_is_survivable(&both_die, Topology::new(1, 2)));
+        assert!(!plan_is_survivable(&both_die, Topology::new(1, 2).with_spares(1)));
+        assert!(plan_is_survivable(&both_die, Topology::new(1, 2).with_spares(2)));
+        let with_rejoin = both_die.clone().with_rejoin(0, 2);
+        assert!(plan_is_survivable(&with_rejoin, Topology::new(1, 2)), "rejoin revives the host");
+        // A rejoin releases the spare for reuse: the same single spare
+        // covers two sequential deaths of GPU 0.
+        let churn = FaultPlan::new(0).with_fail_stop(0, 1).with_rejoin(0, 3).with_fail_stop(0, 5);
+        assert!(plan_is_survivable(&churn, Topology::new(1, 1).with_spares(1)));
+        assert!(!plan_is_survivable(&churn, Topology::new(1, 1)));
+    }
+
+    #[test]
+    fn heartbeat_arrivals_track_silence_and_rejoin() {
+        let plan = FaultPlan::new(0).with_fail_stop(1, 2).with_rejoin(1, 5);
+        let mut inj = FaultInjector::new(plan);
+        use HeartbeatStatus::{Arrived, Missing};
+        let healthy = vec![Arrived { slowdown: 1.0 }; 3];
+        assert_eq!(inj.heartbeat_arrivals(0, 3), healthy);
+        assert_eq!(inj.heartbeat_arrivals(1, 3), healthy);
+        let at2 = inj.heartbeat_arrivals(2, 3);
+        assert_eq!(at2[1], Missing);
+        assert_eq!(inj.silent_since(1), Some(2));
+        assert_eq!(inj.counters().fail_stops, 1);
+        // Replay after rollback: ground truth is stable.
+        assert_eq!(inj.heartbeat_arrivals(2, 3)[1], Missing);
+        assert_eq!(inj.counters().fail_stops, 1, "silence is not re-fired");
+        assert_eq!(inj.heartbeat_arrivals(4, 3)[1], Missing);
+        // Rejoin restores the heartbeat.
+        assert_eq!(inj.heartbeat_arrivals(5, 3), healthy);
+        assert_eq!(inj.silent_since(1), None);
+        assert_eq!(inj.counters().rejoins, 1);
+        assert!(!inj.has_pending_events());
+    }
+
+    #[test]
+    fn rejoin_without_silence_is_ignored() {
+        let mut inj = FaultInjector::new(FaultPlan::new(0).with_rejoin(0, 1));
+        let statuses = inj.heartbeat_arrivals(3, 2);
+        assert!(statuses.iter().all(|s| matches!(s, HeartbeatStatus::Arrived { .. })));
+        assert_eq!(inj.counters().rejoins, 0);
+    }
+
+    #[test]
+    fn straggler_windows_shape_arrival_slowdown() {
+        let plan = FaultPlan::new(0).with_straggler(1, 2, 4, 3.0).with_straggler(1, 3, 5, 5.0);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.straggler_slowdown(1, 1), 1.0);
+        assert_eq!(inj.straggler_slowdown(1, 2), 3.0);
+        assert_eq!(inj.straggler_slowdown(1, 3), 5.0, "overlap takes the worst");
+        assert_eq!(inj.straggler_slowdown(1, 4), 5.0);
+        assert_eq!(inj.straggler_slowdown(1, 5), 1.0);
+        assert_eq!(inj.straggler_slowdown(0, 3), 1.0, "other GPUs unaffected");
+        match inj.heartbeat_arrivals(3, 2)[1] {
+            HeartbeatStatus::Arrived { slowdown } => assert_eq!(slowdown, 5.0),
+            other => panic!("straggler must still arrive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_corruption_fires_once() {
+        let plan = FaultPlan::new(0).with_checkpoint_corruption(2, 4, 7, 0b11);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.checkpoint_corruption(3), None);
+        let fired = inj.checkpoint_corruption(4).expect("fires at iteration 4");
+        assert_eq!((fired.gpu, fired.word, fired.xor), (2, 7, 0b11));
+        assert_eq!(inj.checkpoint_corruption(4), None, "one-shot");
+        assert_eq!(inj.counters().checkpoint_corruptions, 1);
+    }
+
+    #[test]
+    fn random_elastic_plans_are_deterministic_and_confirmable() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::random_elastic(seed, 8, 12);
+            let b = FaultPlan::random_elastic(seed, 8, 12);
+            assert_eq!(a, b);
+            // Distinct victims, and every rejoin leaves room for the
+            // death to be confirmed first (2 consecutive misses).
+            let mut victims: Vec<usize> = a.fail_stops.iter().map(|f| f.gpu).collect();
+            victims.sort_unstable();
+            victims.dedup();
+            assert_eq!(victims.len(), a.fail_stops.len());
+            for rj in &a.rejoins {
+                let fs = a.fail_stops.iter().find(|f| f.gpu == rj.gpu).expect("rejoin has a death");
+                assert!(rj.iteration >= fs.iteration + 2);
+            }
+            for s in &a.stragglers {
+                assert!(s.slowdown >= 1.0);
+            }
+        }
+        assert_ne!(FaultPlan::random_elastic(0, 8, 12), FaultPlan::random_elastic(1, 8, 12));
+        assert_ne!(
+            FaultPlan::random(3, 8, 12).seed,
+            FaultPlan::random_elastic(3, 8, 12).seed,
+            "elastic stream is salted apart from the legacy stream"
+        );
     }
 }

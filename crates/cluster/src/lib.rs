@@ -26,15 +26,23 @@
 //!   GPU losses, delegate-mask corruption, and NIC degradation windows,
 //!   with typed detection errors surfaced at superstep boundaries.
 
+//! * [`membership`] — elastic cluster membership on top of the fault
+//!   layer: an adaptive phi-accrual failure detector (suspected vs
+//!   confirmed-dead), the member lifecycle state machine, and the
+//!   hot-spare pool that lets recovery restore *balance*, not just
+//!   liveness.
+
 pub mod collectives;
 pub mod cost;
 pub mod fabric;
 pub mod fault;
+pub mod membership;
 pub mod timing;
 pub mod topology;
 
 pub use cost::{CostModel, DeviceModel, NetworkModel};
 pub use fabric::{Fabric, FabricError};
 pub use fault::{FaultError, FaultInjector, FaultPlan};
+pub use membership::{HeartbeatStatus, MemberState, Membership, MembershipConfig, MembershipEvent};
 pub use timing::{IterationTiming, Phase, PhaseTimes};
 pub use topology::{GpuId, Topology};

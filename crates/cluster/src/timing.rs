@@ -140,6 +140,16 @@ impl IterationTiming {
     }
 }
 
+/// The degraded critical-path bound of edge-balanced multi-survivor
+/// spreading: a dead member's load split evenly across `survivors` live
+/// members inflates the slowest lane by at most `(p+1)/p` (with `p`
+/// survivors), versus `2×` when the whole partition lands on one buddy.
+/// This is the factor the elastic membership tier is designed to hit.
+pub fn degraded_bound(survivors: usize) -> f64 {
+    assert!(survivors > 0, "need at least one survivor");
+    (survivors as f64 + 1.0) / survivors as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +202,12 @@ mod tests {
         let it = IterationTiming { phases: sample(), blocking_reduce: true };
         assert_eq!(it.elapsed(), 4.0 + 1.0 + 2.0 + 3.0);
         assert_eq!(it.elapsed(), it.sum_of_parts());
+    }
+
+    #[test]
+    fn degraded_bound_beats_buddy_hosting() {
+        assert_eq!(degraded_bound(1), 2.0, "one survivor degenerates to buddy hosting");
+        assert_eq!(degraded_bound(15), 16.0 / 15.0);
+        assert!(degraded_bound(15) < 2.0);
     }
 }

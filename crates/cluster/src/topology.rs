@@ -17,21 +17,51 @@ pub struct GpuId {
     pub gpu: u32,
 }
 
-/// A `prank × pgpu` device grid.
+/// A `prank × pgpu` device grid, plus an optional pool of hot-spare
+/// devices that hold no partition until the membership layer promotes one
+/// to replace a confirmed-dead primary.
+///
+/// Spares are deliberately *outside* the `p = prank · pgpu` grid: all
+/// vertex-ownership arithmetic (`P(v)`, `G(v)`, local indices) is a
+/// function of the primary grid only, so adding or draining spares never
+/// changes the partition — which is what makes spare absorption a pure
+/// data movement with bit-identical BFS results.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
     prank: u32,
     pgpu: u32,
+    spares: u32,
 }
 
 impl Topology {
-    /// Creates a topology with `prank` MPI ranks of `pgpu` GPUs each.
+    /// Creates a topology with `prank` MPI ranks of `pgpu` GPUs each and
+    /// no hot spares.
     ///
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(prank: u32, pgpu: u32) -> Self {
         assert!(prank > 0 && pgpu > 0, "topology dimensions must be positive");
-        Self { prank, pgpu }
+        Self { prank, pgpu, spares: 0 }
+    }
+
+    /// Adds `spares` hot-spare devices to the pool. Spares are not part
+    /// of the primary grid: they own no vertices and carry no partition
+    /// until promoted by the membership layer.
+    pub fn with_spares(mut self, spares: u32) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Number of hot-spare devices.
+    pub fn num_spares(&self) -> u32 {
+        self.spares
+    }
+
+    /// The MPI rank a promoted spare slot is attached to (spares are
+    /// distributed round-robin across ranks), which prices the one-time
+    /// state ship when a spare absorbs a partition.
+    pub fn spare_rank(&self, slot: usize) -> u32 {
+        (slot as u32) % self.prank
     }
 
     /// Parses the paper's `nodes×rpn×gpr` notation into a topology
@@ -191,5 +221,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dimension_rejected() {
         let _ = Topology::new(0, 2);
+    }
+
+    #[test]
+    fn spares_do_not_perturb_the_grid() {
+        let base = Topology::new(2, 2);
+        let spared = Topology::new(2, 2).with_spares(3);
+        assert_eq!(spared.num_spares(), 3);
+        assert_eq!(spared.num_gpus(), base.num_gpus());
+        for v in 0..200u64 {
+            assert_eq!(spared.vertex_owner(v), base.vertex_owner(v));
+            assert_eq!(spared.local_index(v), base.local_index(v));
+        }
+        assert_eq!(spared.spare_rank(0), 0);
+        assert_eq!(spared.spare_rank(1), 1);
+        assert_eq!(spared.spare_rank(2), 0, "round-robin across ranks");
     }
 }

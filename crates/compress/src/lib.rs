@@ -54,7 +54,7 @@ mod varint;
 
 pub use frontier::{decode_frontier, decode_frontier_into, FrontierCodec};
 pub use mask::{decode_mask, decode_mask_into, MaskCodec, MAX_UNTRUSTED_WORDS};
-pub use seal::{IntegrityError, SealedPayload};
+pub use seal::{fnv1a, IntegrityError, SealedPayload};
 pub use select::{select_frontier_codec, select_mask_codec, CodecCounts, CompressionMode};
 
 /// Fixed per-payload header: one mode-tag byte plus a little-endian `u32`

@@ -16,8 +16,11 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// FNV-1a over `bytes`. Deterministic, dependency-free, and fast enough
 /// that the model charges it to the same compress/decompress kernel time
 /// as the codec work it protects.
+///
+/// Public because the checkpoint layer reuses the same digest to seal
+/// snapshots at rest (one integrity primitive across wire and disk).
 #[inline]
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in bytes {
         h ^= b as u64;

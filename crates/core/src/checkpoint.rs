@@ -20,9 +20,45 @@
 
 use crate::kernels::GpuWorker;
 use gcbfs_cluster::cost::CostModel;
+use gcbfs_compress::fnv1a;
+
+/// A snapshot failed its integrity seal at restore time: the state at
+/// rest no longer matches the FNV-1a digest taken at capture.
+///
+/// Surfaced as a typed error instead of silently replaying bad state —
+/// a corrupted checkpoint would otherwise *poison* the bit-exactness
+/// contract for the rest of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointCorrupt {
+    /// Flat index of the GPU whose snapshot failed verification.
+    pub gpu: usize,
+    /// Digest recorded at capture time.
+    pub expected: u64,
+    /// Digest of the snapshot as found at restore time.
+    pub actual: u64,
+}
+
+impl std::fmt::Display for CheckpointCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint snapshot of GPU {} failed its integrity seal \
+             (expected {:#018x}, got {:#018x})",
+            self.gpu, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for CheckpointCorrupt {}
 
 /// A consistent snapshot of the whole cluster's BFS state at one superstep
 /// boundary, plus the bookkeeping needed to roll the statistics back.
+///
+/// Every per-worker snapshot is *sealed* with the same FNV-1a digest the
+/// compressed wire payloads use ([`gcbfs_compress::fnv1a`]); [`restore`]
+/// verifies the seals and refuses to replay corrupted state.
+///
+/// [`restore`]: Checkpoint::restore
 #[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// The iteration the snapshot was taken *before* (restoring resumes at
@@ -32,6 +68,8 @@ pub struct Checkpoint {
     /// at capture time; rollback truncates the record list to this length.
     pub records_len: usize,
     workers: Vec<GpuWorker>,
+    /// FNV-1a digest of each worker snapshot, taken at capture.
+    digests: Vec<u64>,
 }
 
 impl Checkpoint {
@@ -42,16 +80,81 @@ impl Checkpoint {
     /// BFS state — the same distinction a real implementation makes when
     /// it snapshots device state but not the graph.
     pub fn capture(iter: u32, workers: &[GpuWorker], records_len: usize) -> Self {
-        Self { iter, records_len, workers: workers.to_vec() }
+        let digests = workers.iter().map(Self::worker_digest).collect();
+        Self { iter, records_len, workers: workers.to_vec(), digests }
     }
 
-    /// Restores every worker to the captured state.
+    /// Verifies every snapshot's seal and restores every worker to the
+    /// captured state. On a seal mismatch *no* worker is modified and the
+    /// typed [`CheckpointCorrupt`] error identifies the bad snapshot.
     ///
     /// # Panics
     /// Panics if the worker count changed since capture.
-    pub fn restore(&self, workers: &mut [GpuWorker]) {
+    pub fn restore(&self, workers: &mut [GpuWorker]) -> Result<(), CheckpointCorrupt> {
         assert_eq!(workers.len(), self.workers.len(), "worker count must not change");
+        self.verify()?;
         workers.clone_from_slice(&self.workers);
+        Ok(())
+    }
+
+    /// Re-digests every stored snapshot and compares against the seals
+    /// taken at capture.
+    pub fn verify(&self) -> Result<(), CheckpointCorrupt> {
+        for (gpu, (w, &expected)) in self.workers.iter().zip(&self.digests).enumerate() {
+            let actual = Self::worker_digest(w);
+            if actual != expected {
+                return Err(CheckpointCorrupt { gpu, expected, actual });
+            }
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest over one worker's serialized mutable BFS state (the
+    /// same bytes [`Self::worker_bytes`] accounts for).
+    pub fn worker_digest(w: &GpuWorker) -> u64 {
+        let mut bytes: Vec<u8> = Vec::with_capacity(Self::worker_bytes(w) as usize);
+        for &d in &w.depths_local {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        for &d in &w.delegate_depths {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        for &word in w.visited_mask.words() {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        for &v in &w.frontier {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &w.new_delegates {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        if w.track_parents {
+            for &p in &w.parents_local {
+                bytes.extend_from_slice(&p.to_le_bytes());
+            }
+            for &p in &w.delegate_parent_candidate {
+                bytes.extend_from_slice(&p.to_le_bytes());
+            }
+            for &(owner, local, parent, depth) in &w.remote_parent_log {
+                bytes.extend_from_slice(&owner.rank.to_le_bytes());
+                bytes.extend_from_slice(&owner.gpu.to_le_bytes());
+                bytes.extend_from_slice(&local.to_le_bytes());
+                bytes.extend_from_slice(&parent.to_le_bytes());
+                bytes.extend_from_slice(&depth.to_le_bytes());
+            }
+        }
+        fnv1a(&bytes)
+    }
+
+    /// At-rest tamper hook for fault injection: XORs `xor` into word
+    /// `word` of GPU `gpu`'s snapshotted visited mask *without* updating
+    /// the seal, so the damage is exactly what [`Self::restore`] must
+    /// detect. Returns true if any bits actually flipped.
+    pub fn corrupt_mask_word(&mut self, gpu: usize, word: usize, xor: u64) -> bool {
+        match self.workers.get_mut(gpu) {
+            Some(w) => w.visited_mask.xor_word(word, xor).is_some(),
+            None => false,
+        }
     }
 
     /// Number of GPUs captured.
@@ -129,7 +232,7 @@ mod tests {
         workers[0].depths_local[3] = 9;
         workers[0].frontier.clear();
         workers[1].visited_mask.set(0);
-        cp.restore(&mut workers);
+        cp.restore(&mut workers).expect("intact checkpoint restores");
         assert_eq!(workers[0].depths_local[3], 2);
         assert_eq!(workers[0].frontier, vec![3]);
         assert!(workers[1].visited_mask.get(1));
@@ -172,6 +275,48 @@ mod tests {
         let workers = vec![worker(), worker()];
         let cp = Checkpoint::capture(0, &workers, 0);
         let mut one = vec![worker()];
-        cp.restore(&mut one);
+        let _ = cp.restore(&mut one);
+    }
+
+    #[test]
+    fn tampered_snapshot_is_detected_and_leaves_workers_untouched() {
+        let mut workers = vec![worker(), worker()];
+        workers[1].visited_mask.set(1);
+        let mut cp = Checkpoint::capture(2, &workers, 1);
+        assert!(cp.verify().is_ok());
+        assert!(cp.corrupt_mask_word(1, 0, 0b100));
+        let err = cp.verify().expect_err("tamper must break the seal");
+        assert_eq!(err.gpu, 1);
+        assert_ne!(err.expected, err.actual);
+        // restore must refuse and must not half-apply state.
+        workers[0].depths_local[3] = 7;
+        let before = workers[0].depths_local.clone();
+        let err2 = cp.restore(&mut workers).expect_err("corrupt checkpoint must not restore");
+        assert_eq!(err2, err);
+        assert_eq!(workers[0].depths_local, before, "no partial restore");
+        let msg = err.to_string();
+        assert!(msg.contains("GPU 1") && msg.contains("integrity"), "{msg}");
+    }
+
+    #[test]
+    fn zero_xor_or_bad_gpu_does_not_tamper() {
+        let workers = vec![worker()];
+        let mut cp = Checkpoint::capture(0, &workers, 0);
+        assert!(!cp.corrupt_mask_word(0, 0, 0), "zero xor flips nothing");
+        assert!(!cp.corrupt_mask_word(9, 0, 1), "out-of-range gpu ignored");
+        assert!(cp.verify().is_ok());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_state_sensitive() {
+        let a = worker();
+        let b = worker();
+        assert_eq!(Checkpoint::worker_digest(&a), Checkpoint::worker_digest(&b));
+        let mut c = worker();
+        c.depths_local[0] = 5;
+        assert_ne!(Checkpoint::worker_digest(&a), Checkpoint::worker_digest(&c));
+        let mut d = worker();
+        d.visited_mask.set(1);
+        assert_ne!(Checkpoint::worker_digest(&a), Checkpoint::worker_digest(&d));
     }
 }

@@ -64,6 +64,29 @@ pub struct ExchangeResult {
     pub messages: Vec<MessageRecord>,
 }
 
+/// Moves a dead member's per-lane exchange time onto its hosts,
+/// share-weighted — the communication counterpart of the driver's
+/// degraded-mode computation move. A host driving `share` of the dead
+/// partition also drives `share` of its binning/conversion work and NIC
+/// occupancy, serially after its own; the dead lane is zeroed so the
+/// cluster-wide fold (a per-lane max) never reads a ghost.
+///
+/// Shares normally sum to 1 (buddy hosting is the single-host special
+/// case), so the total time charged across lanes is conserved.
+pub fn reassign_lane_times(
+    local_time: &mut [f64],
+    remote_time: &mut [f64],
+    dead: usize,
+    hosts: &[(usize, f64)],
+) {
+    let local = std::mem::replace(&mut local_time[dead], 0.0);
+    let remote = std::mem::replace(&mut remote_time[dead], 0.0);
+    for &(host, share) in hosts {
+        local_time[host] += local * share;
+        remote_time[host] += remote * share;
+    }
+}
+
 impl ExchangeResult {
     /// Raw-minus-wire byte savings of this exchange (0 when compression
     /// is off or the raw fallbacks dominated).

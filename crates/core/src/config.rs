@@ -72,9 +72,13 @@ pub struct BfsConfig {
     /// the direction-optimization crossover. Compression never changes
     /// BFS results — every payload really roundtrips its codec.
     pub compression: CompressionMode,
-    /// Recovery policy for fault-injected runs (checkpoint cadence, retry
-    /// budget, degraded mode). Inert on fault-free runs: no checkpoints are
-    /// taken and no retries happen unless a
+    /// Recovery policy for fault-injected runs: checkpoint cadence, retry
+    /// budget, degraded mode, the spare-less hosting policy
+    /// ([`HostingPolicy`](crate::recovery::HostingPolicy) buddy vs
+    /// edge-balanced spreading), and the phi-accrual failure-detector
+    /// tuning ([`MembershipConfig`](gcbfs_cluster::membership::MembershipConfig)).
+    /// Inert on fault-free runs: no checkpoints are taken, no heartbeats
+    /// are interpreted, and no retries happen unless a
     /// [`FaultPlan`](gcbfs_cluster::fault::FaultPlan) is supplied.
     pub recovery: RecoveryConfig,
     /// Structured observability: when `Full`, the driver threads a

@@ -10,13 +10,13 @@
 //! overlap rule of `gcbfs_cluster::timing`.
 
 use crate::checkpoint::Checkpoint;
-use crate::comm::exchange_normals_with;
+use crate::comm::{exchange_normals_with, reassign_lane_times};
 use crate::config::BfsConfig;
 use crate::direction::{Direction, DirectionState};
 use crate::distributor::{distribute, EdgeClassCounts};
 use crate::kernels::{GpuWorker, KernelWork, LocalIterationOutput};
 use crate::masks::DelegateMask;
-use crate::recovery::{retry_backoff, DegradedMap};
+use crate::recovery::{retry_backoff, Assignment, ElasticMap, HostingPolicy};
 use crate::separation::Separation;
 use crate::stats::{FaultStats, IterationRecord, RunStats};
 use crate::subgraph::{GpuSubgraphs, MemoryUsage};
@@ -24,6 +24,7 @@ use crate::UNREACHED;
 use gcbfs_cluster::collectives::{allreduce_or_compressed, mask_reduce_hops};
 use gcbfs_cluster::cost::KernelKind;
 use gcbfs_cluster::fault::{FaultError, FaultInjector, FaultPlan, MessageFate};
+use gcbfs_cluster::membership::{Membership, MembershipEvent};
 use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
 use gcbfs_cluster::topology::Topology;
 use gcbfs_graph::{EdgeList, VertexId};
@@ -332,10 +333,22 @@ impl DistributedGraph {
 
         // ---- Resilience state (inert without a fault plan). ----
         let recovery = config.recovery;
-        let mut injector: Option<FaultInjector> = plan.map(|p| FaultInjector::new(p.clone()));
+        let p = topo.num_gpus() as usize;
+        let mut injector: Option<FaultInjector> = plan.map(|pl| FaultInjector::new(pl.clone()));
         let mut fault = FaultStats::default();
         let mut checkpoint: Option<Checkpoint> = None;
-        let mut degraded = DegradedMap::new(topo.num_gpus() as usize);
+        // Elastic membership: the phi-accrual detector interprets heartbeat
+        // arrival statistics (ground-truth silence comes from the
+        // injector), and the elastic map tracks how each confirmed-dead
+        // member's partition is re-homed (hot spare, spread, or buddy).
+        let mut membership = Membership::new(p, topo.num_spares() as usize, recovery.membership);
+        let mut elastic = ElasticMap::new(p);
+        // Static per-partition edge loads — the weights of the
+        // edge-balanced spreading plan.
+        let loads: Vec<u64> = self.subgraphs.iter().map(|sg| sg.num_edges().max(1)).collect();
+        // Delegate-mask wire size (the `d/8` of §V-A, word-rounded) — what
+        // spare absorption and rejoin pay to re-replicate visited state.
+        let mask_bytes = (d as u64).div_ceil(64) * 8;
         // Messages delayed in flight by the injector: `(due_iter, gpu, slot)`.
         let mut delayed: Vec<(u32, usize, u32)> = Vec::new();
 
@@ -362,10 +375,19 @@ impl DistributedGraph {
                         && iter.is_multiple_of(recovery.checkpoint_interval)))
                 && checkpoint.as_ref().is_none_or(|c| c.iter != iter)
             {
-                let cp = Checkpoint::capture(iter, &workers, records.len());
+                let mut cp = Checkpoint::capture(iter, &workers, records.len());
                 let cp_seconds = cp.modeled_seconds(cost);
                 fault.checkpoint_seconds += cp_seconds;
                 fault.checkpoints_taken += 1;
+                // At-rest tamper hook: flip bits in the snapshot *after*
+                // its integrity seal is taken, so a later rollback's
+                // verification catches the corruption instead of silently
+                // replaying poisoned state.
+                if let Some(inj) = injector.as_mut() {
+                    if let Some(cc) = inj.checkpoint_corruption(iter) {
+                        cp.corrupt_mask_word(cc.gpu, cc.word, cc.xor);
+                    }
+                }
                 checkpoint = Some(cp);
                 if let Some(s) = sink.as_mut() {
                     s.record_fault(FaultKind::Checkpoint, iter, cp_seconds);
@@ -375,40 +397,156 @@ impl DistributedGraph {
                 }
             }
 
-            // ---- Heartbeat: fail-stop detection at the superstep
-            // boundary (piggybacked on the termination allreduce). ----
+            // ---- Heartbeat + membership: one status per member at the
+            // superstep boundary (piggybacked on the termination
+            // allreduce). The injector reports ground-truth silence; the
+            // phi-accrual detector decides what it *means* — suspicion,
+            // confirmed death, or a live rejoin. ----
             if let Some(inj) = injector.as_mut() {
-                if let Err(err) = inj.heartbeat(iter) {
-                    let FaultError::GpuFailed { gpu, .. } = err else { unreachable!() };
+                let statuses = inj.heartbeat_arrivals(iter, p);
+                let events = membership.observe(iter, &statuses);
+                let mut confirmed: Vec<usize> = Vec::new();
+                for ev in &events {
+                    match *ev {
+                        MembershipEvent::Suspected { .. } => {
+                            // Suspicion is not failure: routing continues
+                            // unchanged; only the targeted liveness probe
+                            // (a tiny blocking collective) is charged.
+                            let probe = cost.network.allreduce_time(16, topo.num_ranks(), true);
+                            fault.recovery_seconds += probe;
+                            fault.suspicions += 1;
+                            if let Some(s) = sink.as_mut() {
+                                s.record_fault(FaultKind::Suspicion, iter, probe);
+                            }
+                        }
+                        MembershipEvent::Cleared { .. } => {}
+                        MembershipEvent::ConfirmedDead { gpu, .. } => confirmed.push(gpu),
+                        MembershipEvent::Rejoined { gpu, .. } => {
+                            // Live rejoin: the survivors' state is
+                            // authoritative, so no rollback — the member
+                            // re-syncs from the current checkpoint image
+                            // and the delegate reduction, then reclaims
+                            // its partition (releasing any spare).
+                            let resync = cost
+                                .network
+                                .p2p_time(Checkpoint::worker_bytes(&workers[gpu]), false)
+                                + cost.network.allreduce_time(mask_bytes, topo.num_ranks(), true);
+                            fault.recovery_seconds += resync;
+                            fault.rejoins += 1;
+                            if let Some(s) = sink.as_mut() {
+                                s.record_fault(FaultKind::Rejoin, iter, resync);
+                            }
+                            if elastic.is_failed(gpu) {
+                                if let Assignment::Spare(slot) =
+                                    elastic.rejoin(gpu, &loads, recovery.hosting)
+                                {
+                                    membership.release_spare(slot);
+                                }
+                            }
+                        }
+                    }
+                }
+                if !confirmed.is_empty() {
                     if !(recovery.enabled && recovery.degraded_mode) {
-                        return Err(RunError::Fault(err));
+                        return Err(RunError::Fault(FaultError::GpuFailed {
+                            gpu: confirmed[0],
+                            iteration: iter,
+                        }));
                     }
-                    if degraded.failed_count() + 1 >= topo.num_gpus() as usize {
-                        // No survivor would remain: unrecoverable.
-                        return Err(RunError::Fault(err));
-                    }
-                    let host = degraded.fail(gpu, &topo);
+                    // One rollback covers every death confirmed at this
+                    // boundary: charge the work wasted since the
+                    // checkpoint plus restoring every GPU from host
+                    // memory, and verify the snapshot seals before
+                    // replaying anything.
                     let cp = checkpoint.as_ref().expect("implicit iteration-0 checkpoint");
-                    // Charge the wasted work between checkpoint and
-                    // failure, plus restoring every GPU from host memory
-                    // and shipping the dead GPU's partition to its buddy.
                     let wasted: f64 =
                         records[cp.records_len..].iter().map(|r| r.timing.elapsed()).sum();
-                    let reload = cp.modeled_seconds(cost)
-                        + cost.network.p2p_time(
-                            Checkpoint::worker_bytes(&workers[gpu]),
-                            topo.same_rank(topo.unflat(gpu), topo.unflat(host)),
-                        );
-                    let spent = wasted + reload;
-                    fault.recovery_seconds += spent;
+                    let spent = wasted + cp.modeled_seconds(cost);
                     fault.rollbacks += 1;
                     records.truncate(cp.records_len);
-                    cp.restore(&mut workers);
+                    if let Err(e) = cp.restore(&mut workers) {
+                        return Err(RunError::Fault(FaultError::CheckpointCorrupt {
+                            iteration: iter,
+                            gpu: e.gpu,
+                        }));
+                    }
+                    fault.recovery_seconds += spent;
                     if let Some(s) = sink.as_mut() {
                         if let Some(m) = &sink_mark {
                             s.truncate(m);
                         }
                         s.record_fault(FaultKind::Recovery, iter, spent);
+                    }
+                    // Re-home each confirmed-dead partition, in
+                    // preference order: a free hot spare absorbs it at
+                    // full speed; otherwise it is spread across the
+                    // survivors (or buddy-hosted under the legacy
+                    // policy). Survivability is checked against the same
+                    // predicate `plan_is_survivable` replays.
+                    for gpu in confirmed {
+                        if let Some(slot) = membership.take_spare() {
+                            elastic.fail_to_spare(gpu, slot);
+                            // The spare reloads the graph partition from
+                            // host storage, receives the checkpointed
+                            // mutable state, and re-replicates the
+                            // delegate masks via the usual collective.
+                            let absorb = self.subgraphs[gpu].memory_usage().total() as f64
+                                / cost.network.staging_bandwidth
+                                + cost
+                                    .network
+                                    .p2p_time(Checkpoint::worker_bytes(&workers[gpu]), false)
+                                + cost.network.allreduce_time(mask_bytes, topo.num_ranks(), true);
+                            fault.recovery_seconds += absorb;
+                            fault.spare_absorptions += 1;
+                            if let Some(s) = sink.as_mut() {
+                                s.record_fault(FaultKind::SpareAbsorb, iter, absorb);
+                            }
+                        } else {
+                            if !elastic.next_failure_is_survivable(gpu) {
+                                // No survivor would remain: unrecoverable.
+                                return Err(RunError::Fault(FaultError::GpuFailed {
+                                    gpu,
+                                    iteration: iter,
+                                }));
+                            }
+                            match recovery.hosting {
+                                HostingPolicy::Buddy => {
+                                    let host = elastic.fail_to_buddy(gpu, &topo);
+                                    let ship = cost.network.p2p_time(
+                                        Checkpoint::worker_bytes(&workers[gpu]),
+                                        topo.same_rank(topo.unflat(gpu), topo.unflat(host)),
+                                    );
+                                    fault.recovery_seconds += ship;
+                                    if let Some(s) = sink.as_mut() {
+                                        s.record_fault(FaultKind::Recovery, iter, ship);
+                                    }
+                                }
+                                HostingPolicy::Spread => {
+                                    elastic.fail_to_spread(gpu, &loads);
+                                    let hosts: Vec<(usize, f64)> = match elastic.assignment(gpu) {
+                                        Assignment::Hosted(h) => h.clone(),
+                                        other => {
+                                            unreachable!("fail_to_spread must host: {other:?}")
+                                        }
+                                    };
+                                    let bytes = Checkpoint::worker_bytes(&workers[gpu]);
+                                    let ship: f64 = hosts
+                                        .iter()
+                                        .map(|&(host, share)| {
+                                            cost.network.p2p_time(
+                                                (bytes as f64 * share).ceil() as u64,
+                                                topo.same_rank(topo.unflat(gpu), topo.unflat(host)),
+                                            )
+                                        })
+                                        .sum();
+                                    fault.recovery_seconds += ship;
+                                    fault.spread_hostings += 1;
+                                    if let Some(s) = sink.as_mut() {
+                                        s.record_fault(FaultKind::Spread, iter, ship);
+                                    }
+                                }
+                            }
+                        }
                     }
                     iter = cp.iter;
                     // The codec reference mask is ahead of the restored
@@ -467,16 +605,25 @@ impl DistributedGraph {
             };
             let mut mask_hops: Vec<CollectiveHop> = Vec::new();
 
-            // Degraded mode: a buddy hosting a dead GPU's partition runs
-            // both partitions serially, so the dead GPU's computation time
-            // moves onto its host.
-            if degraded.any_failed() {
+            // Degraded mode: hosts run their shares of dead members'
+            // partitions serially after their own, so the dead GPU's
+            // computation time moves onto its hosts share-weighted —
+            // `(p+1)/p` on the critical path under spreading, `2×` under
+            // buddy hosting. Spare-absorbed partitions run at full speed
+            // on their standby GPU and shift no time at all.
+            let hosted: Vec<(usize, Vec<(usize, f64)>)> = if elastic.any_failed() {
+                elastic.hosted_pairs().map(|(g, h)| (g, h.to_vec())).collect()
+            } else {
+                Vec::new()
+            };
+            if !hosted.is_empty() {
                 fault.degraded_iterations += 1;
-                let pairs: Vec<(usize, usize)> = degraded.pairs().collect();
-                for (failed, host) in pairs {
-                    let moved = phases[failed].computation;
-                    phases[failed].computation = 0.0;
-                    phases[host].computation += moved;
+                for (dead, hosts) in &hosted {
+                    let moved = phases[*dead].computation;
+                    phases[*dead].computation = 0.0;
+                    for &(host, share) in hosts {
+                        phases[host].computation += moved * share;
+                    }
                 }
             }
 
@@ -601,6 +748,13 @@ impl DistributedGraph {
             iter_bytes_saved += ex.bytes_saved();
             iter_codec_seconds += ex.codec_seconds;
             iter_codec_counts.merge(&ex.codec_counts);
+
+            // Hosts also drive the dead members' communication lanes:
+            // their exchange time moves with the partition, share-weighted
+            // like the computation above.
+            for (dead, hosts) in &hosted {
+                reassign_lane_times(&mut ex.local_time, &mut ex.remote_time, *dead, hosts);
+            }
 
             // Perturb the delivery with the injector's message fates.
             // Drops and delays leave the per-peer ack counts short, so the
@@ -799,6 +953,7 @@ impl DistributedGraph {
             fault.injected_delays = c.delays;
             fault.injected_corruptions = c.corruptions;
             fault.fail_stops = c.fail_stops;
+            fault.injected_checkpoint_corruptions = c.checkpoint_corruptions;
         }
 
         let observed = sink.map(SpanSink::finish);

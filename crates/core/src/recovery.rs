@@ -1,8 +1,9 @@
 //! Recovery policy: bounded retry-with-backoff for transient faults and
-//! degraded-mode redistribution after fail-stop GPU losses.
+//! elastic re-homing of failed GPUs' partitions.
 //!
-//! Two recovery tiers, matching the two fault classes of
-//! [`gcbfs_cluster::fault`]:
+//! Three recovery tiers, matching the fault classes of
+//! [`gcbfs_cluster::fault`] and the membership states of
+//! [`gcbfs_cluster::membership`]:
 //!
 //! 1. **Transient faults** (dropped/duplicated/delayed updates detected by
 //!    per-peer ack counts; corrupted mask words detected by checksums) are
@@ -14,18 +15,44 @@
 //!    a recovering run always makes progress. Every retry's transfer time
 //!    and backoff wait is charged to
 //!    [`FaultStats::recovery_seconds`](crate::stats::FaultStats).
-//! 2. **Fail-stop losses** (missed heartbeats) cannot be retried: the GPU
-//!    is gone. In degraded mode the failed GPU's partition is
-//!    redistributed to a surviving *buddy* (same rank when possible —
-//!    NVLink-reachable memory), the run rolls back to the latest
-//!    checkpoint, and replays forward with the buddy executing both
-//!    partitions serially. The wasted work between checkpoint and failure
-//!    plus the state-reload cost is charged to `recovery_seconds`.
+//! 2. **Suspected members** (late heartbeats scored by the phi-accrual
+//!    detector) are *not* failures: routing continues unchanged and only
+//!    probe time is charged. Suspicion either clears or escalates.
+//! 3. **Confirmed fail-stop losses** roll back to the latest checkpoint
+//!    and re-home the dead GPU's partition, in preference order:
+//!    * a free **hot spare** absorbs the whole partition at full speed
+//!      (graph reload + state ship + mask re-replication, then no
+//!      steady-state penalty);
+//!    * otherwise the partition is **spread** across all survivors by a
+//!      deterministic edge-balanced plan ([`spread_shares`]), bounding
+//!      the degraded critical path near `(p+1)/p`
+//!      ([`gcbfs_cluster::timing::degraded_bound`]);
+//!    * [`HostingPolicy::Buddy`] retains PR 1's single-buddy hosting
+//!      (the whole partition on one survivor, `2×` degraded) for
+//!      comparison sweeps.
 //!
-//! Both tiers preserve the bit-exactness contract: recovery replays the
+//!    A later **rejoin** re-syncs the member from the current checkpoint
+//!    and reclaims its partition, releasing any spare it was using.
+//!
+//! All tiers preserve the bit-exactness contract: recovery replays the
 //! same deterministic computation, so depths match the fault-free run.
 
+use gcbfs_cluster::fault::failure_is_survivable;
+use gcbfs_cluster::membership::MembershipConfig;
 use gcbfs_cluster::topology::Topology;
+
+/// How a confirmed-dead GPU's partition is hosted when no spare is free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostingPolicy {
+    /// PR 1's policy: the whole partition lands on one surviving buddy
+    /// (same rank when possible), which then runs both partitions
+    /// serially — `2×` on the degraded critical path.
+    Buddy,
+    /// Elastic policy: the partition is split across all survivors by a
+    /// deterministic edge-balanced plan — `(p+1)/p` on the degraded
+    /// critical path with `p` survivors.
+    Spread,
+}
 
 /// Knobs of the recovery policy; part of [`BfsConfig`](crate::BfsConfig).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -43,14 +70,19 @@ pub struct RecoveryConfig {
     /// Base backoff before the first retry; doubles per attempt. Charged
     /// as modeled time to `recovery_seconds`.
     pub retry_backoff_seconds: f64,
-    /// Redistribute a failed GPU's partition to a survivor and continue
+    /// Redistribute a failed GPU's partition to survivors and continue
     /// (true), or surface the loss as a typed error (false).
     pub degraded_mode: bool,
+    /// How spare-less failures are hosted.
+    pub hosting: HostingPolicy,
+    /// Adaptive failure-detector tuning (phi-accrual thresholds, jitter
+    /// seed).
+    pub membership: MembershipConfig,
 }
 
 impl Default for RecoveryConfig {
     /// Checkpoint every 4 iterations, 3 retries at 50 µs base backoff,
-    /// degraded mode on.
+    /// degraded mode on, edge-balanced spreading, default detector.
     fn default() -> Self {
         Self {
             enabled: true,
@@ -58,6 +90,8 @@ impl Default for RecoveryConfig {
             max_retries: 3,
             retry_backoff_seconds: 50e-6,
             degraded_mode: true,
+            hosting: HostingPolicy::Spread,
+            membership: MembershipConfig::default(),
         }
     }
 }
@@ -85,6 +119,18 @@ impl RecoveryConfig {
         self.degraded_mode = on;
         self
     }
+
+    /// Sets the spare-less hosting policy.
+    pub fn with_hosting(mut self, hosting: HostingPolicy) -> Self {
+        self.hosting = hosting;
+        self
+    }
+
+    /// Sets the failure-detector tuning.
+    pub fn with_membership(mut self, membership: MembershipConfig) -> Self {
+        self.membership = membership;
+        self
+    }
 }
 
 /// Exponential backoff before retry `attempt` (0-based): `base * 2^attempt`.
@@ -92,13 +138,20 @@ pub fn retry_backoff(base_seconds: f64, attempt: u32) -> f64 {
     base_seconds * 2f64.powi(attempt.min(16) as i32)
 }
 
-/// Which survivor hosts each failed GPU's partition in degraded mode.
+/// Which survivor hosts each failed GPU's partition under
+/// [`HostingPolicy::Buddy`].
 ///
 /// The map is deterministic: a failed GPU is hosted by the next surviving
 /// GPU of its own rank (its partition is NVLink-reachable from there), or
 /// the next surviving GPU in flat order when the whole rank is gone.
+///
+/// Liveness is tracked in an explicit alive-set, never encoded through
+/// `host_of` — a concurrent (or panic-interrupted) reader can never
+/// observe a GPU "hosted by itself while failed".
 #[derive(Clone, Debug, Default)]
 pub struct DegradedMap {
+    /// `alive[flat]` — the ground truth the survivor scan runs against.
+    alive: Vec<bool>,
     /// `host_of[flat]` = the survivor hosting this GPU's partition, or
     /// `None` while the GPU is alive.
     host_of: Vec<Option<usize>>,
@@ -107,28 +160,34 @@ pub struct DegradedMap {
 impl DegradedMap {
     /// An all-alive map over `num_gpus` GPUs.
     pub fn new(num_gpus: usize) -> Self {
-        Self { host_of: vec![None; num_gpus] }
+        Self { alive: vec![true; num_gpus], host_of: vec![None; num_gpus] }
     }
 
     /// Marks `gpu` failed and assigns its host. Returns the host's flat
     /// index.
     ///
     /// # Panics
-    /// Panics if no GPU survives (an unrecoverable plan; callers should
-    /// check [`gcbfs_cluster::fault::plan_is_survivable`] first).
+    /// Panics if no GPU survives (an unrecoverable failure; callers should
+    /// check [`gcbfs_cluster::fault::failure_is_survivable`] /
+    /// [`gcbfs_cluster::fault::plan_is_survivable`] first — the driver
+    /// does, against the same predicate used here).
     pub fn fail(&mut self, gpu: usize, topology: &Topology) -> usize {
-        let p = self.host_of.len();
+        let p = self.alive.len();
         assert!(gpu < p, "failed GPU out of range");
-        self.host_of[gpu] = Some(gpu); // provisional; fixed below
-        let alive = |g: usize| self.host_of[g].is_none();
+        assert!(self.alive[gpu], "GPU {gpu} already failed");
+        self.alive[gpu] = false;
+        assert!(
+            failure_is_survivable(&self.alive),
+            "at least one GPU must survive the failure of {gpu}"
+        );
         let rank_of = |g: usize| topology.unflat(g).rank;
         // Prefer a survivor in the same rank, scanning from the failed
         // GPU's slot for determinism.
         let same_rank =
-            (1..p).map(|d| (gpu + d) % p).find(|&g| alive(g) && rank_of(g) == rank_of(gpu));
+            (1..p).map(|d| (gpu + d) % p).find(|&g| self.alive[g] && rank_of(g) == rank_of(gpu));
         let host = same_rank
-            .or_else(|| (1..p).map(|d| (gpu + d) % p).find(|&g| alive(g)))
-            .expect("at least one GPU must survive");
+            .or_else(|| (1..p).map(|d| (gpu + d) % p).find(|&g| self.alive[g]))
+            .expect("survivability was checked above");
         self.host_of[gpu] = Some(host);
         // Re-home any partition previously hosted by the newly failed GPU.
         for g in 0..p {
@@ -139,30 +198,274 @@ impl DegradedMap {
         host
     }
 
-    /// True if `gpu` has failed.
-    pub fn is_failed(&self, gpu: usize) -> bool {
-        self.host_of[gpu].is_some()
+    /// Marks a rejoined `gpu` alive again, reclaiming its partition.
+    pub fn rejoin(&mut self, gpu: usize) {
+        self.alive[gpu] = true;
+        self.host_of[gpu] = None;
     }
 
-    /// The survivor hosting `gpu`'s partition (itself when alive).
+    /// True if `gpu` has failed.
+    pub fn is_failed(&self, gpu: usize) -> bool {
+        !self.alive[gpu]
+    }
+
+    /// Per-GPU alive flags.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The survivor hosting `gpu`'s partition (itself while alive).
+    ///
+    /// # Panics
+    /// Panics if `gpu` is failed but has no host — a state only reachable
+    /// when a prior [`DegradedMap::fail`] panicked on an unsurvivable
+    /// loss. The old encoding answered `gpu` here (the provisional
+    /// self-host hack); lying about a dead GPU's host is now impossible.
     pub fn host(&self, gpu: usize) -> usize {
-        self.host_of[gpu].unwrap_or(gpu)
+        if self.alive[gpu] {
+            gpu
+        } else {
+            self.host_of[gpu].expect("failed GPU without an assigned host")
+        }
     }
 
     /// True if any GPU has failed.
     pub fn any_failed(&self) -> bool {
-        self.host_of.iter().any(Option::is_some)
+        self.alive.iter().any(|&a| !a)
     }
 
     /// Number of failed GPUs.
     pub fn failed_count(&self) -> usize {
-        self.host_of.iter().filter(|h| h.is_some()).count()
+        self.alive.iter().filter(|&&a| !a).count()
     }
 
     /// `(failed, host)` pairs, in flat order.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.host_of.iter().enumerate().filter_map(|(g, h)| h.map(|host| (g, host)))
     }
+}
+
+/// How one member's partition is currently hosted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Assignment {
+    /// The member is alive and runs its own partition.
+    SelfHosted,
+    /// A promoted hot spare runs the whole partition at full speed.
+    Spare(usize),
+    /// Survivors run shares of the partition: `(host, share)` with shares
+    /// summing to 1. Buddy hosting is the special case of one host with
+    /// share 1.
+    Hosted(Vec<(usize, f64)>),
+}
+
+/// The elastic ownership map: which compute unit runs each partition and
+/// at what share. Replaces the one-shot [`DegradedMap`] path in the
+/// driver.
+#[derive(Clone, Debug)]
+pub struct ElasticMap {
+    alive: Vec<bool>,
+    assignment: Vec<Assignment>,
+}
+
+impl ElasticMap {
+    /// An all-alive map over `num_gpus` members.
+    pub fn new(num_gpus: usize) -> Self {
+        Self { alive: vec![true; num_gpus], assignment: vec![Assignment::SelfHosted; num_gpus] }
+    }
+
+    /// Per-member alive flags.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// True if `gpu` is confirmed dead (its partition is re-homed).
+    pub fn is_failed(&self, gpu: usize) -> bool {
+        !self.alive[gpu]
+    }
+
+    /// Number of dead members.
+    pub fn failed_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| !a).count()
+    }
+
+    /// True if any member is dead.
+    pub fn any_failed(&self) -> bool {
+        self.alive.iter().any(|&a| !a)
+    }
+
+    /// Current hosting of `gpu`'s partition.
+    pub fn assignment(&self, gpu: usize) -> &Assignment {
+        &self.assignment[gpu]
+    }
+
+    /// Whether the current state still has a live host for every
+    /// partition — delegates to the same predicate as
+    /// [`gcbfs_cluster::fault::plan_is_survivable`].
+    pub fn next_failure_is_survivable(&self, gpu: usize) -> bool {
+        let mut alive = self.alive.clone();
+        if gpu < alive.len() {
+            alive[gpu] = false;
+        }
+        failure_is_survivable(&alive)
+    }
+
+    /// Marks `gpu` dead with its partition absorbed by spare slot `slot`.
+    pub fn fail_to_spare(&mut self, gpu: usize, slot: usize) {
+        assert!(self.alive[gpu], "GPU {gpu} already failed");
+        self.alive[gpu] = false;
+        self.assignment[gpu] = Assignment::Spare(slot);
+    }
+
+    /// Marks `gpu` dead, hosted by a single same-rank-preferred buddy
+    /// ([`HostingPolicy::Buddy`]); re-homes partitions the dead member
+    /// was hosting.
+    ///
+    /// # Panics
+    /// Panics if no member survives.
+    pub fn fail_to_buddy(&mut self, gpu: usize, topology: &Topology) -> usize {
+        let p = self.alive.len();
+        assert!(self.alive[gpu], "GPU {gpu} already failed");
+        self.alive[gpu] = false;
+        assert!(
+            failure_is_survivable(&self.alive),
+            "at least one GPU must survive the failure of {gpu}"
+        );
+        let rank_of = |g: usize| topology.unflat(g).rank;
+        let same_rank =
+            (1..p).map(|d| (gpu + d) % p).find(|&g| self.alive[g] && rank_of(g) == rank_of(gpu));
+        let host = same_rank
+            .or_else(|| (1..p).map(|d| (gpu + d) % p).find(|&g| self.alive[g]))
+            .expect("survivability was checked above");
+        self.assignment[gpu] = Assignment::Hosted(vec![(host, 1.0)]);
+        // Re-home everything the dead member was hosting onto the buddy.
+        for g in 0..p {
+            if g != gpu {
+                if let Assignment::Hosted(hosts) = &self.assignment[g] {
+                    if hosts.iter().any(|&(h, _)| h == gpu) {
+                        self.assignment[g] = Assignment::Hosted(vec![(host, 1.0)]);
+                    }
+                }
+            }
+        }
+        host
+    }
+
+    /// Marks `gpu` dead and recomputes the edge-balanced spreading plan
+    /// for *every* spread-hosted partition from scratch
+    /// ([`HostingPolicy::Spread`]). `loads[g]` is the static edge load of
+    /// member `g`'s partition. Deterministic: dead members are processed
+    /// in flat order against the survivors' running loads.
+    ///
+    /// # Panics
+    /// Panics if no member survives.
+    pub fn fail_to_spread(&mut self, gpu: usize, loads: &[u64]) {
+        assert!(self.alive[gpu], "GPU {gpu} already failed");
+        self.alive[gpu] = false;
+        assert!(
+            failure_is_survivable(&self.alive),
+            "at least one GPU must survive the failure of {gpu}"
+        );
+        self.respread(loads);
+    }
+
+    /// Marks a rejoined `gpu` alive, returning its previous assignment so
+    /// the caller can release a spare slot. Under
+    /// [`HostingPolicy::Spread`] the plans of other dead members are
+    /// recomputed to include the returning member; under
+    /// [`HostingPolicy::Buddy`] existing buddy assignments stand (the
+    /// rejoining member hosted nothing — hosts are always alive).
+    pub fn rejoin(&mut self, gpu: usize, loads: &[u64], hosting: HostingPolicy) -> Assignment {
+        assert!(!self.alive[gpu], "GPU {gpu} is not failed");
+        self.alive[gpu] = true;
+        let old = std::mem::replace(&mut self.assignment[gpu], Assignment::SelfHosted);
+        if hosting == HostingPolicy::Spread {
+            self.respread(loads);
+        }
+        old
+    }
+
+    /// Recomputes all spread plans from scratch against current liveness.
+    fn respread(&mut self, loads: &[u64]) {
+        let p = self.alive.len();
+        let mut base: Vec<f64> =
+            (0..p).map(|g| if self.alive[g] { loads[g] as f64 } else { 0.0 }).collect();
+        for (g, &load) in loads.iter().enumerate().take(p) {
+            if self.alive[g] || matches!(self.assignment[g], Assignment::Spare(_)) {
+                continue;
+            }
+            let shares = spread_shares(&self.alive, &base, load as f64);
+            for &(host, share) in &shares {
+                base[host] += share * load as f64;
+            }
+            self.assignment[g] = Assignment::Hosted(shares);
+        }
+    }
+
+    /// `(dead, hosts)` pairs for every spread/buddy-hosted partition, in
+    /// flat order.
+    pub fn hosted_pairs(&self) -> impl Iterator<Item = (usize, &[(usize, f64)])> + '_ {
+        self.assignment.iter().enumerate().filter_map(|(g, a)| match a {
+            Assignment::Hosted(hosts) => Some((g, hosts.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// `(dead, spare_slot)` pairs for every spare-absorbed partition.
+    pub fn spare_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.assignment.iter().enumerate().filter_map(|(g, a)| match a {
+            Assignment::Spare(slot) => Some((g, *slot)),
+            _ => None,
+        })
+    }
+}
+
+/// The deterministic edge-balanced spreading plan: splits `dead_load`
+/// across the alive members so the maximum of `base[i] + share_i *
+/// dead_load` is minimized (water-filling over the survivors' existing
+/// loads). Shares sum to 1; members already at or above the water level
+/// get nothing. Ties and ordering are deterministic (flat index order).
+pub fn spread_shares(alive: &[bool], base: &[f64], dead_load: f64) -> Vec<(usize, f64)> {
+    let survivors: Vec<usize> = (0..alive.len()).filter(|&g| alive[g]).collect();
+    assert!(!survivors.is_empty(), "spreading requires at least one survivor");
+    if dead_load <= 0.0 {
+        // Nothing to balance: uniform shares keep the plan well-formed.
+        let s = 1.0 / survivors.len() as f64;
+        return survivors.into_iter().map(|g| (g, s)).collect();
+    }
+    // Water-filling: find level T with sum(max(0, T - base_i)) = dead_load.
+    let mut order: Vec<usize> = survivors.clone();
+    order.sort_by(|&a, &b| base[a].partial_cmp(&base[b]).unwrap().then(a.cmp(&b)));
+    let mut remaining = dead_load;
+    let mut level = base[order[0]];
+    let mut filled = 0usize; // members at the water level
+    while filled < order.len() {
+        let next = if filled + 1 < order.len() { base[order[filled + 1]] } else { f64::INFINITY };
+        let span = (filled + 1) as f64;
+        let capacity = (next - level) * span;
+        if capacity >= remaining || next.is_infinite() {
+            level += remaining / span;
+            remaining = 0.0;
+            break;
+        }
+        remaining -= capacity;
+        level = next;
+        filled += 1;
+    }
+    debug_assert_eq!(remaining, 0.0);
+    let mut shares: Vec<(usize, f64)> = Vec::new();
+    for &g in &survivors {
+        let take = (level - base[g]).max(0.0);
+        if take > 0.0 {
+            shares.push((g, take / dead_load));
+        }
+    }
+    // Normalize drift so shares sum to exactly 1 (the last host absorbs
+    // the rounding) — keeps modeled-time accounting conservative.
+    let sum: f64 = shares.iter().map(|&(_, s)| s).sum();
+    if let Some(last) = shares.last_mut() {
+        last.1 += 1.0 - sum;
+    }
+    shares
 }
 
 #[cfg(test)]
@@ -174,6 +477,7 @@ mod tests {
         let r = RecoveryConfig::default();
         assert!(r.enabled && r.degraded_mode);
         assert!(r.checkpoint_interval > 0 && r.max_retries > 0);
+        assert_eq!(r.hosting, HostingPolicy::Spread);
         let off = RecoveryConfig::disabled();
         assert!(!off.enabled && !off.degraded_mode);
     }
@@ -200,6 +504,7 @@ mod tests {
         assert_eq!(map.host(0), 0, "survivors host themselves");
         assert_eq!(map.failed_count(), 1);
         assert_eq!(map.pairs().collect::<Vec<_>>(), vec![(2, 3)]);
+        assert_eq!(map.alive(), &[true, true, false, true]);
     }
 
     #[test]
@@ -222,5 +527,137 @@ mod tests {
         let mut map = DegradedMap::new(2);
         map.fail(0, &topo);
         map.fail(1, &topo);
+    }
+
+    #[test]
+    fn failed_gpu_is_never_self_hosted_mid_fail() {
+        // The old implementation wrote `host_of[gpu] = Some(gpu)` as a
+        // provisional marker before the survivor scan, so a panic inside
+        // `fail` (or a concurrent `host()` read) could observe a GPU
+        // "hosted by itself while failed". The alive-set encoding makes
+        // that state unrepresentable: verify the unsurvivable panic leaves
+        // no self-hosting behind.
+        let topo = Topology::new(1, 2);
+        let map = std::sync::Mutex::new(DegradedMap::new(2));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = map.lock().unwrap();
+            m.fail(0, &topo);
+            m.fail(1, &topo); // panics: no survivor
+        }));
+        let m = match map.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        assert!(m.is_failed(1), "liveness was recorded before the panic");
+        assert!(m.pairs().all(|(g, h)| g != h), "no self-hosting pair is representable");
+        let read = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.host(1)));
+        assert!(read.is_err(), "a failed GPU must never read as self-hosted");
+    }
+
+    #[test]
+    fn degraded_map_rejoin_reclaims_partition() {
+        let topo = Topology::new(2, 2);
+        let mut map = DegradedMap::new(4);
+        map.fail(2, &topo);
+        map.rejoin(2);
+        assert!(!map.is_failed(2));
+        assert_eq!(map.host(2), 2);
+        assert!(!map.any_failed());
+    }
+
+    #[test]
+    fn spread_shares_water_fill_balances() {
+        let alive = [true, true, true, false];
+        let base = [100.0, 300.0, 100.0, 0.0];
+        let shares = spread_shares(&alive, &base, 200.0);
+        // Water level: 200 spread over the two light members -> level 200.
+        assert_eq!(shares.len(), 2);
+        let m: std::collections::HashMap<usize, f64> = shares.iter().copied().collect();
+        assert!((m[&0] - 0.5).abs() < 1e-12);
+        assert!((m[&2] - 0.5).abs() < 1e-12);
+        let sum: f64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_shares_spill_over_heavier_members() {
+        let alive = [true, true, false];
+        let base = [100.0, 200.0, 0.0];
+        let shares = spread_shares(&alive, &base, 500.0);
+        // Level = (100+200+500)/2 = 400: member 0 takes 300, member 1
+        // takes 200.
+        let m: std::collections::HashMap<usize, f64> = shares.iter().copied().collect();
+        assert!((m[&0] - 0.6).abs() < 1e-12);
+        assert!((m[&1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_shares_bound_matches_p_plus_1_over_p() {
+        // Uniform loads: the slowest survivor carries (p+1)/p of its
+        // original load.
+        let p = 15usize;
+        let mut alive = vec![true; p + 1];
+        alive[p] = false;
+        let base = vec![1000.0; p + 1];
+        let shares = spread_shares(&alive, &base[..], 1000.0);
+        let worst = base[0] + shares.iter().map(|&(_, s)| s * 1000.0).fold(0.0, f64::max);
+        let bound = gcbfs_cluster::timing::degraded_bound(p);
+        assert!((worst / base[0] - bound).abs() < 1e-9, "worst {worst}, bound {bound}");
+    }
+
+    #[test]
+    fn elastic_map_lifecycle() {
+        let loads = [100u64, 100, 100, 100];
+        let mut map = ElasticMap::new(4);
+        assert!(!map.any_failed());
+        // Spare absorption first.
+        map.fail_to_spare(1, 0);
+        assert!(map.is_failed(1));
+        assert_eq!(map.assignment(1), &Assignment::Spare(0));
+        assert_eq!(map.spare_pairs().collect::<Vec<_>>(), vec![(1, 0)]);
+        // Then a spread failure across the 2 remaining survivors + nothing
+        // of the spare (spares don't take spread shares).
+        map.fail_to_spread(2, &loads);
+        match map.assignment(2) {
+            Assignment::Hosted(hosts) => {
+                assert_eq!(hosts.len(), 2, "split across both survivors: {hosts:?}");
+                let sum: f64 = hosts.iter().map(|&(_, s)| s).sum();
+                assert!((sum - 1.0).abs() < 1e-12);
+                assert!(hosts.iter().all(|&(h, _)| h == 0 || h == 3));
+            }
+            other => panic!("expected spread hosting, got {other:?}"),
+        }
+        // Rejoin of the spare-absorbed member releases the slot and
+        // re-spreads the remaining dead partition over 3 survivors.
+        let old = map.rejoin(1, &loads, HostingPolicy::Spread);
+        assert_eq!(old, Assignment::Spare(0));
+        match map.assignment(2) {
+            Assignment::Hosted(hosts) => assert_eq!(hosts.len(), 3, "{hosts:?}"),
+            other => panic!("expected spread hosting, got {other:?}"),
+        }
+        assert_eq!(map.failed_count(), 1);
+        // Survivability delegation.
+        assert!(map.next_failure_is_survivable(0));
+    }
+
+    #[test]
+    fn elastic_buddy_matches_degraded_map() {
+        let topo = Topology::new(2, 2);
+        let mut elastic = ElasticMap::new(4);
+        let mut legacy = DegradedMap::new(4);
+        assert_eq!(elastic.fail_to_buddy(2, &topo), legacy.fail(2, &topo));
+        assert_eq!(elastic.fail_to_buddy(3, &topo), legacy.fail(3, &topo));
+        for (dead, hosts) in elastic.hosted_pairs() {
+            assert_eq!(hosts, &[(legacy.host(dead), 1.0)], "gpu {dead}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "survive")]
+    fn elastic_total_loss_is_unrecoverable() {
+        let loads = [10u64, 10];
+        let mut map = ElasticMap::new(2);
+        map.fail_to_spread(0, &loads);
+        map.fail_to_spread(1, &loads);
     }
 }

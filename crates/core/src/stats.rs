@@ -56,8 +56,23 @@ pub struct FaultStats {
     pub injected_delays: u64,
     /// Delegate-mask words corrupted in the reduction.
     pub injected_corruptions: u64,
-    /// Fail-stop GPU losses detected by heartbeat.
+    /// Fail-stop GPU losses injected (heartbeats went silent).
     pub fail_stops: u64,
+    /// Checkpoint snapshots corrupted at rest by the injector (detected —
+    /// if at all — by the integrity seals at restore time).
+    pub injected_checkpoint_corruptions: u64,
+    /// Members put under suspicion by the phi-accrual detector (probe
+    /// charges; suspicion either clears or escalates to confirmed death).
+    pub suspicions: u64,
+    /// Presumed-dead members that resumed heartbeating, re-synced from
+    /// the current checkpoint, and reclaimed their partition.
+    pub rejoins: u64,
+    /// Confirmed-dead partitions absorbed whole by hot spares (full-speed
+    /// continuation, no degraded iterations from these).
+    pub spare_absorptions: u64,
+    /// Confirmed-dead partitions spread across multiple survivors by the
+    /// edge-balanced plan (`(p+1)/p` degraded bound).
+    pub spread_hostings: u64,
     /// Transient-fault retries performed (exchange re-runs and mask
     /// reduction re-runs).
     pub retries: u64,
@@ -70,8 +85,9 @@ pub struct FaultStats {
     /// Modeled seconds of recovery work: retry transfers, backoff waits,
     /// state reloads, and iterations discarded by rollback.
     pub recovery_seconds: f64,
-    /// Iterations executed with at least one GPU in degraded mode (its
-    /// partition hosted by a surviving buddy).
+    /// Iterations executed with at least one partition spread- or
+    /// buddy-hosted by survivors (spare-absorbed partitions run at full
+    /// speed and do not count).
     pub degraded_iterations: u64,
 }
 
@@ -89,6 +105,7 @@ impl FaultStats {
             + self.injected_delays
             + self.injected_corruptions
             + self.fail_stops
+            + self.injected_checkpoint_corruptions
             > 0
     }
 }

@@ -297,16 +297,30 @@ pub struct MessageEvent {
 }
 
 /// The kind of a resilience event.
+///
+/// Everything except [`FaultKind::Checkpoint`] is charged to
+/// `FaultStats::recovery_seconds`; checkpoints have their own bucket.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultKind {
     /// A checkpoint capture (charged to `FaultStats::checkpoint_seconds`).
     Checkpoint,
-    /// A retried collective or exchange after injected corruption
-    /// (charged to `FaultStats::recovery_seconds`).
+    /// A retried collective or exchange after injected corruption.
     Retry,
-    /// A rollback to the last checkpoint after a fail-stop (charged to
-    /// `FaultStats::recovery_seconds`).
+    /// A rollback to the last checkpoint after a confirmed fail-stop.
     Recovery,
+    /// Probe traffic while a member is *suspected* (late heartbeats,
+    /// straggling device): routing continues, only the probe delay is
+    /// charged.
+    Suspicion,
+    /// Promotion of a hot spare: graph partition reload plus checkpoint
+    /// state ship plus delegate-mask re-replication.
+    SpareAbsorb,
+    /// Installation of a multi-survivor spreading plan for a dead
+    /// member's partition (the one-time state ship to the hosts).
+    Spread,
+    /// Re-sync of a rejoining member from the current checkpoint and
+    /// delegate reduction, reclaiming its partition.
+    Rejoin,
 }
 
 impl FaultKind {
@@ -316,7 +330,16 @@ impl FaultKind {
             FaultKind::Checkpoint => "checkpoint",
             FaultKind::Retry => "retry",
             FaultKind::Recovery => "recovery",
+            FaultKind::Suspicion => "suspicion",
+            FaultKind::SpareAbsorb => "spare_absorb",
+            FaultKind::Spread => "spread",
+            FaultKind::Rejoin => "rejoin",
         }
+    }
+
+    /// Which `FaultStats` bucket the span's duration was charged to.
+    pub fn is_checkpoint(self) -> bool {
+        self == FaultKind::Checkpoint
     }
 }
 

@@ -59,9 +59,12 @@ impl TraceLog {
         // Fold in recorded order, bucketed exactly as FaultStats buckets
         // its charges, so each total reproduces the same f64 sum.
         for f in &self.faults {
-            match f.kind {
-                FaultKind::Checkpoint => checkpoint_seconds += f.dur,
-                FaultKind::Retry | FaultKind::Recovery => recovery_seconds += f.dur,
+            if f.kind == FaultKind::Checkpoint {
+                checkpoint_seconds += f.dur;
+            } else {
+                // Retry, Recovery, Suspicion, SpareAbsorb, Spread, Rejoin:
+                // everything that is not a checkpoint is recovery-side time.
+                recovery_seconds += f.dur;
             }
         }
         CriticalPath { iterations: self.iterations.clone(), checkpoint_seconds, recovery_seconds }
@@ -97,6 +100,7 @@ pub struct SinkMark {
     kernel_spans: usize,
     messages: usize,
     iterations: usize,
+    faults: usize,
     cursor: f64,
 }
 
@@ -126,21 +130,25 @@ impl SpanSink {
             kernel_spans: self.log.kernel_spans.len(),
             messages: self.log.messages.len(),
             iterations: self.log.iterations.len(),
+            faults: self.log.faults.len(),
             cursor: self.cursor,
         }
     }
 
     /// Discards every iteration-derived event recorded after `mark` and
-    /// rewinds the cursor to it. Fault spans are kept: the time they
-    /// represent has already been charged to the run. The driver records
-    /// the rollback's `Recovery` span immediately after, which re-covers
-    /// the vacated timeline.
+    /// rewinds the cursor past it. Fault spans are kept: the time they
+    /// represent has already been charged to the run, so the cursor lands
+    /// at the mark *plus* the durations of fault spans recorded since it
+    /// (e.g. suspicion probes between the checkpoint and the rollback).
+    /// The driver records the rollback's `Recovery` span immediately
+    /// after, which re-covers only the vacated iteration timeline.
     pub fn truncate(&mut self, mark: &SinkMark) {
         self.log.phase_spans.truncate(mark.phase_spans);
         self.log.kernel_spans.truncate(mark.kernel_spans);
         self.log.messages.truncate(mark.messages);
         self.log.iterations.truncate(mark.iterations);
-        self.cursor = mark.cursor;
+        let kept: f64 = self.log.faults[mark.faults..].iter().map(|f| f.dur).sum();
+        self.cursor = mark.cursor + kept;
     }
 
     /// Records a resilience charge of `seconds` at the cursor and

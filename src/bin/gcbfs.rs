@@ -36,9 +36,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   gcbfs generate <rmat|powerlaw|web> --scale N --out FILE [--seed S]
   gcbfs info FILE
-  gcbfs bfs FILE [--ranks R] [--gpus G] [--threshold TH] [--source V]
-            [--no-do] [--local-all2all] [--uniquify] [--nonblocking]
-            [--parents] [--validate] [--trace] [--profile OUT.json]
+  gcbfs bfs FILE [--ranks R] [--gpus G] [--spares S] [--threshold TH]
+            [--source V] [--no-do] [--local-all2all] [--uniquify]
+            [--nonblocking] [--parents] [--validate] [--trace]
+            [--profile OUT.json] [--hosting buddy|spread]
+            [--fail GPU:ITER] [--rejoin GPU:ITER] [--chaos SEED]
   gcbfs pagerank FILE [--ranks R] [--gpus G] [--threshold TH]
             [--damping D] [--iterations N]
   gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
@@ -172,10 +174,19 @@ fn info(args: &Args) -> Result<(), String> {
 fn topology(args: &Args) -> Result<Topology, String> {
     let ranks: u32 = args.opt("ranks", 2)?;
     let gpus: u32 = args.opt("gpus", 2)?;
+    let spares: u32 = args.opt("spares", 0)?;
     if ranks == 0 || gpus == 0 {
         return Err("--ranks and --gpus must be positive".into());
     }
-    Ok(Topology::new(ranks, gpus))
+    Ok(Topology::new(ranks, gpus).with_spares(spares))
+}
+
+/// Parses a `GPU:ITER` pair (e.g. `--fail 5:2`).
+fn gpu_at_iter(v: &str, name: &str) -> Result<(usize, u32), String> {
+    let (g, i) = v.split_once(':').ok_or_else(|| format!("--{name} wants GPU:ITER, got {v}"))?;
+    let gpu = g.parse().map_err(|_| format!("invalid GPU in --{name}: {g}"))?;
+    let iter = i.parse().map_err(|_| format!("invalid iteration in --{name}: {i}"))?;
+    Ok((gpu, iter))
 }
 
 fn pick_source(graph: &EdgeList, args: &Args) -> Result<u64, String> {
@@ -208,14 +219,47 @@ fn bfs(args: &Args) -> Result<(), String> {
     if profile_out.is_some() {
         config = config.with_observability(gpu_cluster_bfs::obs::ObservabilityConfig::Full);
     }
+    let hosting = match args.opt::<String>("hosting", "spread".into())?.as_str() {
+        "buddy" => gpu_cluster_bfs::core::recovery::HostingPolicy::Buddy,
+        "spread" => gpu_cluster_bfs::core::recovery::HostingPolicy::Spread,
+        other => return Err(format!("--hosting wants buddy or spread, got {other}")),
+    };
+    config = config.with_recovery(
+        gpu_cluster_bfs::core::recovery::RecoveryConfig::default().with_hosting(hosting),
+    );
+
+    // Optional fault injection: a deterministic fail/rejoin pair, or a
+    // seeded elastic chaos plan over the whole membership lifecycle.
+    let mut plan = None;
+    if let Some((_, v)) = args.options.iter().find(|(k, _)| *k == "chaos") {
+        let seed: u64 = v.parse().map_err(|_| format!("invalid --chaos seed: {v}"))?;
+        plan = Some(gpu_cluster_bfs::cluster::fault::FaultPlan::random_elastic(
+            seed,
+            topo.num_gpus() as usize,
+            8,
+        ));
+    }
+    if let Some((_, v)) = args.options.iter().find(|(k, _)| *k == "fail") {
+        let (gpu, iter) = gpu_at_iter(v, "fail")?;
+        let p = plan.unwrap_or_else(|| gpu_cluster_bfs::cluster::fault::FaultPlan::new(0xfa11));
+        plan = Some(p.with_fail_stop(gpu, iter));
+    }
+    if let Some((_, v)) = args.options.iter().find(|(k, _)| *k == "rejoin") {
+        let (gpu, iter) = gpu_at_iter(v, "rejoin")?;
+        let p = plan.ok_or("--rejoin needs --fail (or --chaos) to schedule the loss first")?;
+        plan = Some(p.with_rejoin(gpu, iter));
+    }
+
     let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
     let source = pick_source(&graph, args)?;
-    let result = if args.switch("parents") {
-        dist.run_with_parents(source, &config)
-    } else {
-        dist.run(source, &config)
-    }
-    .map_err(|e| e.to_string())?;
+    let result = match (&plan, args.switch("parents")) {
+        (Some(plan), false) => {
+            dist.run_with_faults(source, &config, plan).map_err(|e| e.to_string())?
+        }
+        (Some(_), true) => return Err("--parents cannot be combined with fault injection".into()),
+        (None, true) => dist.run_with_parents(source, &config).map_err(|e| e.to_string())?,
+        (None, false) => dist.run(source, &config).map_err(|e| e.to_string())?,
+    };
 
     println!(
         "graph {path}: n = {}, m = {}, {} delegates (TH {th}), {} GPUs ({}x{})",
@@ -238,6 +282,25 @@ fn bfs(args: &Args) -> Result<(), String> {
         result.gteps(graph.num_edges() / 2),
         result.stats.wall_seconds * 1e3
     );
+    if plan.is_some() {
+        let f = &result.stats.fault;
+        println!(
+            "resilience: {} fail-stop(s), {} suspicion(s), {} spare absorption(s), \
+             {} spreading(s), {} rejoin(s), {} rollback(s)",
+            f.fail_stops,
+            f.suspicions,
+            f.spare_absorptions,
+            f.spread_hostings,
+            f.rejoins,
+            f.rollbacks
+        );
+        println!(
+            "            {} degraded iteration(s); checkpoint {:.3} ms, recovery {:.3} ms",
+            f.degraded_iterations,
+            f.checkpoint_seconds * 1e3,
+            f.recovery_seconds * 1e3
+        );
+    }
     if result.parents.is_some() {
         println!(
             "parent tree built (final exchange: {:.3} ms modeled)",

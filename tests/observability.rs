@@ -188,10 +188,12 @@ fn check_invariants(label: &str, r: &BfsResult, degraded: bool) {
         .filter(|f| f.kind == FaultKind::Checkpoint)
         .map(|f| f.dur)
         .fold(0.0, |a, b| a + b);
+    // Every non-checkpoint kind (retry, recovery, suspicion, spare
+    // absorption, spreading, rejoin) charges `recovery_seconds`.
     let rec_sum: f64 = log
         .faults
         .iter()
-        .filter(|f| matches!(f.kind, FaultKind::Retry | FaultKind::Recovery))
+        .filter(|f| f.kind != FaultKind::Checkpoint)
         .map(|f| f.dur)
         .fold(0.0, |a, b| a + b);
     assert_eq!(cp_sum.to_bits(), stats.fault.checkpoint_seconds.to_bits(), "{label}: checkpoints");
