@@ -27,6 +27,11 @@
 //! 16-GPU grid: spare absorption must keep the post-recovery
 //! per-iteration time within 5% of fault-free, and spreading must beat
 //! buddy hosting on the degraded per-iteration time by at least 1.5x.
+//! `--smoke sdc` instead runs the correctness-armor acceptance gate:
+//! seeded random silent-data-corruption plans (`GCBFS_SEEDS`, default 10)
+//! at scale `GCBFS_SCALE` (default 18) on the same 16-GPU grid, under
+//! `Full` online verification — every plan whose events fire must be
+//! detected and recover to bit-exact fault-free depths.
 //! `GCBFS_JSON_OUT=/path.json` writes the smoke measurements as JSON.
 
 use gcbfs_bench::{env_or, f2, pct, print_table};
@@ -37,6 +42,7 @@ use gcbfs_core::config::BfsConfig;
 use gcbfs_core::driver::{BfsResult, DistributedGraph};
 use gcbfs_core::recovery::{HostingPolicy, RecoveryConfig};
 use gcbfs_core::stats::FaultStats;
+use gcbfs_core::verify::VerificationMode;
 use gcbfs_graph::rmat::RmatConfig;
 
 fn ms(s: f64) -> f64 {
@@ -190,6 +196,75 @@ fn smoke(mode: &str) {
     println!("\nall membership trajectories recovered to bit-exact depths");
 }
 
+/// The `--smoke sdc` mode: the correctness-armor acceptance gate. Seeded
+/// random silent-data-corruption plans run under `Full` online
+/// verification on a 16-GPU grid; every plan whose events fire must be
+/// detected (100% detection) and recover to bit-exact fault-free depths.
+fn smoke_sdc() {
+    let scale = env_or("GCBFS_SCALE", 18) as u32;
+    let th = env_or("GCBFS_TH", BfsConfig::suggested_rmat_threshold(scale + 13).max(8));
+    let seeds = env_or("GCBFS_SEEDS", 10) as u64;
+    let topo = Topology::new(8, 2);
+    let p = topo.num_gpus() as usize;
+    let config = BfsConfig::new(th);
+    let graph = RmatConfig::graph500(scale).generate();
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+    println!("SDC smoke: RMAT scale {scale}, TH {th}, {p} GPUs, {seeds} seeded plans");
+
+    let dist = DistributedGraph::build(&graph, topo, &config).expect("build");
+    let clean = dist.run(source, &config).expect("fault-free run");
+    let full = config.with_verification(VerificationMode::Full);
+    // Schedule events inside the traversal actually run.
+    let horizon = clean.iterations().max(2);
+
+    let mut rows = Vec::new();
+    let mut fired_plans = 0u64;
+    let (mut injected, mut detected, mut reexecs, mut rollbacks) = (0u64, 0u64, 0u64, 0u64);
+    for seed in 0..seeds {
+        let plan = FaultPlan::random_sdc(seed, p, horizon);
+        let r = dist.run_with_faults(source, &full, &plan).expect("verified recovery");
+        assert_eq!(r.depths, clean.depths, "seed {seed}: recovered depths must be bit-exact");
+        let f = &r.stats.fault;
+        if f.injected_sdc > 0 {
+            fired_plans += 1;
+            assert!(f.sdc_detections > 0, "seed {seed}: a fired SDC event slipped past Full");
+        } else {
+            assert_eq!(f.sdc_detections, 0, "seed {seed}: detection without any fired event");
+        }
+        injected += f.injected_sdc;
+        detected += f.sdc_detections;
+        reexecs += f.sdc_reexecutions;
+        rollbacks += f.rollbacks;
+        rows.push(vec![
+            seed.to_string(),
+            f.injected_sdc.to_string(),
+            f.sdc_detections.to_string(),
+            f.sdc_reexecutions.to_string(),
+            f.rollbacks.to_string(),
+            f2(ms(f.recovery_seconds)),
+            "ok".into(),
+        ]);
+    }
+    assert!(fired_plans > 0, "no plan fired any event: widen the horizon");
+    print_table(
+        "SDC smoke (Full tier, seeded random plans)",
+        &["seed", "injected", "detected", "reexec", "rollbacks", "rec ms", "depths"],
+        &rows,
+    );
+    let doc = format!(
+        "{{\"scale\":{scale},\"gpus\":{p},\"plans\":{seeds},\"fired_plans\":{fired_plans},\
+         \"injected\":{injected},\"detected\":{detected},\"reexecutions\":{reexecs},\
+         \"rollbacks\":{rollbacks},\"detection_rate\":1.0}}"
+    );
+    println!("\n{doc}");
+    if let Ok(path) = std::env::var("GCBFS_JSON_OUT") {
+        std::fs::write(&path, &doc).expect("write GCBFS_JSON_OUT");
+        println!("json written to {path}");
+    }
+    println!("\nall fired SDC plans detected under Full and recovered to bit-exact depths");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--smoke") {
@@ -200,10 +275,14 @@ fn main() {
             .cloned()
             .unwrap_or_else(|| "all".into());
         assert!(
-            ["buddy", "spread", "spare", "rejoin", "all"].contains(&mode.as_str()),
+            ["buddy", "spread", "spare", "rejoin", "all", "sdc"].contains(&mode.as_str()),
             "unknown smoke mode {mode:?}"
         );
-        smoke(&mode);
+        if mode == "sdc" {
+            smoke_sdc();
+        } else {
+            smoke(&mode);
+        }
         return;
     }
     let scale = env_or("GCBFS_SCALE", 13) as u32;

@@ -1,0 +1,120 @@
+//! Verification-tier bench: what the correctness armor costs.
+//!
+//! Runs the same traversal under online verification `Off`, `Checksums`,
+//! and `Full` and reports GTEPS plus modeled elapsed per tier, then runs
+//! seeded silent-data-corruption plans under `Full` and reports the
+//! detection counts — the `BENCH_verify.json` trajectory future PRs
+//! regress against.
+//!
+//! Environment knobs: `GCBFS_SCALE` (default 20), `GCBFS_GPUS` (default
+//! 16), `GCBFS_SEEDS` (SDC plans, default 5), `GCBFS_TH`.
+//! `GCBFS_JSON_OUT=/path.json` writes the JSON document to a file.
+//!
+//! `--smoke` additionally asserts the acceptance bound: `Full`-tier
+//! overhead must stay within 10% of the `Off`-tier modeled elapsed.
+//!
+//! Usage: `cargo run --release --bin verify_sweep [-- --smoke]`
+
+use gcbfs_bench::{env_or, f2, pct, print_table};
+use gcbfs_cluster::fault::FaultPlan;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_core::config::BfsConfig;
+use gcbfs_core::driver::DistributedGraph;
+use gcbfs_core::verify::VerificationMode;
+use gcbfs_graph::rmat::RmatConfig;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = env_or("GCBFS_SCALE", 20) as u32;
+    let gpus = env_or("GCBFS_GPUS", 16) as u32;
+    let seeds = env_or("GCBFS_SEEDS", 5) as u64;
+    let th = env_or("GCBFS_TH", BfsConfig::suggested_rmat_threshold(scale + 13).max(8));
+    let topo = if gpus >= 2 { Topology::new(gpus / 2, 2) } else { Topology::new(1, 1) };
+    let p = topo.num_gpus() as usize;
+    let config = BfsConfig::new(th);
+    let graph = RmatConfig::graph500(scale).generate();
+    let m_half = graph.num_edges() / 2;
+    let degrees = graph.out_degrees();
+    let source = degrees.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+    println!("Verification sweep: RMAT scale {scale}, TH {th}, {p} GPUs, source {source}");
+
+    let dist = DistributedGraph::build(&graph, topo, &config).expect("build");
+    let tiers = [VerificationMode::Off, VerificationMode::Checksums, VerificationMode::Full];
+    let mut rows = Vec::new();
+    let mut tier_json = Vec::new();
+    let mut elapsed = Vec::new();
+    let mut off_depths = Vec::new();
+    for mode in tiers {
+        let r = dist.run(source, &config.with_verification(mode)).expect("clean run");
+        if mode == VerificationMode::Off {
+            off_depths = r.depths.clone();
+        } else {
+            assert_eq!(r.depths, off_depths, "verification perturbed a clean traversal");
+        }
+        let s = r.modeled_seconds();
+        rows.push(vec![
+            mode.label().into(),
+            f2(r.gteps(m_half)),
+            f2(s * 1e3),
+            pct((s / elapsed.first().copied().unwrap_or(s) - 1.0) * 100.0),
+        ]);
+        tier_json.push(format!(
+            "{{\"mode\":\"{}\",\"gteps\":{},\"modeled_ms\":{}}}",
+            mode.label(),
+            r.gteps(m_half),
+            s * 1e3
+        ));
+        elapsed.push(s);
+    }
+    let overhead = elapsed[2] / elapsed[0] - 1.0;
+    print_table(
+        &format!("verification tiers (clean run, scale {scale}, {p} GPUs)"),
+        &["tier", "GTEPS", "modeled ms", "vs off"],
+        &rows,
+    );
+
+    // Detection counts: seeded SDC plans under Full, every recovered run
+    // bit-exact against the Off-tier depths.
+    let full = config.with_verification(VerificationMode::Full);
+    let horizon = off_depths.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(1) + 1;
+    let (mut injected, mut detected, mut reexecs) = (0u64, 0u64, 0u64);
+    for seed in 0..seeds {
+        let plan = FaultPlan::random_sdc(seed, p, horizon);
+        let r = dist.run_with_faults(source, &full, &plan).expect("verified recovery");
+        assert_eq!(r.depths, off_depths, "seed {seed}: recovery must be bit-exact");
+        let f = &r.stats.fault;
+        assert!(
+            f.injected_sdc == 0 || f.sdc_detections > 0,
+            "seed {seed}: a fired SDC event slipped past Full"
+        );
+        injected += f.injected_sdc;
+        detected += f.sdc_detections;
+        reexecs += f.sdc_reexecutions;
+    }
+    println!(
+        "\nSDC under Full: {seeds} plans, {injected} event(s) fired, {detected} detection(s), \
+         {reexecs} re-execution(s), all depths bit-exact"
+    );
+
+    let doc = format!(
+        "{{\"bench\":\"verify\",\"scale\":{scale},\"gpus\":{p},\"th\":{th},\
+         \"tiers\":[{}],\"full_overhead_pct\":{},\
+         \"sdc\":{{\"plans\":{seeds},\"injected\":{injected},\"detected\":{detected},\
+         \"reexecutions\":{reexecs},\"recovered_bit_exact\":true}}}}",
+        tier_json.join(","),
+        overhead * 100.0
+    );
+    println!("\n{doc}");
+    if let Ok(path) = std::env::var("GCBFS_JSON_OUT") {
+        std::fs::write(&path, &doc).expect("write GCBFS_JSON_OUT");
+        println!("json written to {path}");
+    }
+    if smoke {
+        assert!(
+            overhead <= 0.10,
+            "Full verification overhead {} exceeds the 10% acceptance bound",
+            pct(overhead * 100.0)
+        );
+        println!("\nsmoke: Full overhead {} within the 10% bound", pct(overhead * 100.0));
+    }
+}

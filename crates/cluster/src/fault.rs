@@ -63,6 +63,23 @@ pub enum FaultError {
         /// Flat index of the GPU whose snapshot failed verification.
         gpu: usize,
     },
+    /// An online verification check caught silent data corruption but
+    /// recovery is disabled, so the run cannot continue.
+    SdcDetected {
+        /// Iteration at which the check fired.
+        iteration: u32,
+        /// Name of the violated check (e.g. `"frontier-conservation"`).
+        check: &'static str,
+    },
+    /// Silent data corruption persisted through every escalation stage
+    /// (re-execution and rollback budgets exhausted): the fault is not
+    /// transient and the run must abort rather than emit a wrong tree.
+    SdcUnrecoverable {
+        /// Iteration at which the final detection fired.
+        iteration: u32,
+        /// Name of the violated check (e.g. `"shadow-digest"`).
+        check: &'static str,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -82,6 +99,16 @@ impl std::fmt::Display for FaultError {
                 f,
                 "checkpoint snapshot of GPU {gpu} failed its integrity seal \
                  during rollback at iteration {iteration}"
+            ),
+            Self::SdcDetected { iteration, check } => write!(
+                f,
+                "silent data corruption detected by the {check} check at \
+                 iteration {iteration} (recovery disabled)"
+            ),
+            Self::SdcUnrecoverable { iteration, check } => write!(
+                f,
+                "silent data corruption detected by the {check} check at \
+                 iteration {iteration} persisted through re-execution and rollback"
             ),
         }
     }
@@ -176,6 +203,78 @@ pub enum MessageFate {
     Delay(u32),
 }
 
+/// Where a compute-SDC event lands. Unlike the wire corruptions above,
+/// these strike *inside* a device: the bytes were never on a sealed
+/// channel, so no transport checksum can catch them — only the online
+/// verification layer (`gcbfs-core::verify`) can.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdcSite {
+    /// A settled depth in the GPU's `depths_local` array right after the
+    /// visit kernels ran (a flipped bit in a kernel output buffer).
+    KernelDepth,
+    /// A word of the *reduced* delegate mask, after the allreduce combined
+    /// all contributions — models the reduction itself computing a wrong
+    /// word, which the per-message transport seals cannot see.
+    ReducedMask,
+    /// An entry silently dropped from a GPU's freshly produced next
+    /// frontier (the depth was already written, the work item vanished).
+    FrontierDrop,
+    /// A word of a restored `depths_local` buffer flipped during the
+    /// rollback copy, *after* the snapshot's integrity seal verified.
+    RestoreBuffer,
+}
+
+/// How the corrupted word is perturbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdcMode {
+    /// XOR the target with `bits` (transient upset; a re-execution from
+    /// clean inputs produces the correct value).
+    Flip,
+    /// Overwrite the target with `bits` (stuck-at fault).
+    Stuck,
+}
+
+/// A scheduled silent-data-corruption event inside one GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SdcEvent {
+    /// Flat index of the struck GPU.
+    pub gpu: usize,
+    /// First superstep at or after which the event fires.
+    pub iteration: u32,
+    /// Which buffer the corruption lands in.
+    pub site: SdcSite,
+    /// Flip vs stuck-at.
+    pub mode: SdcMode,
+    /// Element index into the target buffer (taken modulo its length).
+    pub index: u64,
+    /// The corrupting bits (non-zero; for depth buffers only the low 32
+    /// bits matter and must be non-zero).
+    pub bits: u64,
+    /// How many times the event fires before disarming. `1` models a
+    /// transient upset (a re-execution succeeds); a large value models a
+    /// stuck fault that defeats re-execution and forces escalation.
+    pub persistence: u32,
+}
+
+impl SdcEvent {
+    /// A transient single-shot flip at `site`.
+    pub fn flip(gpu: usize, iteration: u32, site: SdcSite, index: u64, bits: u64) -> Self {
+        Self { gpu, iteration, site, mode: SdcMode::Flip, index, bits, persistence: 1 }
+    }
+
+    /// A stuck-at fault that refires on every touch (defeats re-execution
+    /// and checkpoint rollback alike).
+    pub fn stuck(gpu: usize, iteration: u32, site: SdcSite, index: u64, bits: u64) -> Self {
+        Self { gpu, iteration, site, mode: SdcMode::Stuck, index, bits, persistence: u32::MAX }
+    }
+
+    /// Overrides how many times the event fires before disarming.
+    pub fn with_persistence(mut self, fires: u32) -> Self {
+        self.persistence = fires.max(1);
+        self
+    }
+}
+
 /// A deterministic, seeded schedule of faults for one run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -201,6 +300,8 @@ pub struct FaultPlan {
     pub checkpoint_corruptions: Vec<CheckpointCorruption>,
     /// NIC bandwidth degradation windows.
     pub nic_degradations: Vec<NicDegradation>,
+    /// Scheduled in-device silent-data-corruption events.
+    pub sdc_events: Vec<SdcEvent>,
 }
 
 impl FaultPlan {
@@ -218,6 +319,7 @@ impl FaultPlan {
             mask_corruptions: Vec::new(),
             checkpoint_corruptions: Vec::new(),
             nic_degradations: Vec::new(),
+            sdc_events: Vec::new(),
         }
     }
 
@@ -287,6 +389,20 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules an in-device silent-data-corruption event.
+    pub fn with_sdc_event(mut self, event: SdcEvent) -> Self {
+        assert!(event.bits != 0, "an SDC event must perturb at least one bit");
+        if matches!(event.site, SdcSite::KernelDepth | SdcSite::RestoreBuffer) {
+            assert!(
+                event.bits & 0xffff_ffff != 0,
+                "depth buffers are 32-bit: the low word of `bits` must be non-zero"
+            );
+        }
+        assert!(event.persistence >= 1, "an SDC event fires at least once");
+        self.sdc_events.push(event);
+        self
+    }
+
     /// Adds a NIC degradation window.
     pub fn with_nic_degradation(mut self, from: u32, until: u32, factor: f64) -> Self {
         assert!(factor >= 1.0, "degradation factor must be >= 1");
@@ -309,6 +425,7 @@ impl FaultPlan {
             && self.mask_corruptions.is_empty()
             && self.checkpoint_corruptions.is_empty()
             && self.nic_degradations.is_empty()
+            && self.sdc_events.is_empty()
     }
 
     /// Generates a random-but-deterministic plan for property tests: mixes
@@ -402,6 +519,33 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Generates a random-but-deterministic *compute-SDC* plan for
+    /// property tests: 1–3 transient single-bit flips spread over the
+    /// kernel-output / mask-reduction / frontier sites and the first
+    /// `horizon` supersteps. Every event is single-bit, so an online
+    /// verifier running at `Full` tier must either detect it or the flip
+    /// provably landed on state the run never read (see the proptest
+    /// suite in `tests/sdc.rs`).
+    pub fn random_sdc(seed: u64, num_gpus: usize, horizon: u32) -> Self {
+        let mut s = seed ^ 0x5dc0_5dc0_5dc0_5dc0; // salt: distinct stream
+        let mut next = || splitmix64(&mut s);
+        let horizon = horizon.max(1);
+        let mut plan = Self::new(next());
+        let events = 1 + next() % 3;
+        for _ in 0..events {
+            let gpu = (next() % num_gpus.max(1) as u64) as usize;
+            let iteration = (next() % horizon as u64) as u32;
+            let index = next();
+            let (site, bits) = match next() % 3 {
+                0 => (SdcSite::KernelDepth, 1u64 << (next() % 32)),
+                1 => (SdcSite::ReducedMask, 1u64 << (next() % 64)),
+                _ => (SdcSite::FrontierDrop, 1u64),
+            };
+            plan = plan.with_sdc_event(SdcEvent::flip(gpu, iteration, site, index, bits));
+        }
+        plan
+    }
 }
 
 /// Per-category counters of faults actually injected.
@@ -421,6 +565,8 @@ pub struct FaultCounters {
     pub rejoins: u64,
     /// Checkpoint-at-rest corruptions applied.
     pub checkpoint_corruptions: u64,
+    /// In-device silent-data-corruption events fired.
+    pub sdc_injected: u64,
 }
 
 #[inline]
@@ -471,6 +617,9 @@ pub struct FaultInjector {
     fired_rejoins: Vec<bool>,
     fired_corruptions: Vec<bool>,
     fired_checkpoint_corruptions: Vec<bool>,
+    /// Per-event fire counts for SDC events (an event disarms once its
+    /// count reaches its `persistence`).
+    sdc_fire_counts: Vec<u32>,
     /// Ground-truth liveness: `Some(iter)` if the GPU went silent at
     /// `iter` and has not rejoined. Grown lazily by `heartbeat_arrivals`.
     silent_since: Vec<Option<u32>>,
@@ -484,12 +633,14 @@ impl FaultInjector {
         let fired_rejoins = vec![false; plan.rejoins.len()];
         let fired_corruptions = vec![false; plan.mask_corruptions.len()];
         let fired_checkpoint_corruptions = vec![false; plan.checkpoint_corruptions.len()];
+        let sdc_fire_counts = vec![0; plan.sdc_events.len()];
         Self {
             plan,
             fired_fail_stops,
             fired_rejoins,
             fired_corruptions,
             fired_checkpoint_corruptions,
+            sdc_fire_counts,
             silent_since: Vec::new(),
             counters: FaultCounters::default(),
         }
@@ -650,6 +801,37 @@ impl FaultInjector {
         first
     }
 
+    /// Fires every armed SDC event at `site` with `iteration <= current`
+    /// whose target is applicable (the driver passes a predicate because
+    /// only it knows which buffers are non-empty this superstep — an
+    /// event held back by the predicate stays armed for a later step).
+    /// Each fire is counted toward the event's `persistence` budget and
+    /// the `sdc_injected` counter; unlike the wire faults these events
+    /// deliberately *do* refire on rollback-replay while budget remains —
+    /// that is what models a non-transient upset and exercises the
+    /// escalation ladder.
+    pub fn sdc_events_where<F: FnMut(&SdcEvent) -> bool>(
+        &mut self,
+        iteration: u32,
+        site: SdcSite,
+        mut applicable: F,
+    ) -> Vec<SdcEvent> {
+        let mut fired = Vec::new();
+        for (i, ev) in self.plan.sdc_events.iter().enumerate() {
+            if ev.site != site
+                || ev.iteration > iteration
+                || self.sdc_fire_counts[i] >= ev.persistence
+                || !applicable(ev)
+            {
+                continue;
+            }
+            self.sdc_fire_counts[i] += 1;
+            self.counters.sdc_injected += 1;
+            fired.push(*ev);
+        }
+        fired
+    }
+
     /// The remote-bandwidth slowdown factor active at `iteration` (`>= 1`;
     /// overlapping windows take the worst factor).
     pub fn bandwidth_factor(&self, iteration: u32) -> f64 {
@@ -668,6 +850,12 @@ impl FaultInjector {
             || self.fired_rejoins.iter().any(|&f| !f)
             || self.fired_corruptions.iter().any(|&f| !f)
             || self.fired_checkpoint_corruptions.iter().any(|&f| !f)
+            || self
+                .plan
+                .sdc_events
+                .iter()
+                .zip(&self.sdc_fire_counts)
+                .any(|(ev, &c)| c < ev.persistence.min(1))
     }
 }
 
@@ -937,6 +1125,75 @@ mod tests {
         assert_eq!((fired.gpu, fired.word, fired.xor), (2, 7, 0b11));
         assert_eq!(inj.checkpoint_corruption(4), None, "one-shot");
         assert_eq!(inj.counters().checkpoint_corruptions, 1);
+    }
+
+    #[test]
+    fn sdc_events_fire_by_site_and_persistence() {
+        let plan = FaultPlan::new(0)
+            .with_sdc_event(SdcEvent::flip(1, 2, SdcSite::KernelDepth, 5, 0b100))
+            .with_sdc_event(SdcEvent::stuck(0, 0, SdcSite::ReducedMask, 3, 1 << 40));
+        assert!(!plan.is_benign());
+        let mut inj = FaultInjector::new(plan);
+        // Wrong site / too early: nothing fires, events stay armed.
+        assert!(inj.sdc_events_where(1, SdcSite::KernelDepth, |_| true).is_empty());
+        assert!(inj.sdc_events_where(9, SdcSite::FrontierDrop, |_| true).is_empty());
+        assert!(inj.has_pending_events());
+        // The transient flip fires exactly once, even on replay.
+        let fired = inj.sdc_events_where(2, SdcSite::KernelDepth, |_| true);
+        assert_eq!(fired.len(), 1);
+        assert_eq!((fired[0].gpu, fired[0].index, fired[0].bits), (1, 5, 0b100));
+        assert!(inj.sdc_events_where(2, SdcSite::KernelDepth, |_| true).is_empty());
+        // The stuck fault refires on every touch.
+        for _ in 0..5 {
+            assert_eq!(inj.sdc_events_where(3, SdcSite::ReducedMask, |_| true).len(), 1);
+        }
+        assert_eq!(inj.counters().sdc_injected, 6);
+        assert!(!inj.has_pending_events(), "every event has fired at least once");
+    }
+
+    #[test]
+    fn sdc_predicate_holds_events_back_without_consuming_them() {
+        let plan =
+            FaultPlan::new(0).with_sdc_event(SdcEvent::flip(2, 1, SdcSite::FrontierDrop, 0, 1));
+        let mut inj = FaultInjector::new(plan);
+        // The target buffer is empty this superstep: the event stays armed.
+        assert!(inj.sdc_events_where(1, SdcSite::FrontierDrop, |_| false).is_empty());
+        assert_eq!(inj.counters().sdc_injected, 0);
+        assert!(inj.has_pending_events());
+        // A later superstep with a non-empty target gets hit.
+        assert_eq!(inj.sdc_events_where(4, SdcSite::FrontierDrop, |_| true).len(), 1);
+        assert_eq!(inj.counters().sdc_injected, 1);
+    }
+
+    #[test]
+    fn sdc_builder_rejects_ineffective_events() {
+        let zero = std::panic::catch_unwind(|| {
+            FaultPlan::new(0).with_sdc_event(SdcEvent::flip(0, 0, SdcSite::ReducedMask, 0, 0))
+        });
+        assert!(zero.is_err(), "zero bits can never corrupt anything");
+        let high_only = std::panic::catch_unwind(|| {
+            FaultPlan::new(0).with_sdc_event(SdcEvent::flip(0, 0, SdcSite::KernelDepth, 0, 1 << 40))
+        });
+        assert!(high_only.is_err(), "a 32-bit depth word cannot see bits 32..64");
+    }
+
+    #[test]
+    fn random_sdc_plans_are_deterministic_single_bit_flips() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::random_sdc(seed, 16, 8);
+            assert_eq!(a, FaultPlan::random_sdc(seed, 16, 8));
+            assert!(!a.sdc_events.is_empty() && a.sdc_events.len() <= 3);
+            for ev in &a.sdc_events {
+                assert_eq!(ev.bits.count_ones(), 1, "single-bit upsets only");
+                assert_eq!(ev.mode, SdcMode::Flip);
+                assert_eq!(ev.persistence, 1);
+                assert!(ev.gpu < 16 && ev.iteration < 8);
+                assert_ne!(ev.site, SdcSite::RestoreBuffer, "restore hits need a rollback");
+            }
+            // Message/membership faults stay off: the stream is pure SDC.
+            assert!(a.drop_prob == 0.0 && a.fail_stops.is_empty());
+        }
+        assert_ne!(FaultPlan::random_sdc(0, 16, 8), FaultPlan::random_sdc(1, 16, 8));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `nd` are the defaults here.
 
 use crate::recovery::RecoveryConfig;
+use crate::verify::VerificationMode;
 use gcbfs_cluster::cost::CostModel;
 use gcbfs_compress::CompressionMode;
 use gcbfs_trace::ObservabilityConfig;
@@ -89,6 +90,15 @@ pub struct BfsConfig {
     /// bit-identical — no modeled-time arithmetic is added, removed or
     /// reordered by observation.
     pub observability: ObservabilityConfig,
+    /// Online silent-data-corruption verification: `Off` (the default)
+    /// runs no checks and is bit-identical to a build without the
+    /// verification layer; `Checksums` piggybacks ABFT checksums and
+    /// conservation counts on the termination allreduce; `Full` adds
+    /// shadow settle digests and depth-monotonicity scans, catching any
+    /// single-bit corruption of settled state. Detections escalate
+    /// re-execute → rollback → typed error (see
+    /// [`verify`](crate::verify)).
+    pub verification: VerificationMode,
 }
 
 impl BfsConfig {
@@ -120,6 +130,7 @@ impl BfsConfig {
             compression: CompressionMode::Off,
             recovery: RecoveryConfig::default(),
             observability: ObservabilityConfig::Off,
+            verification: VerificationMode::Off,
         }
     }
 
@@ -184,6 +195,12 @@ impl BfsConfig {
     /// Selects the observability mode (span/message/fault recording).
     pub fn with_observability(mut self, observability: ObservabilityConfig) -> Self {
         self.observability = observability;
+        self
+    }
+
+    /// Selects the online verification tier (SDC detection).
+    pub fn with_verification(mut self, verification: VerificationMode) -> Self {
+        self.verification = verification;
         self
     }
 
@@ -260,6 +277,16 @@ mod tests {
         assert_eq!(c.observability, ObservabilityConfig::Off);
         let c = c.with_observability(ObservabilityConfig::Full);
         assert!(c.observability.is_on());
+    }
+
+    #[test]
+    fn verification_defaults_off_and_flips() {
+        let c = BfsConfig::new(8);
+        assert_eq!(c.verification, VerificationMode::Off);
+        assert!(!c.verification.is_on());
+        let c = c.with_verification(VerificationMode::Full);
+        assert!(c.verification.is_on() && c.verification.is_full());
+        assert_eq!(c.verification.label(), "full");
     }
 
     #[test]

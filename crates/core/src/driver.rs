@@ -20,10 +20,13 @@ use crate::recovery::{retry_backoff, Assignment, ElasticMap, HostingPolicy};
 use crate::separation::Separation;
 use crate::stats::{FaultStats, IterationRecord, RunStats};
 use crate::subgraph::{GpuSubgraphs, MemoryUsage};
+use crate::verify::{self, VerifyState};
 use crate::UNREACHED;
 use gcbfs_cluster::collectives::{allreduce_or_compressed, mask_reduce_hops};
 use gcbfs_cluster::cost::KernelKind;
-use gcbfs_cluster::fault::{FaultError, FaultInjector, FaultPlan, MessageFate};
+use gcbfs_cluster::fault::{
+    FaultError, FaultInjector, FaultPlan, MessageFate, SdcEvent, SdcMode, SdcSite,
+};
 use gcbfs_cluster::membership::{Membership, MembershipEvent};
 use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
 use gcbfs_cluster::topology::Topology;
@@ -109,6 +112,45 @@ impl From<FaultError> for RunError {
     fn from(e: FaultError) -> Self {
         Self::Fault(e)
     }
+}
+
+/// Applies one depth-word SDC event to a GPU's local depth array (kernel
+/// outputs or a restored checkpoint buffer). The strike index wraps into
+/// the buffer and skips delegate-owned slots — those words are vacant by
+/// construction, so an upset there corrupts nothing the algorithm reads.
+fn strike_depths(
+    sep: &Separation,
+    topo: &Topology,
+    gpu_flat: usize,
+    depths: &mut [u32],
+    ev: &SdcEvent,
+) {
+    let n = depths.len();
+    let gpu = topo.unflat(gpu_flat);
+    let mut idx = (ev.index % n as u64) as usize;
+    for _ in 0..n {
+        if !sep.is_delegate(topo.global_id(gpu, idx as u32)) {
+            depths[idx] = match ev.mode {
+                SdcMode::Flip => depths[idx] ^ ev.bits as u32,
+                SdcMode::Stuck => ev.bits as u32,
+            };
+            return;
+        }
+        idx = (idx + 1) % n;
+    }
+}
+
+/// Device-side shadow of the mutable superstep inputs, captured before
+/// local computation when online verification is armed. Re-execution of a
+/// superstep that failed verification restores from here without touching
+/// the host checkpoint. The copy itself is modeled as free (device
+/// double-buffering of state the kernels already traverse); only a
+/// *detected* fault charges recovery time.
+struct SdcShadow {
+    workers: Vec<GpuWorker>,
+    delayed: Vec<(u32, usize, u32)>,
+    prev_reduced: Option<Vec<u64>>,
+    verify: VerifyState,
 }
 
 /// A graph distributed across the simulated cluster, ready to run BFS from
@@ -322,6 +364,21 @@ impl DistributedGraph {
             w.frontier.push(slot);
         }
 
+        // ---- Online verification (inert when Off: no state, no checks,
+        // no extra modeled time — `sync_bytes()` returns the same 8 bytes
+        // the termination allreduce always shipped). ----
+        let vmode = config.verification;
+        let mut verify_state: Option<VerifyState> = vmode.is_on().then(|| {
+            let mut vs = VerifyState::new(topo.num_gpus() as usize);
+            if let Some(did) = self.separation.delegate_id(source) {
+                vs.fold_delegate(did, 0);
+            } else {
+                let owner = topo.flat(topo.vertex_owner(source));
+                vs.fold_local(owner, topo.local_index(source), 0);
+            }
+            vs
+        });
+
         // ---- Observability (inert when Off: the sink only *records* the
         // very same f64 values the timing fold below computes — it adds,
         // removes, and reorders no modeled-time arithmetic). ----
@@ -351,6 +408,16 @@ impl DistributedGraph {
         let mask_bytes = (d as u64).div_ceil(64) * 8;
         // Messages delayed in flight by the injector: `(due_iter, gpu, slot)`.
         let mut delayed: Vec<(u32, usize, u32)> = Vec::new();
+        // SDC escalation ladder: failed-verification supersteps re-execute
+        // from the device shadow up to `max_retries` times (persistent
+        // upsets refire and fail again), then roll back to the host
+        // checkpoint; a bounded number of verified rollbacks later the
+        // fault is surfaced as unrecoverable. Clean supersteps reset the
+        // re-execution rung but not the rollback rung.
+        let mut sdc_reexec_attempts: u32 = 0;
+        let mut sdc_rollbacks: u32 = 0;
+        // Verification digests as of the checkpoint, restored with it.
+        let mut cp_verify: Option<VerifyState> = None;
 
         let mut records: Vec<IterationRecord> = Vec::new();
         let mut iter: u32 = 0;
@@ -389,6 +456,7 @@ impl DistributedGraph {
                     }
                 }
                 checkpoint = Some(cp);
+                cp_verify = verify_state.clone();
                 if let Some(s) = sink.as_mut() {
                     s.record_fault(FaultKind::Checkpoint, iter, cp_seconds);
                     // A rollback rewinds to here: iteration events after
@@ -470,6 +538,21 @@ impl DistributedGraph {
                             gpu: e.gpu,
                         }));
                     }
+                    // Restore-path SDC hook: strike the restored depth
+                    // buffers *after* the seal check passed, so online
+                    // verification (not the seal) must catch it on replay.
+                    for ev in inj.sdc_events_where(iter, SdcSite::RestoreBuffer, |ev| {
+                        ev.gpu < p && !workers[ev.gpu].depths_local.is_empty()
+                    }) {
+                        strike_depths(
+                            &self.separation,
+                            &topo,
+                            ev.gpu,
+                            &mut workers[ev.gpu].depths_local,
+                            &ev,
+                        );
+                    }
+                    verify_state = cp_verify.clone();
                     fault.recovery_seconds += spent;
                     if let Some(s) = sink.as_mut() {
                         if let Some(m) = &sink_mark {
@@ -561,9 +644,50 @@ impl DistributedGraph {
             }
             let bw = injector.as_ref().map_or(1.0, |inj| inj.bandwidth_factor(iter));
 
+            // Device shadow for verified re-execution: captured at the
+            // last point the superstep inputs are known-clean.
+            let shadow: Option<SdcShadow> =
+                (injector.is_some() && vmode.is_on()).then(|| SdcShadow {
+                    workers: workers.clone(),
+                    delayed: delayed.clone(),
+                    prev_reduced: prev_reduced.clone(),
+                    verify: verify_state.clone().expect("verification armed"),
+                });
+
             // ---- Local computation on every GPU, in parallel. ----
             let mut outputs: Vec<LocalIterationOutput> =
                 workers.par_iter_mut().map(|w| w.run_iteration(iter, &topo)).collect();
+
+            // Compute-SDC hooks: strike kernel-output depth words and the
+            // freshly built next-frontier lists. The flips land *after*
+            // the kernels ran — the model's stand-in for an in-kernel
+            // upset — and fire regardless of the verification tier, which
+            // is exactly what makes `Off` silently corruptible.
+            if let Some(inj) = injector.as_mut() {
+                for ev in inj.sdc_events_where(iter, SdcSite::KernelDepth, |ev| {
+                    ev.gpu < p && !workers[ev.gpu].depths_local.is_empty()
+                }) {
+                    strike_depths(
+                        &self.separation,
+                        &topo,
+                        ev.gpu,
+                        &mut workers[ev.gpu].depths_local,
+                        &ev,
+                    );
+                }
+                for ev in inj.sdc_events_where(iter, SdcSite::FrontierDrop, |ev| {
+                    ev.gpu < p && !outputs[ev.gpu].next_frontier.is_empty()
+                }) {
+                    let list = &mut outputs[ev.gpu].next_frontier;
+                    // An earlier drop in the same batch can have emptied
+                    // this list; with nothing left to drop the upset is
+                    // masked (the earlier one already broke conservation).
+                    if list.is_empty() {
+                        continue;
+                    }
+                    list.remove((ev.index % list.len() as u64) as usize);
+                }
+            }
 
             // Per-GPU computation time: the two streams run concurrently.
             // With DO on, each iteration also pays the direction-decision
@@ -639,6 +763,10 @@ impl DistributedGraph {
             let mut iter_bytes_saved = 0u64;
             let mut iter_codec_seconds = 0f64;
             let mut iter_codec_counts = gcbfs_compress::CodecCounts::default();
+            // First violated online check this superstep (mask-reduction
+            // checks run here; settled-state checks run after frontier
+            // formation). Escalation happens once, at the superstep tail.
+            let mut sdc_check: Option<&'static str> = None;
             if mask_changed {
                 let words: Vec<Vec<u64>> =
                     outputs.iter().map(|o| o.output_mask.words().to_vec()).collect();
@@ -646,7 +774,7 @@ impl DistributedGraph {
                 // reduction is re-run (the corruption is one-shot, so the
                 // retry is clean); each discarded attempt plus its backoff
                 // is charged to recovery time.
-                let outcome = if let Some(inj) = injector.as_mut() {
+                let mut outcome = if let Some(inj) = injector.as_mut() {
                     let mut attempt = 0u32;
                     loop {
                         let mut attempt_words = words.clone();
@@ -689,6 +817,37 @@ impl DistributedGraph {
                         prev_reduced.as_deref(),
                     )
                 };
+                // Reduction-SDC hook: strike the *combined* words after
+                // the transport checksums passed — a silent upset in the
+                // OR tree itself, invisible to the wire-level seals. Only
+                // the ABFT cross-check below can see it.
+                if let Some(inj) = injector.as_mut() {
+                    // Bits past `d` in the final word are padding the
+                    // reduction never materializes: an upset landing only
+                    // there is provably masked and does not count as fired.
+                    let tail = d as usize % 64;
+                    let last = outcome.reduced.len().saturating_sub(1);
+                    let lane_of =
+                        |idx: usize| if idx == last && tail != 0 { (1u64 << tail) - 1 } else { !0 };
+                    let reduced = &outcome.reduced;
+                    for ev in inj.sdc_events_where(iter, SdcSite::ReducedMask, |ev| {
+                        if reduced.is_empty() {
+                            return false;
+                        }
+                        let idx = (ev.index % reduced.len() as u64) as usize;
+                        match ev.mode {
+                            SdcMode::Flip => ev.bits & lane_of(idx) != 0,
+                            SdcMode::Stuck => reduced[idx] != ev.bits & lane_of(idx),
+                        }
+                    }) {
+                        let idx = (ev.index % outcome.reduced.len() as u64) as usize;
+                        outcome.reduced[idx] = match ev.mode {
+                            SdcMode::Flip => outcome.reduced[idx] ^ (ev.bits & lane_of(idx)),
+                            SdcMode::Stuck => ev.bits & lane_of(idx),
+                        };
+                    }
+                }
+                sdc_check = verify::check_mask_reduction(vmode, &words, &outcome.reduced);
                 remote_delegate += outcome.global_time * bw;
                 local_mask_time = outcome.local_time;
                 // Total volume 2·(d/8)·prank (§V-A) — per-message size is
@@ -712,6 +871,16 @@ impl DistributedGraph {
                 let mut reduced = DelegateMask::new(d);
                 reduced.set_words(outcome.reduced);
                 let next_depth = iter + 1;
+                // Shadow the delegate settles the consume below performs.
+                // A spurious reduction bit folds in here too — consistently
+                // with the settle — so the digest stays a check on the
+                // *settle path*, while `mask-exact` above owns the
+                // reduction itself.
+                if let Some(vs) = verify_state.as_mut() {
+                    for id in reduced.new_bits(&workers[0].visited_mask) {
+                        vs.fold_delegate(id, next_depth);
+                    }
+                }
                 workers.par_iter_mut().for_each(|w| w.consume_reduced_mask(&reduced, next_depth));
                 // Mask copy/OR work on the delegate stream.
                 let mask_ops = cost.device.kernel_time(KernelKind::MaskOps, reduced.byte_size());
@@ -732,8 +901,11 @@ impl DistributedGraph {
             }
             // Per-iteration synchronization (termination/activity flag): a
             // tiny blocking allreduce — the "per-iteration overhead of a
-            // few µs" the WDC analysis talks about (§VI-D).
-            remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true) * bw;
+            // few µs" the WDC analysis talks about (§VI-D). Verification
+            // sums ride this same collective: 8 bytes when Off (exactly
+            // the historical width), 24 under Checksums, 40 under Full.
+            remote_delegate +=
+                cost.network.allreduce_time(vmode.sync_bytes(), topo.num_ranks(), true) * bw;
 
             // ---- Normal vertex exchange. ----
             let sends = outputs.iter_mut().map(|o| std::mem::take(&mut o.remote_nn)).collect();
@@ -850,6 +1022,45 @@ impl DistributedGraph {
                 delayed = still_pending;
             }
 
+            // Shadow the normal settles: every path that settled a local
+            // vertex this superstep pushed it onto the owner's frontier
+            // exactly once (local discovery, applied remote update, or a
+            // drained delayed copy), so folding the frontier lists at
+            // `next_depth` mirrors the settled state by construction.
+            if let Some(vs) = verify_state.as_mut() {
+                for (g, w) in workers.iter().enumerate() {
+                    for &slot in &w.frontier {
+                        vs.fold_local(g, slot, next_depth);
+                    }
+                }
+            }
+            // The verification scan itself is charged work: one fused
+            // kernel per GPU at mask-ops bandwidth over everything the
+            // tier touches. `Off` charges nothing and emits nothing.
+            if vmode.is_on() {
+                for (g, w) in workers.iter().enumerate() {
+                    let bytes = verify::scan_bytes(
+                        vmode,
+                        mask_changed,
+                        mask_bytes,
+                        w.depths_local.len(),
+                        d,
+                        w.frontier.len(),
+                    );
+                    let scan = cost.device.kernel_time(KernelKind::MaskOps, bytes);
+                    phases[g].computation += scan;
+                    if observing {
+                        kernel_events[g].push(KernelEvent {
+                            tag: KernelTag::MaskOps,
+                            dir: DirTag::NotApplicable,
+                            stream: StreamTag::Delegate,
+                            work: bytes,
+                            seconds: scan,
+                        });
+                    }
+                }
+            }
+
             // ---- Assemble cluster-wide iteration timing and stats. ----
             let mut cluster = PhaseTimes::zero();
             for (g, ph) in phases.iter().enumerate() {
@@ -861,6 +1072,110 @@ impl DistributedGraph {
             cluster.remote_delegate = remote_delegate;
             let timing =
                 IterationTiming { phases: cluster, blocking_reduce: config.blocking_reduce };
+
+            // ---- Online verification: detect, then escalate. The checks
+            // run on the fully formed superstep (all settles and frontier
+            // lists final); a violation vacates the superstep before it is
+            // committed to the records or the trace. ----
+            if vmode.is_on() {
+                let violation = sdc_check.or_else(|| {
+                    verify::check_superstep(
+                        vmode,
+                        verify_state.as_ref().expect("verification armed"),
+                        &workers,
+                        next_depth,
+                    )
+                });
+                if let Some(check) = violation {
+                    let Some(inj) = injector.as_mut() else {
+                        // Without an injector there is nothing to corrupt
+                        // state: a failed check is a driver bug, not SDC.
+                        panic!("verification check `{check}` failed at iteration {iter} with no fault injection");
+                    };
+                    fault.sdc_detections += 1;
+                    if let Some(s) = sink.as_mut() {
+                        // Zero-duration marker: the scan that caught it is
+                        // already charged to computation above.
+                        s.record_fault(FaultKind::SdcDetect, iter, 0.0);
+                    }
+                    if !recovery.enabled {
+                        return Err(RunError::Fault(FaultError::SdcDetected {
+                            iteration: iter,
+                            check,
+                        }));
+                    }
+                    if sdc_reexec_attempts < recovery.max_retries {
+                        // Rung 1 — re-execute the superstep from the device
+                        // shadow: the whole aborted superstep plus a backoff
+                        // is wasted time. A transient upset will not refire;
+                        // a persistent one climbs the ladder.
+                        let spent = timing.elapsed()
+                            + retry_backoff(recovery.retry_backoff_seconds, sdc_reexec_attempts);
+                        sdc_reexec_attempts += 1;
+                        fault.sdc_reexecutions += 1;
+                        fault.recovery_seconds += spent;
+                        if let Some(s) = sink.as_mut() {
+                            s.record_fault(FaultKind::SdcReexecute, iter, spent);
+                        }
+                        let snap = shadow.expect("shadow captured when verification is armed");
+                        workers = snap.workers;
+                        delayed = snap.delayed;
+                        prev_reduced = snap.prev_reduced;
+                        verify_state = Some(snap.verify);
+                        continue;
+                    }
+                    // Rung 2 — roll back to the host checkpoint (same
+                    // recipe as a confirmed fail-stop). Bounded: a fault
+                    // that keeps striking through restored checkpoints is
+                    // not recoverable by replay.
+                    sdc_rollbacks += 1;
+                    if sdc_rollbacks > recovery.max_retries.max(1) {
+                        return Err(RunError::Fault(FaultError::SdcUnrecoverable {
+                            iteration: iter,
+                            check,
+                        }));
+                    }
+                    let cp = checkpoint.as_ref().expect("implicit iteration-0 checkpoint");
+                    let wasted: f64 =
+                        records[cp.records_len..].iter().map(|r| r.timing.elapsed()).sum::<f64>()
+                            + timing.elapsed();
+                    let spent = wasted + cp.modeled_seconds(cost);
+                    fault.rollbacks += 1;
+                    records.truncate(cp.records_len);
+                    if let Err(e) = cp.restore(&mut workers) {
+                        return Err(RunError::Fault(FaultError::CheckpointCorrupt {
+                            iteration: iter,
+                            gpu: e.gpu,
+                        }));
+                    }
+                    for ev in inj.sdc_events_where(iter, SdcSite::RestoreBuffer, |ev| {
+                        ev.gpu < p && !workers[ev.gpu].depths_local.is_empty()
+                    }) {
+                        strike_depths(
+                            &self.separation,
+                            &topo,
+                            ev.gpu,
+                            &mut workers[ev.gpu].depths_local,
+                            &ev,
+                        );
+                    }
+                    verify_state = cp_verify.clone();
+                    fault.recovery_seconds += spent;
+                    if let Some(s) = sink.as_mut() {
+                        if let Some(m) = &sink_mark {
+                            s.truncate(m);
+                        }
+                        s.record_fault(FaultKind::Recovery, iter, spent);
+                    }
+                    sdc_reexec_attempts = 0;
+                    iter = cp.iter;
+                    prev_reduced = None;
+                    delayed.clear();
+                    continue;
+                }
+                sdc_reexec_attempts = 0;
+            }
+
             if let Some(s) = sink.as_mut() {
                 // One lane per GPU, carrying the very values the fold above
                 // combined — the sink re-runs the same fold to place spans.
@@ -954,6 +1269,7 @@ impl DistributedGraph {
             fault.injected_corruptions = c.corruptions;
             fault.fail_stops = c.fail_stops;
             fault.injected_checkpoint_corruptions = c.checkpoint_corruptions;
+            fault.injected_sdc = c.sdc_injected;
         }
 
         let observed = sink.map(SpanSink::finish);
@@ -1550,6 +1866,148 @@ mod tests {
             dist.run_with_faults(0, &config, &plan),
             Err(RunError::Fault(FaultError::GpuFailed { .. }))
         ));
+    }
+
+    // ---- Silent data corruption: injection, detection, recovery. ----
+
+    use crate::verify::VerificationMode;
+    use gcbfs_cluster::fault::{SdcEvent, SdcSite};
+
+    #[test]
+    fn verification_off_is_bit_identical_to_the_default_run() {
+        let (_, dist, config, source) = rmat_fixture();
+        let a = dist.run(source, &config).unwrap();
+        let b = dist.run(source, &config.with_verification(VerificationMode::Off)).unwrap();
+        assert_eq!(a.depths, b.depths);
+        assert_eq!(a.modeled_seconds(), b.modeled_seconds(), "Off adds zero modeled time");
+        assert_eq!(a.iterations(), b.iterations());
+        assert_eq!(a.stats.total_remote_bytes(), b.stats.total_remote_bytes());
+    }
+
+    #[test]
+    fn verification_tiers_cost_more_but_stay_bit_exact_on_clean_runs() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let off = dist.run(source, &config).unwrap();
+        let sums =
+            dist.run(source, &config.with_verification(VerificationMode::Checksums)).unwrap();
+        let full = dist.run(source, &config.with_verification(VerificationMode::Full)).unwrap();
+        for r in [&off, &sums, &full] {
+            assert_eq!(r.depths, expect, "verification never perturbs a clean traversal");
+            assert_eq!(r.stats.fault.sdc_detections, 0);
+        }
+        assert!(sums.modeled_seconds() > off.modeled_seconds(), "checksum scans are charged");
+        assert!(full.modeled_seconds() > sums.modeled_seconds(), "full re-scans cost more");
+    }
+
+    #[test]
+    fn sdc_under_off_corrupts_silently() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let plan =
+            FaultPlan::new(0).with_sdc_event(SdcEvent::flip(0, 1, SdcSite::KernelDepth, 5, 1 << 3));
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        let f = &r.stats.fault;
+        assert_eq!(f.injected_sdc, 1, "the upset fires");
+        assert_eq!(f.sdc_detections, 0, "Off has no detector");
+        assert_ne!(r.depths, expect, "the corruption reaches the answer");
+    }
+
+    #[test]
+    fn sdc_kernel_flip_is_detected_and_reexecuted_bit_exact() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let config = config.with_verification(VerificationMode::Full);
+        let plan =
+            FaultPlan::new(0).with_sdc_event(SdcEvent::flip(0, 1, SdcSite::KernelDepth, 5, 1 << 3));
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect, "recovered depths are bit-exact");
+        let f = &r.stats.fault;
+        assert_eq!(f.injected_sdc, 1);
+        assert!(f.sdc_detections >= 1, "the flip cannot slip past Full");
+        assert!(f.sdc_reexecutions >= 1, "a transient upset is repaired by re-execution");
+        assert_eq!(f.rollbacks, 0, "the ladder never needed the checkpoint");
+        assert!(f.recovery_seconds > 0.0, "the wasted superstep is charged");
+    }
+
+    #[test]
+    fn sdc_reduction_and_frontier_events_recover_under_full() {
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let config = config.with_verification(VerificationMode::Full);
+        for site in [SdcSite::ReducedMask, SdcSite::FrontierDrop] {
+            let plan = FaultPlan::new(0).with_sdc_event(SdcEvent::flip(1, 1, site, 9, 1));
+            let r = dist.run_with_faults(source, &config, &plan).unwrap();
+            assert_eq!(r.depths, expect, "bit-exact recovery for {site:?}");
+            let f = &r.stats.fault;
+            assert_eq!(f.injected_sdc, 1, "{site:?} event fires");
+            assert!(f.sdc_detections >= 1, "{site:?} is detected");
+            assert!(f.sdc_reexecutions >= 1);
+        }
+    }
+
+    #[test]
+    fn sdc_restore_strike_climbs_the_ladder_to_a_clean_checkpoint() {
+        // A fail-stop forces a rollback; the restore buffer is struck on
+        // the way back. Re-execution replays the corrupted state and keeps
+        // failing, so the ladder rolls back again — this time the one-shot
+        // strike is spent and the replay is clean.
+        let (graph, dist, config, source) = rmat_fixture();
+        let expect = bfs_depths(&Csr::from_edge_list(&graph), source);
+        let config = config.with_verification(VerificationMode::Full);
+        let plan = FaultPlan::new(1).with_fail_stop(2, 1).with_sdc_event(SdcEvent::flip(
+            0,
+            0,
+            SdcSite::RestoreBuffer,
+            3,
+            1 << 2,
+        ));
+        let r = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(r.depths, expect);
+        let f = &r.stats.fault;
+        assert_eq!(f.injected_sdc, 1);
+        assert!(f.sdc_detections >= 1, "the tampered restore cannot slip past Full");
+        assert!(f.rollbacks >= 2, "fail-stop rollback plus the verified SDC rollback");
+    }
+
+    #[test]
+    fn sdc_persistent_stuck_word_is_unrecoverable() {
+        let (_, dist, config, source) = rmat_fixture();
+        let config = config.with_verification(VerificationMode::Full);
+        // A hard-stuck output word refires on every re-execution and every
+        // post-rollback replay: no amount of retrying helps.
+        let plan =
+            FaultPlan::new(0).with_sdc_event(SdcEvent::stuck(0, 0, SdcSite::KernelDepth, 7, 1000));
+        assert!(matches!(
+            dist.run_with_faults(source, &config, &plan),
+            Err(RunError::Fault(FaultError::SdcUnrecoverable { .. }))
+        ));
+    }
+
+    #[test]
+    fn sdc_detection_without_recovery_is_a_typed_error() {
+        let (_, dist, config, source) = rmat_fixture();
+        let config = config
+            .with_verification(VerificationMode::Full)
+            .with_recovery(RecoveryConfig::disabled());
+        let plan =
+            FaultPlan::new(0).with_sdc_event(SdcEvent::flip(0, 1, SdcSite::KernelDepth, 5, 1 << 3));
+        assert!(matches!(
+            dist.run_with_faults(source, &config, &plan),
+            Err(RunError::Fault(FaultError::SdcDetected { iteration: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn sdc_runs_are_deterministic() {
+        let (_, dist, config, source) = rmat_fixture();
+        let config = config.with_verification(VerificationMode::Full);
+        let plan = FaultPlan::random_sdc(23, 4, 6);
+        let a = dist.run_with_faults(source, &config, &plan).unwrap();
+        let b = dist.run_with_faults(source, &config, &plan).unwrap();
+        assert_eq!(a.depths, b.depths);
+        assert_eq!(a.stats.fault, b.stats.fault);
+        assert_eq!(a.modeled_seconds(), b.modeled_seconds());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * delegate visited bitmasks → [`masks`]; run options → [`config`];
 //! * resilience: checkpoint/restart → [`checkpoint`], retry and
 //!   degraded-mode policy → [`recovery`] (fault injection itself lives in
-//!   `gcbfs_cluster::fault`).
+//!   `gcbfs_cluster::fault`);
+//! * correctness armor: tiered online superstep verification and the
+//!   distributed Graph500-style end-of-run validator → [`verify`].
 
 pub mod async_bfs;
 pub mod betweenness;
@@ -41,6 +43,7 @@ pub mod sssp;
 pub mod stats;
 pub mod subgraph;
 pub mod trace;
+pub mod verify;
 
 pub use checkpoint::Checkpoint;
 pub use config::BfsConfig;
@@ -48,6 +51,7 @@ pub use driver::{BfsResult, BuildError, DistributedGraph, RunError};
 pub use recovery::RecoveryConfig;
 pub use separation::Separation;
 pub use stats::{FaultStats, RunStats};
+pub use verify::{DistributedValidation, VerificationMode};
 
 /// Depth marker for unreached vertices (matches `gcbfs_graph::reference`).
 pub const UNREACHED: u32 = u32::MAX;

@@ -89,6 +89,16 @@ pub struct FaultStats {
     /// buddy-hosted by survivors (spare-absorbed partitions run at full
     /// speed and do not count).
     pub degraded_iterations: u64,
+    /// In-device silent-data-corruption events fired by the injector
+    /// (kernel-output flips, reduction-word flips, dropped frontier
+    /// entries, restore-buffer flips).
+    pub injected_sdc: u64,
+    /// Online verification checks that fired (each one starts the
+    /// re-execute → rollback escalation ladder).
+    pub sdc_detections: u64,
+    /// Supersteps re-executed from device-side shadow state after a
+    /// verification check fired.
+    pub sdc_reexecutions: u64,
 }
 
 impl FaultStats {
@@ -106,6 +116,7 @@ impl FaultStats {
             + self.injected_corruptions
             + self.fail_stops
             + self.injected_checkpoint_corruptions
+            + self.injected_sdc
             > 0
     }
 }

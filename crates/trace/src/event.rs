@@ -321,6 +321,13 @@ pub enum FaultKind {
     /// Re-sync of a rejoining member from the current checkpoint and
     /// delegate reduction, reclaiming its partition.
     Rejoin,
+    /// An online verification check caught silent data corruption (the
+    /// detection itself; zero-duration — the scan cost is charged to the
+    /// superstep's computation phase, not to recovery).
+    SdcDetect,
+    /// Re-execution of a superstep from its device-side shadow state
+    /// after a verification check fired (the first escalation rung).
+    SdcReexecute,
 }
 
 impl FaultKind {
@@ -334,6 +341,8 @@ impl FaultKind {
             FaultKind::SpareAbsorb => "spare_absorb",
             FaultKind::Spread => "spread",
             FaultKind::Rejoin => "rejoin",
+            FaultKind::SdcDetect => "sdc_detect",
+            FaultKind::SdcReexecute => "sdc_reexecute",
         }
     }
 

@@ -14,7 +14,6 @@
 //! binary format (see `gcbfs_graph::io`).
 
 use gpu_cluster_bfs::core::pagerank::PageRankConfig;
-use gpu_cluster_bfs::graph::reference::{bfs_depths, validate_depths};
 use gpu_cluster_bfs::graph::{io, EdgeList};
 use gpu_cluster_bfs::prelude::*;
 use std::fs::File;
@@ -41,6 +40,7 @@ const USAGE: &str = "usage:
             [--nonblocking] [--parents] [--validate] [--trace]
             [--profile OUT.json] [--hosting buddy|spread]
             [--fail GPU:ITER] [--rejoin GPU:ITER] [--chaos SEED]
+            [--verify off|checksums|full] [--sdc SEED]
   gcbfs pagerank FILE [--ranks R] [--gpus G] [--threshold TH]
             [--damping D] [--iterations N]
   gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
@@ -227,6 +227,13 @@ fn bfs(args: &Args) -> Result<(), String> {
     config = config.with_recovery(
         gpu_cluster_bfs::core::recovery::RecoveryConfig::default().with_hosting(hosting),
     );
+    let verify = match args.opt::<String>("verify", "off".into())?.as_str() {
+        "off" => gpu_cluster_bfs::core::VerificationMode::Off,
+        "checksums" => gpu_cluster_bfs::core::VerificationMode::Checksums,
+        "full" => gpu_cluster_bfs::core::VerificationMode::Full,
+        other => return Err(format!("--verify wants off, checksums, or full, got {other}")),
+    };
+    config = config.with_verification(verify);
 
     // Optional fault injection: a deterministic fail/rejoin pair, or a
     // seeded elastic chaos plan over the whole membership lifecycle.
@@ -248,6 +255,21 @@ fn bfs(args: &Args) -> Result<(), String> {
         let (gpu, iter) = gpu_at_iter(v, "rejoin")?;
         let p = plan.ok_or("--rejoin needs --fail (or --chaos) to schedule the loss first")?;
         plan = Some(p.with_rejoin(gpu, iter));
+    }
+    if let Some((_, v)) = args.options.iter().find(|(k, _)| *k == "sdc") {
+        let seed: u64 = v.parse().map_err(|_| format!("invalid --sdc seed: {v}"))?;
+        // Horizon 4: most traversals of interest run at least that deep,
+        // so seeded events land inside the run instead of past its end.
+        let sdc = gpu_cluster_bfs::cluster::fault::FaultPlan::random_sdc(
+            seed,
+            topo.num_gpus() as usize,
+            4,
+        );
+        let mut p = plan.unwrap_or_else(|| gpu_cluster_bfs::cluster::fault::FaultPlan::new(0x5dc));
+        for ev in sdc.sdc_events {
+            p = p.with_sdc_event(ev);
+        }
+        plan = Some(p);
     }
 
     let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
@@ -319,14 +341,35 @@ fn bfs(args: &Args) -> Result<(), String> {
         println!("profile: wrote {out} ({} bytes)", chrome.len());
         print!("{}", cp.summary());
     }
+    if verify.is_on() {
+        let f = &result.stats.fault;
+        println!(
+            "verification ({}): {} SDC event(s) injected, {} detection(s), \
+             {} re-execution(s), {} verified rollback(s)",
+            verify.label(),
+            f.injected_sdc,
+            f.sdc_detections,
+            f.sdc_reexecutions,
+            f.rollbacks
+        );
+    }
     if args.switch("validate") {
-        let csr = Csr::from_edge_list(&graph);
-        let expect = bfs_depths(&csr, source);
-        if result.depths != expect {
-            return Err("validation FAILED: depths differ from reference".into());
-        }
-        validate_depths(&csr, source, &result.depths).map_err(|e| e.to_string())?;
+        // The distributed Graph500-style validator: each GPU checks its
+        // own partition's edges against the replicated delegate depths —
+        // no reference CSR, no full-graph BFS. Reported untimed, per the
+        // Graph500 convention.
+        let v = dist.validate_distributed(source, &result.depths, &config.cost);
+        println!(
+            "distributed validation: {} reached, {} vertices and {} edges checked \
+             ({} remote lookups), modeled {:.3} ms (untimed)",
+            v.reached,
+            v.checked_vertices,
+            v.checked_edges,
+            v.remote_lookups,
+            v.modeled_seconds * 1e3
+        );
         if let Some(parents) = &result.parents {
+            let csr = Csr::from_edge_list(&graph);
             gpu_cluster_bfs::graph::reference::validate_parents(
                 &csr,
                 source,
@@ -334,6 +377,12 @@ fn bfs(args: &Args) -> Result<(), String> {
                 parents,
             )
             .map_err(|e| e.to_string())?;
+        }
+        if !v.is_ok() {
+            for e in &v.errors {
+                eprintln!("  invariant violation: {e}");
+            }
+            return Err(format!("validation FAILED: {} invariant violation(s)", v.error_count));
         }
         println!("validation: OK");
     }
