@@ -34,6 +34,18 @@ pub struct MsBfsResult {
     pub depths: Vec<Vec<u32>>,
     /// BFS levels processed (max over sources).
     pub iterations: u32,
+    /// Per-source termination level: `source_iterations[k]` is the number
+    /// of levels an independent single-source run from `sources[k]` would
+    /// have processed (its deepest settled depth plus the final
+    /// empty-yield pass). Always `<= iterations`; the batch max equals
+    /// `iterations` by construction. Lets a scheduler attribute each
+    /// query's latency to the level where *it* finished, not the level
+    /// where the slowest batch member finished.
+    pub source_iterations: Vec<u32>,
+    /// Modeled elapsed seconds per level (overlap rule), in level order;
+    /// `level_seconds.len() == iterations` and the entries sum to
+    /// `modeled_seconds`.
+    pub level_seconds: Vec<f64>,
     /// Edges examined — shared across the whole batch.
     pub edges_examined: u64,
     /// Modeled per-phase totals.
@@ -48,6 +60,19 @@ impl MsBfsResult {
     /// The single-run result view for source `k` (depths only).
     pub fn depths_of(&self, k: usize) -> &[u32] {
         &self.depths[k]
+    }
+
+    /// Levels source `k`'s search ran for before its frontier emptied.
+    pub fn iterations_of(&self, k: usize) -> u32 {
+        self.source_iterations[k]
+    }
+
+    /// Modeled seconds from batch start until source `k`'s search
+    /// terminated: the cumulative level times through its termination
+    /// level. The last batch member's completion equals
+    /// `modeled_seconds`.
+    pub fn completion_seconds_of(&self, k: usize) -> f64 {
+        self.level_seconds.iter().take(self.source_iterations[k] as usize).sum()
     }
 }
 
@@ -126,6 +151,7 @@ impl DistributedGraph {
 
         let mut phases_total = PhaseTimes::zero();
         let mut modeled = 0.0f64;
+        let mut level_seconds = Vec::new();
         let mut remote_bytes = 0u64;
         let mut edges_examined = 0u64;
         let mut iter = 0u32;
@@ -293,6 +319,7 @@ impl DistributedGraph {
 
             let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
             modeled += timing.elapsed();
+            level_seconds.push(timing.elapsed());
             phases_total = phases_total.combine(&phases);
             iter += 1;
         }
@@ -322,10 +349,25 @@ impl DistributedGraph {
             }
         }
 
+        // Per-source termination level: deepest settled depth plus the
+        // final empty-yield pass a standalone run would execute. An
+        // unreachable-everything source still seeds itself at depth 0,
+        // so the minimum is one level.
+        let source_iterations: Vec<u32> = depths
+            .iter()
+            .map(|dvec| {
+                let deepest = dvec.iter().filter(|&&d| d != UNREACHED).max().copied().unwrap_or(0);
+                deepest + 1
+            })
+            .collect();
+        debug_assert!(source_iterations.iter().all(|&s| s <= iter.max(1)));
+
         Ok(MsBfsResult {
             sources: sources.to_vec(),
             depths,
             iterations: iter,
+            source_iterations,
+            level_seconds,
             edges_examined,
             phases: phases_total,
             modeled_seconds: modeled,
@@ -412,6 +454,76 @@ mod tests {
         for (k, r) in separate.iter().enumerate() {
             assert_eq!(batch.depths_of(k), &r.depths[..]);
         }
+    }
+
+    #[test]
+    fn per_source_iterations_match_standalone_runs() {
+        let graph = RmatConfig::graph500(9).generate();
+        let config = BfsConfig::new(8).with_direction_optimization(false);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let sources = sources_for(&graph, 24);
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        assert_eq!(batch.source_iterations.len(), sources.len());
+        let mut max_levels = 0;
+        for (k, &s) in sources.iter().enumerate() {
+            let single = dist.run(s, &config).unwrap();
+            assert_eq!(
+                batch.iterations_of(k),
+                single.iterations(),
+                "source {s}: batched termination level must equal a standalone run's"
+            );
+            max_levels = max_levels.max(batch.iterations_of(k));
+        }
+        // The batch runs exactly as long as its slowest member.
+        assert_eq!(max_levels, batch.iterations);
+    }
+
+    #[test]
+    fn level_seconds_sum_to_modeled_and_order_completions() {
+        let graph = RmatConfig::graph500(9).generate();
+        let config = BfsConfig::new(8);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let sources = sources_for(&graph, 9);
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        assert_eq!(batch.level_seconds.len(), batch.iterations as usize);
+        let sum: f64 = batch.level_seconds.iter().sum();
+        assert_eq!(sum.to_bits(), batch.modeled_seconds.to_bits(), "levels must sum exactly");
+        for k in 0..sources.len() {
+            let c = batch.completion_seconds_of(k);
+            assert!(c > 0.0 && c <= batch.modeled_seconds);
+            if batch.iterations_of(k) == batch.iterations {
+                assert_eq!(c.to_bits(), batch.modeled_seconds.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_factor_is_exact_edge_ratio() {
+        let graph = RmatConfig::graph500(9).generate();
+        let config = BfsConfig::new(8).with_direction_optimization(false);
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let sources = sources_for(&graph, 8);
+        let batch = dist.run_multi_source(&sources, &config).unwrap();
+        let separate: Vec<BfsResult> =
+            sources.iter().map(|&s| dist.run(s, &config).unwrap()).collect();
+        let expected: u64 = separate.iter().map(|r| r.stats.total_edges_examined()).sum();
+        let got = batch_sharing_factor(&batch, &separate);
+        assert_eq!(got, expected as f64 / batch.edges_examined as f64);
+    }
+
+    #[test]
+    fn sharing_factor_guards_zero_edge_batches() {
+        // An isolated source examines no edges; the factor must stay
+        // finite (the denominator floors at 1).
+        let graph = gcbfs_graph::EdgeList::new(3, vec![(0, 1)]);
+        let config = BfsConfig::new(4);
+        let dist = DistributedGraph::build(&graph, Topology::new(1, 1), &config).unwrap();
+        let batch = dist.run_multi_source(&[2], &config).unwrap();
+        assert_eq!(batch.edges_examined, 0);
+        let separate = vec![dist.run(2, &config).unwrap()];
+        let got = batch_sharing_factor(&batch, &separate);
+        assert!(got.is_finite());
+        assert_eq!(batch.iterations_of(0), 1, "isolated source terminates after one level");
     }
 
     #[test]

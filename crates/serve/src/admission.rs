@@ -1,0 +1,375 @@
+//! Admission control: token buckets, backpressure, and weighted-fair
+//! queueing across tenants.
+//!
+//! Admission happens on the *modeled* clock. A submitted query passes,
+//! in order: tenant lookup, deadline-expiry check, queue-depth
+//! backpressure, deadline-feasibility check, and the tenant's token
+//! bucket (the token is only spent once every earlier gate has passed,
+//! so a shed query never burns the tenant's budget). Admitted queries
+//! receive a start-time-fair-queueing tag — `max(virtual_time,
+//! tenant_last_finish) + 1/weight` — and drain in tag order, so a
+//! weight-2 tenant drains twice as fast as a weight-1 tenant under
+//! contention regardless of offered load.
+
+use crate::request::{AdmissionError, QueryRequest, TenantId, TenantSpec};
+use std::collections::BTreeMap;
+
+/// A deterministic token bucket on the modeled clock.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: f64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        Self { rate, burst, tokens: burst, last: 0.0 }
+    }
+
+    /// Advances the refill to `now` (monotone; earlier times are ignored).
+    fn refill(&mut self, now: f64) {
+        if !self.rate.is_finite() {
+            // An unlimited bucket is always full, even within one instant.
+            self.tokens = self.burst;
+        } else if now > self.last {
+            self.tokens = (self.tokens + (now - self.last) * self.rate).min(self.burst);
+        }
+        self.last = self.last.max(now);
+    }
+
+    /// Takes one token, or reports modeled seconds until one is available
+    /// (`f64::INFINITY` for a zero-rate bucket).
+    pub fn try_take(&mut self, now: f64) -> Result<(), f64> {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else if self.rate > 0.0 {
+            Err((1.0 - self.tokens) / self.rate)
+        } else {
+            Err(f64::INFINITY)
+        }
+    }
+
+    /// Tokens currently available (after a refill to `now`).
+    pub fn available(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// One admitted query waiting for dispatch.
+#[derive(Clone, Debug)]
+pub struct Queued {
+    /// The admitted request.
+    pub request: QueryRequest,
+    /// Weighted-fair finish tag; queries drain in `(tag, seq)` order.
+    pub tag: f64,
+    /// Admission sequence number (deterministic tie-break).
+    pub seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TenantState {
+    spec: TenantSpec,
+    bucket: TokenBucket,
+    last_finish_tag: f64,
+}
+
+/// The admission queue: per-tenant token buckets, a global depth limit,
+/// and weighted-fair ordering.
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    tenants: BTreeMap<TenantId, TenantState>,
+    queue: Vec<Queued>,
+    virtual_time: f64,
+    limit: usize,
+    seq: u64,
+}
+
+impl AdmissionQueue {
+    /// An empty queue for the given tenants with depth limit `limit`.
+    pub fn new(tenants: &[TenantSpec], limit: usize) -> Self {
+        let tenants = tenants
+            .iter()
+            .map(|t| {
+                let state = TenantState {
+                    spec: t.clone(),
+                    bucket: TokenBucket::new(t.rate_qps, t.burst),
+                    last_finish_tag: 0.0,
+                };
+                (t.id, state)
+            })
+            .collect();
+        Self { tenants, queue: Vec::new(), virtual_time: 0.0, limit, seq: 0 }
+    }
+
+    /// Queries currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Submits a query at modeled time `now`. `earliest_completion` is
+    /// the scheduler's promise for a query dispatched as soon as
+    /// possible; admission sheds queries whose deadline even that would
+    /// miss.
+    ///
+    /// # Errors
+    /// A typed [`AdmissionError`] naming the shed reason; the query
+    /// consumed no tokens unless every other gate passed first.
+    pub fn submit(
+        &mut self,
+        request: QueryRequest,
+        now: f64,
+        earliest_completion: f64,
+    ) -> Result<(), AdmissionError> {
+        let state = self
+            .tenants
+            .get_mut(&request.tenant)
+            .ok_or(AdmissionError::UnknownTenant { tenant: request.tenant })?;
+        if request.deadline < now {
+            return Err(AdmissionError::DeadlineExpired { deadline: request.deadline, now });
+        }
+        if self.queue.len() >= self.limit {
+            return Err(AdmissionError::QueueFull { depth: self.queue.len(), limit: self.limit });
+        }
+        if earliest_completion > request.deadline {
+            return Err(AdmissionError::DeadlineInfeasible {
+                earliest_completion,
+                deadline: request.deadline,
+            });
+        }
+        if let Err(retry_after) = state.bucket.try_take(now) {
+            return Err(AdmissionError::RateLimited { tenant: request.tenant, retry_after });
+        }
+        let start = self.virtual_time.max(state.last_finish_tag);
+        let tag = start + 1.0 / state.spec.weight;
+        state.last_finish_tag = tag;
+        self.queue.push(Queued { request, tag, seq: self.seq });
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Index of the minimum-`(tag, seq)` queued query.
+    fn head_index(&self) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.tag.total_cmp(&b.tag).then(a.seq.cmp(&b.seq)))
+            .map(|(i, _)| i)
+    }
+
+    /// The next query in fair order, without removing it.
+    pub fn peek(&self) -> Option<&Queued> {
+        self.head_index().map(|i| &self.queue[i])
+    }
+
+    /// Removes and returns the next query in fair order.
+    pub fn pop(&mut self) -> Option<Queued> {
+        let i = self.head_index()?;
+        let q = self.queue.remove(i);
+        self.virtual_time = self.virtual_time.max(q.tag);
+        Some(q)
+    }
+
+    /// Earliest submission time among queued *batchable* queries — the
+    /// anchor of the batching-delay window.
+    pub fn earliest_batchable_submit(&self) -> Option<f64> {
+        self.queue
+            .iter()
+            .filter(|q| q.request.kind.is_batchable())
+            .map(|q| q.request.submitted)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Number of *distinct sources* among queued batchable queries (the
+    /// bit-width an immediate batch would need).
+    pub fn batchable_distinct_sources(&self) -> usize {
+        let mut sources: Vec<u64> = self
+            .queue
+            .iter()
+            .filter(|q| q.request.kind.is_batchable())
+            .filter_map(|q| q.request.kind.source())
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources.len()
+    }
+
+    /// Removes up to `max_distinct` distinct-source batchable queries in
+    /// fair order, plus every free rider (a query whose source is
+    /// already in the batch rides along at zero marginal width). Stops
+    /// at the first batchable query that would exceed the width.
+    /// Non-batchable queries are skipped and stay queued.
+    pub fn take_batch(&mut self, max_distinct: usize) -> Vec<Queued> {
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (qa, qb) = (&self.queue[a], &self.queue[b]);
+            qa.tag.total_cmp(&qb.tag).then(qa.seq.cmp(&qb.seq))
+        });
+        let mut sources: Vec<u64> = Vec::new();
+        let mut picked: Vec<usize> = Vec::new();
+        for i in order {
+            let q = &self.queue[i];
+            if !q.request.kind.is_batchable() {
+                continue;
+            }
+            let source = q.request.kind.source().expect("batchable kinds have a source");
+            if sources.contains(&source) {
+                picked.push(i);
+            } else if sources.len() < max_distinct {
+                sources.push(source);
+                picked.push(i);
+            } else {
+                break;
+            }
+        }
+        picked.sort_unstable();
+        let mut taken = Vec::with_capacity(picked.len());
+        for i in picked.into_iter().rev() {
+            taken.push(self.queue.remove(i));
+        }
+        taken.reverse();
+        for q in &taken {
+            self.virtual_time = self.virtual_time.max(q.tag);
+        }
+        // Keep fair order within the batch for per-query accounting.
+        taken.sort_by(|a, b| a.tag.total_cmp(&b.tag).then(a.seq.cmp(&b.seq)));
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryKind;
+
+    fn req(id: u64, tenant: TenantId, source: u64, now: f64) -> QueryRequest {
+        QueryRequest {
+            id,
+            tenant,
+            kind: QueryKind::Bfs { source },
+            submitted: now,
+            deadline: now + 10.0,
+        }
+    }
+
+    #[test]
+    fn token_bucket_refills_at_rate() {
+        let mut b = TokenBucket::new(2.0, 1.0);
+        assert!(b.try_take(0.0).is_ok());
+        let retry = b.try_take(0.0).unwrap_err();
+        assert!((retry - 0.5).abs() < 1e-12, "1 token at 2/s is 0.5s away, got {retry}");
+        assert!(b.try_take(0.5).is_ok(), "refilled after 0.5s");
+        assert!(b.available(0.6) < 1.0);
+    }
+
+    #[test]
+    fn zero_rate_bucket_never_refills() {
+        let mut b = TokenBucket::new(0.0, 0.0);
+        assert_eq!(b.try_take(0.0).unwrap_err(), f64::INFINITY);
+        assert_eq!(b.try_take(1e9).unwrap_err(), f64::INFINITY);
+    }
+
+    #[test]
+    fn infinite_rate_bucket_never_limits() {
+        let mut b = TokenBucket::new(f64::INFINITY, 2.0);
+        for _ in 0..100 {
+            assert!(b.try_take(0.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn weighted_fair_order_interleaves_by_weight() {
+        let tenants = [
+            TenantSpec::new(0, "light").with_weight(1.0),
+            TenantSpec::new(1, "heavy").with_weight(2.0),
+        ];
+        let mut q = AdmissionQueue::new(&tenants, 64);
+        for i in 0..3 {
+            q.submit(req(i, 0, 100 + i, 0.0), 0.0, 0.0).unwrap();
+        }
+        for i in 0..6 {
+            q.submit(req(10 + i, 1, 200 + i, 0.0), 0.0, 0.0).unwrap();
+        }
+        let mut order = Vec::new();
+        while let Some(item) = q.pop() {
+            order.push(item.request.tenant);
+        }
+        // Weight-2 tenant drains two queries per weight-1 query.
+        assert_eq!(order, [1, 0, 1, 1, 0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let tenants = [TenantSpec::new(0, "t")];
+        let mut q = AdmissionQueue::new(&tenants, 2);
+        q.submit(req(0, 0, 1, 0.0), 0.0, 0.0).unwrap();
+        q.submit(req(1, 0, 2, 0.0), 0.0, 0.0).unwrap();
+        let err = q.submit(req(2, 0, 3, 0.0), 0.0, 0.0).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull { depth: 2, limit: 2 });
+    }
+
+    #[test]
+    fn shed_query_consumes_no_token() {
+        let tenants = [TenantSpec::new(0, "t").with_rate(1.0, 1.0)];
+        let mut q = AdmissionQueue::new(&tenants, 1);
+        q.submit(req(0, 0, 1, 0.0), 0.0, 0.0).unwrap();
+        // Queue full: rejected before the bucket is touched.
+        let err = q.submit(req(1, 0, 2, 0.0), 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, AdmissionError::QueueFull { .. }));
+        q.pop();
+        // The bucket is empty only because of the *admitted* query.
+        let err = q.submit(req(2, 0, 3, 0.0), 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, AdmissionError::RateLimited { .. }));
+    }
+
+    #[test]
+    fn take_batch_respects_width_and_free_riders() {
+        let tenants = [TenantSpec::new(0, "t")];
+        let mut q = AdmissionQueue::new(&tenants, 64);
+        // Sources: 5, 6, 5 (free rider), 7, 8 — width 2 stops before 7.
+        for (i, s) in [5u64, 6, 5, 7, 8].iter().enumerate() {
+            q.submit(req(i as u64, 0, *s, 0.0), 0.0, 0.0).unwrap();
+        }
+        let batch = q.take_batch(2);
+        let taken: Vec<u64> = batch.iter().filter_map(|b| b.request.kind.source()).collect();
+        assert_eq!(taken, [5, 6, 5], "two distinct sources plus the free rider");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn take_batch_skips_non_batchable() {
+        let tenants = [TenantSpec::new(0, "t")];
+        let mut q = AdmissionQueue::new(&tenants, 64);
+        q.submit(req(0, 0, 5, 0.0), 0.0, 0.0).unwrap();
+        let pr = QueryRequest {
+            id: 1,
+            tenant: 0,
+            kind: QueryKind::PageRank { iterations: 3 },
+            submitted: 0.0,
+            deadline: 10.0,
+        };
+        q.submit(pr, 0.0, 0.0).unwrap();
+        q.submit(req(2, 0, 6, 0.0), 0.0, 0.0).unwrap();
+        let batch = q.take_batch(64);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|b| b.request.kind.is_batchable()));
+        assert_eq!(q.len(), 1, "the PageRank query stays queued");
+    }
+
+    #[test]
+    fn unknown_tenant_is_typed() {
+        let mut q = AdmissionQueue::new(&[TenantSpec::new(0, "t")], 4);
+        let err = q.submit(req(0, 9, 1, 0.0), 0.0, 0.0).unwrap_err();
+        assert_eq!(err, AdmissionError::UnknownTenant { tenant: 9 });
+    }
+}

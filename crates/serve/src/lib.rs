@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Multi-tenant traversal serving on the simulated GPU cluster.
+//!
+//! The paper frames BFS as "a building block of more advanced algorithms"
+//! run from many sources; this crate turns the one-shot distributed
+//! driver into a long-lived *service* for that repeated workload — the
+//! shape of a production inference-serving stack:
+//!
+//! * [`request`] — typed queries (BFS / SSSP / PageRank) with per-tenant
+//!   identity and deadlines, and typed admission rejections;
+//! * [`admission`] — token-bucket rate limits, queue-depth backpressure,
+//!   and start-time weighted-fair queueing across tenants;
+//! * [`scheduler`] — the batch-formation policy coalescing up to 64
+//!   compatible BFS queries into one MS-BFS sweep (batching delay vs
+//!   sharing factor);
+//! * [`workload`] — a seeded open-loop Poisson arrival generator;
+//! * [`service`] — the modeled-time event loop tying it together, with
+//!   per-tenant and global p50/p95/p99 latency, queue-wait, goodput and
+//!   shed-rate tracking through the `gcbfs-trace` metrics registry.
+//!
+//! Everything runs on the *modeled* clock: arrivals, admission decisions,
+//! batch dispatch, and completions are deterministic functions of the
+//! `(graph, config, policy, workload seed)` tuple, so every serving
+//! result — including latency percentiles — is bit-identical across host
+//! thread counts and repeated runs. Traversal seconds are charged through
+//! the same cost model as standalone runs; the control plane (queueing,
+//! batch formation) is modeled as free host-side work.
+
+pub mod admission;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+pub mod workload;
+
+pub use admission::{AdmissionQueue, TokenBucket};
+pub use request::{AdmissionError, QueryKind, QueryRequest, TenantId, TenantSpec};
+pub use scheduler::{BatchPolicy, Dispatch, MAX_BATCH};
+pub use service::{
+    LatencySummary, QueryOutcome, ServeReport, ShedQuery, TenantReport, TraversalService,
+};
+pub use workload::{generate, WorkloadSpec};

@@ -1,0 +1,250 @@
+//! Typed queries, tenants, and admission rejections.
+//!
+//! A serving request names a tenant, a traversal kind, and an absolute
+//! deadline on the modeled clock. Rejections are typed — callers (and
+//! tests) can distinguish a rate-limit shed from a full queue from an
+//! infeasible deadline — and every reason has a stable label the metrics
+//! registry buckets shed counts under.
+
+use std::fmt;
+
+/// Identifies one tenant of the serving layer.
+pub type TenantId = u32;
+
+/// What a query asks the cluster to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Hop distances from `source`. Batchable: up to 64 concurrent BFS
+    /// queries share one MS-BFS sweep.
+    Bfs {
+        /// The source vertex.
+        source: u64,
+    },
+    /// Weighted shortest-path distances from `source`. Runs alone.
+    Sssp {
+        /// The source vertex.
+        source: u64,
+    },
+    /// A bounded-iteration PageRank over the whole graph. Runs alone.
+    PageRank {
+        /// Power-iteration bound.
+        iterations: u32,
+    },
+}
+
+impl QueryKind {
+    /// Whether this kind can share a dispatch with others of its kind.
+    pub fn is_batchable(self) -> bool {
+        matches!(self, QueryKind::Bfs { .. })
+    }
+
+    /// Stable short label for tables and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Bfs { .. } => "bfs",
+            QueryKind::Sssp { .. } => "sssp",
+            QueryKind::PageRank { .. } => "pagerank",
+        }
+    }
+
+    /// The source vertex, for kinds that have one.
+    pub fn source(self) -> Option<u64> {
+        match self {
+            QueryKind::Bfs { source } | QueryKind::Sssp { source } => Some(source),
+            QueryKind::PageRank { .. } => None,
+        }
+    }
+}
+
+/// One query submitted to the serving layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Unique submission id (monotone per workload).
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// What to compute.
+    pub kind: QueryKind,
+    /// Submission time on the modeled clock (seconds).
+    pub submitted: f64,
+    /// Absolute completion deadline on the modeled clock (seconds).
+    pub deadline: f64,
+}
+
+/// Per-tenant identity, fair-share weight, and rate-limit envelope.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// The tenant id queries name.
+    pub id: TenantId,
+    /// Human-readable name (metric key component).
+    pub name: String,
+    /// Weighted-fair-queueing weight: a tenant with weight 2 drains twice
+    /// as fast as a tenant with weight 1 under contention.
+    pub weight: f64,
+    /// Token-bucket refill rate in queries per modeled second; 0 means
+    /// the tenant may never submit (admission control off switch),
+    /// `f64::INFINITY` disables rate limiting.
+    pub rate_qps: f64,
+    /// Token-bucket capacity (burst allowance).
+    pub burst: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1 and no rate limit.
+    pub fn new(id: TenantId, name: &str) -> Self {
+        Self { id, name: name.to_string(), weight: 1.0, rate_qps: f64::INFINITY, burst: 64.0 }
+    }
+
+    /// Sets the fair-share weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "WFQ weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the token-bucket envelope.
+    pub fn with_rate(mut self, rate_qps: f64, burst: f64) -> Self {
+        self.rate_qps = rate_qps;
+        self.burst = burst;
+        self
+    }
+}
+
+/// Why the admission queue refused a query. Every variant is a *shed*:
+/// the query does no traversal work and consumes no server time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdmissionError {
+    /// The tenant id is not registered with the service.
+    UnknownTenant {
+        /// The unregistered id.
+        tenant: TenantId,
+    },
+    /// The query's deadline had already passed at submission time.
+    DeadlineExpired {
+        /// The absolute deadline.
+        deadline: f64,
+        /// The modeled clock at submission.
+        now: f64,
+    },
+    /// The queue is at its depth limit (backpressure).
+    QueueFull {
+        /// Current queue depth.
+        depth: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Even an immediate dispatch could not meet the deadline.
+    DeadlineInfeasible {
+        /// Earliest modeled completion the scheduler could promise.
+        earliest_completion: f64,
+        /// The absolute deadline.
+        deadline: f64,
+    },
+    /// The tenant's token bucket is empty.
+    RateLimited {
+        /// The throttled tenant.
+        tenant: TenantId,
+        /// Modeled seconds until a token is available
+        /// (`f64::INFINITY` for a zero-rate tenant).
+        retry_after: f64,
+    },
+    /// The service has no backend for this query kind (e.g. SSSP with no
+    /// weighted graph loaded).
+    Unsupported {
+        /// Label of the unsupported kind.
+        kind: &'static str,
+    },
+    /// The source vertex does not exist in the served graph.
+    SourceOutOfRange {
+        /// The requested source.
+        source: u64,
+        /// Vertices in the served graph.
+        num_vertices: u64,
+    },
+}
+
+impl AdmissionError {
+    /// Stable label used as the shed-reason metric bucket.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionError::UnknownTenant { .. } => "unknown_tenant",
+            AdmissionError::DeadlineExpired { .. } => "deadline_expired",
+            AdmissionError::QueueFull { .. } => "queue_full",
+            AdmissionError::DeadlineInfeasible { .. } => "deadline_infeasible",
+            AdmissionError::RateLimited { .. } => "rate_limited",
+            AdmissionError::Unsupported { .. } => "unsupported",
+            AdmissionError::SourceOutOfRange { .. } => "source_out_of_range",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            AdmissionError::DeadlineExpired { deadline, now } => {
+                write!(f, "deadline {deadline:.6}s already expired at submit ({now:.6}s)")
+            }
+            AdmissionError::QueueFull { depth, limit } => {
+                write!(f, "admission queue full ({depth} of {limit})")
+            }
+            AdmissionError::DeadlineInfeasible { earliest_completion, deadline } => write!(
+                f,
+                "deadline {deadline:.6}s infeasible: earliest completion {earliest_completion:.6}s"
+            ),
+            AdmissionError::RateLimited { tenant, retry_after } => {
+                write!(f, "tenant {tenant} rate limited, retry after {retry_after:.6}s")
+            }
+            AdmissionError::Unsupported { kind } => write!(f, "no backend for {kind} queries"),
+            AdmissionError::SourceOutOfRange { source, num_vertices } => {
+                write!(f, "source {source} out of range (graph has {num_vertices} vertices)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_and_batchability() {
+        assert!(QueryKind::Bfs { source: 1 }.is_batchable());
+        assert!(!QueryKind::Sssp { source: 1 }.is_batchable());
+        assert!(!QueryKind::PageRank { iterations: 5 }.is_batchable());
+        assert_eq!(QueryKind::Bfs { source: 1 }.label(), "bfs");
+        assert_eq!(QueryKind::Bfs { source: 7 }.source(), Some(7));
+        assert_eq!(QueryKind::PageRank { iterations: 5 }.source(), None);
+    }
+
+    #[test]
+    fn error_labels_are_distinct() {
+        let errs = [
+            AdmissionError::UnknownTenant { tenant: 0 },
+            AdmissionError::DeadlineExpired { deadline: 0.0, now: 1.0 },
+            AdmissionError::QueueFull { depth: 4, limit: 4 },
+            AdmissionError::DeadlineInfeasible { earliest_completion: 2.0, deadline: 1.0 },
+            AdmissionError::RateLimited { tenant: 0, retry_after: 0.5 },
+            AdmissionError::Unsupported { kind: "sssp" },
+            AdmissionError::SourceOutOfRange { source: 9, num_vertices: 4 },
+        ];
+        let mut labels: Vec<&str> = errs.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), errs.len());
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn tenant_builder() {
+        let t = TenantSpec::new(3, "batch").with_weight(2.5).with_rate(100.0, 10.0);
+        assert_eq!(t.id, 3);
+        assert_eq!(t.weight, 2.5);
+        assert_eq!(t.rate_qps, 100.0);
+        assert_eq!(t.burst, 10.0);
+    }
+}

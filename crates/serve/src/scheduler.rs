@@ -1,0 +1,205 @@
+//! The batching scheduler: when to dispatch, and what to coalesce.
+//!
+//! MS-BFS packs up to 64 concurrent searches into one u64 bitmask per
+//! vertex, so every edge traversal serves the whole batch — the serving
+//! layer's analogue of batched inference. The policy trades *batching
+//! delay* against *sharing factor*: a dispatch fires when the batch is
+//! full (64 distinct sources), when the oldest batchable query has
+//! waited `window` modeled seconds, or immediately for non-batchable
+//! kinds. Larger windows raise the sharing factor (more queries per
+//! sweep) at the cost of queue-wait latency; `window = 0` degenerates
+//! to FCFS single dispatch.
+
+use crate::admission::{AdmissionQueue, Queued};
+use crate::request::QueryKind;
+
+/// Maximum sources one MS-BFS sweep can carry (one bit per search).
+pub const MAX_BATCH: usize = 64;
+
+/// Batch-formation and backpressure policy.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Distinct sources per dispatch, `1..=64`. 1 disables sharing (the
+    /// no-batching baseline).
+    pub max_batch: usize,
+    /// Batching delay bound: modeled seconds the oldest batchable query
+    /// may wait for the batch to fill before dispatch fires anyway.
+    pub window: f64,
+    /// Admission-queue depth limit (backpressure threshold).
+    pub queue_limit: usize,
+    /// Scheduler's estimate of one sweep's modeled seconds, used for the
+    /// deadline-feasibility gate at admission. 0 disables the gate.
+    pub service_estimate: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { max_batch: MAX_BATCH, window: 0.01, queue_limit: 4096, service_estimate: 0.0 }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy with the given batch width and window.
+    pub fn new(max_batch: usize, window: f64) -> Self {
+        assert!(
+            (1..=MAX_BATCH).contains(&max_batch),
+            "batch width must be 1..={MAX_BATCH}, got {max_batch}"
+        );
+        assert!(window >= 0.0, "batching window must be non-negative");
+        Self { max_batch, window, ..Self::default() }
+    }
+
+    /// Sets the queue depth limit.
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = limit;
+        self
+    }
+
+    /// Sets the feasibility estimate (modeled seconds per sweep).
+    pub fn with_service_estimate(mut self, estimate: f64) -> Self {
+        self.service_estimate = estimate;
+        self
+    }
+}
+
+/// A formed dispatch: either a coalesced BFS batch or a solo query.
+#[derive(Clone, Debug)]
+pub enum Dispatch {
+    /// Up to 64 BFS queries sharing one MS-BFS sweep, in fair order.
+    Batch(Vec<Queued>),
+    /// A non-batchable query (SSSP, PageRank) running alone.
+    Single(Queued),
+}
+
+impl Dispatch {
+    /// Queries carried by this dispatch.
+    pub fn len(&self) -> usize {
+        match self {
+            Dispatch::Batch(b) => b.len(),
+            Dispatch::Single(_) => 1,
+        }
+    }
+
+    /// Whether the dispatch carries no queries (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Decides dispatch readiness for the current queue state.
+///
+/// Returns the earliest modeled time a dispatch may fire, given that the
+/// server frees up at `server_free`; `None` when nothing is queued.
+/// `draining` relaxes the window (no more arrivals can fill the batch,
+/// so waiting buys nothing).
+pub fn next_dispatch_time(
+    queue: &AdmissionQueue,
+    policy: &BatchPolicy,
+    server_free: f64,
+    draining: bool,
+) -> Option<f64> {
+    let head = queue.peek()?;
+    let trigger = match head.request.kind {
+        QueryKind::Bfs { .. } => {
+            if draining || queue.batchable_distinct_sources() >= policy.max_batch {
+                0.0
+            } else {
+                queue.earliest_batchable_submit().expect("head is batchable") + policy.window
+            }
+        }
+        // Non-batchable kinds dispatch as soon as the server frees up.
+        _ => 0.0,
+    };
+    Some(server_free.max(trigger))
+}
+
+/// Forms the dispatch the head of the queue calls for: a coalesced BFS
+/// batch when the fair-order head is batchable, otherwise that single
+/// query. Returns `None` on an empty queue.
+pub fn form_dispatch(queue: &mut AdmissionQueue, policy: &BatchPolicy) -> Option<Dispatch> {
+    let head = queue.peek()?;
+    if head.request.kind.is_batchable() {
+        let batch = queue.take_batch(policy.max_batch);
+        debug_assert!(!batch.is_empty(), "head was batchable");
+        Some(Dispatch::Batch(batch))
+    } else {
+        queue.pop().map(Dispatch::Single)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{QueryRequest, TenantSpec};
+
+    fn bfs(id: u64, source: u64, at: f64) -> QueryRequest {
+        QueryRequest {
+            id,
+            tenant: 0,
+            kind: QueryKind::Bfs { source },
+            submitted: at,
+            deadline: at + 100.0,
+        }
+    }
+
+    fn queue_with(reqs: &[QueryRequest]) -> AdmissionQueue {
+        let mut q = AdmissionQueue::new(&[TenantSpec::new(0, "t")], 1024);
+        for r in reqs {
+            q.submit(*r, r.submitted, 0.0).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn window_delays_partial_batches() {
+        let policy = BatchPolicy::new(64, 0.5);
+        let q = queue_with(&[bfs(0, 1, 1.0), bfs(1, 2, 1.2)]);
+        // Not full: fire at oldest submit + window.
+        assert_eq!(next_dispatch_time(&q, &policy, 0.0, false), Some(1.5));
+        // A busy server pushes the dispatch later.
+        assert_eq!(next_dispatch_time(&q, &policy, 2.0, false), Some(2.0));
+        // Draining (no future arrivals) fires as soon as the server frees.
+        assert_eq!(next_dispatch_time(&q, &policy, 0.0, true), Some(0.0));
+    }
+
+    #[test]
+    fn full_batch_fires_immediately() {
+        let policy = BatchPolicy::new(2, 10.0);
+        let q = queue_with(&[bfs(0, 1, 0.0), bfs(1, 2, 0.0)]);
+        assert_eq!(next_dispatch_time(&q, &policy, 0.25, false), Some(0.25));
+    }
+
+    #[test]
+    fn empty_queue_has_no_dispatch() {
+        let policy = BatchPolicy::default();
+        let q = queue_with(&[]);
+        assert_eq!(next_dispatch_time(&q, &policy, 0.0, false), None);
+        let mut q = q;
+        assert!(form_dispatch(&mut q, &policy).is_none());
+    }
+
+    #[test]
+    fn forms_batches_and_singles() {
+        let policy = BatchPolicy::new(64, 0.0);
+        let mut q = queue_with(&[bfs(0, 1, 0.0), bfs(1, 2, 0.0)]);
+        let pr = QueryRequest {
+            id: 2,
+            tenant: 0,
+            kind: QueryKind::PageRank { iterations: 3 },
+            submitted: 0.0,
+            deadline: 100.0,
+        };
+        q.submit(pr, 0.0, 0.0).unwrap();
+        let d = form_dispatch(&mut q, &policy).unwrap();
+        assert!(matches!(&d, Dispatch::Batch(b) if b.len() == 2));
+        assert!(!d.is_empty());
+        let d = form_dispatch(&mut q, &policy).unwrap();
+        assert!(matches!(&d, Dispatch::Single(s) if s.request.id == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn rejects_oversized_policy() {
+        let _ = BatchPolicy::new(65, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Seeded open-loop workload generation.
+//!
+//! Open-loop means arrival times are drawn independently of service
+//! progress — the generator never slows down because the server is
+//! saturated, which is what exposes the saturation knee. Inter-arrival
+//! gaps are exponential (Poisson process) at the offered QPS; tenant,
+//! kind and source picks are all driven by one splitmix64 stream, so a
+//! `(spec, tenants)` pair maps to exactly one arrival sequence,
+//! bit-for-bit, on every host.
+
+use crate::request::{QueryKind, QueryRequest, TenantId, TenantSpec};
+use gcbfs_graph::permute::splitmix64;
+
+/// An open-loop Poisson workload description.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Offered load in queries per modeled second (all tenants).
+    pub qps: f64,
+    /// Number of arrivals to generate (open loop: fixed count, not
+    /// fixed duration, so every QPS point serves the same work).
+    pub arrivals: usize,
+    /// RNG seed; same seed, same workload.
+    pub seed: u64,
+    /// Relative deadline budget per query (modeled seconds).
+    pub deadline: f64,
+    /// Sources BFS/SSSP queries draw from (uniformly).
+    pub source_pool: Vec<u64>,
+    /// Per-mille of arrivals that are SSSP queries.
+    pub sssp_permille: u32,
+    /// Per-mille of arrivals that are PageRank queries.
+    pub pagerank_permille: u32,
+    /// Iteration bound carried by PageRank queries.
+    pub pagerank_iterations: u32,
+    /// Relative traffic share per tenant, aligned with the tenant list
+    /// given to [`generate`]; empty means uniform.
+    pub tenant_shares: Vec<f64>,
+}
+
+impl WorkloadSpec {
+    /// A pure-BFS workload at `qps` over `source_pool`.
+    pub fn bfs_only(qps: f64, arrivals: usize, seed: u64, source_pool: Vec<u64>) -> Self {
+        assert!(qps > 0.0, "offered QPS must be positive");
+        assert!(!source_pool.is_empty(), "source pool must be non-empty");
+        Self {
+            qps,
+            arrivals,
+            seed,
+            deadline: 0.25,
+            source_pool,
+            sssp_permille: 0,
+            pagerank_permille: 0,
+            pagerank_iterations: 5,
+            tenant_shares: Vec::new(),
+        }
+    }
+
+    /// Sets the per-query relative deadline.
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Adds an SSSP/PageRank fraction (per mille each).
+    pub fn with_mix(mut self, sssp_permille: u32, pagerank_permille: u32) -> Self {
+        assert!(sssp_permille + pagerank_permille <= 1000);
+        self.sssp_permille = sssp_permille;
+        self.pagerank_permille = pagerank_permille;
+        self
+    }
+
+    /// Sets per-tenant traffic shares (need not sum to 1).
+    pub fn with_tenant_shares(mut self, shares: Vec<f64>) -> Self {
+        self.tenant_shares = shares;
+        self
+    }
+}
+
+/// A uniform f64 in `[0, 1)` from 53 bits of the mixed state.
+fn unit(state: u64) -> f64 {
+    (state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates the arrival sequence for `spec` across `tenants`, sorted by
+/// submission time (it is produced sorted; ties cannot occur because
+/// exponential gaps are strictly positive with probability one and the
+/// stream is fixed).
+pub fn generate(spec: &WorkloadSpec, tenants: &[TenantSpec]) -> Vec<QueryRequest> {
+    assert!(!tenants.is_empty(), "at least one tenant");
+    let shares: Vec<f64> = if spec.tenant_shares.is_empty() {
+        vec![1.0; tenants.len()]
+    } else {
+        assert_eq!(spec.tenant_shares.len(), tenants.len(), "one share per tenant");
+        spec.tenant_shares.clone()
+    };
+    let total_share: f64 = shares.iter().sum();
+    let mut state = splitmix64(spec.seed ^ 0x5e7_1ce0_11ab);
+    let mut now = 0.0f64;
+    let mut out = Vec::with_capacity(spec.arrivals);
+    for id in 0..spec.arrivals as u64 {
+        state = splitmix64(state);
+        // Exponential inter-arrival at the offered rate; 1 - u avoids
+        // ln(0).
+        now += -(1.0 - unit(state)).ln() / spec.qps;
+        state = splitmix64(state);
+        let tenant = pick_tenant(&shares, total_share, unit(state), tenants);
+        state = splitmix64(state);
+        let roll = (state % 1000) as u32;
+        state = splitmix64(state);
+        let source = spec.source_pool[(state % spec.source_pool.len() as u64) as usize];
+        let kind = if roll < spec.sssp_permille {
+            QueryKind::Sssp { source }
+        } else if roll < spec.sssp_permille + spec.pagerank_permille {
+            QueryKind::PageRank { iterations: spec.pagerank_iterations }
+        } else {
+            QueryKind::Bfs { source }
+        };
+        out.push(QueryRequest { id, tenant, kind, submitted: now, deadline: now + spec.deadline });
+    }
+    out
+}
+
+fn pick_tenant(shares: &[f64], total: f64, u: f64, tenants: &[TenantSpec]) -> TenantId {
+    let mut acc = 0.0;
+    let target = u * total;
+    for (share, tenant) in shares.iter().zip(tenants) {
+        acc += share;
+        if target < acc {
+            return tenant.id;
+        }
+    }
+    tenants.last().expect("non-empty").id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![TenantSpec::new(0, "a"), TenantSpec::new(1, "b")]
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_seeded() {
+        let spec = WorkloadSpec::bfs_only(100.0, 200, 42, vec![1, 2, 3]);
+        let a = generate(&spec, &tenants());
+        let b = generate(&spec, &tenants());
+        assert_eq!(a, b, "same seed, same workload");
+        assert!(a.windows(2).all(|w| w[0].submitted <= w[1].submitted));
+        assert_eq!(a.len(), 200);
+        // Mean inter-arrival ~ 1/qps: the 200th arrival lands near 2s.
+        let last = a.last().unwrap().submitted;
+        assert!(last > 0.5 && last < 8.0, "implausible makespan {last}");
+    }
+
+    #[test]
+    fn different_seed_different_arrivals() {
+        let spec_a = WorkloadSpec::bfs_only(100.0, 50, 1, vec![1, 2]);
+        let spec_b = WorkloadSpec::bfs_only(100.0, 50, 2, vec![1, 2]);
+        assert_ne!(generate(&spec_a, &tenants()), generate(&spec_b, &tenants()));
+    }
+
+    #[test]
+    fn mix_produces_all_kinds() {
+        let spec = WorkloadSpec::bfs_only(50.0, 600, 7, vec![4, 5]).with_mix(200, 100);
+        let reqs = generate(&spec, &tenants());
+        let sssp = reqs.iter().filter(|r| matches!(r.kind, QueryKind::Sssp { .. })).count();
+        let pr = reqs.iter().filter(|r| matches!(r.kind, QueryKind::PageRank { .. })).count();
+        let bfs = reqs.len() - sssp - pr;
+        assert!(sssp > 50 && pr > 20 && bfs > 350, "mix off: bfs {bfs} sssp {sssp} pr {pr}");
+    }
+
+    #[test]
+    fn tenant_shares_skew_traffic() {
+        let spec =
+            WorkloadSpec::bfs_only(50.0, 1000, 11, vec![1]).with_tenant_shares(vec![9.0, 1.0]);
+        let reqs = generate(&spec, &tenants());
+        let t0 = reqs.iter().filter(|r| r.tenant == 0).count();
+        assert!(t0 > 800, "nine-to-one share gave tenant 0 only {t0} of 1000");
+    }
+
+    #[test]
+    fn deadlines_track_submission() {
+        let spec = WorkloadSpec::bfs_only(10.0, 20, 3, vec![1]).with_deadline(0.5);
+        for r in generate(&spec, &tenants()) {
+            assert_eq!(r.deadline, r.submitted + 0.5);
+        }
+    }
+}

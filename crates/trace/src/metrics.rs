@@ -50,6 +50,47 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Inclusive upper bound of bucket `i`: bucket 0 holds `{0, 1}` so
+    /// its bound is 1; bucket `i >= 1` holds `[2^i, 2^(i+1) - 1]` so its
+    /// bound is `2^(i+1) - 1`; the overflow bucket reports `u64::MAX`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else if i >= Self::NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the deterministic upper bound
+    /// of the bucket holding the sample of rank `ceil(q * count)`
+    /// (nearest-rank definition). Returns 0 for an empty histogram.
+    ///
+    /// Bucket boundaries are fixed powers of two, so the extracted
+    /// quantile is bit-identical for any insertion order or host thread
+    /// count — the property the SLO trackers need. Resolution is the 2x
+    /// bucket width; callers needing exact percentiles keep raw samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(Self::NUM_BUCKETS - 1)
+    }
+
+    /// The standard SLO triple `(p50, p95, p99)`.
+    pub fn slo_quantiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
 }
 
 /// A deterministic, sorted view of the registry at one point in time.
@@ -72,6 +113,11 @@ impl MetricsSnapshot {
     /// Looks up a gauge by exact name.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
     /// Renders the snapshot as stable `name value` lines (counters, then
@@ -210,6 +256,75 @@ mod tests {
         let mut h = Histogram::default();
         h.observe(u64::MAX);
         assert_eq!(h.buckets[Histogram::NUM_BUCKETS - 1], 1);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.slo_quantiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_nearest_rank_on_bucket_bounds() {
+        let mut h = Histogram::default();
+        // 90 samples of value 1 (bucket 0), 9 of value 100 (bucket 6,
+        // [64, 127]), 1 of value 5000 (bucket 12, [4096, 8191]).
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..9 {
+            h.observe(100);
+        }
+        h.observe(5000);
+        assert_eq!(h.quantile(0.0), 1, "rank clamps to the first sample");
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.90), 1);
+        assert_eq!(h.quantile(0.95), 127, "bucket upper bound of value 100");
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 8191, "bucket upper bound of value 5000");
+        assert_eq!(h.slo_quantiles(), (1, 127, 127));
+    }
+
+    #[test]
+    fn quantile_is_insertion_order_independent() {
+        let values = [7u64, 3, 900, 12, 0, 55, 55, 1 << 20, 42, 9];
+        let mut forward = Histogram::default();
+        let mut backward = Histogram::default();
+        for &v in &values {
+            forward.observe(v);
+        }
+        for &v in values.iter().rev() {
+            backward.observe(v);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(forward.quantile(q), backward.quantile(q));
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_cover_observe_mapping() {
+        // Every observed value must be <= the bound of its own bucket
+        // and > the bound of the previous bucket.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u32::MAX as u64, u64::MAX] {
+            let idx = (64 - u64::leading_zeros(v.max(1)) as usize).min(Histogram::NUM_BUCKETS) - 1;
+            assert!(v <= Histogram::bucket_upper_bound(idx), "value {v} bucket {idx}");
+            if idx > 0 {
+                assert!(v > Histogram::bucket_upper_bound(idx - 1), "value {v} bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_histogram_lookup() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram_observe("lat", 5);
+        reg.histogram_observe("lat", 9);
+        let snap = reg.snapshot();
+        let h = snap.histogram("lat").expect("recorded");
+        assert_eq!(h.count, 2);
+        assert!(snap.histogram("missing").is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! gcbfs bfs graph.bin --ranks 4 --gpus 2 --threshold 45 [--source V]
 //!     [--no-do] [--local-all2all] [--uniquify] [--nonblocking] [--parents]
 //! gcbfs pagerank graph.bin --ranks 4 --gpus 2 --threshold 45
+//! gcbfs serve graph.bin --ranks 4 --gpus 2 --qps 500 --batch 64
 //! ```
 //!
 //! Files ending in `.txt` use the text edge-list format; anything else the
@@ -46,7 +47,11 @@ const USAGE: &str = "usage:
   gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
   gcbfs betweenness FILE [--ranks R] [--gpus G] [--threshold TH] [--samples K]
   gcbfs sssp FILE [--ranks R] [--gpus G] [--threshold TH] [--source V]
-            [--max-weight W] [--weight-seed S]";
+            [--max-weight W] [--weight-seed S]
+  gcbfs serve FILE [--ranks R] [--gpus G] [--threshold TH] [--qps Q]
+            [--arrivals N] [--seed S] [--deadline-ms D] [--batch B]
+            [--window-ms W] [--queue L] [--pool K] [--tenants T]
+            [--sssp-permille X] [--pagerank-permille Y]";
 
 /// Tiny flag parser: `--key value` options and `--flag` switches.
 struct Args<'a> {
@@ -106,6 +111,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         Some("components") => components_cmd(&args),
         Some("betweenness") => betweenness_cmd(&args),
         Some("sssp") => sssp_cmd(&args),
+        Some("serve") => serve_cmd(&args),
         Some(other) => Err(format!("unknown command: {other}")),
         None => Err("no command given".into()),
     }
@@ -412,6 +418,139 @@ fn sssp_cmd(args: &Args) -> Result<(), String> {
         r.edges_relaxed,
         r.modeled_seconds * 1e3
     );
+    Ok(())
+}
+
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    use gpu_cluster_bfs::core::sssp::DistributedSssp;
+    use gpu_cluster_bfs::graph::permute::splitmix64;
+    use gpu_cluster_bfs::graph::weighted::WeightedEdgeList;
+    use gpu_cluster_bfs::serve::generate;
+
+    let path = args.positional.get(1).ok_or("serve needs a file")?;
+    let graph = load(path)?;
+    let topo = topology(args)?;
+    let th: u64 = args.opt("threshold", 32)?;
+    let qps: f64 = args.opt("qps", 500.0)?;
+    let arrivals: usize = args.opt("arrivals", 256)?;
+    let seed: u64 = args.opt("seed", 42)?;
+    let deadline_ms: f64 = args.opt("deadline-ms", 250.0)?;
+    let batch: usize = args.opt("batch", 64)?;
+    let window_ms: f64 = args.opt("window-ms", 1.0)?;
+    let queue: usize = args.opt("queue", 4096)?;
+    let pool: usize = args.opt("pool", 32)?;
+    let num_tenants: u32 = args.opt("tenants", 2)?;
+    let sssp_permille: u32 = args.opt("sssp-permille", 0)?;
+    let pagerank_permille: u32 = args.opt("pagerank-permille", 0)?;
+    if !(1..=gpu_cluster_bfs::serve::MAX_BATCH).contains(&batch) {
+        return Err(format!("--batch must be 1..={}", gpu_cluster_bfs::serve::MAX_BATCH));
+    }
+    if num_tenants == 0 {
+        return Err("--tenants must be positive".into());
+    }
+    if sssp_permille + pagerank_permille > 1000 {
+        return Err("--sssp-permille + --pagerank-permille must be <= 1000".into());
+    }
+    if qps <= 0.0 {
+        return Err("--qps must be positive".into());
+    }
+
+    // MS-BFS coalescing is forward-only, so the service traverses
+    // without direction optimization.
+    let config = BfsConfig::new(th).with_direction_optimization(false);
+    let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
+
+    // Deterministic non-isolated source pool, as in the bench harness.
+    let degrees = graph.out_degrees();
+    let mut sources: Vec<u64> = Vec::with_capacity(pool);
+    let mut state = seed;
+    let mut attempts = 0u64;
+    while sources.len() < pool && attempts < graph.num_vertices * 4 + 1000 {
+        state = splitmix64(state);
+        let v = state % graph.num_vertices;
+        attempts += 1;
+        if degrees[v as usize] > 0 && !sources.contains(&v) {
+            sources.push(v);
+        }
+    }
+    if sources.is_empty() {
+        return Err("no connected source vertex found".into());
+    }
+
+    let tenants: Vec<TenantSpec> =
+        (0..num_tenants).map(|i| TenantSpec::new(i, &format!("tenant-{i}"))).collect();
+    let policy = BatchPolicy::new(batch, window_ms / 1e3).with_queue_limit(queue);
+    let backend = if sssp_permille > 0 {
+        let weighted = WeightedEdgeList::from_topology(&graph, 16, 7);
+        Some(DistributedSssp::build(&weighted, topo, &config))
+    } else {
+        None
+    };
+    let mut svc = TraversalService::new(&dist, config, tenants.clone(), policy);
+    if let Some(b) = backend.as_ref() {
+        svc = svc.with_sssp(b);
+    }
+
+    let spec = WorkloadSpec::bfs_only(qps, arrivals, seed, sources)
+        .with_deadline(deadline_ms / 1e3)
+        .with_mix(sssp_permille, pagerank_permille);
+    let workload = generate(&spec, &tenants);
+    let r = svc.run(&workload);
+
+    println!(
+        "serving {path}: n = {}, m = {}, {} GPUs; batch {batch}, window {window_ms} ms, \
+         queue bound {queue}",
+        graph.num_vertices,
+        graph.num_edges(),
+        topo.num_gpus()
+    );
+    println!(
+        "offered {} queries at {qps} QPS over {:.3} modeled s (deadline {deadline_ms} ms)",
+        r.offered, r.duration
+    );
+    let shed: Vec<String> = r.shed.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+    println!(
+        "admitted {}, shed {} ({}), completed {}, on time {}",
+        r.admitted,
+        r.offered - r.admitted,
+        if shed.is_empty() { "none".to_string() } else { shed.join(", ") },
+        r.completed,
+        r.on_time
+    );
+    println!(
+        "latency p50/p95/p99 {:.3}/{:.3}/{:.3} ms (max {:.3}); queue wait p99 {:.3} ms",
+        r.latency.p50 * 1e3,
+        r.latency.p95 * 1e3,
+        r.latency.p99 * 1e3,
+        r.latency.max * 1e3,
+        r.queue_wait.p99 * 1e3
+    );
+    println!(
+        "goodput {:.1} QPS of {:.1} offered ({:.1}% shed); {} batches, mean width {:.2}, \
+         sharing factor {:.2}x",
+        r.goodput_qps,
+        r.offered_qps,
+        r.shed_rate * 100.0,
+        r.batches,
+        r.mean_batch,
+        r.sharing_factor
+    );
+    println!("per tenant:");
+    println!(
+        "  {:>12} {:>8} {:>10} {:>8} {:>10} {:>10}",
+        "tenant", "offered", "completed", "on-time", "p50 ms", "p99 ms"
+    );
+    for t in &r.tenants {
+        println!(
+            "  {:>12} {:>8} {:>10} {:>8} {:>10.3} {:>10.3}",
+            t.name,
+            t.offered,
+            t.completed,
+            t.on_time,
+            t.latency.p50 * 1e3,
+            t.latency.p99 * 1e3
+        );
+    }
     Ok(())
 }
 

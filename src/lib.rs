@@ -18,7 +18,10 @@
 //!   distributed baselines for comparison;
 //! * [`obs`] — structured observability: typed spans in modeled-time
 //!   coordinates, the metrics registry, Chrome-trace/JSON-lines exporters,
-//!   and the critical-path analyzer.
+//!   and the critical-path analyzer;
+//! * [`serve`] — the multi-tenant traversal serving layer: admission
+//!   queue with token-bucket rate limits and weighted-fair scheduling,
+//!   the MS-BFS batching scheduler, and deterministic SLO metrics.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use gcbfs_cluster as cluster;
 pub use gcbfs_compress as compress;
 pub use gcbfs_core as core;
 pub use gcbfs_graph as graph;
+pub use gcbfs_serve as serve;
 pub use gcbfs_trace as obs;
 
 /// Convenient glob import of the most commonly used items.
@@ -57,4 +61,5 @@ pub mod prelude {
     pub use gcbfs_core::pagerank::PageRankConfig;
     pub use gcbfs_core::verify::{DistributedValidation, VerificationMode};
     pub use gcbfs_graph::{Csr, EdgeList, PowerLawConfig, RmatConfig, WebGraphConfig};
+    pub use gcbfs_serve::{BatchPolicy, TenantSpec, TraversalService, WorkloadSpec};
 }

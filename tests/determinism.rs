@@ -146,6 +146,85 @@ fn pagerank_width_matrix_bitwise() {
 }
 
 #[test]
+fn msbfs_width_matrix_bitwise() {
+    let (graph, config, _src) = setup();
+    let degrees = graph.out_degrees();
+    let sources: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(64).collect();
+    assert_eq!(sources.len(), 64, "scale-9 RMAT has at least 64 non-isolated vertices");
+    width_matrix(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(4, 2), &config).unwrap();
+        let r = dist.run_multi_source(&sources, &config).unwrap();
+        let level_bits: Vec<u64> = r.level_seconds.iter().map(|s| s.to_bits()).collect();
+        (r.depths, r.source_iterations, level_bits, r.modeled_seconds.to_bits(), r.edges_examined)
+    });
+}
+
+#[test]
+fn msbfs_batch_equals_independent_single_runs() {
+    // One 64-wide sweep must answer exactly what 64 dedicated BFS runs
+    // answer: same depth vectors, same per-source iteration counts.
+    let (graph, config, _src) = setup();
+    let degrees = graph.out_degrees();
+    let sources: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(64).collect();
+    assert_eq!(sources.len(), 64);
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let batch = dist.run_multi_source(&sources, &config).unwrap();
+    for (k, &s) in sources.iter().enumerate() {
+        let single = dist.run(s, &config).unwrap();
+        assert_eq!(batch.depths[k], single.depths, "depths drifted for source {s}");
+        assert_eq!(
+            batch.iterations_of(k),
+            single.iterations(),
+            "iteration count drifted for source {s}"
+        );
+    }
+}
+
+#[test]
+fn serving_width_matrix_bitwise() {
+    // The whole serving pipeline — arrival generation, admission,
+    // weighted-fair dispatch, MS-BFS sweeps, SLO quantiles — is a
+    // deterministic function of the seed, at any host thread width.
+    use gpu_cluster_bfs::serve::{generate, WorkloadSpec};
+    let (graph, config, _src) = setup();
+    let config = config.with_direction_optimization(false);
+    let degrees = graph.out_degrees();
+    let pool: Vec<u64> =
+        (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(16).collect();
+    let tenants = vec![
+        TenantSpec::new(0, "a").with_weight(3.0),
+        TenantSpec::new(1, "b"),
+        TenantSpec::new(2, "c").with_rate(200.0, 8.0),
+    ];
+    width_matrix(|| {
+        let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+        let mut svc = TraversalService::new(
+            &dist,
+            config,
+            tenants.clone(),
+            BatchPolicy::new(16, 0.002).with_queue_limit(64),
+        );
+        let spec = WorkloadSpec::bfs_only(2000.0, 120, 7, pool.clone()).with_deadline(0.05);
+        let report = svc.run(&generate(&spec, &tenants));
+        let outcome_bits: Vec<(u64, u64, u64)> = report
+            .outcomes
+            .iter()
+            .map(|o| (o.request.id, o.dispatched.to_bits(), o.completed.to_bits()))
+            .collect();
+        (
+            outcome_bits,
+            report.latency.p99.to_bits(),
+            report.goodput_qps.to_bits(),
+            report.sharing_factor.to_bits(),
+            report.shed.clone(),
+            report.metrics.clone(),
+        )
+    });
+}
+
+#[test]
 fn sssp_width_matrix_bitwise() {
     use gpu_cluster_bfs::core::sssp::DistributedSssp;
     use gpu_cluster_bfs::graph::weighted::WeightedEdgeList;

@@ -1,0 +1,186 @@
+//! End-to-end behavior of the multi-tenant serving layer: typed
+//! admission rejections at the edges, batch formation degenerate cases,
+//! and SLO accounting, all through the public `TraversalService` API.
+
+use gpu_cluster_bfs::prelude::*;
+use gpu_cluster_bfs::serve::{generate, AdmissionError, QueryKind, QueryRequest, WorkloadSpec};
+
+fn setup() -> (gpu_cluster_bfs::graph::EdgeList, BfsConfig) {
+    let graph = RmatConfig::graph500(9).generate();
+    let config = BfsConfig::new(8).with_direction_optimization(false);
+    (graph, config)
+}
+
+fn pool(graph: &gpu_cluster_bfs::graph::EdgeList, count: usize) -> Vec<u64> {
+    let degrees = graph.out_degrees();
+    (0..graph.num_vertices).filter(|&v| degrees[v as usize] > 0).take(count).collect()
+}
+
+fn bfs_at(id: u64, tenant: u32, source: u64, submitted: f64, deadline: f64) -> QueryRequest {
+    QueryRequest { id, tenant, kind: QueryKind::Bfs { source }, submitted, deadline }
+}
+
+#[test]
+fn zero_rate_tenant_is_always_rate_limited() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants =
+        vec![TenantSpec::new(0, "open"), TenantSpec::new(1, "closed").with_rate(0.0, 0.0)];
+    let mut svc = TraversalService::new(&dist, config, tenants, BatchPolicy::default());
+    let s = pool(&graph, 1)[0];
+    let arrivals =
+        vec![bfs_at(0, 1, s, 0.0, 10.0), bfs_at(1, 0, s, 0.1, 10.0), bfs_at(2, 1, s, 5.0, 50.0)];
+    let report = svc.run(&arrivals);
+    assert_eq!(report.completed, 1, "only the open tenant's query is served");
+    assert_eq!(report.rejections.len(), 2);
+    for shed in &report.rejections {
+        assert_eq!(shed.request.tenant, 1);
+        match shed.reason {
+            AdmissionError::RateLimited { tenant: 1, retry_after } => {
+                assert!(retry_after.is_infinite(), "zero rate can never refill")
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+    }
+    assert_eq!(report.shed.get("rate_limited"), Some(&2));
+}
+
+#[test]
+fn deadline_expired_at_submit_is_shed() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants = vec![TenantSpec::new(0, "t")];
+    let mut svc = TraversalService::new(&dist, config, tenants, BatchPolicy::default());
+    let s = pool(&graph, 1)[0];
+    // Submitted at 2.0 with a deadline of 1.5: dead on arrival.
+    let arrivals = vec![bfs_at(0, 0, s, 2.0, 1.5)];
+    let report = svc.run(&arrivals);
+    assert_eq!(report.completed, 0);
+    assert_eq!(
+        report.rejections[0].reason,
+        AdmissionError::DeadlineExpired { deadline: 1.5, now: 2.0 }
+    );
+    assert_eq!(report.shed.get("deadline_expired"), Some(&1));
+}
+
+#[test]
+fn full_queue_sheds_with_backpressure_error() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants = vec![TenantSpec::new(0, "t")];
+    // Queue bound 2, and a batching window long enough that no dispatch
+    // happens before all five arrivals are in.
+    let policy = BatchPolicy::new(64, 1.0).with_queue_limit(2);
+    let mut svc = TraversalService::new(&dist, config, tenants, policy);
+    let sources = pool(&graph, 5);
+    let arrivals: Vec<QueryRequest> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| bfs_at(i as u64, 0, s, 0.001 * i as f64, 100.0))
+        .collect();
+    let report = svc.run(&arrivals);
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 2, "the admitted queries still complete");
+    assert_eq!(report.rejections.len(), 3);
+    for shed in &report.rejections {
+        assert_eq!(shed.reason, AdmissionError::QueueFull { depth: 2, limit: 2 });
+    }
+    assert_eq!(report.shed.get("queue_full"), Some(&3));
+}
+
+#[test]
+fn batch_of_exactly_one_dispatches_as_a_sweep() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants = vec![TenantSpec::new(0, "t")];
+    let mut svc = TraversalService::new(&dist, config, tenants, BatchPolicy::new(64, 0.010));
+    let s = pool(&graph, 1)[0];
+    let arrivals = vec![bfs_at(0, 0, s, 0.0, 10.0)];
+    let report = svc.run(&arrivals);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.batches, 1);
+    let o = &report.outcomes[0];
+    assert_eq!(o.batch_size, 1);
+    assert!(o.on_time);
+    // With no future arrivals the drain fast-path skips the batching
+    // window: nothing can join the batch, so waiting would be pure loss.
+    assert_eq!(o.dispatched, 0.0);
+    let expected = dist.run_multi_source(&[s], &config).unwrap().modeled_seconds;
+    assert_eq!((o.completed - o.dispatched).to_bits(), expected.to_bits());
+    assert_eq!(report.mean_batch, 1.0);
+}
+
+#[test]
+fn unknown_tenant_and_bad_source_are_typed() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants = vec![TenantSpec::new(0, "t")];
+    let mut svc = TraversalService::new(&dist, config, tenants, BatchPolicy::default());
+    let n = graph.num_vertices;
+    let s = pool(&graph, 1)[0];
+    let arrivals = vec![
+        bfs_at(0, 9, s, 0.0, 10.0),     // tenant 9 was never registered
+        bfs_at(1, 0, n + 5, 0.1, 10.0), // source past the vertex range
+        QueryRequest {
+            id: 2,
+            tenant: 0,
+            kind: QueryKind::Sssp { source: s },
+            submitted: 0.2,
+            deadline: 10.0,
+        }, // no weighted backend attached
+    ];
+    let report = svc.run(&arrivals);
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.rejections[0].reason, AdmissionError::UnknownTenant { tenant: 9 });
+    assert_eq!(
+        report.rejections[1].reason,
+        AdmissionError::SourceOutOfRange { source: n + 5, num_vertices: n }
+    );
+    assert_eq!(report.rejections[2].reason, AdmissionError::Unsupported { kind: "sssp" });
+}
+
+#[test]
+fn deadline_infeasible_gate_uses_service_estimate() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants = vec![TenantSpec::new(0, "t")];
+    // The scheduler promises nothing sooner than 1s of service; a 10ms
+    // deadline budget is therefore rejected up front instead of being
+    // served late.
+    let policy = BatchPolicy::default().with_service_estimate(1.0);
+    let mut svc = TraversalService::new(&dist, config, tenants, policy);
+    let s = pool(&graph, 1)[0];
+    let arrivals = [bfs_at(0, 0, s, 0.0, 0.010)];
+    let report = svc.run(&arrivals);
+    assert_eq!(report.completed, 0);
+    assert!(matches!(
+        report.rejections[0].reason,
+        AdmissionError::DeadlineInfeasible { deadline, .. } if deadline == 0.010
+    ));
+}
+
+#[test]
+fn generated_workload_serves_identically_twice() {
+    let (graph, config) = setup();
+    let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &config).unwrap();
+    let tenants = vec![TenantSpec::new(0, "a").with_weight(2.0), TenantSpec::new(1, "b")];
+    let mut svc = TraversalService::new(
+        &dist,
+        config,
+        tenants.clone(),
+        BatchPolicy::new(32, 0.002).with_queue_limit(48),
+    );
+    let spec = WorkloadSpec::bfs_only(3000.0, 150, 11, pool(&graph, 12)).with_deadline(0.05);
+    let workload = generate(&spec, &tenants);
+    let a = svc.run(&workload);
+    let b = svc.run(&workload);
+    assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    assert_eq!(a.goodput_qps.to_bits(), b.goodput_qps.to_bits());
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.shed, b.shed);
+    // And the SLO quantile histograms surfaced nonzero data.
+    let hist = a.metrics.histogram("serve.latency_us").expect("latency histogram");
+    assert!(hist.count > 0);
+    let (p50, p95, p99) = hist.slo_quantiles();
+    assert!(p50 <= p95 && p95 <= p99);
+}
