@@ -40,6 +40,10 @@ struct Cell {
     scale: u32,
     threads: usize,
     wall_ms: f64,
+    /// Harness throughput: undirected edges traversed per wall-clock
+    /// second across all sources (the simulator's own GTEPS, distinct
+    /// from the modeled-GPU GTEPS kernel_sweep tracks).
+    gteps: f64,
     speedup: f64,
     depths_ok: bool,
 }
@@ -69,6 +73,7 @@ fn sweep_scale(scale: u32, threads: &[usize], reps: usize) -> Vec<Cell> {
     let th = BfsConfig::suggested_rmat_threshold(scale + 13).max(8);
     let config = BfsConfig::new(th).with_local_all2all(true).with_uniquify(true);
     let graph = RmatConfig::graph500(scale).generate();
+    let m_half = graph.num_edges() / 2;
     let sources = pick_sources(&graph, 2, 0x5eed + scale as u64);
 
     let mut cells = Vec::new();
@@ -90,6 +95,7 @@ fn sweep_scale(scale: u32, threads: &[usize], reps: usize) -> Vec<Cell> {
             }
         }
         let wall_ms = best * 1e3;
+        let gteps = (m_half * sources.len() as u64) as f64 / best / 1e9;
         let depths_ok = match &reference {
             None => {
                 reference = Some(depths);
@@ -105,7 +111,14 @@ fn sweep_scale(scale: u32, threads: &[usize], reps: usize) -> Vec<Cell> {
                 true
             }
         };
-        cells.push(Cell { scale, threads: t, wall_ms, speedup: base_ms / wall_ms, depths_ok });
+        cells.push(Cell {
+            scale,
+            threads: t,
+            wall_ms,
+            gteps,
+            speedup: base_ms / wall_ms,
+            depths_ok,
+        });
     }
     cells
 }
@@ -147,6 +160,7 @@ fn main() {
                 vec![
                     c.threads.to_string(),
                     f2(c.wall_ms),
+                    f2(c.gteps),
                     f2(c.speedup),
                     if c.depths_ok { "bit-exact" } else { "DRIFT" }.into(),
                 ]
@@ -154,25 +168,28 @@ fn main() {
             .collect();
         print_table(
             &format!("scale {scale}, 16 GPUs"),
-            &["threads", "wall ms", "speedup", "depths"],
+            &["threads", "wall ms", "GTEPS", "speedup", "depths"],
             &rows,
         );
         all.extend(cells);
     }
 
-    // The headline assertion: ≥2× at 4 threads on the largest scale —
-    // only meaningful when the host actually has the cores. A 1-core CI
-    // runner still verifies determinism above; it cannot prove scaling.
+    // The headline assertion: ≥2.1× at 4 threads on the largest scale —
+    // raised from 2.0× after the word-parallel/sliding-queue overhaul
+    // (less per-vertex bookkeeping leaves proportionally more
+    // parallelizable work). Only meaningful when the host actually has
+    // the cores. A 1-core CI runner still verifies determinism above;
+    // it cannot prove scaling.
     if !smoke && cores >= 4 {
         let top = *scales.iter().max().expect("at least one scale");
         if let Some(c) = all.iter().find(|c| c.scale == top && c.threads == 4) {
             assert!(
-                c.speedup >= 2.0,
-                "scale {top}: expected >=2x self-speedup at 4 threads, got {:.2}x",
+                c.speedup >= 2.1,
+                "scale {top}: expected >=2.1x self-speedup at 4 threads, got {:.2}x",
                 c.speedup,
             );
             println!(
-                "\nself-speedup at 4 threads on scale {top}: {:.2}x (>=2x required)",
+                "\nself-speedup at 4 threads on scale {top}: {:.2}x (>=2.1x required)",
                 c.speedup
             );
         }
@@ -186,9 +203,9 @@ fn main() {
         .iter()
         .map(|c| {
             format!(
-                "{{\"scale\":{},\"threads\":{},\"wall_ms\":{:.3},\"speedup\":{:.3},\
-                 \"depths_bit_exact\":{}}}",
-                c.scale, c.threads, c.wall_ms, c.speedup, c.depths_ok,
+                "{{\"scale\":{},\"threads\":{},\"wall_ms\":{:.3},\"gteps\":{:.3},\
+                 \"speedup\":{:.3},\"depths_bit_exact\":{}}}",
+                c.scale, c.threads, c.wall_ms, c.gteps, c.speedup, c.depths_ok,
             )
         })
         .collect();

@@ -86,6 +86,20 @@ impl DeviceModel {
         }
     }
 
+    /// Visit and previsit throughputs multiplied by `factor` — the view a
+    /// degraded kernel implementation (bit-serial mask probes, uncoalesced
+    /// frontier access) gets of the same silicon. Binning, mask, and codec
+    /// rates describe fixed-function paths such a variant does not touch,
+    /// so they — and launch overhead and memory — are unchanged.
+    pub fn derated(&self, factor: f64) -> Self {
+        Self {
+            dynamic_visit_edges_per_sec: self.dynamic_visit_edges_per_sec * factor,
+            merge_visit_edges_per_sec: self.merge_visit_edges_per_sec * factor,
+            previsit_vertices_per_sec: self.previsit_vertices_per_sec * factor,
+            ..*self
+        }
+    }
+
     /// P100-class defaults.
     pub fn p100() -> Self {
         Self {

@@ -118,12 +118,20 @@ pub struct IterationTiming {
     /// Whether the delegate reduction was blocking (`MPI_Allreduce`) in
     /// this iteration; decides the overlap rule.
     pub blocking_reduce: bool,
+    /// Whether the communication pipeline (encode → transfer → decode)
+    /// ran concurrently with kernel execution this iteration: the whole
+    /// pipeline hides behind compute instead of following it.
+    pub overlap: bool,
 }
 
 impl IterationTiming {
     /// Elapsed modeled time of the iteration after overlap:
     /// computation and local staging are serial; the two remote phases
     /// overlap under non-blocking reduction and serialize under blocking.
+    /// With pipelined compute/comm overlap the iteration instead pays
+    /// `max(computation, local + remote)` — the communication pipeline
+    /// runs on the copy engines while the visit kernels execute, so only
+    /// the longer of the two sides gates the superstep.
     pub fn elapsed(&self) -> f64 {
         let p = &self.phases;
         let remote = if self.blocking_reduce {
@@ -131,7 +139,11 @@ impl IterationTiming {
         } else {
             p.remote_normal.max(p.remote_delegate)
         };
-        p.computation + p.local_comm + remote
+        if self.overlap {
+            p.computation.max(p.local_comm + remote)
+        } else {
+            p.computation + p.local_comm + remote
+        }
     }
 
     /// Sum of parts (no overlap) — what Figs. 8/10 stack.
@@ -192,16 +204,62 @@ mod tests {
 
     #[test]
     fn overlap_takes_max_of_remote_phases() {
-        let it = IterationTiming { phases: sample(), blocking_reduce: false };
+        let it = IterationTiming { phases: sample(), blocking_reduce: false, overlap: false };
         assert_eq!(it.elapsed(), 4.0 + 1.0 + 3.0);
         assert!(it.elapsed() < it.sum_of_parts());
     }
 
     #[test]
     fn blocking_serializes_remote_phases() {
-        let it = IterationTiming { phases: sample(), blocking_reduce: true };
+        let it = IterationTiming { phases: sample(), blocking_reduce: true, overlap: false };
         assert_eq!(it.elapsed(), 4.0 + 1.0 + 2.0 + 3.0);
         assert_eq!(it.elapsed(), it.sum_of_parts());
+    }
+
+    #[test]
+    fn pipelined_overlap_hides_the_shorter_side() {
+        // Compute-bound: the whole comm pipeline hides behind compute.
+        let it = IterationTiming { phases: sample(), blocking_reduce: false, overlap: true };
+        assert_eq!(it.elapsed(), 4.0);
+        // Comm-bound: compute hides behind the pipeline instead.
+        let comm_heavy = PhaseTimes {
+            computation: 1.0,
+            local_comm: 2.0,
+            remote_normal: 5.0,
+            remote_delegate: 3.0,
+        };
+        let it = IterationTiming { phases: comm_heavy, blocking_reduce: false, overlap: true };
+        assert_eq!(it.elapsed(), 2.0 + 5.0);
+        // The blocking rule still serializes the remote phases inside the
+        // pipeline side of the max.
+        let it = IterationTiming { phases: comm_heavy, blocking_reduce: true, overlap: true };
+        assert_eq!(it.elapsed(), 2.0 + 5.0 + 3.0);
+    }
+
+    #[test]
+    fn overlap_never_exceeds_the_serial_charge() {
+        for phases in [
+            sample(),
+            PhaseTimes {
+                computation: 0.0,
+                local_comm: 0.5,
+                remote_normal: 2.0,
+                remote_delegate: 0.1,
+            },
+            PhaseTimes {
+                computation: 9.0,
+                local_comm: 0.0,
+                remote_normal: 0.0,
+                remote_delegate: 0.0,
+            },
+        ] {
+            for blocking in [false, true] {
+                let off = IterationTiming { phases, blocking_reduce: blocking, overlap: false };
+                let on = IterationTiming { phases, blocking_reduce: blocking, overlap: true };
+                assert!(on.elapsed() <= off.elapsed());
+                assert!(on.elapsed() >= phases.computation);
+            }
+        }
     }
 
     #[test]

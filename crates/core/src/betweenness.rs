@@ -319,7 +319,11 @@ impl DistributedGraph {
             }
             delegate_levels.push(next_delegates);
 
-            let timing = IterationTiming { phases: ph, blocking_reduce: config.blocking_reduce };
+            let timing = IterationTiming {
+                phases: ph,
+                blocking_reduce: config.blocking_reduce,
+                overlap: false,
+            };
             modeled += timing.elapsed();
             phases = phases.combine(&ph);
             level += 1;
@@ -445,7 +449,11 @@ impl DistributedGraph {
                 }
             }
 
-            let timing = IterationTiming { phases: ph, blocking_reduce: config.blocking_reduce };
+            let timing = IterationTiming {
+                phases: ph,
+                blocking_reduce: config.blocking_reduce,
+                overlap: false,
+            };
             modeled += timing.elapsed();
             phases = phases.combine(&ph);
         }

@@ -32,6 +32,15 @@ pub struct ExchangeResult {
     /// Modeled per-GPU local-communication time: binning/conversion,
     /// local-all2all moves, uniquify, and codec encode/decode work.
     pub local_time: Vec<f64>,
+    /// The *encode stage* share of [`Self::local_time`]: everything that
+    /// must finish before lane `g`'s bytes can hit the wire (binning,
+    /// local-all2all moves, uniquify, codec encode). Used by the overlap
+    /// pipeline's stage spans; per lane, `encode_time + decode_time`
+    /// equals `local_time` up to summation order.
+    pub encode_time: Vec<f64>,
+    /// The *decode stage* share of [`Self::local_time`]: codec decode of
+    /// messages received by lane `g`, payable only after the transfer.
+    pub decode_time: Vec<f64>,
     /// Modeled per-GPU remote time: max of NIC send and receive occupancy.
     pub remote_time: Vec<f64>,
     /// Bytes that crossed rank boundaries, *as charged to the wire*:
@@ -151,13 +160,17 @@ pub fn exchange_normals_with(
     let items_before: u64 = sends.iter().map(|s| s.len() as u64).sum();
 
     let mut local_time = vec![0f64; p];
+    let mut encode_time = vec![0f64; p];
+    let mut decode_time = vec![0f64; p];
     let mut local_bytes = 0u64;
 
     // Bin & convert: each GPU groups its updates; charged to the binning
     // kernel (the 64→32-bit conversion happened in the visit kernel, the
     // paper charges both to "extra local computation ... done on GPUs").
     for (g, s) in sends.iter().enumerate() {
-        local_time[g] += cost.device.kernel_time(KernelKind::Binning, s.len() as u64);
+        let t = cost.device.kernel_time(KernelKind::Binning, s.len() as u64);
+        local_time[g] += t;
+        encode_time[g] += t;
     }
 
     // Local all2all: regroup within ranks; moved items ride NVLink.
@@ -173,7 +186,9 @@ pub fn exchange_normals_with(
         for (g, peers) in regrouped.moved_counts.iter().enumerate() {
             for (peer, &count) in peers.iter().enumerate() {
                 if peer != g && count > 0 {
-                    local_time[g] += cost.network.p2p_time(count * BYTES_PER_UPDATE, true);
+                    let t = cost.network.p2p_time(count * BYTES_PER_UPDATE, true);
+                    local_time[g] += t;
+                    encode_time[g] += t;
                 }
             }
         }
@@ -184,13 +199,17 @@ pub fn exchange_normals_with(
     // per-GPU results — and the ordered time accounting — are identical at
     // any thread count).
     if use_uniquify {
-        held.par_iter_mut().zip(local_time.par_iter_mut()).for_each(|(list, lt)| {
-            let n = list.len() as u64;
-            list.sort_unstable_by_key(|&(dest, slot)| (topo.flat(dest), slot));
-            list.dedup();
-            // Sort + dedup charged as another binning pass.
-            *lt += cost.device.kernel_time(KernelKind::Binning, n);
-        });
+        held.par_iter_mut()
+            .zip(local_time.par_iter_mut().zip(encode_time.par_iter_mut()))
+            .for_each(|(list, (lt, et))| {
+                let n = list.len() as u64;
+                list.sort_unstable_by_key(|&(dest, slot)| (topo.flat(dest), slot));
+                list.dedup();
+                // Sort + dedup charged as another binning pass.
+                let t = cost.device.kernel_time(KernelKind::Binning, n);
+                *lt += t;
+                *et += t;
+            });
     }
 
     let items_sent: u64 = held.iter().map(|s| s.len() as u64).sum();
@@ -281,6 +300,8 @@ pub fn exchange_normals_with(
             let dec = cost.device.kernel_time(KernelKind::Decompress, raw_bytes);
             local_time[g] += enc;
             local_time[dflat] += dec;
+            encode_time[g] += enc;
+            decode_time[dflat] += dec;
             codec_seconds += enc + dec;
             codec_counts.record_frontier(codec);
             let before = delivered[dflat].len();
@@ -295,6 +316,8 @@ pub fn exchange_normals_with(
     ExchangeResult {
         delivered,
         local_time,
+        encode_time,
+        decode_time,
         remote_time,
         remote_bytes,
         raw_remote_bytes,
@@ -521,6 +544,30 @@ mod tests {
             );
             for m in &ex.messages {
                 assert_ne!(m.src, m.dst, "same-GPU deliveries record no message");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_times_partition_local_time() {
+        let topo = topo22();
+        let cost = CostModel::ray();
+        for mode in [CompressionMode::Off, CompressionMode::Adaptive] {
+            let ex = exchange_normals_with(&topo, &cost, dense_sends(2000), true, true, mode);
+            for g in 0..4 {
+                let sum = ex.encode_time[g] + ex.decode_time[g];
+                assert!(
+                    (sum - ex.local_time[g]).abs() <= 1e-12 * ex.local_time[g].max(1.0),
+                    "mode {mode}, lane {g}: encode {} + decode {} != local {}",
+                    ex.encode_time[g],
+                    ex.decode_time[g],
+                    ex.local_time[g]
+                );
+            }
+            if mode.is_on() {
+                assert!(ex.decode_time.iter().any(|&t| t > 0.0), "decode must be charged");
+            } else {
+                assert!(ex.decode_time.iter().all(|&t| t == 0.0), "raw runs decode nothing");
             }
         }
     }

@@ -216,7 +216,8 @@ impl DistributedGraph {
                 }
             }
 
-            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            let timing =
+                IterationTiming { phases, blocking_reduce: config.blocking_reduce, overlap: false };
             modeled += timing.elapsed();
             phases_total = phases_total.combine(&phases);
             sweeps += 1;

@@ -8,6 +8,7 @@
 //! factors; the paper's tuned values `(0.5, 0.05, 1e-7)` for `dd`, `dn`,
 //! `nd` are the defaults here.
 
+use crate::kernels::KernelVariant;
 use crate::recovery::RecoveryConfig;
 use crate::verify::VerificationMode;
 use gcbfs_cluster::cost::CostModel;
@@ -90,6 +91,21 @@ pub struct BfsConfig {
     /// bit-identical — no modeled-time arithmetic is added, removed or
     /// reordered by observation.
     pub observability: ObservabilityConfig,
+    /// Kernel implementation the workers run:
+    /// [`WordParallel`](KernelVariant::WordParallel) (the default)
+    /// intersects visited/candidate bitmask words 64 delegates at a time;
+    /// [`Scalar`](KernelVariant::Scalar) is the bit-serial pre-overhaul
+    /// reference, kept as the regression baseline the `kernel_sweep`
+    /// bench prices honestly (per-bit probe charges on a derated device).
+    /// Both produce bit-identical depths and parents.
+    pub kernel_variant: KernelVariant,
+    /// Pipelined compute/communication overlap: when on, each superstep
+    /// charges `max(kernel_time, encode + transfer + decode)` instead of
+    /// their sum — the nn-exchange pipeline runs on the copy engines
+    /// while the visit kernels execute. Off (the default) reproduces the
+    /// serial charging rule bit-for-bit. Never changes BFS results, only
+    /// modeled time.
+    pub overlap: bool,
     /// Online silent-data-corruption verification: `Off` (the default)
     /// runs no checks and is bit-identical to a build without the
     /// verification layer; `Checksums` piggybacks ABFT checksums and
@@ -130,6 +146,8 @@ impl BfsConfig {
             compression: CompressionMode::Off,
             recovery: RecoveryConfig::default(),
             observability: ObservabilityConfig::Off,
+            kernel_variant: KernelVariant::default(),
+            overlap: false,
             verification: VerificationMode::Off,
         }
     }
@@ -201,6 +219,18 @@ impl BfsConfig {
     /// Selects the online verification tier (SDC detection).
     pub fn with_verification(mut self, verification: VerificationMode) -> Self {
         self.verification = verification;
+        self
+    }
+
+    /// Selects the kernel implementation variant.
+    pub fn with_kernel_variant(mut self, variant: KernelVariant) -> Self {
+        self.kernel_variant = variant;
+        self
+    }
+
+    /// Enables/disables pipelined compute/communication overlap.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
         self
     }
 
@@ -287,6 +317,16 @@ mod tests {
         let c = c.with_verification(VerificationMode::Full);
         assert!(c.verification.is_on() && c.verification.is_full());
         assert_eq!(c.verification.label(), "full");
+    }
+
+    #[test]
+    fn kernel_variant_and_overlap_default_to_seed_behavior() {
+        let c = BfsConfig::new(8);
+        assert_eq!(c.kernel_variant, KernelVariant::WordParallel);
+        assert!(!c.overlap);
+        let c = c.with_kernel_variant(KernelVariant::Scalar).with_overlap(true);
+        assert_eq!(c.kernel_variant, KernelVariant::Scalar);
+        assert!(c.overlap);
     }
 
     #[test]

@@ -32,8 +32,8 @@ use gcbfs_cluster::timing::{IterationTiming, PhaseTimes};
 use gcbfs_cluster::topology::Topology;
 use gcbfs_graph::{EdgeList, VertexId};
 use gcbfs_trace::{
-    CollectiveHop, DirTag, FaultKind, KernelEvent, KernelTag, LanePhases, SinkMark, SpanSink,
-    StreamTag, TraceLog,
+    CollectiveHop, DirTag, FaultKind, KernelEvent, KernelTag, LanePhases, LaneStages, SinkMark,
+    SpanSink, StreamTag, TraceLog,
 };
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -342,6 +342,7 @@ impl DistributedGraph {
                     DirectionState::new(config.nd_factors, config.direction_optimization),
                 );
                 w.per_kernel_direction = config.per_kernel_direction;
+                w.kernel_variant = config.kernel_variant;
                 w
             })
             .collect();
@@ -698,11 +699,16 @@ impl DistributedGraph {
             } else {
                 0.0
             };
+            // One effective device prices every computation-side charge:
+            // the scalar variant runs on a derated device (per-bit probing
+            // wastes word-level bandwidth), the word-parallel default on
+            // the base model — bit-identical to the seed.
+            let vdev = config.kernel_variant.device_model(&cost.device);
             let mut phases: Vec<PhaseTimes> = outputs
                 .iter()
                 .map(|o| {
                     let w = &o.work;
-                    let dev = &cost.device;
+                    let dev = &vdev;
                     let normal = dev.kernel_time(KernelKind::Previsit, w.normal_previsit_vertices)
                         + dev.kernel_time(KernelKind::DynamicVisit, w.nn_edges)
                         + dev.kernel_time(KernelKind::DynamicVisit, w.nd_edges);
@@ -723,7 +729,7 @@ impl DistributedGraph {
             // equal the driver's stream times bit-for-bit.
             let observing = sink.is_some();
             let mut kernel_events: Vec<Vec<KernelEvent>> = if observing {
-                outputs.iter().map(|o| o.kernel_events(&cost.device)).collect()
+                outputs.iter().map(|o| o.kernel_events(&vdev)).collect()
             } else {
                 Vec::new()
             };
@@ -868,8 +874,7 @@ impl DistributedGraph {
                     // is exactly `mask_remote_bytes` by construction.
                     mask_hops = mask_reduce_hops(topo.num_ranks(), &outcome);
                 }
-                let mut reduced = DelegateMask::new(d);
-                reduced.set_words(outcome.reduced);
+                let reduced = DelegateMask::from_words(d, outcome.reduced);
                 let next_depth = iter + 1;
                 // Shadow the delegate settles the consume below performs.
                 // A spurious reduction bit folds in here too — consistently
@@ -883,7 +888,7 @@ impl DistributedGraph {
                 }
                 workers.par_iter_mut().for_each(|w| w.consume_reduced_mask(&reduced, next_depth));
                 // Mask copy/OR work on the delegate stream.
-                let mask_ops = cost.device.kernel_time(KernelKind::MaskOps, reduced.byte_size());
+                let mask_ops = vdev.kernel_time(KernelKind::MaskOps, reduced.byte_size());
                 for ph in &mut phases {
                     ph.computation += mask_ops;
                 }
@@ -926,6 +931,8 @@ impl DistributedGraph {
             // like the computation above.
             for (dead, hosts) in &hosted {
                 reassign_lane_times(&mut ex.local_time, &mut ex.remote_time, *dead, hosts);
+                // The stage split moves with the lane it decomposes.
+                reassign_lane_times(&mut ex.encode_time, &mut ex.decode_time, *dead, hosts);
             }
 
             // Perturb the delivery with the injector's message fates.
@@ -1047,7 +1054,7 @@ impl DistributedGraph {
                         d,
                         w.frontier.len(),
                     );
-                    let scan = cost.device.kernel_time(KernelKind::MaskOps, bytes);
+                    let scan = vdev.kernel_time(KernelKind::MaskOps, bytes);
                     phases[g].computation += scan;
                     if observing {
                         kernel_events[g].push(KernelEvent {
@@ -1070,8 +1077,11 @@ impl DistributedGraph {
                 cluster = cluster.max(&p);
             }
             cluster.remote_delegate = remote_delegate;
-            let timing =
-                IterationTiming { phases: cluster, blocking_reduce: config.blocking_reduce };
+            let timing = IterationTiming {
+                phases: cluster,
+                blocking_reduce: config.blocking_reduce,
+                overlap: config.overlap,
+            };
 
             // ---- Online verification: detect, then escalate. The checks
             // run on the fully formed superstep (all settles and frontier
@@ -1188,11 +1198,26 @@ impl DistributedGraph {
                         remote_normal: ex.remote_time[g] * bw,
                     })
                     .collect();
+                // Stage split of each lane's local_comm: the local mask
+                // work gates the wire like the encode stage does, so it
+                // rides the encode side; decode is pure codec time.
+                let stages: Vec<LaneStages> = if config.overlap {
+                    (0..phases.len())
+                        .map(|g| LaneStages {
+                            encode: ex.encode_time[g] + local_mask_time,
+                            decode: ex.decode_time[g],
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 s.record_iteration(
                     iter,
                     &lanes,
                     remote_delegate,
                     config.blocking_reduce,
+                    config.overlap,
+                    &stages,
                     &kernel_events,
                     &ex.messages,
                     &mask_hops,

@@ -1,0 +1,188 @@
+//! Sliding frontier queue: one grow-only buffer for all previsit lanes.
+//!
+//! The previsit phase (§IV, Fig. 3) used to build four per-worker
+//! `Vec<u32>` queues per iteration — `nn`/`nd` on the normal stream,
+//! `dd`/`dn` on the delegate stream. The sliding queue replaces them with
+//! a single backing buffer per worker: each iteration opens a new *epoch*,
+//! the lanes are appended back-to-back as contiguous *windows*, and the
+//! visit kernels read their window as a slice. The buffer never shrinks,
+//! so the steady state allocates nothing, and the windows of one epoch are
+//! laid out in deterministic order regardless of `GCBFS_THREADS` width
+//! (each worker is driven by exactly one task per iteration).
+//!
+//! [`SlidingQueue::lane_chunks`] exposes a window as fixed-size chunks
+//! with deterministic per-chunk offsets — the unit the cache-blocked CSR
+//! scans walk so a chunk's frontier ids plus the adjacency rows they pull
+//! stay L2-resident. Chunk boundaries depend only on the window length,
+//! never on thread count, so traversal order is bit-identical at any
+//! width.
+
+/// Previsit lanes, in the order [`GpuWorker::run_iteration`] seals them.
+///
+/// [`GpuWorker::run_iteration`]: crate::kernels::GpuWorker::run_iteration
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// Frontier vertices with `nn` edges (normal stream).
+    Nn,
+    /// Frontier vertices with `nd` edges (normal stream).
+    Nd,
+    /// New delegates with `dd` edges (delegate stream).
+    Dd,
+    /// New delegates with `dn` edges (delegate stream).
+    Dn,
+}
+
+/// Number of lanes a sliding queue carries per epoch.
+pub const NUM_LANES: usize = 4;
+
+/// Frontier ids per cache block: 4096 × 4 B = 16 KB of ids per chunk,
+/// leaving the rest of a P100-class 4 MB L2 for the CSR rows the chunk
+/// pulls in. Boundaries are a pure function of window length.
+pub const CACHE_BLOCK: usize = 4096;
+
+/// A grow-only multi-lane frontier queue with windowed epochs.
+#[derive(Clone, Debug, Default)]
+pub struct SlidingQueue {
+    /// The single backing buffer; truncated (not freed) at epoch start.
+    buf: Vec<u32>,
+    /// Sealed `[start, end)` windows of the current epoch, by lane index.
+    windows: [(usize, usize); NUM_LANES],
+    /// Start of the currently open (unsealed) region.
+    open_start: usize,
+    /// Epochs begun over the queue's lifetime.
+    epoch: u64,
+}
+
+impl SlidingQueue {
+    /// An empty queue (no allocation until the first push).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new epoch: all windows reset, the buffer is reused.
+    pub fn begin_epoch(&mut self) {
+        self.buf.clear();
+        self.windows = [(0, 0); NUM_LANES];
+        self.open_start = 0;
+        self.epoch += 1;
+    }
+
+    /// Appends `v` to the currently open region.
+    #[inline]
+    pub fn push(&mut self, v: u32) {
+        self.buf.push(v);
+    }
+
+    /// Seals the open region as `lane`'s window for this epoch and opens
+    /// the next region. Each lane is sealed at most once per epoch.
+    pub fn seal(&mut self, lane: Lane) {
+        debug_assert_eq!(self.windows[lane as usize], (0, 0), "lane sealed twice in one epoch");
+        self.windows[lane as usize] = (self.open_start, self.buf.len());
+        self.open_start = self.buf.len();
+    }
+
+    /// The sealed window of `lane` in the current epoch.
+    #[inline]
+    pub fn window(&self, lane: Lane) -> &[u32] {
+        let (start, end) = self.windows[lane as usize];
+        &self.buf[start..end]
+    }
+
+    /// `lane`'s window as [`CACHE_BLOCK`]-bounded chunks (the last chunk
+    /// may be short). Offsets are deterministic per window length.
+    pub fn lane_chunks(&self, lane: Lane) -> impl Iterator<Item = &[u32]> {
+        self.window(lane).chunks(CACHE_BLOCK)
+    }
+
+    /// Epochs begun so far (0 before the first [`Self::begin_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total ids appended in the current epoch.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was appended in the current epoch.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_contiguous_and_ordered() {
+        let mut q = SlidingQueue::new();
+        q.begin_epoch();
+        q.push(10);
+        q.push(11);
+        q.seal(Lane::Nn);
+        q.push(20);
+        q.seal(Lane::Nd);
+        q.seal(Lane::Dd); // empty lane
+        q.push(30);
+        q.push(31);
+        q.push(32);
+        q.seal(Lane::Dn);
+        assert_eq!(q.window(Lane::Nn), &[10, 11]);
+        assert_eq!(q.window(Lane::Nd), &[20]);
+        assert_eq!(q.window(Lane::Dd), &[] as &[u32]);
+        assert_eq!(q.window(Lane::Dn), &[30, 31, 32]);
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.epoch(), 1);
+    }
+
+    #[test]
+    fn epochs_reuse_the_buffer_and_reset_windows() {
+        let mut q = SlidingQueue::new();
+        q.begin_epoch();
+        for v in 0..100 {
+            q.push(v);
+        }
+        q.seal(Lane::Nn);
+        let cap = {
+            q.begin_epoch();
+            assert!(q.is_empty());
+            assert_eq!(q.window(Lane::Nn), &[] as &[u32]);
+            q.push(7);
+            q.seal(Lane::Nn);
+            q.window(Lane::Nn).len()
+        };
+        assert_eq!(cap, 1);
+        assert_eq!(q.epoch(), 2);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_a_pure_function_of_length() {
+        let mut q = SlidingQueue::new();
+        q.begin_epoch();
+        let n = CACHE_BLOCK * 2 + 17;
+        for v in 0..n as u32 {
+            q.push(v);
+        }
+        q.seal(Lane::Nd);
+        let chunks: Vec<&[u32]> = q.lane_chunks(Lane::Nd).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), CACHE_BLOCK);
+        assert_eq!(chunks[1].len(), CACHE_BLOCK);
+        assert_eq!(chunks[2].len(), 17);
+        // Concatenated chunks reproduce the window exactly, in order.
+        let flat: Vec<u32> = chunks.concat();
+        assert_eq!(flat, q.window(Lane::Nd));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sealed twice")]
+    fn double_seal_is_rejected() {
+        let mut q = SlidingQueue::new();
+        q.begin_epoch();
+        q.push(1);
+        q.seal(Lane::Nn);
+        q.seal(Lane::Nn);
+    }
+}

@@ -12,6 +12,7 @@
 //! previsited, kernels launched) feed the device cost model.
 
 use crate::direction::{backward_workload, Direction, DirectionState};
+use crate::frontier::{Lane, SlidingQueue};
 use crate::masks::DelegateMask;
 use crate::subgraph::GpuSubgraphs;
 use crate::UNREACHED;
@@ -27,6 +28,55 @@ pub const NO_PARENT: u64 = u64::MAX;
 /// vertex id; decoded through the separation at assembly time. (Delegate
 /// ids are 32-bit, so tagged values never collide with `NO_PARENT`.)
 pub const DELEGATE_PARENT_TAG: u64 = 1 << 63;
+
+/// Throughput factor the scalar kernel variant pays on the visit and
+/// previsit paths: per-bit mask probes and unblocked frontier access
+/// reach a fifth of the word-parallel kernels' effective bandwidth —
+/// uncoalesced single-bit loads serialize a 64-lane popcount word into
+/// dependent byte transactions, and the per-candidate row walk loses the
+/// cache-blocked reuse the sliding-queue chunks buy.
+pub const SCALAR_DERATE: f64 = 0.2;
+
+/// Which bottom-up / previsit kernel implementation a worker runs.
+///
+/// Both variants produce bit-identical depths, parents, and *edge*
+/// counters; they differ in how delegate-mask state is probed and in the
+/// honest cost of doing so:
+///
+/// * [`Scalar`](Self::Scalar) is the pre-overhaul reference — backward
+///   pulls test one delegate bit at a time, and direction-optimization
+///   scans touch every delegate individually. Its probe work is charged
+///   per *bit* and its visit kernels run on a
+///   [`derated`](DeviceModel::derated) device.
+/// * [`WordParallel`](Self::WordParallel) (default) intersects whole u64
+///   words (`candidates & !visited`, trailing-zeros iteration), so probe
+///   work is charged per *word* and the full device rates apply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Bit-serial reference kernels (regression baseline).
+    Scalar,
+    /// Word-at-a-time bitmap intersection kernels.
+    #[default]
+    WordParallel,
+}
+
+impl KernelVariant {
+    /// Stable label for benches and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::WordParallel => "word-parallel",
+        }
+    }
+
+    /// The device model this variant's kernels achieve on `base` silicon.
+    pub fn device_model(&self, base: &DeviceModel) -> DeviceModel {
+        match self {
+            KernelVariant::WordParallel => *base,
+            KernelVariant::Scalar => base.derated(SCALAR_DERATE),
+        }
+    }
+}
 
 /// Workload counters of one GPU's iteration, split by stream, feeding the
 /// device cost model and the run statistics.
@@ -186,6 +236,8 @@ pub struct GpuWorker {
     /// When false, a single combined FV/BV comparison (through `dir_dd`)
     /// drives all three kernels — the global-direction ablation.
     pub per_kernel_direction: bool,
+    /// Which kernel implementation (and probe-cost accounting) runs.
+    pub kernel_variant: KernelVariant,
     /// Whether to record BFS-tree parent information (§VI-A3: local for
     /// everything except remote `nn` destinations).
     pub track_parents: bool,
@@ -213,17 +265,10 @@ pub struct GpuWorker {
 /// contents to the (nondeterministic) task-to-thread assignment.
 #[derive(Clone, Debug, Default)]
 pub struct KernelScratch {
-    /// Previsit queue: frontier vertices with `nn` edges.
-    nn_queue: Vec<u32>,
-    /// Previsit queue: frontier vertices with `nd` edges.
-    nd_queue: Vec<u32>,
-    /// Previsit queue: new delegates with `dd` edges.
-    dd_queue: Vec<u32>,
-    /// Previsit queue: new delegates with `dn` edges.
-    dn_queue: Vec<u32>,
-    /// Recycled backing store for the next frontier (the previous input
-    /// frontier's buffer rotates back in here once consumed).
-    spare_frontier: Vec<u32>,
+    /// Sliding previsit queue: the four former per-`Vec` lanes (`nn`/`nd`
+    /// on the normal stream, `dd`/`dn` on the delegate stream) as sealed
+    /// windows of one grow-only buffer, re-windowed every epoch.
+    queues: SlidingQueue,
     /// Recycled backing store for the iteration output mask (returned by the
     /// driver after the reduction consumed it).
     spare_mask: Option<DelegateMask>,
@@ -252,6 +297,7 @@ impl GpuWorker {
             dir_dn,
             dir_nd,
             per_kernel_direction: true,
+            kernel_variant: KernelVariant::default(),
             track_parents: false,
             parents_local: Vec::new(),
             delegate_parent_candidate: Vec::new(),
@@ -281,50 +327,55 @@ impl GpuWorker {
             }
             _ => self.visited_mask.clone(),
         };
-        // The previous input frontier's buffer rotates back in as the next
-        // frontier's backing store (zero steady-state allocations).
-        let mut next_frontier: Vec<u32> = std::mem::take(&mut self.scratch.spare_frontier);
-        next_frontier.clear();
         let mut remote_nn: Vec<(GpuId, u32)> = Vec::new();
         let next_depth = iter + 1;
 
-        // ---- Previsit: queues and forward workloads (FV). ----
+        // ---- Previsit: sliding-queue lanes and forward workloads (FV). ----
+        // One pass per lane keeps each window contiguous in the shared
+        // buffer; the per-lane vertex order is exactly what the former
+        // per-`Vec` queues produced.
         let sg = Arc::clone(&self.subgraphs);
         let scratch = &mut self.scratch;
-        scratch.nn_queue.clear();
-        scratch.nd_queue.clear();
+        scratch.queues.begin_epoch();
+        for &u in &self.frontier {
+            if sg.nn.degree(u) > 0 {
+                scratch.queues.push(u);
+            }
+        }
+        scratch.queues.seal(Lane::Nn);
         // nn never direction-optimizes, so only nd's forward workload is
         // tracked on the normal stream.
         let mut fv_nd = 0u64;
         for &u in &self.frontier {
-            if sg.nn.degree(u) > 0 {
-                scratch.nn_queue.push(u);
-            }
             let deg_nd = sg.nd.degree(u);
             if deg_nd > 0 {
-                scratch.nd_queue.push(u);
+                scratch.queues.push(u);
                 fv_nd += deg_nd as u64;
             }
         }
+        scratch.queues.seal(Lane::Nd);
         if !self.frontier.is_empty() {
             work.normal_previsit_vertices += self.frontier.len() as u64;
             work.normal_launches += 1;
         }
-        scratch.dd_queue.clear();
-        scratch.dn_queue.clear();
-        let (mut fv_dd, mut fv_dn) = (0u64, 0u64);
+        let mut fv_dd = 0u64;
         for &x in &self.new_delegates {
             let deg_dd = sg.dd.degree(x);
             if deg_dd > 0 {
-                scratch.dd_queue.push(x);
+                scratch.queues.push(x);
                 fv_dd += deg_dd as u64;
             }
+        }
+        scratch.queues.seal(Lane::Dd);
+        let mut fv_dn = 0u64;
+        for &x in &self.new_delegates {
             let deg_dn = sg.dn.degree(x);
             if deg_dn > 0 {
-                scratch.dn_queue.push(x);
+                scratch.queues.push(x);
                 fv_dn += deg_dn as u64;
             }
         }
+        scratch.queues.seal(Lane::Dn);
         if !self.new_delegates.is_empty() {
             work.delegate_previsit_vertices += self.new_delegates.len() as u64;
             work.delegate_launches += 1;
@@ -344,8 +395,13 @@ impl GpuWorker {
                 .filter(|&&u| self.depths_local[u as usize] == UNREACHED)
                 .count() as u64;
             // The source-list/mask scans are real previsit work (§IV-B:
-            // they "provide more accurate workload prediction").
-            work.delegate_previsit_vertices += (self.subgraphs.num_delegates as u64).div_ceil(64);
+            // they "provide more accurate workload prediction"). The
+            // word-parallel variant pays one popcount per 64-delegate word;
+            // the scalar reference probes every delegate bit individually.
+            work.delegate_previsit_vertices += match self.kernel_variant {
+                KernelVariant::WordParallel => (self.subgraphs.num_delegates as u64).div_ceil(64),
+                KernelVariant::Scalar => self.subgraphs.num_delegates as u64,
+            };
             work.normal_previsit_vertices += self.subgraphs.nd_sources.len() as u64;
 
             let bv_dd = backward_workload(unvisited_dd, q_del, unvisited_dd);
@@ -388,27 +444,37 @@ impl GpuWorker {
             }
         };
 
+        // The consumed input frontier's buffer becomes the next frontier's
+        // backing store directly (the driver installs `next_frontier` as
+        // the new frontier, completing a zero-allocation cycle). Safe to
+        // take here: previsit copied what the visits need into the lanes,
+        // and `q_norm` snapshots the length for the launch guards below.
+        let mut next_frontier: Vec<u32> = std::mem::take(&mut self.frontier);
+        next_frontier.clear();
+
         // ---- Normal stream visits: nn (forward only), then nd. ----
-        if !self.scratch.nn_queue.is_empty() {
+        if !self.scratch.queues.window(Lane::Nn).is_empty() {
             work.normal_launches += 1;
-            for &u in &self.scratch.nn_queue {
-                let u_global = topo.global_id(self.gpu, u);
-                for &v_global in sg.nn.row(u) {
-                    work.nn_edges += 1;
-                    let owner = topo.vertex_owner(v_global);
-                    let slot = topo.local_index(v_global);
-                    if owner == self.gpu {
-                        if self.depths_local[slot as usize] == UNREACHED {
-                            self.depths_local[slot as usize] = next_depth;
-                            next_frontier.push(slot);
-                            if self.track_parents {
-                                self.parents_local[slot as usize] = u_global;
+            for chunk in self.scratch.queues.lane_chunks(Lane::Nn) {
+                for &u in chunk {
+                    let u_global = topo.global_id(self.gpu, u);
+                    for &v_global in sg.nn.row(u) {
+                        work.nn_edges += 1;
+                        let owner = topo.vertex_owner(v_global);
+                        let slot = topo.local_index(v_global);
+                        if owner == self.gpu {
+                            if self.depths_local[slot as usize] == UNREACHED {
+                                self.depths_local[slot as usize] = next_depth;
+                                next_frontier.push(slot);
+                                if self.track_parents {
+                                    self.parents_local[slot as usize] = u_global;
+                                }
                             }
-                        }
-                    } else {
-                        remote_nn.push((owner, slot));
-                        if self.track_parents {
-                            self.remote_parent_log.push((owner, slot, u_global, next_depth));
+                        } else {
+                            remote_nn.push((owner, slot));
+                            if self.track_parents {
+                                self.remote_parent_log.push((owner, slot, u_global, next_depth));
+                            }
                         }
                     }
                 }
@@ -416,14 +482,16 @@ impl GpuWorker {
         }
         match directions.nd {
             Direction::Forward => {
-                if !self.scratch.nd_queue.is_empty() {
+                if !self.scratch.queues.window(Lane::Nd).is_empty() {
                     work.normal_launches += 1;
-                    for &u in &self.scratch.nd_queue {
-                        for &x in sg.nd.row(u) {
-                            work.nd_edges += 1;
-                            if output_mask.set(x) && self.track_parents {
-                                self.delegate_parent_candidate[x as usize] =
-                                    topo.global_id(self.gpu, u);
+                    for chunk in self.scratch.queues.lane_chunks(Lane::Nd) {
+                        for &u in chunk {
+                            for &x in sg.nd.row(u) {
+                                work.nd_edges += 1;
+                                if output_mask.set(x) && self.track_parents {
+                                    self.delegate_parent_candidate[x as usize] =
+                                        topo.global_id(self.gpu, u);
+                                }
                             }
                         }
                     }
@@ -435,18 +503,49 @@ impl GpuWorker {
                 // With no newly visited normals there are no parents to
                 // find and the kernel does not launch.
                 work.normal_launches += 1;
-                for x in 0..sg.num_delegates {
-                    if !sg.dn_source_mask.get(x) || output_mask.get(x) {
-                        continue;
-                    }
-                    for &u in sg.dn.row(x) {
-                        work.nd_edges += 1;
-                        if self.depths_local[u as usize] == iter {
-                            if output_mask.set(x) && self.track_parents {
-                                self.delegate_parent_candidate[x as usize] =
-                                    topo.global_id(self.gpu, u);
+                match self.kernel_variant {
+                    KernelVariant::WordParallel => {
+                        // Candidate words: sources not yet in the output
+                        // mask, one intersection per 64 delegates. A hit
+                        // only ever sets the candidate's *own* bit, so the
+                        // per-word snapshot probes exactly the same
+                        // delegates, in the same order, as the bit-serial
+                        // scan.
+                        for wi in 0..output_mask.num_words() {
+                            let cand = sg.dn_source_mask.word(wi) & !output_mask.word(wi);
+                            for x in DelegateMask::word_bits(wi, cand) {
+                                for &u in sg.dn.row(x) {
+                                    work.nd_edges += 1;
+                                    if self.depths_local[u as usize] == iter {
+                                        if output_mask.set(x) && self.track_parents {
+                                            self.delegate_parent_candidate[x as usize] =
+                                                topo.global_id(self.gpu, u);
+                                        }
+                                        break;
+                                    }
+                                }
                             }
-                            break;
+                        }
+                    }
+                    KernelVariant::Scalar => {
+                        // Bit-serial reference: probe every delegate's
+                        // source/visited bits individually, and charge that
+                        // scan as previsit work.
+                        work.normal_previsit_vertices += sg.num_delegates as u64;
+                        for x in 0..sg.num_delegates {
+                            if !sg.dn_source_mask.get(x) || output_mask.get(x) {
+                                continue;
+                            }
+                            for &u in sg.dn.row(x) {
+                                work.nd_edges += 1;
+                                if self.depths_local[u as usize] == iter {
+                                    if output_mask.set(x) && self.track_parents {
+                                        self.delegate_parent_candidate[x as usize] =
+                                            topo.global_id(self.gpu, u);
+                                    }
+                                    break;
+                                }
+                            }
                         }
                     }
                 }
@@ -458,14 +557,16 @@ impl GpuWorker {
         // ---- Delegate stream visits: dd, then dn. ----
         match directions.dd {
             Direction::Forward => {
-                if !self.scratch.dd_queue.is_empty() {
+                if !self.scratch.queues.window(Lane::Dd).is_empty() {
                     work.delegate_launches += 1;
-                    for &x in &self.scratch.dd_queue {
-                        for &y in sg.dd.row(x) {
-                            work.dd_edges += 1;
-                            if output_mask.set(y) && self.track_parents {
-                                self.delegate_parent_candidate[y as usize] =
-                                    DELEGATE_PARENT_TAG | x as u64;
+                    for chunk in self.scratch.queues.lane_chunks(Lane::Dd) {
+                        for &x in chunk {
+                            for &y in sg.dd.row(x) {
+                                work.dd_edges += 1;
+                                if output_mask.set(y) && self.track_parents {
+                                    self.delegate_parent_candidate[y as usize] =
+                                        DELEGATE_PARENT_TAG | x as u64;
+                                }
                             }
                         }
                     }
@@ -473,18 +574,42 @@ impl GpuWorker {
             }
             Direction::Backward if q_del > 0 => {
                 work.delegate_launches += 1;
-                for y in 0..sg.num_delegates {
-                    if !sg.dd_source_mask.get(y) || output_mask.get(y) {
-                        continue;
-                    }
-                    for &x in sg.dd.row(y) {
-                        work.dd_edges += 1;
-                        if self.delegate_depths[x as usize] == iter {
-                            if output_mask.set(y) && self.track_parents {
-                                self.delegate_parent_candidate[y as usize] =
-                                    DELEGATE_PARENT_TAG | x as u64;
+                match self.kernel_variant {
+                    KernelVariant::WordParallel => {
+                        // Same word-at-a-time snapshot argument as the nd
+                        // pull: a hit sets only the candidate's own bit.
+                        for wi in 0..output_mask.num_words() {
+                            let cand = sg.dd_source_mask.word(wi) & !output_mask.word(wi);
+                            for y in DelegateMask::word_bits(wi, cand) {
+                                for &x in sg.dd.row(y) {
+                                    work.dd_edges += 1;
+                                    if self.delegate_depths[x as usize] == iter {
+                                        if output_mask.set(y) && self.track_parents {
+                                            self.delegate_parent_candidate[y as usize] =
+                                                DELEGATE_PARENT_TAG | x as u64;
+                                        }
+                                        break;
+                                    }
+                                }
                             }
-                            break;
+                        }
+                    }
+                    KernelVariant::Scalar => {
+                        work.delegate_previsit_vertices += sg.num_delegates as u64;
+                        for y in 0..sg.num_delegates {
+                            if !sg.dd_source_mask.get(y) || output_mask.get(y) {
+                                continue;
+                            }
+                            for &x in sg.dd.row(y) {
+                                work.dd_edges += 1;
+                                if self.delegate_depths[x as usize] == iter {
+                                    if output_mask.set(y) && self.track_parents {
+                                        self.delegate_parent_candidate[y as usize] =
+                                            DELEGATE_PARENT_TAG | x as u64;
+                                    }
+                                    break;
+                                }
+                            }
                         }
                     }
                 }
@@ -493,16 +618,19 @@ impl GpuWorker {
         }
         match directions.dn {
             Direction::Forward => {
-                if !self.scratch.dn_queue.is_empty() {
+                if !self.scratch.queues.window(Lane::Dn).is_empty() {
                     work.delegate_launches += 1;
-                    for &x in &self.scratch.dn_queue {
-                        for &u in sg.dn.row(x) {
-                            work.dn_edges += 1;
-                            if self.depths_local[u as usize] == UNREACHED {
-                                self.depths_local[u as usize] = next_depth;
-                                next_frontier.push(u);
-                                if self.track_parents {
-                                    self.parents_local[u as usize] = DELEGATE_PARENT_TAG | x as u64;
+                    for chunk in self.scratch.queues.lane_chunks(Lane::Dn) {
+                        for &x in chunk {
+                            for &u in sg.dn.row(x) {
+                                work.dn_edges += 1;
+                                if self.depths_local[u as usize] == UNREACHED {
+                                    self.depths_local[u as usize] = next_depth;
+                                    next_frontier.push(u);
+                                    if self.track_parents {
+                                        self.parents_local[u as usize] =
+                                            DELEGATE_PARENT_TAG | x as u64;
+                                    }
                                 }
                             }
                         }
@@ -534,10 +662,6 @@ impl GpuWorker {
             Direction::Backward => {}
         }
 
-        // The consumed input frontier's buffer becomes next iteration's
-        // spare (the driver installs `next_frontier` as the new frontier).
-        self.frontier.clear();
-        self.scratch.spare_frontier = std::mem::take(&mut self.frontier);
         self.new_delegates.clear();
         LocalIterationOutput { next_frontier, remote_nn, output_mask, work, directions }
     }
@@ -579,14 +703,10 @@ impl GpuWorker {
     }
 }
 
-/// Population count of `source_mask AND NOT visited`.
+/// Population count of `source_mask AND NOT visited`, via the word-level
+/// mask API (one intersection + popcount per 64 delegates).
 fn count_unvisited(source_mask: &DelegateMask, visited: &DelegateMask) -> u64 {
-    source_mask
-        .words()
-        .iter()
-        .zip(visited.words())
-        .map(|(&s, &v)| (s & !v).count_ones() as u64)
-        .sum()
+    source_mask.andnot_count(visited)
 }
 
 #[cfg(test)]
@@ -788,6 +908,102 @@ mod tests {
         // Direction tags mirror the chosen directions.
         let dd = events.iter().find(|e| e.tag == KernelTag::VisitDd).unwrap();
         assert_eq!(dd.dir, dir_tag(out.directions.dd));
+    }
+
+    /// Forces a kernel's direction state backward (any positive FV flips
+    /// it immediately with zero switch factors).
+    fn force_backward() -> DirectionState {
+        let mut s = DirectionState::new(
+            SwitchFactors { forward_to_backward: 0.0, backward_to_forward: 0.0 },
+            true,
+        );
+        s.decide(1.0, 0.5);
+        s
+    }
+
+    #[test]
+    fn scalar_and_word_parallel_backward_pulls_are_bit_identical() {
+        // Both variants run the same backward dd/nd/dn iteration from a
+        // delegate seed; depths, frontiers, masks, parents, and *edge*
+        // counters must match exactly. Only the probe accounting differs.
+        let mut outs = Vec::new();
+        let mut workers = Vec::new();
+        for variant in [KernelVariant::Scalar, KernelVariant::WordParallel] {
+            let (mut w, topo, sep) = single_gpu_worker();
+            w.kernel_variant = variant;
+            w.enable_parent_tracking();
+            w.dir_dd = force_backward();
+            w.dir_dn = force_backward();
+            w.dir_nd = force_backward();
+            let src = sep.delegate_id(0).unwrap();
+            let mut seed = DelegateMask::new(w.visited_mask.num_bits());
+            seed.set(src);
+            w.consume_reduced_mask(&seed, 0);
+            outs.push(w.run_iteration(0, &topo));
+            workers.push(w);
+        }
+        let (s, p) = (&outs[0], &outs[1]);
+        assert_eq!(s.directions, p.directions);
+        assert_eq!(s.next_frontier, p.next_frontier);
+        assert_eq!(s.output_mask, p.output_mask);
+        assert_eq!(workers[0].depths_local, workers[1].depths_local);
+        assert_eq!(workers[0].delegate_parent_candidate, workers[1].delegate_parent_candidate);
+        assert_eq!(workers[0].parents_local, workers[1].parents_local);
+        assert_eq!(s.work.total_edges(), p.work.total_edges());
+        assert_eq!(s.work.nd_edges, p.work.nd_edges);
+        assert_eq!(s.work.dd_edges, p.work.dd_edges);
+        // The scalar reference pays strictly more previsit probe work:
+        // per-bit DO scans plus per-bit backward candidate scans.
+        assert!(
+            s.work.delegate_previsit_vertices > p.work.delegate_previsit_vertices,
+            "scalar {} vs word-parallel {}",
+            s.work.delegate_previsit_vertices,
+            p.work.delegate_previsit_vertices
+        );
+    }
+
+    #[test]
+    fn scalar_variant_prices_kernels_on_a_derated_device() {
+        use gcbfs_cluster::cost::CostModel;
+        let base = CostModel::ray().device;
+        let word = KernelVariant::WordParallel.device_model(&base);
+        let scalar = KernelVariant::Scalar.device_model(&base);
+        assert_eq!(word.dynamic_visit_edges_per_sec, base.dynamic_visit_edges_per_sec);
+        assert_eq!(
+            scalar.dynamic_visit_edges_per_sec,
+            base.dynamic_visit_edges_per_sec * SCALAR_DERATE
+        );
+        assert_eq!(
+            scalar.merge_visit_edges_per_sec,
+            base.merge_visit_edges_per_sec * SCALAR_DERATE
+        );
+        assert_eq!(
+            scalar.previsit_vertices_per_sec,
+            base.previsit_vertices_per_sec * SCALAR_DERATE
+        );
+        // Fixed-function paths are untouched by the kernel rewrite.
+        assert_eq!(scalar.mask_bytes_per_sec, base.mask_bytes_per_sec);
+        assert_eq!(scalar.binning_items_per_sec, base.binning_items_per_sec);
+        assert_eq!(scalar.kernel_launch_overhead, base.kernel_launch_overhead);
+        assert_eq!(KernelVariant::Scalar.label(), "scalar");
+        assert_eq!(KernelVariant::default(), KernelVariant::WordParallel);
+    }
+
+    #[test]
+    fn next_frontier_recycles_the_input_frontier_buffer() {
+        // The consumed input frontier's allocation must flow into the
+        // iteration output (zero steady-state frontier allocations).
+        let (mut w, topo, _sep) = single_gpu_worker();
+        let slot = topo.local_index(2);
+        w.depths_local[slot as usize] = 0;
+        w.frontier.reserve(64);
+        w.frontier.push(slot);
+        let ptr = w.frontier.as_ptr();
+        let cap = w.frontier.capacity();
+        let out = w.run_iteration(0, &topo);
+        assert!(w.frontier.is_empty());
+        assert_eq!(out.next_frontier.as_ptr(), ptr);
+        assert_eq!(out.next_frontier.capacity(), cap);
     }
 
     #[test]

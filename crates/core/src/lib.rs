@@ -17,7 +17,8 @@
 //!   [`comm`] (collectives live in `gcbfs-cluster`);
 //! * §VI the driver tying it together, per-iteration statistics, and the
 //!   Graph500 TEPS reporting → [`driver`], [`stats`];
-//! * delegate visited bitmasks → [`masks`]; run options → [`config`];
+//! * delegate visited bitmasks → [`masks`]; sliding previsit queues →
+//!   [`frontier`]; run options → [`config`];
 //! * resilience: checkpoint/restart → [`checkpoint`], retry and
 //!   degraded-mode policy → [`recovery`] (fault injection itself lives in
 //!   `gcbfs_cluster::fault`);
@@ -33,6 +34,7 @@ pub mod config;
 pub mod direction;
 pub mod distributor;
 pub mod driver;
+pub mod frontier;
 pub mod kernels;
 pub mod masks;
 pub mod msbfs;

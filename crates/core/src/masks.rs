@@ -34,6 +34,55 @@ impl DelegateMask {
         &self.words
     }
 
+    /// Number of backing words (`ceil(num_bits / 64)`).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word `wi` of the backing store.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words[wi]
+    }
+
+    /// Iterates `(word_index, word)` over the non-zero words — the sparse
+    /// word-level view the word-parallel kernels scan.
+    pub fn iter_set_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words.iter().enumerate().filter(|&(_, &w)| w != 0).map(|(wi, &w)| (wi, w))
+    }
+
+    /// Iterates `(word_index, self & !other)` over the non-zero result
+    /// words: the unvisited-candidate view of the bottom-up kernels.
+    pub fn andnot_words<'a>(&'a self, other: &'a Self) -> impl Iterator<Item = (usize, u64)> + 'a {
+        debug_assert_eq!(self.num_bits, other.num_bits);
+        self.words.iter().zip(&other.words).enumerate().filter_map(|(wi, (&a, &b))| {
+            let w = a & !b;
+            (w != 0).then_some((wi, w))
+        })
+    }
+
+    /// Population count of `self & !other` — one `popcount` per word
+    /// instead of a per-bit probe loop.
+    pub fn andnot_count(&self, other: &Self) -> u64 {
+        debug_assert_eq!(self.num_bits, other.num_bits);
+        self.words.iter().zip(&other.words).map(|(&a, &b)| (a & !b).count_ones() as u64).sum()
+    }
+
+    /// Iterates the bit indices set in `word` (word index `wi`), lowest
+    /// first — the trailing-zeros scan all word-parallel kernels share.
+    pub fn word_bits(wi: usize, mut word: u64) -> impl Iterator<Item = u32> {
+        std::iter::from_fn(move || {
+            if word == 0 {
+                None
+            } else {
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                Some(wi as u32 * 64 + bit)
+            }
+        })
+    }
+
     /// Replaces the backing words (consuming a reduced mask).
     ///
     /// # Panics
@@ -41,6 +90,21 @@ impl DelegateMask {
     pub fn set_words(&mut self, words: Vec<u64>) {
         assert_eq!(words.len(), self.words.len(), "mask width must not change");
         self.words = words;
+    }
+
+    /// Wraps an already-populated word vector (consuming a reduced mask)
+    /// without the intermediate zero-fill `new` + [`Self::set_words`]
+    /// would pay.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly the width `num_bits` requires.
+    pub fn from_words(num_bits: u32, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            (num_bits as usize).div_ceil(64),
+            "word count must match the mask width"
+        );
+        DelegateMask { num_bits, words }
     }
 
     /// XORs `xor` into word `word % words.len()` — the checkpoint layer's
@@ -102,19 +166,7 @@ impl DelegateMask {
     /// Iterates over the indices of bits set in `self` but not in `prev` —
     /// the *newly visited* delegates after a reduction.
     pub fn new_bits<'a>(&'a self, prev: &'a Self) -> impl Iterator<Item = u32> + 'a {
-        debug_assert_eq!(self.num_bits, prev.num_bits);
-        self.words.iter().zip(&prev.words).enumerate().flat_map(|(wi, (&cur, &old))| {
-            let mut diff = cur & !old;
-            std::iter::from_fn(move || {
-                if diff == 0 {
-                    None
-                } else {
-                    let bit = diff.trailing_zeros();
-                    diff &= diff - 1;
-                    Some(wi as u32 * 64 + bit)
-                }
-            })
-        })
+        self.andnot_words(prev).flat_map(|(wi, diff)| Self::word_bits(wi, diff))
     }
 
     /// True if `self` differs from `prev` (an update worth reducing).
@@ -187,5 +239,54 @@ mod tests {
     fn set_words_rejects_resize() {
         let mut m = DelegateMask::new(64);
         m.set_words(vec![0, 0]);
+    }
+
+    #[test]
+    fn from_words_equals_new_plus_set_words() {
+        let words = vec![0b1011u64, 1 << 63];
+        let direct = DelegateMask::from_words(100, words.clone());
+        let mut staged = DelegateMask::new(100);
+        staged.set_words(words);
+        assert_eq!(direct, staged);
+        assert_eq!(direct.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn from_words_rejects_wrong_width() {
+        DelegateMask::from_words(100, vec![0u64]);
+    }
+
+    #[test]
+    fn word_level_views_agree_with_per_bit_probes() {
+        let mut a = DelegateMask::new(300);
+        let mut b = DelegateMask::new(300);
+        for i in [0u32, 1, 63, 64, 65, 128, 200, 299] {
+            a.set(i);
+        }
+        for i in [1u32, 64, 200, 250] {
+            b.set(i);
+        }
+        // andnot_count equals the brute-force per-bit count.
+        let brute = (0..300).filter(|&i| a.get(i) && !b.get(i)).count() as u64;
+        assert_eq!(a.andnot_count(&b), brute);
+        // andnot_words + word_bits enumerate exactly those bits in order.
+        let via_words: Vec<u32> =
+            a.andnot_words(&b).flat_map(|(wi, w)| DelegateMask::word_bits(wi, w)).collect();
+        let expected: Vec<u32> = (0..300).filter(|&i| a.get(i) && !b.get(i)).collect();
+        assert_eq!(via_words, expected);
+        // iter_set_words covers every set bit and skips zero words.
+        let total: u32 = a.iter_set_words().map(|(_, w)| w.count_ones()).sum();
+        assert_eq!(total, a.count_ones());
+        assert!(a.iter_set_words().all(|(_, w)| w != 0));
+        assert_eq!(a.num_words(), 5);
+        assert_eq!(a.word(0) & 1, 1);
+    }
+
+    #[test]
+    fn word_bits_enumerates_lowest_first() {
+        let bits: Vec<u32> = DelegateMask::word_bits(2, 0b1001_0001).collect();
+        assert_eq!(bits, vec![128, 132, 135]);
+        assert_eq!(DelegateMask::word_bits(0, 0).count(), 0);
     }
 }

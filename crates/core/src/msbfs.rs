@@ -317,7 +317,8 @@ impl DistributedGraph {
                 }
             }
 
-            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            let timing =
+                IterationTiming { phases, blocking_reduce: config.blocking_reduce, overlap: false };
             modeled += timing.elapsed();
             level_seconds.push(timing.elapsed());
             phases_total = phases_total.combine(&phases);

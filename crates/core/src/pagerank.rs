@@ -303,7 +303,8 @@ impl DistributedGraph {
             // The global delta check is one more scalar allreduce.
             phases.remote_delegate += cost.network.allreduce_time(8, topo.num_ranks(), true);
 
-            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            let timing =
+                IterationTiming { phases, blocking_reduce: config.blocking_reduce, overlap: false };
             modeled += timing.elapsed();
             phases_total = phases_total.combine(&phases);
             iterations += 1;

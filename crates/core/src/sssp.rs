@@ -345,7 +345,8 @@ impl DistributedSssp {
                 }
             }
 
-            let timing = IterationTiming { phases, blocking_reduce: config.blocking_reduce };
+            let timing =
+                IterationTiming { phases, blocking_reduce: config.blocking_reduce, overlap: false };
             modeled += timing.elapsed();
             phases_total = phases_total.combine(&phases);
             rounds += 1;

@@ -221,6 +221,7 @@ impl RunStats {
                 start: cursor,
                 elapsed,
                 blocking: r.timing.blocking_reduce,
+                overlap: r.timing.overlap,
                 segments: [
                     PathSegment { phase: PhaseTag::Computation, seconds: p.computation, gpu: None },
                     PathSegment { phase: PhaseTag::LocalComm, seconds: p.local_comm, gpu: None },
@@ -293,6 +294,7 @@ mod tests {
                     remote_delegate: 2.0,
                 },
                 blocking_reduce: true,
+                overlap: false,
             },
         }
     }

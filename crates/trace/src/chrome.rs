@@ -191,6 +191,8 @@ mod tests {
             &lanes,
             6e-5,
             false,
+            false,
+            &[],
             &[vec![], vec![], vec![], vec![]],
             &msgs,
             &[],

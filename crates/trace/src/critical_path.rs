@@ -37,6 +37,9 @@ pub struct IterationPath {
     pub elapsed: f64,
     /// Whether the delegate reduction was blocking this iteration.
     pub blocking: bool,
+    /// Whether the communication pipeline overlapped kernel execution
+    /// this iteration (`elapsed = max(computation, pipeline)`).
+    pub overlap: bool,
     /// Per-phase gating segments in reporting order
     /// (computation, local, remote normal, remote delegate).
     pub segments: [PathSegment; 4],
@@ -47,8 +50,15 @@ impl IterationPath {
     /// order. Under a blocking reduction all four segments contribute
     /// fully; under a non-blocking one the two remote phases overlap and
     /// only the longer contributes (the shorter is attributed zero).
-    /// The attribution sums to `elapsed` bit-for-bit.
+    /// With pipelined compute/comm overlap only the winning side of
+    /// `max(computation, pipeline)` is attributed at all: a compute-bound
+    /// iteration attributes everything to computation, a comm-bound one
+    /// attributes nothing to it. The attribution always sums to
+    /// `elapsed` (bit-for-bit without overlap; overlap introduces one
+    /// extra addition whose rounding the observability suite bounds).
     pub fn attributed(&self) -> [f64; 4] {
+        let c = self.segments[0].seconds;
+        let l = self.segments[1].seconds;
         let rn = self.segments[2].seconds;
         let rd = self.segments[3].seconds;
         let (arn, ard) = if self.blocking {
@@ -58,7 +68,16 @@ impl IterationPath {
         } else {
             (0.0, rd)
         };
-        [self.segments[0].seconds, self.segments[1].seconds, arn, ard]
+        if self.overlap {
+            let pipeline = l + (arn + ard);
+            if c >= pipeline {
+                [c, 0.0, 0.0, 0.0]
+            } else {
+                [0.0, l, arn, ard]
+            }
+        } else {
+            [c, l, arn, ard]
+        }
     }
 
     /// The phase contributing the most attributed time this iteration.
@@ -173,6 +192,7 @@ mod tests {
             start: 0.0,
             elapsed: c + l + remote,
             blocking,
+            overlap: false,
             segments: [
                 seg(PhaseTag::Computation, c, Some(0)),
                 seg(PhaseTag::LocalComm, l, Some(1)),
@@ -180,6 +200,14 @@ mod tests {
                 seg(PhaseTag::RemoteDelegate, rd, None),
             ],
         }
+    }
+
+    fn overlapped(blocking: bool, c: f64, l: f64, rn: f64, rd: f64) -> IterationPath {
+        let remote = if blocking { rn + rd } else { rn.max(rd) };
+        let mut it = iteration(blocking, c, l, rn, rd);
+        it.overlap = true;
+        it.elapsed = c.max(l + remote);
+        it
     }
 
     #[test]
@@ -198,6 +226,26 @@ mod tests {
         assert_eq!(a[2], 0.0);
         assert_eq!(a[3], 3.0);
         assert_eq!(it.dominant(), PhaseTag::Computation);
+    }
+
+    #[test]
+    fn overlap_attributes_the_winning_side_only() {
+        // Compute-bound: elapsed == computation, everything else hidden.
+        let it = overlapped(false, 4.0, 1.0, 2.0, 3.0);
+        assert_eq!(it.elapsed, 4.0);
+        assert_eq!(it.attributed(), [4.0, 0.0, 0.0, 0.0]);
+        assert_eq!(it.attributed().iter().sum::<f64>(), it.elapsed);
+        assert_eq!(it.dominant(), PhaseTag::Computation);
+        // Comm-bound: computation hides instead; the nonblocking remote
+        // rule still zeroes the losing remote phase.
+        let it = overlapped(false, 1.0, 2.0, 5.0, 3.0);
+        assert_eq!(it.elapsed, 7.0);
+        assert_eq!(it.attributed(), [0.0, 2.0, 5.0, 0.0]);
+        assert_eq!(it.attributed().iter().sum::<f64>(), it.elapsed);
+        // Blocking comm-bound sums both remote phases inside the pipeline.
+        let it = overlapped(true, 1.0, 2.0, 5.0, 3.0);
+        assert_eq!(it.elapsed, 10.0);
+        assert_eq!(it.attributed(), [0.0, 2.0, 5.0, 3.0]);
     }
 
     #[test]

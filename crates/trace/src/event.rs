@@ -209,6 +209,58 @@ pub struct LanePhases {
     pub remote_normal: f64,
 }
 
+/// A stage of the pipelined nn-exchange (encode → transfer → decode);
+/// recorded only when compute/comm overlap is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageTag {
+    /// Sender-side staging: binning, local all2all, uniquify, codec
+    /// encode — everything that must finish before bytes hit the wire.
+    Encode,
+    /// The cross-rank wire transfer itself.
+    Transfer,
+    /// Receiver-side codec decode.
+    Decode,
+}
+
+impl StageTag {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageTag::Encode => "encode",
+            StageTag::Transfer => "transfer",
+            StageTag::Decode => "decode",
+        }
+    }
+}
+
+/// Per-lane stage seconds of the pipelined nn-exchange for one
+/// iteration, handed to the sink alongside [`LanePhases`] when overlap
+/// is on. Encode and decode partition this lane's `local_comm` (up to
+/// float association); the transfer stage duration is the lane's
+/// `remote_normal`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LaneStages {
+    /// Seconds of sender-side staging (binning/all2all/uniquify/encode).
+    pub encode: f64,
+    /// Seconds of receiver-side decode.
+    pub decode: f64,
+}
+
+/// A pipeline-stage interval on one GPU lane, in modeled seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageSpan {
+    /// Global GPU index of the lane.
+    pub gpu: u32,
+    /// BFS iteration the span belongs to.
+    pub iter: u32,
+    /// Which pipeline stage.
+    pub stage: StageTag,
+    /// Modeled start time.
+    pub start: f64,
+    /// Modeled duration.
+    pub dur: f64,
+}
+
 /// A point-to-point message as reported by the exchange layer, before
 /// the sink timestamps it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -380,6 +432,9 @@ mod tests {
         assert_eq!(Channel::CrossRank.label(), "cross_rank");
         assert_eq!(MessageKind::MaskReduce.label(), "mask_reduce");
         assert_eq!(StreamTag::Delegate.label(), "delegate");
+        assert_eq!(StageTag::Encode.label(), "encode");
+        assert_eq!(StageTag::Transfer.label(), "transfer");
+        assert_eq!(StageTag::Decode.label(), "decode");
     }
 
     #[test]

@@ -49,6 +49,17 @@ pub fn export_jsonl(log: &TraceLog) -> String {
             k.dur
         );
     }
+    for s in &log.stage_spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"stage\",\"iter\":{},\"gpu\":{},\"stage\":\"{}\",\"start\":{},\"dur\":{}}}",
+            s.iter,
+            s.gpu,
+            s.stage.label(),
+            s.start,
+            s.dur
+        );
+    }
     for m in &log.messages {
         let _ = writeln!(
             out,
@@ -98,6 +109,8 @@ pub struct JsonlSummary {
     pub phase_spans: u64,
     /// Kernel-span lines.
     pub kernel_spans: u64,
+    /// Pipeline stage-span lines (present only in overlap runs).
+    pub stage_spans: u64,
     /// Message lines.
     pub messages: u64,
     /// Fault lines.
@@ -148,6 +161,7 @@ pub fn summarize(text: &str) -> Result<JsonlSummary, String> {
                     s.visit_edges += num("work")? as u64;
                 }
             }
+            "stage" => s.stage_spans += 1,
             "msg" => {
                 s.messages += 1;
                 if doc.get("chan").and_then(|v| v.as_str()) == Some("cross_rank") {
@@ -203,7 +217,7 @@ mod tests {
             }],
         ];
         let msgs = [MessageRecord { src: 0, dst: 1, raw_bytes: 96, wire_bytes: 96, intra: true }];
-        sink.record_iteration(0, &lanes, 0.0, true, &kernels, &msgs, &[]);
+        sink.record_iteration(0, &lanes, 0.0, true, false, &[], &kernels, &msgs, &[]);
         sink.record_fault(FaultKind::Retry, 0, 2e-5);
         sink.finish()
     }
@@ -229,6 +243,24 @@ mod tests {
     fn export_is_deterministic() {
         let log = sample_log();
         assert_eq!(export_jsonl(&log), export_jsonl(&log));
+    }
+
+    #[test]
+    fn stage_lines_round_trip_in_overlap_runs() {
+        use crate::event::LaneStages;
+        let mut sink = SpanSink::new(1, 1);
+        let lanes = [LanePhases { computation: 1e-4, local_comm: 2e-5, remote_normal: 3e-5 }];
+        let stages = [LaneStages { encode: 1.5e-5, decode: 0.5e-5 }];
+        sink.record_iteration(0, &lanes, 0.0, false, true, &stages, &[vec![]], &[], &[]);
+        let log = sink.finish();
+        let text = export_jsonl(&log);
+        assert!(text.contains("\"type\":\"stage\""));
+        assert!(text.contains("\"stage\":\"encode\""));
+        let s = summarize(&text).unwrap();
+        assert_eq!(s.stage_spans, 3);
+        // Overlap-off logs carry no stage lines at all.
+        let off = summarize(&export_jsonl(&sample_log())).unwrap();
+        assert_eq!(off.stage_spans, 0);
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod sink;
 pub use critical_path::{CriticalPath, IterationPath, PathSegment};
 pub use event::{
     Channel, CollectiveHop, DirTag, FaultKind, FaultSpan, KernelEvent, KernelSpan, KernelTag,
-    LanePhases, MessageEvent, MessageKind, MessageRecord, PhaseSpan, PhaseTag, StreamTag,
+    LanePhases, LaneStages, MessageEvent, MessageKind, MessageRecord, PhaseSpan, PhaseTag,
+    StageSpan, StageTag, StreamTag,
 };
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{SinkMark, SpanSink, TraceLog};

@@ -358,7 +358,7 @@ mod tests {
             MessageRecord { src: 0, dst: 1, raw_bytes: 100, wire_bytes: 40, intra: false },
             MessageRecord { src: 1, dst: 0, raw_bytes: 60, wire_bytes: 60, intra: false },
         ];
-        sink.record_iteration(0, &lanes, 0.125, true, &[vec![], vec![]], &msgs, &[]);
+        sink.record_iteration(0, &lanes, 0.125, true, false, &[], &[vec![], vec![]], &msgs, &[]);
         let log = sink.finish();
         let snap = MetricsRegistry::from_log(&log).snapshot();
         assert_eq!(snap.counter("message.cross_rank.count"), Some(2));

@@ -20,8 +20,8 @@
 
 use crate::critical_path::{CriticalPath, IterationPath, PathSegment};
 use crate::event::{
-    Channel, CollectiveHop, FaultKind, FaultSpan, KernelEvent, KernelSpan, LanePhases,
-    MessageEvent, MessageKind, MessageRecord, PhaseSpan, PhaseTag,
+    Channel, CollectiveHop, FaultKind, FaultSpan, KernelEvent, KernelSpan, LanePhases, LaneStages,
+    MessageEvent, MessageKind, MessageRecord, PhaseSpan, PhaseTag, StageSpan, StageTag,
 };
 
 /// The finished, immutable record of one observed run.
@@ -35,6 +35,10 @@ pub struct TraceLog {
     pub phase_spans: Vec<PhaseSpan>,
     /// Per-stream kernel intervals, in (iteration, lane, stream) order.
     pub kernel_spans: Vec<KernelSpan>,
+    /// Pipeline-stage intervals (encode → transfer → decode) of the
+    /// nn-exchange, in (iteration, lane) order; empty unless the run had
+    /// compute/comm overlap on.
+    pub stage_spans: Vec<StageSpan>,
     /// Point-to-point message events, in iteration order.
     pub messages: Vec<MessageEvent>,
     /// Resilience events, in the order their time was charged.
@@ -98,6 +102,7 @@ impl TraceLog {
 pub struct SinkMark {
     phase_spans: usize,
     kernel_spans: usize,
+    stage_spans: usize,
     messages: usize,
     iterations: usize,
     faults: usize,
@@ -128,6 +133,7 @@ impl SpanSink {
         SinkMark {
             phase_spans: self.log.phase_spans.len(),
             kernel_spans: self.log.kernel_spans.len(),
+            stage_spans: self.log.stage_spans.len(),
             messages: self.log.messages.len(),
             iterations: self.log.iterations.len(),
             faults: self.log.faults.len(),
@@ -145,6 +151,7 @@ impl SpanSink {
     pub fn truncate(&mut self, mark: &SinkMark) {
         self.log.phase_spans.truncate(mark.phase_spans);
         self.log.kernel_spans.truncate(mark.kernel_spans);
+        self.log.stage_spans.truncate(mark.stage_spans);
         self.log.messages.truncate(mark.messages);
         self.log.iterations.truncate(mark.iterations);
         let kept: f64 = self.log.faults[mark.faults..].iter().map(|f| f.dur).sum();
@@ -170,6 +177,13 @@ impl SpanSink {
     /// * `messages` are the exchange's point-to-point transfers and
     ///   `mask_hops` the reduction's rank-level hops; both are stamped
     ///   with the start of the phase that pays for them.
+    /// * `overlap` pipelines the communication against the computation:
+    ///   the comm phases start at the iteration start instead of after the
+    ///   compute barrier, and the cursor advances by
+    ///   `max(computation, pipeline)`.
+    /// * `stages[g]` splits lane `g`'s nn-exchange into encode/decode
+    ///   seconds; stage spans are emitted only when `overlap` is on, so an
+    ///   overlap-off run's log is byte-identical to the pre-overlap one.
     ///
     /// The cursor advances by the iteration's elapsed time, computed with
     /// the same overlap expression as `IterationTiming::elapsed`.
@@ -180,6 +194,8 @@ impl SpanSink {
         lanes: &[LanePhases],
         remote_delegate: f64,
         blocking: bool,
+        overlap: bool,
+        stages: &[LaneStages],
         kernels: &[Vec<KernelEvent>],
         messages: &[MessageRecord],
         mask_hops: &[CollectiveHop],
@@ -209,12 +225,16 @@ impl SpanSink {
             rn_max = rn_max.max(lane.remote_normal);
         }
         let remote = if blocking { rn_max + remote_delegate } else { rn_max.max(remote_delegate) };
-        let elapsed = comp_max + local_max + remote;
+        let elapsed =
+            if overlap { comp_max.max(local_max + remote) } else { comp_max + local_max + remote };
 
         // Common phase boundaries: the BSP barrier after each phase
         // means every lane's next phase starts at the slowest lane's end.
+        // Under overlap the comm pipeline runs on the copy engines
+        // concurrently with the kernels, so it starts at the iteration
+        // start rather than after the compute barrier.
         let c0 = self.cursor;
-        let l0 = c0 + comp_max;
+        let l0 = if overlap { c0 } else { c0 + comp_max };
         let rn0 = l0 + local_max;
         let rd0 = if blocking { rn0 + rn_max } else { rn0 };
 
@@ -248,6 +268,34 @@ impl SpanSink {
                 start: rd0,
                 dur: remote_delegate,
             });
+        }
+
+        if overlap {
+            for (g, lane) in lanes.iter().enumerate() {
+                let gpu = g as u32;
+                let st = stages.get(g).copied().unwrap_or_default();
+                self.log.stage_spans.push(StageSpan {
+                    gpu,
+                    iter,
+                    stage: StageTag::Encode,
+                    start: l0,
+                    dur: st.encode,
+                });
+                self.log.stage_spans.push(StageSpan {
+                    gpu,
+                    iter,
+                    stage: StageTag::Transfer,
+                    start: rn0,
+                    dur: lane.remote_normal,
+                });
+                self.log.stage_spans.push(StageSpan {
+                    gpu,
+                    iter,
+                    stage: StageTag::Decode,
+                    start: rn0 + lane.remote_normal,
+                    dur: st.decode,
+                });
+            }
         }
 
         for (g, evs) in kernels.iter().enumerate() {
@@ -300,6 +348,7 @@ impl SpanSink {
             start: c0,
             elapsed,
             blocking,
+            overlap,
             segments: [
                 PathSegment {
                     phase: PhaseTag::Computation,
@@ -341,7 +390,7 @@ mod tests {
     fn phase_layout_and_elapsed_nonblocking() {
         let mut sink = SpanSink::new(1, 2);
         let lanes = [lane(4.0, 1.0, 2.0), lane(3.0, 1.5, 0.5)];
-        sink.record_iteration(0, &lanes, 3.0, false, &[vec![], vec![]], &[], &[]);
+        sink.record_iteration(0, &lanes, 3.0, false, false, &[], &[vec![], vec![]], &[], &[]);
         // elapsed = 4.0 + 1.5 + max(2.0, 3.0)
         assert_eq!(sink.cursor(), 8.5);
         let log = sink.finish();
@@ -368,7 +417,7 @@ mod tests {
     fn blocking_serializes_remote_and_attributes_lanes() {
         let mut sink = SpanSink::new(2, 1);
         let lanes = [lane(1.0, 0.5, 2.0), lane(6.0, 0.25, 1.0)];
-        sink.record_iteration(3, &lanes, 0.5, true, &[vec![], vec![]], &[], &[]);
+        sink.record_iteration(3, &lanes, 0.5, true, false, &[], &[vec![], vec![]], &[], &[]);
         assert_eq!(sink.cursor(), 6.0 + 0.5 + 2.0 + 0.5);
         let log = sink.finish();
         let rd = log.phase_spans.iter().find(|s| s.phase == PhaseTag::RemoteDelegate).unwrap();
@@ -407,7 +456,7 @@ mod tests {
                 seconds: 0.5,
             },
         ];
-        sink.record_iteration(0, &[lane(2.5, 0.0, 0.0)], 0.0, true, &[evs], &[], &[]);
+        sink.record_iteration(0, &[lane(2.5, 0.0, 0.0)], 0.0, true, false, &[], &[evs], &[], &[]);
         let log = sink.finish();
         assert_eq!(log.kernel_spans.len(), 3);
         // Normal stream: previsit at 0.0, visit_nn follows at 1.0.
@@ -432,6 +481,8 @@ mod tests {
             &lanes,
             0.125,
             false,
+            false,
+            &[],
             &[vec![], vec![], vec![], vec![]],
             &msgs,
             &hops,
@@ -453,8 +504,28 @@ mod tests {
         let mut sink = SpanSink::new(1, 1);
         sink.record_fault(FaultKind::Checkpoint, 0, 0.25);
         let mark = sink.mark();
-        sink.record_iteration(0, &[lane(1.0, 0.0, 0.0)], 0.0, true, &[vec![]], &[], &[]);
-        sink.record_iteration(1, &[lane(2.0, 0.0, 0.0)], 0.0, true, &[vec![]], &[], &[]);
+        sink.record_iteration(
+            0,
+            &[lane(1.0, 0.0, 0.0)],
+            0.0,
+            true,
+            false,
+            &[],
+            &[vec![]],
+            &[],
+            &[],
+        );
+        sink.record_iteration(
+            1,
+            &[lane(2.0, 0.0, 0.0)],
+            0.0,
+            true,
+            false,
+            &[],
+            &[vec![]],
+            &[],
+            &[],
+        );
         assert_eq!(sink.cursor(), 3.25);
         sink.truncate(&mark);
         assert_eq!(sink.cursor(), 0.25);
@@ -472,13 +543,97 @@ mod tests {
     }
 
     #[test]
+    fn overlap_pipelines_comm_against_compute() {
+        let mut sink = SpanSink::new(1, 2);
+        let lanes = [lane(4.0, 1.0, 2.0), lane(3.0, 1.5, 0.5)];
+        let stages =
+            [LaneStages { encode: 0.75, decode: 0.25 }, LaneStages { encode: 1.0, decode: 0.5 }];
+        sink.record_iteration(0, &lanes, 3.0, false, true, &stages, &[vec![], vec![]], &[], &[]);
+        // elapsed = max(comp 4.0, pipeline 1.5 + max(2.0, 3.0) = 4.5):
+        // the comm side wins by half a second.
+        assert_eq!(sink.cursor(), 4.5);
+        let log = sink.finish();
+        // The comm pipeline starts with the computation, not after it.
+        let lc: Vec<&PhaseSpan> =
+            log.phase_spans.iter().filter(|s| s.phase == PhaseTag::LocalComm).collect();
+        assert!(lc.iter().all(|s| s.start == 0.0));
+        let rn = log.phase_spans.iter().find(|s| s.phase == PhaseTag::RemoteNormal).unwrap();
+        assert_eq!(rn.start, 1.5);
+        // Stage spans lay out encode → transfer → decode per lane.
+        assert_eq!(log.stage_spans.len(), 6);
+        let enc = &log.stage_spans[0];
+        assert_eq!((enc.stage, enc.start, enc.dur), (StageTag::Encode, 0.0, 0.75));
+        let xfer = &log.stage_spans[1];
+        assert_eq!((xfer.stage, xfer.start, xfer.dur), (StageTag::Transfer, 1.5, 2.0));
+        let dec = &log.stage_spans[2];
+        assert_eq!((dec.stage, dec.start, dec.dur), (StageTag::Decode, 3.5, 0.25));
+        // The iteration path carries the overlap flag and its elapsed
+        // matches the pipelined expression.
+        let it = &log.iterations[0];
+        assert!(it.overlap);
+        assert_eq!(it.elapsed, 4.5);
+        assert_eq!(log.critical_path().total_seconds(), 4.5);
+    }
+
+    #[test]
+    fn overlap_off_records_no_stage_spans() {
+        let mut sink = SpanSink::new(1, 1);
+        sink.record_iteration(
+            0,
+            &[lane(1.0, 0.5, 0.25)],
+            0.0,
+            false,
+            false,
+            &[],
+            &[vec![]],
+            &[],
+            &[],
+        );
+        let log = sink.finish();
+        assert!(log.stage_spans.is_empty());
+        assert!(!log.iterations[0].overlap);
+    }
+
+    #[test]
+    fn truncate_rewinds_stage_spans() {
+        let mut sink = SpanSink::new(1, 1);
+        let mark = sink.mark();
+        let stages = [LaneStages { encode: 0.1, decode: 0.1 }];
+        sink.record_iteration(
+            0,
+            &[lane(1.0, 0.5, 0.25)],
+            0.0,
+            false,
+            true,
+            &stages,
+            &[vec![]],
+            &[],
+            &[],
+        );
+        assert_eq!(sink.log.stage_spans.len(), 3);
+        sink.truncate(&mark);
+        assert_eq!(sink.log.stage_spans.len(), 0);
+        assert_eq!(sink.cursor(), 0.0);
+    }
+
+    #[test]
     fn critical_path_total_matches_cursor() {
         let mut sink = SpanSink::new(2, 2);
         for iter in 0..5u32 {
             let lanes: Vec<LanePhases> =
                 (0..4).map(|g| lane(0.1 * (g + 1) as f64, 0.01, 0.002 * iter as f64)).collect();
             let kernels = vec![vec![]; 4];
-            sink.record_iteration(iter, &lanes, 0.003, iter % 2 == 0, &kernels, &[], &[]);
+            sink.record_iteration(
+                iter,
+                &lanes,
+                0.003,
+                iter % 2 == 0,
+                false,
+                &[],
+                &kernels,
+                &[],
+                &[],
+            );
         }
         sink.record_fault(FaultKind::Retry, 2, 0.5);
         let cursor = sink.cursor();

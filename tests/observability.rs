@@ -101,7 +101,13 @@ fn check_invariants(label: &str, r: &BfsResult, degraded: bool) {
                 .all(|s| s.dur.to_bits() == p.remote_delegate.to_bits()),
             "{label}: iteration {iter} remote_delegate spans"
         );
-        if rec.timing.blocking_reduce {
+        if rec.timing.overlap {
+            // The pipeline hides the shorter side: elapsed is the max of
+            // the two sides, never more than the serial stack and never
+            // less than the computation alone.
+            assert!(rec.timing.elapsed() <= rec.timing.sum_of_parts());
+            assert!(rec.timing.elapsed() >= p.computation);
+        } else if rec.timing.blocking_reduce {
             // Same four addends, different association — `sum_of_parts`
             // is ((c+l)+rn)+rd while `elapsed` is (c+l)+(rn+rd) — so the
             // identity holds to 1 ulp, not bitwise.
@@ -242,6 +248,70 @@ fn invariants_hold_under_nonblocking_and_ablated_options() {
         let dist = DistributedGraph::build(&graph, topo, &config).unwrap();
         let r = dist.run(src, &config).unwrap();
         check_invariants(&format!("l={l} u={u} br={br}"), &r, false);
+    }
+}
+
+#[test]
+fn invariants_hold_with_pipelined_overlap() {
+    let (graph, src) = fixture(10);
+    let topo = Topology::new(2, 2);
+    for mode in [CompressionMode::Off, CompressionMode::Adaptive] {
+        for blocking in [false, true] {
+            let label = format!("overlap mode={mode} blocking={blocking}");
+            let base = BfsConfig::new(8).with_compression(mode).with_blocking_reduce(blocking);
+            let overlapped = base.with_overlap(true).with_observability(ObservabilityConfig::Full);
+            let dist = DistributedGraph::build(&graph, topo, &base).unwrap();
+            let on = dist.run(src, &overlapped).unwrap();
+            check_invariants(&label, &on, false);
+            let log = on.observed.as_ref().unwrap();
+
+            // Stage spans decompose every iteration's nn-exchange: three
+            // per lane per iteration, and each lane's encode + decode
+            // stage time reproduces its local_comm span up to summation
+            // order (the mask-reduce share rides the encode stage).
+            assert_eq!(
+                log.stage_spans.len(),
+                3 * log.num_gpus() as usize * log.iterations.len(),
+                "{label}: stage span count"
+            );
+            for it in &log.iterations {
+                assert!(it.overlap, "{label}: iteration paths must carry the overlap flag");
+                for g in 0..log.num_gpus() {
+                    let staged: f64 = log
+                        .stage_spans
+                        .iter()
+                        .filter(|s| {
+                            s.iter == it.iter
+                                && s.gpu == g
+                                && s.stage != gpu_cluster_bfs::obs::StageTag::Transfer
+                        })
+                        .map(|s| s.dur)
+                        .sum();
+                    let lane_local = log
+                        .phase_spans
+                        .iter()
+                        .find(|s| s.iter == it.iter && s.gpu == g && s.phase == PhaseTag::LocalComm)
+                        .expect("lane has a local_comm span")
+                        .dur;
+                    assert!(
+                        (staged - lane_local).abs() <= 1e-12 * lane_local.max(1.0),
+                        "{label}: iter {} gpu {g} encode+decode {staged} != local_comm {lane_local}",
+                        it.iter
+                    );
+                }
+            }
+
+            // Overlap changes only when things are charged, never what the
+            // traversal computes: depths are bit-exact against the serial
+            // schedule and the run can only get faster.
+            let off = dist.run(src, &base).unwrap();
+            assert_eq!(off.depths, on.depths, "{label}: overlap must not change depths");
+            assert!(
+                on.modeled_seconds() <= off.modeled_seconds(),
+                "{label}: overlap made the run slower"
+            );
+            assert!(on.modeled_seconds() > 0.0);
+        }
     }
 }
 

@@ -7,8 +7,11 @@
 //! * the vertex permutation is a bijection;
 //! * the delegate-mask algebra behaves like a set.
 
+use gpu_cluster_bfs::cluster::fault::FaultPlan;
+use gpu_cluster_bfs::compress::{CompressionMode, FrontierCodec, MaskCodec};
 use gpu_cluster_bfs::core::distributor::{classify, distribute, owner, EdgeClass};
 use gpu_cluster_bfs::core::driver::DistributedGraph;
+use gpu_cluster_bfs::core::kernels::KernelVariant;
 use gpu_cluster_bfs::core::masks::DelegateMask;
 use gpu_cluster_bfs::core::separation::Separation;
 use gpu_cluster_bfs::graph::permute::VertexPermutation;
@@ -200,6 +203,39 @@ proptest! {
     }
 
     #[test]
+    fn kernel_variants_agree_on_depths_and_parents(
+        graph in symmetric_graph(60, 120),
+        prank in 1u32..4,
+        pgpu in 1u32..3,
+        th in 0u64..16,
+        source_sel in 0u64..1000,
+        mode_sel in 0usize..3,
+    ) {
+        use gpu_cluster_bfs::graph::reference::validate_parents;
+        let source = source_sel % graph.num_vertices;
+        let topo = Topology::new(prank, pgpu);
+        let mode = [
+            CompressionMode::Off,
+            CompressionMode::Fixed(FrontierCodec::VarintDelta, MaskCodec::SparseIndex),
+            CompressionMode::Adaptive,
+        ][mode_sel];
+        let base = BfsConfig::new(th).with_compression(mode);
+        let dist = DistributedGraph::build(&graph, topo, &base).unwrap();
+        let scalar = base.with_kernel_variant(KernelVariant::Scalar);
+        let word = base.with_kernel_variant(KernelVariant::WordParallel);
+        let a = dist.run_with_parents(source, &scalar).unwrap();
+        let b = dist.run_with_parents(source, &word).unwrap();
+        // The variant prices kernels; it must never steer the traversal.
+        prop_assert_eq!(&a.depths, &b.depths);
+        prop_assert_eq!(a.parents.as_ref().unwrap(), b.parents.as_ref().unwrap());
+        let csr = Csr::from_edge_list(&graph);
+        prop_assert_eq!(&b.depths, &bfs_depths(&csr, source));
+        prop_assert!(
+            validate_parents(&csr, source, &b.depths, b.parents.as_ref().unwrap()).is_ok()
+        );
+    }
+
+    #[test]
     fn separation_partitions_vertices(
         degrees in proptest::collection::vec(0u64..200, 1..120),
         th in 0u64..100,
@@ -218,5 +254,62 @@ proptest! {
             }
         }
         prop_assert_eq!(sep.num_delegates(), delegate_count);
+    }
+}
+
+/// The raw-speed overhaul's contract, swept deterministically: the
+/// word-parallel bottom-up kernels and the sliding-queue frontiers must
+/// reproduce the scalar reference's depths and parents bit-for-bit at
+/// every host thread width, at every compression mode, and through a
+/// fail-stop rollback.
+#[test]
+fn word_parallel_is_bit_identical_across_widths_modes_and_rollback() {
+    use gpu_cluster_bfs::graph::RmatConfig;
+    let modes = [
+        CompressionMode::Off,
+        CompressionMode::Fixed(FrontierCodec::VarintDelta, MaskCodec::SparseIndex),
+        CompressionMode::Adaptive,
+    ];
+    for scale in [9u32, 11] {
+        let graph = RmatConfig::graph500(scale).generate();
+        let source =
+            graph.out_degrees().iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64;
+        for mode in modes {
+            let base = BfsConfig::new(8).with_compression(mode);
+            let dist = DistributedGraph::build(&graph, Topology::new(2, 2), &base).unwrap();
+            // Scalar variant on a single thread is the reference run.
+            let scalar = base.with_kernel_variant(KernelVariant::Scalar);
+            let reference = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap()
+                .install(|| dist.run_with_parents(source, &scalar).unwrap());
+            let word = base.with_kernel_variant(KernelVariant::WordParallel);
+            for width in [1usize, 2, 4, 8] {
+                let got = rayon::ThreadPoolBuilder::new()
+                    .num_threads(width)
+                    .build()
+                    .unwrap()
+                    .install(|| dist.run_with_parents(source, &word).unwrap());
+                assert_eq!(
+                    got.depths, reference.depths,
+                    "scale {scale} mode {mode:?} width {width}: depths drifted"
+                );
+                assert_eq!(
+                    got.parents, reference.parents,
+                    "scale {scale} mode {mode:?} width {width}: parents drifted"
+                );
+            }
+            // One fail-stop rollback plan: the recovery path re-runs the
+            // lost superstep through the same kernels, so depths still
+            // land on the reference.
+            let plan = FaultPlan::new(1).with_fail_stop(2, 1);
+            let faulted = dist.run_with_faults(source, &word, &plan).unwrap();
+            assert_eq!(faulted.stats.fault.rollbacks, 1, "the plan must roll back once");
+            assert_eq!(
+                faulted.depths, reference.depths,
+                "scale {scale} mode {mode:?}: rollback changed depths"
+            );
+        }
     }
 }
