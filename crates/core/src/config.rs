@@ -9,6 +9,7 @@
 //! `nd` are the defaults here.
 
 use crate::kernels::KernelVariant;
+use crate::mutation::MutationSettings;
 use crate::recovery::RecoveryConfig;
 use crate::verify::VerificationMode;
 use gcbfs_cluster::cost::CostModel;
@@ -115,6 +116,12 @@ pub struct BfsConfig {
     /// re-execute → rollback → typed error (see
     /// [`verify`](crate::verify)).
     pub verification: VerificationMode,
+    /// Streaming-mutation settings for the delta-update path
+    /// ([`EvolvingGraph`](crate::incremental::EvolvingGraph)): overlay
+    /// compaction cadence and automatic delegate reclassification when
+    /// mutated degrees cross `TH`. Disabled (and inert) by default —
+    /// static runs are bit-identical with or without this field.
+    pub mutations: MutationSettings,
 }
 
 impl BfsConfig {
@@ -149,6 +156,7 @@ impl BfsConfig {
             kernel_variant: KernelVariant::default(),
             overlap: false,
             verification: VerificationMode::Off,
+            mutations: MutationSettings::default(),
         }
     }
 
@@ -231,6 +239,12 @@ impl BfsConfig {
     /// Enables/disables pipelined compute/communication overlap.
     pub fn with_overlap(mut self, on: bool) -> Self {
         self.overlap = on;
+        self
+    }
+
+    /// Replaces the streaming-mutation settings (delta-update path).
+    pub fn with_mutations(mut self, mutations: MutationSettings) -> Self {
+        self.mutations = mutations;
         self
     }
 
@@ -327,6 +341,15 @@ mod tests {
         let c = c.with_kernel_variant(KernelVariant::Scalar).with_overlap(true);
         assert_eq!(c.kernel_variant, KernelVariant::Scalar);
         assert!(c.overlap);
+    }
+
+    #[test]
+    fn mutations_default_off_and_flip() {
+        let c = BfsConfig::new(8);
+        assert!(!c.mutations.enabled, "static runs stay on the static path by default");
+        let c = c.with_mutations(MutationSettings::enabled().with_compaction_interval(4));
+        assert!(c.mutations.enabled);
+        assert_eq!(c.mutations.compaction_interval, 4);
     }
 
     #[test]

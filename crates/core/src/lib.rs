@@ -35,9 +35,11 @@ pub mod direction;
 pub mod distributor;
 pub mod driver;
 pub mod frontier;
+pub mod incremental;
 pub mod kernels;
 pub mod masks;
 pub mod msbfs;
+pub mod mutation;
 pub mod pagerank;
 pub mod recovery;
 pub mod separation;
@@ -50,6 +52,8 @@ pub mod verify;
 pub use checkpoint::Checkpoint;
 pub use config::BfsConfig;
 pub use driver::{BfsResult, BuildError, DistributedGraph, RunError};
+pub use incremental::{EvolvingGraph, RepairReport};
+pub use mutation::{MutationBatch, MutationLog, MutationOp, MutationSettings};
 pub use recovery::RecoveryConfig;
 pub use separation::Separation;
 pub use stats::{FaultStats, RunStats};

@@ -1,0 +1,350 @@
+//! Delta-overlay CSR for evolving graphs.
+//!
+//! The incremental-BFS path (ROADMAP item 2) applies streaming edge
+//! mutations between queries. Rebuilding the CSR per batch would cost
+//! `O(m)` for batches of a few hundred edges, so mutations land in a
+//! per-row *overlay* instead: each patched row keeps a sorted multiset of
+//! added targets and a sorted multiset of deleted base-occurrences, and
+//! neighbor walks merge the base row with its patch on the fly. Periodic
+//! [`CsrDelta::compact`] folds the overlay back into a fresh base CSR;
+//! callers charge that to the cost model (the incremental driver in
+//! `gcbfs-core` prices it as a binning pass over the merged edge set).
+//!
+//! Semantics are multigraph: adding an edge twice stores two occurrences,
+//! and one delete removes one occurrence. Deleting an absent edge is a
+//! no-op that reports `false`. All storage is `BTreeMap`/sorted-`Vec`
+//! based, so iteration order — and therefore every downstream modeled
+//! number — is deterministic.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use std::collections::BTreeMap;
+
+/// Overlay patch of one adjacency row.
+#[derive(Clone, Debug, Default)]
+struct DeltaRow {
+    /// Added targets, sorted, duplicates allowed (multiset).
+    adds: Vec<u64>,
+    /// Deleted base-row occurrences, sorted, duplicates allowed; each
+    /// entry cancels exactly one occurrence in the base row.
+    dels: Vec<u64>,
+}
+
+impl DeltaRow {
+    fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.dels.is_empty()
+    }
+}
+
+/// What one compaction folded away, for cost-model charging.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Directed edges in the rebuilt base CSR.
+    pub merged_edges: u64,
+    /// Overlay entries (adds + deletes) folded into the base.
+    pub overlay_entries: u64,
+    /// Rows that carried a patch before the fold.
+    pub patched_rows: u64,
+}
+
+/// A CSR with a mutable delta overlay: base adjacency plus per-row
+/// add/delete patches merged at walk time.
+#[derive(Clone, Debug)]
+pub struct CsrDelta {
+    base: Csr,
+    rows: BTreeMap<u64, DeltaRow>,
+    /// Net directed edge count (base + adds − deletes), kept incrementally.
+    num_edges: u64,
+    /// Total overlay entries (adds + deletes) currently held.
+    overlay_entries: u64,
+}
+
+impl CsrDelta {
+    /// Wraps an existing base CSR with an empty overlay.
+    pub fn new(base: Csr) -> Self {
+        let num_edges = base.num_edges();
+        Self { base, rows: BTreeMap::new(), num_edges, overlay_entries: 0 }
+    }
+
+    /// Builds the base CSR from an edge list and wraps it.
+    pub fn from_edge_list(graph: &EdgeList) -> Self {
+        Self::new(Csr::from_edge_list(graph))
+    }
+
+    /// Vertex count `n` (fixed: mutations change edges, not the id space).
+    pub fn num_vertices(&self) -> u64 {
+        self.base.num_vertices()
+    }
+
+    /// Current directed edge count, overlay included.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Overlay entries (adds + deletes) not yet compacted.
+    pub fn overlay_entries(&self) -> u64 {
+        self.overlay_entries
+    }
+
+    /// Rows currently carrying a patch.
+    pub fn patched_rows(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// Current out-degree of `v`, overlay included.
+    pub fn degree(&self, v: u64) -> u64 {
+        let base = self.base.out_degree(v);
+        match self.rows.get(&v) {
+            Some(row) => base + row.adds.len() as u64 - row.dels.len() as u64,
+            None => base,
+        }
+    }
+
+    /// Number of live occurrences of the directed edge `u → v`.
+    pub fn multiplicity(&self, u: u64, v: u64) -> u64 {
+        let base = count_in_sorted(self.base.neighbors(u), v);
+        match self.rows.get(&u) {
+            Some(row) => base + count_in_sorted(&row.adds, v) - count_in_sorted(&row.dels, v),
+            None => base,
+        }
+    }
+
+    /// Whether the directed edge `u → v` currently exists.
+    pub fn contains(&self, u: u64, v: u64) -> bool {
+        self.multiplicity(u, v) > 0
+    }
+
+    /// Adds one occurrence of the directed edge `u → v`.
+    ///
+    /// If the same occurrence is marked deleted in the overlay, the add
+    /// cancels that tombstone instead of growing the patch — so a
+    /// delete-then-re-add within one batch nets out to the base row.
+    pub fn add_edge(&mut self, u: u64, v: u64) {
+        assert!(u < self.num_vertices() && v < self.num_vertices(), "edge endpoint out of range");
+        let row = self.rows.entry(u).or_default();
+        if let Ok(pos) = row.dels.binary_search(&v) {
+            row.dels.remove(pos);
+            self.overlay_entries -= 1;
+        } else {
+            let pos = row.adds.partition_point(|&x| x <= v);
+            row.adds.insert(pos, v);
+            self.overlay_entries += 1;
+        }
+        if row.is_empty() {
+            self.rows.remove(&u);
+        }
+        self.num_edges += 1;
+    }
+
+    /// Deletes one occurrence of the directed edge `u → v`, preferring a
+    /// pending overlay add over tombstoning a base occurrence. Returns
+    /// `false` (and changes nothing) if the edge is not present.
+    pub fn delete_edge(&mut self, u: u64, v: u64) -> bool {
+        if u >= self.num_vertices() {
+            return false;
+        }
+        let base_live = count_in_sorted(self.base.neighbors(u), v);
+        let row = self.rows.entry(u).or_default();
+        let deleted = if let Ok(pos) = row.adds.binary_search(&v) {
+            row.adds.remove(pos);
+            self.overlay_entries -= 1;
+            true
+        } else if count_in_sorted(&row.dels, v) < base_live {
+            let pos = row.dels.partition_point(|&x| x <= v);
+            row.dels.insert(pos, v);
+            self.overlay_entries += 1;
+            true
+        } else {
+            false
+        };
+        if row.is_empty() {
+            self.rows.remove(&u);
+        }
+        if deleted {
+            self.num_edges -= 1;
+        }
+        deleted
+    }
+
+    /// Visits the live neighbors of `v` in sorted order (duplicates kept),
+    /// merging the base row with its overlay patch on the fly.
+    pub fn for_neighbors(&self, v: u64, mut f: impl FnMut(u64)) {
+        let base = self.base.neighbors(v);
+        match self.rows.get(&v) {
+            None => {
+                for &w in base {
+                    f(w);
+                }
+            }
+            Some(row) => {
+                // Base minus tombstones, merged with adds; all three runs
+                // are sorted, so a two-pointer merge keeps sorted order.
+                let mut del_idx = 0usize;
+                let mut add_idx = 0usize;
+                for &w in base {
+                    // Emit pending adds smaller than this survivor first.
+                    if del_idx < row.dels.len() && row.dels[del_idx] == w {
+                        del_idx += 1;
+                        continue;
+                    }
+                    while add_idx < row.adds.len() && row.adds[add_idx] < w {
+                        f(row.adds[add_idx]);
+                        add_idx += 1;
+                    }
+                    f(w);
+                }
+                while add_idx < row.adds.len() {
+                    f(row.adds[add_idx]);
+                    add_idx += 1;
+                }
+            }
+        }
+    }
+
+    /// The live neighbors of `v` as an owned sorted vector.
+    pub fn neighbors_vec(&self, v: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.degree(v) as usize);
+        self.for_neighbors(v, |w| out.push(w));
+        out
+    }
+
+    /// Folds the overlay into a fresh base CSR and clears it, returning
+    /// what was merged so the caller can charge the rebuild.
+    pub fn compact(&mut self) -> CompactionStats {
+        let stats = CompactionStats {
+            merged_edges: self.num_edges,
+            overlay_entries: self.overlay_entries,
+            patched_rows: self.rows.len() as u64,
+        };
+        if self.rows.is_empty() {
+            return stats;
+        }
+        self.base = Csr::from_edge_list(&self.to_edge_list());
+        self.rows.clear();
+        self.overlay_entries = 0;
+        stats
+    }
+
+    /// Materializes the current (base + overlay) graph as an edge list.
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.num_edges as usize);
+        for v in 0..self.num_vertices() {
+            self.for_neighbors(v, |w| edges.push((v, w)));
+        }
+        EdgeList::new(self.num_vertices(), edges)
+    }
+}
+
+/// Occurrences of `x` in a sorted slice.
+fn count_in_sorted(sorted: &[u64], x: u64) -> u64 {
+    let lo = sorted.partition_point(|&y| y < x);
+    let hi = sorted.partition_point(|&y| y <= x);
+    (hi - lo) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn delta(n: u64, edges: &[(u64, u64)]) -> CsrDelta {
+        CsrDelta::from_edge_list(&EdgeList::new(n, edges.to_vec()))
+    }
+
+    #[test]
+    fn empty_overlay_matches_base() {
+        let d = delta(4, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.degree(1), 2);
+        assert_eq!(d.neighbors_vec(1), vec![0, 2]);
+        assert_eq!(d.patched_rows(), 0);
+    }
+
+    #[test]
+    fn add_and_delete_roundtrip() {
+        let mut d = delta(4, &[(0, 1), (1, 0)]);
+        d.add_edge(0, 3);
+        assert!(d.contains(0, 3));
+        assert_eq!(d.neighbors_vec(0), vec![1, 3]);
+        assert_eq!(d.num_edges(), 3);
+        assert!(d.delete_edge(0, 3));
+        assert!(!d.contains(0, 3));
+        assert_eq!(d.num_edges(), 2);
+        assert_eq!(d.patched_rows(), 0, "cancelled patch is dropped");
+    }
+
+    #[test]
+    fn delete_base_edge_tombstones() {
+        let mut d = delta(4, &[(0, 1), (0, 2), (1, 0), (2, 0)]);
+        assert!(d.delete_edge(0, 1));
+        assert_eq!(d.neighbors_vec(0), vec![2]);
+        assert_eq!(d.degree(0), 1);
+        assert!(!d.delete_edge(0, 1), "second delete of the same edge is a no-op");
+        assert_eq!(d.num_edges(), 3);
+    }
+
+    #[test]
+    fn delete_then_readd_nets_to_base() {
+        let mut d = delta(4, &[(0, 1), (1, 0)]);
+        assert!(d.delete_edge(0, 1));
+        d.add_edge(0, 1);
+        assert_eq!(d.neighbors_vec(0), vec![1]);
+        assert_eq!(d.overlay_entries(), 0, "re-add cancels the tombstone");
+        assert_eq!(d.num_edges(), 2);
+    }
+
+    #[test]
+    fn multigraph_multiplicity() {
+        let mut d = delta(3, &[(0, 1), (1, 0)]);
+        d.add_edge(0, 1);
+        d.add_edge(0, 1);
+        assert_eq!(d.multiplicity(0, 1), 3);
+        assert_eq!(d.neighbors_vec(0), vec![1, 1, 1]);
+        assert!(d.delete_edge(0, 1));
+        assert_eq!(d.multiplicity(0, 1), 2);
+    }
+
+    #[test]
+    fn merged_walk_is_sorted() {
+        let mut d = delta(8, &[(0, 2), (0, 5), (2, 0), (5, 0)]);
+        d.add_edge(0, 7);
+        d.add_edge(0, 1);
+        d.add_edge(0, 3);
+        assert!(d.delete_edge(0, 5));
+        assert_eq!(d.neighbors_vec(0), vec![1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn compact_folds_overlay() {
+        let mut d = delta(6, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        d.add_edge(0, 4);
+        d.add_edge(4, 0);
+        assert!(d.delete_edge(1, 2));
+        assert!(d.delete_edge(2, 1));
+        let before = d.to_edge_list();
+        let stats = d.compact();
+        assert_eq!(stats.overlay_entries, 4);
+        assert_eq!(stats.patched_rows, 4);
+        assert_eq!(stats.merged_edges, 4);
+        assert_eq!(d.overlay_entries(), 0);
+        assert_eq!(d.patched_rows(), 0);
+        let after = d.to_edge_list();
+        assert_eq!(before.edges, after.edges, "compaction preserves the live edge set");
+        assert_eq!(d.num_edges(), 4);
+        // Compacting an unpatched graph is a no-op.
+        let stats = d.compact();
+        assert_eq!(stats.overlay_entries, 0);
+    }
+
+    #[test]
+    fn degree_tracks_mutations_on_real_graph() {
+        let g = builders::star(16);
+        let mut d = CsrDelta::from_edge_list(&g);
+        let hub_deg = d.degree(0);
+        d.add_edge(0, 1);
+        assert_eq!(d.degree(0), hub_deg + 1);
+        assert!(d.delete_edge(0, 2));
+        assert!(d.delete_edge(0, 3));
+        assert_eq!(d.degree(0), hub_deg - 1);
+    }
+}

@@ -26,6 +26,7 @@ pub mod betweenness;
 pub mod builders;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod edgelist;
 pub mod io;
 pub mod pagerank;
@@ -38,6 +39,7 @@ pub mod webgraph;
 pub mod weighted;
 
 pub use csr::Csr;
+pub use delta::{CompactionStats, CsrDelta};
 pub use edgelist::{EdgeList, VertexId};
 pub use permute::VertexPermutation;
 pub use powerlaw::PowerLawConfig;

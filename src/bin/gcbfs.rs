@@ -42,6 +42,8 @@ const USAGE: &str = "usage:
             [--profile OUT.json] [--hosting buddy|spread]
             [--fail GPU:ITER] [--rejoin GPU:ITER] [--chaos SEED]
             [--verify off|checksums|full] [--sdc SEED]
+            [--mutate N] [--mutate-ops K] [--mutate-locality F]
+            [--mutate-seed S] [--compact-every N]
   gcbfs pagerank FILE [--ranks R] [--gpus G] [--threshold TH]
             [--damping D] [--iterations N]
   gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
@@ -278,6 +280,14 @@ fn bfs(args: &Args) -> Result<(), String> {
         plan = Some(p);
     }
 
+    let mutate_batches: usize = args.opt("mutate", 0)?;
+    if mutate_batches > 0 {
+        if plan.is_some() {
+            return Err("--mutate cannot be combined with fault injection".into());
+        }
+        return bfs_evolving(args, &graph, topo, config, mutate_batches);
+    }
+
     let dist = DistributedGraph::build(&graph, topo, &config).map_err(|e| e.to_string())?;
     let source = pick_source(&graph, args)?;
     let result = match (&plan, args.switch("parents")) {
@@ -391,6 +401,128 @@ fn bfs(args: &Args) -> Result<(), String> {
             return Err(format!("validation FAILED: {} invariant violation(s)", v.error_count));
         }
         println!("validation: OK");
+    }
+    Ok(())
+}
+
+/// The `bfs --mutate` path: run once, then stream seeded mutation
+/// batches through the incremental repair driver, printing a per-batch
+/// summary of repair work and modeled cost.
+fn bfs_evolving(
+    args: &Args,
+    graph: &EdgeList,
+    topo: Topology,
+    config: BfsConfig,
+    num_batches: usize,
+) -> Result<(), String> {
+    let ops_per_batch: usize = args.opt("mutate-ops", 64)?;
+    let locality: f64 = args.opt("mutate-locality", 0.0)?;
+    let mutate_seed: u64 = args.opt("mutate-seed", 0x9e3779b9)?;
+    let compact_every: u32 = args.opt("compact-every", 8)?;
+    if !(0.0..=1.0).contains(&locality) {
+        return Err("--mutate-locality must be in [0, 1]".into());
+    }
+    let config =
+        config.with_mutations(MutationSettings::enabled().with_compaction_interval(compact_every));
+
+    let mut evolving = EvolvingGraph::new(graph, topo, &config);
+    let source = pick_source(graph, args)?;
+    let initial = evolving.initial_run(source).map_err(|e| e.to_string())?;
+    println!(
+        "graph: n = {}, m = {}, {} delegates (TH {}), {} GPUs ({}x{})",
+        evolving.num_vertices(),
+        evolving.num_edges(),
+        evolving.num_delegates(),
+        config.degree_threshold,
+        topo.num_gpus(),
+        topo.num_ranks(),
+        topo.gpus_per_rank()
+    );
+    println!(
+        "initial BFS from {source}: {} iterations, {} reached, modeled {:.3} ms",
+        initial.iterations(),
+        initial.reached(),
+        initial.modeled_seconds() * 1e3
+    );
+
+    let log = MutationLog::random(mutate_seed, graph, num_batches, ops_per_batch, locality);
+    println!(
+        "mutation log: {} batches x {} undirected ops, locality {locality}, seed {mutate_seed:#x}",
+        num_batches, ops_per_batch
+    );
+    let mut repair_total = 0.0;
+    let mut last_observed = None;
+    for (i, batch) in log.batches.iter().enumerate() {
+        let mut r = evolving.apply_batch(batch);
+        repair_total += r.modeled_seconds();
+        if r.observed.is_some() {
+            last_observed = r.observed.take();
+        }
+        println!(
+            "batch {i:>3}: {:>3} ops ({}+ {}- {}skip), reclass {}^ {}v, \
+             invalidated {}, resettled {}, {} waves, repair {:.3} ms \
+             (maintenance {:.3} ms){}",
+            r.ops,
+            r.applied_adds,
+            r.applied_deletes,
+            r.skipped_deletes,
+            r.promotions,
+            r.demotions,
+            r.invalidated,
+            r.resettled,
+            r.waves,
+            r.modeled_seconds() * 1e3,
+            r.maintenance_seconds() * 1e3,
+            if r.compacted { ", compacted" } else { "" }
+        );
+        if args.switch("validate") {
+            let truth = evolving.recompute().map_err(|e| e.to_string())?;
+            if evolving.depths() != truth.depths.as_slice() {
+                return Err(format!("batch {i}: repaired depths diverge from recompute"));
+            }
+            let csr = Csr::from_edge_list(&evolving.current_edge_list());
+            gpu_cluster_bfs::graph::reference::validate_parents(
+                &csr,
+                source,
+                evolving.depths(),
+                evolving.parents(),
+            )
+            .map_err(|e| format!("batch {i}: {e}"))?;
+        }
+    }
+    let full = evolving.recompute().map_err(|e| e.to_string())?;
+    println!(
+        "after {} batches: {} edges ({} overlay entries); repair total {:.3} ms vs \
+         full recompute {:.3} ms ({:.1}x)",
+        evolving.batches_applied(),
+        evolving.num_edges(),
+        evolving.overlay_entries(),
+        repair_total * 1e3,
+        full.modeled_seconds() * 1e3,
+        full.modeled_seconds() * num_batches as f64 / repair_total.max(1e-12)
+    );
+    if args.switch("validate") {
+        let dist = DistributedGraph::build(&evolving.current_edge_list(), topo, &config)
+            .map_err(|e| e.to_string())?;
+        let v = dist.validate_distributed(source, evolving.depths(), &config.cost);
+        if !v.is_ok() {
+            for e in &v.errors {
+                eprintln!("  invariant violation: {e}");
+            }
+            return Err(format!("validation FAILED: {} invariant violation(s)", v.error_count));
+        }
+        println!(
+            "validation: OK ({} vertices, {} edges checked)",
+            v.checked_vertices, v.checked_edges
+        );
+    }
+    if let Some(out) = args.options.iter().find(|(k, _)| *k == "profile").map(|(_, v)| *v) {
+        let log = last_observed.as_ref().expect("observability was enabled");
+        let chrome = gpu_cluster_bfs::obs::chrome::export_chrome(log);
+        std::fs::write(out, &chrome).map_err(|e| format!("cannot write {out}: {e}"))?;
+        let cp = log.critical_path();
+        println!("profile: wrote {out} ({} bytes, last repair batch)", chrome.len());
+        print!("{}", cp.summary());
     }
     Ok(())
 }
