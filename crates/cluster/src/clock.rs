@@ -1,0 +1,119 @@
+//! Time sources for the failure detector: modeled vs wall.
+//!
+//! The phi-accrual detector in [`membership`](crate::membership) reasons
+//! about *inter-arrival intervals* in heartbeat-period units ("beats").
+//! Under the simulator a beat is one superstep and arrivals are computed
+//! from the iteration counter; under the proc backend a beat is a real
+//! heartbeat period and arrivals are wall-clock instants. This module is
+//! the seam that lets both feed the same detector code path: a [`Clock`]
+//! yields "now" in beats, and the membership primitives
+//! (`record_arrival` / `record_silence`) take beat-valued times instead
+//! of assuming evaluation happens exactly at superstep boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone time source measured in heartbeat-period units.
+pub trait Clock: Send + Sync {
+    /// Current time in beats. Monotone non-decreasing.
+    fn now(&self) -> f64;
+}
+
+/// The simulator's clock: time advances only when the driver says so
+/// (superstep boundaries), making every detector decision a pure function
+/// of the iteration counter — the determinism the golden tests rely on.
+#[derive(Debug, Default)]
+pub struct ModeledClock {
+    /// Current modeled time, stored as `f64` bits for lock-free interior
+    /// mutability (`Clock::now` takes `&self`).
+    bits: AtomicU64,
+}
+
+impl ModeledClock {
+    /// A modeled clock starting at beat 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances modeled time to `t` beats. Regressions are ignored — a
+    /// rollback replays observations but never rewinds the clock, exactly
+    /// like the replay guard in the detector itself.
+    pub fn advance_to(&self, t: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < t {
+            match self.bits.compare_exchange_weak(
+                cur,
+                t.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Clock for ModeledClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The proc backend's clock: wall time since an origin instant, scaled by
+/// the heartbeat period so one beat on the wire is one unit here.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    origin: Instant,
+    period_secs: f64,
+}
+
+impl WallClock {
+    /// A wall clock whose beat is `period_secs` of real time, starting now.
+    pub fn new(period_secs: f64) -> Self {
+        assert!(period_secs > 0.0, "heartbeat period must be positive");
+        Self { origin: Instant::now(), period_secs }
+    }
+
+    /// The heartbeat period in seconds (one beat).
+    pub fn period_secs(&self) -> f64 {
+        self.period_secs
+    }
+
+    /// Wall seconds since the clock's origin.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.elapsed_secs() / self.period_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_clock_is_monotone() {
+        let c = ModeledClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance_to(3.5);
+        assert_eq!(c.now(), 3.5);
+        c.advance_to(2.0); // rollback replay: no rewind
+        assert_eq!(c.now(), 3.5);
+        c.advance_to(4.0);
+        assert_eq!(c.now(), 4.0);
+    }
+
+    #[test]
+    fn wall_clock_scales_by_period() {
+        let c = WallClock::new(0.001);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let beats = c.now();
+        assert!(beats >= 4.0, "5ms at 1ms/beat must be >= 4 beats, got {beats}");
+        assert_eq!(c.period_secs(), 0.001);
+    }
+}

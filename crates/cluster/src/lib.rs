@@ -32,6 +32,12 @@
 //!   hot-spare pool that lets recovery restore *balance*, not just
 //!   liveness.
 
+//! * [`clock`] — the modeled-vs-wall time seam: the failure detector
+//!   consumes beat-valued instants from a [`Clock`], so the simulator's
+//!   superstep counter and the proc backend's wall heartbeats share one
+//!   detection code path.
+
+pub mod clock;
 pub mod collectives;
 pub mod cost;
 pub mod fabric;
@@ -40,9 +46,10 @@ pub mod membership;
 pub mod timing;
 pub mod topology;
 
+pub use clock::{Clock, ModeledClock, WallClock};
 pub use cost::{CostModel, DeviceModel, NetworkModel};
 pub use fabric::{Fabric, FabricError};
-pub use fault::{FaultError, FaultInjector, FaultPlan};
+pub use fault::{FaultError, FaultInjector, FaultPlan, JitteredBackoff};
 pub use membership::{HeartbeatStatus, MemberState, Membership, MembershipConfig, MembershipEvent};
 pub use timing::{IterationTiming, Phase, PhaseTimes};
 pub use topology::{GpuId, Topology};

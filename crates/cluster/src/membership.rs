@@ -97,6 +97,20 @@ impl MembershipConfig {
         self.seed = seed;
         self
     }
+
+    /// A profile tuned for *wall-clock* heartbeats (the proc backend):
+    /// OS scheduling can stretch a beat by several periods without the
+    /// worker being dead, so suspicion needs more evidence and more
+    /// consecutive misses than the tightly modeled sim profile.
+    pub fn wall_defaults() -> Self {
+        Self {
+            suspect_phi: 3.0,
+            confirm_phi: 10.0,
+            confirm_misses: 8,
+            window: 32,
+            ..Self::default()
+        }
+    }
 }
 
 /// What the control channel observed for one member at one superstep
@@ -277,6 +291,13 @@ impl Membership {
     /// detector and returns the state transitions it caused, in member
     /// order.
     ///
+    /// This is the *modeled-clock* wrapper over the timing-agnostic
+    /// primitives [`Self::record_arrival`] and [`Self::record_silence`]:
+    /// an arrival lands at the deterministically jittered modeled instant,
+    /// and a silent member is evaluated at the boundary's end
+    /// (`iteration + 1` beats). The proc backend drives the same
+    /// primitives from a wall [`Clock`](crate::clock::Clock) instead.
+    ///
     /// Deterministic: arrival jitter is a pure function of
     /// `(seed, iteration, gpu)`, and replayed boundaries (same or earlier
     /// `iteration` after a rollback) never re-record intervals, so a
@@ -290,81 +311,116 @@ impl Membership {
         assert_eq!(statuses.len(), self.states.len(), "one status per member");
         let mut events = Vec::new();
         for (gpu, status) in statuses.iter().enumerate() {
-            match *status {
+            let event = match *status {
                 HeartbeatStatus::Arrived { slowdown } => {
                     let u =
                         unit_f64(coordinate_hash(self.config.seed, iteration, 0, gpu as u64, 0));
                     let latency = self.config.base_latency
                         * (1.0 + self.config.jitter * (2.0 * u - 1.0))
                         * slowdown.max(1.0);
-                    let arrival = iteration as f64 + latency;
-                    let rejoining = self.states[gpu] == MemberState::Dead;
-                    if rejoining {
-                        // Fresh start: stale pre-death statistics would
-                        // poison the window.
-                        self.intervals[gpu].clear();
-                        self.last_arrival[gpu] = arrival;
-                        self.phi[gpu] = 0.0;
-                    } else if arrival > self.last_arrival[gpu] {
-                        let interval = arrival - self.last_arrival[gpu];
-                        let win = &mut self.intervals[gpu];
-                        if win.len() == self.config.window {
-                            win.remove(0);
-                        }
-                        win.push(interval);
-                        self.last_arrival[gpu] = arrival;
-                        self.phi[gpu] = self.phi_of(gpu, interval);
-                    }
-                    // else: replayed boundary after rollback — keep stats.
-                    self.miss_count[gpu] = 0;
-                    match self.states[gpu] {
-                        MemberState::Dead => {
-                            self.states[gpu] = MemberState::Alive;
-                            events.push(MembershipEvent::Rejoined { gpu, iteration });
-                        }
-                        MemberState::Suspected => {
-                            if self.phi[gpu] < self.config.suspect_phi {
-                                self.states[gpu] = MemberState::Alive;
-                                events.push(MembershipEvent::Cleared { gpu, iteration });
-                            }
-                        }
-                        MemberState::Alive => {
-                            if self.phi[gpu] >= self.config.suspect_phi {
-                                self.states[gpu] = MemberState::Suspected;
-                                events.push(MembershipEvent::Suspected {
-                                    gpu,
-                                    iteration,
-                                    phi: self.phi[gpu],
-                                });
-                            }
-                        }
-                    }
+                    self.record_arrival(gpu, iteration as f64 + latency, iteration)
                 }
+                // We waited the whole boundary window past the expected
+                // beat: measure elapsed silence to the window's end.
                 HeartbeatStatus::Missing => {
-                    if self.states[gpu] == MemberState::Dead {
-                        continue; // already confirmed; nothing new to learn
-                    }
-                    self.miss_count[gpu] = self.miss_count[gpu].saturating_add(1);
-                    // We waited the whole boundary window past the expected
-                    // beat: measure elapsed silence to the window's end.
-                    let elapsed = ((iteration + 1) as f64 - self.last_arrival[gpu]).max(0.0);
-                    let phi = self.phi_of(gpu, elapsed);
-                    self.phi[gpu] = phi;
-                    if phi >= self.config.confirm_phi
-                        && self.miss_count[gpu] >= self.config.confirm_misses
-                    {
-                        self.states[gpu] = MemberState::Dead;
-                        events.push(MembershipEvent::ConfirmedDead { gpu, iteration });
-                    } else if phi >= self.config.suspect_phi
-                        && self.states[gpu] == MemberState::Alive
-                    {
-                        self.states[gpu] = MemberState::Suspected;
-                        events.push(MembershipEvent::Suspected { gpu, iteration, phi });
-                    }
+                    self.record_silence(gpu, (iteration + 1) as f64, iteration)
+                }
+            };
+            events.extend(event);
+        }
+        events
+    }
+
+    /// Records a heartbeat arrival at `arrival` beats on member `gpu`,
+    /// returning the state transition it caused, if any. `iteration` only
+    /// labels the emitted event.
+    ///
+    /// Timing-agnostic core of the detector: the sim feeds modeled
+    /// arrivals (via [`Self::observe`]), the proc backend feeds wall-clock
+    /// arrivals as heartbeat frames land. An arrival not after the last
+    /// accepted one (a replayed boundary after rollback) leaves the window
+    /// statistics untouched; an arrival on a Dead member resets its
+    /// history and rejoins it.
+    pub fn record_arrival(
+        &mut self,
+        gpu: usize,
+        arrival: f64,
+        iteration: u32,
+    ) -> Option<MembershipEvent> {
+        let rejoining = self.states[gpu] == MemberState::Dead;
+        if rejoining {
+            // Fresh start: stale pre-death statistics would poison the
+            // window.
+            self.intervals[gpu].clear();
+            self.last_arrival[gpu] = arrival;
+            self.phi[gpu] = 0.0;
+        } else if arrival > self.last_arrival[gpu] {
+            let interval = arrival - self.last_arrival[gpu];
+            let win = &mut self.intervals[gpu];
+            if win.len() == self.config.window {
+                win.remove(0);
+            }
+            win.push(interval);
+            self.last_arrival[gpu] = arrival;
+            self.phi[gpu] = self.phi_of(gpu, interval);
+        }
+        // else: replayed boundary after rollback — keep stats.
+        self.miss_count[gpu] = 0;
+        match self.states[gpu] {
+            MemberState::Dead => {
+                self.states[gpu] = MemberState::Alive;
+                Some(MembershipEvent::Rejoined { gpu, iteration })
+            }
+            MemberState::Suspected => {
+                if self.phi[gpu] < self.config.suspect_phi {
+                    self.states[gpu] = MemberState::Alive;
+                    Some(MembershipEvent::Cleared { gpu, iteration })
+                } else {
+                    None
+                }
+            }
+            MemberState::Alive => {
+                if self.phi[gpu] >= self.config.suspect_phi {
+                    self.states[gpu] = MemberState::Suspected;
+                    Some(MembershipEvent::Suspected { gpu, iteration, phi: self.phi[gpu] })
+                } else {
+                    None
                 }
             }
         }
-        events
+    }
+
+    /// Records one silent observation window on member `gpu`, evaluating
+    /// suspicion at `now` beats, and returns the transition it caused.
+    ///
+    /// `now` is an *arbitrary* evaluation instant — this is the fix for
+    /// the detector's former latent assumption that silence is only ever
+    /// measured at superstep boundaries (`iteration + 1`). Under the sim
+    /// that is still the instant [`Self::observe`] passes; under the proc
+    /// backend the coordinator evaluates whenever its heartbeat ticker
+    /// fires, which is aligned with nothing.
+    pub fn record_silence(
+        &mut self,
+        gpu: usize,
+        now: f64,
+        iteration: u32,
+    ) -> Option<MembershipEvent> {
+        if self.states[gpu] == MemberState::Dead {
+            return None; // already confirmed; nothing new to learn
+        }
+        self.miss_count[gpu] = self.miss_count[gpu].saturating_add(1);
+        let elapsed = (now - self.last_arrival[gpu]).max(0.0);
+        let phi = self.phi_of(gpu, elapsed);
+        self.phi[gpu] = phi;
+        if phi >= self.config.confirm_phi && self.miss_count[gpu] >= self.config.confirm_misses {
+            self.states[gpu] = MemberState::Dead;
+            Some(MembershipEvent::ConfirmedDead { gpu, iteration })
+        } else if phi >= self.config.suspect_phi && self.states[gpu] == MemberState::Alive {
+            self.states[gpu] = MemberState::Suspected;
+            Some(MembershipEvent::Suspected { gpu, iteration, phi })
+        } else {
+            None
+        }
     }
 
     /// Suspicion level for an observed interval/silence of `elapsed`
@@ -587,6 +643,87 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    /// The primitives accept evaluation instants that are *not* superstep
+    /// boundaries — the wall-clock path. Unaligned silence evaluations
+    /// must accrue suspicion monotonically and still confirm death, and
+    /// unaligned arrivals must feed the window like boundary arrivals do.
+    #[test]
+    fn unaligned_wall_times_drive_the_same_detector() {
+        let mut m = Membership::new(2, 0, MembershipConfig::default());
+        // Irregular but healthy beats near 1.0 apart, never on a boundary.
+        let mut t = 0.07;
+        for k in 0..12u32 {
+            for gpu in 0..2 {
+                assert!(m.record_arrival(gpu, t, k).is_none(), "beat at {t}");
+            }
+            t += if k % 3 == 0 { 0.93 } else { 1.04 };
+        }
+        // GPU 1 goes silent; evaluate at arbitrary fractional instants.
+        let mut phi_prev = 0.0;
+        let mut confirmed = false;
+        for (k, dt) in [0.41, 0.77, 1.13, 1.61, 2.3, 3.1, 4.9].iter().enumerate() {
+            let now = t + dt;
+            if let Some(e) = m.record_silence(1, now, 12 + k as u32) {
+                match e {
+                    MembershipEvent::Suspected { gpu: 1, .. } => {}
+                    MembershipEvent::ConfirmedDead { gpu: 1, .. } => confirmed = true,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert!(m.phi(1) >= phi_prev, "phi must accrue with silence");
+            phi_prev = m.phi(1);
+            if confirmed {
+                break;
+            }
+        }
+        assert!(confirmed, "unaligned silence must still confirm death");
+        assert_eq!(m.state(0), MemberState::Alive, "healthy member unaffected");
+    }
+
+    /// `observe` is now a wrapper over the primitives; this pins the
+    /// equivalence so the refactor cannot drift: hand-driving the
+    /// primitives with the boundary-aligned instants `observe` uses
+    /// produces the identical trajectory.
+    #[test]
+    fn observe_equals_hand_driven_primitives() {
+        let cfg = MembershipConfig::default();
+        let mut via_observe = Membership::new(2, 0, cfg);
+        let mut via_primitives = Membership::new(2, 0, cfg);
+        let mut log_a = Vec::new();
+        let mut log_b = Vec::new();
+        for iter in 0..25u32 {
+            let miss = (8..11).contains(&iter);
+            let statuses = [
+                HeartbeatStatus::Arrived { slowdown: 1.0 },
+                if miss {
+                    HeartbeatStatus::Missing
+                } else {
+                    HeartbeatStatus::Arrived { slowdown: 1.0 }
+                },
+            ];
+            log_a.extend(via_observe.observe(iter, &statuses));
+            for (gpu, status) in statuses.iter().enumerate() {
+                let event = match *status {
+                    HeartbeatStatus::Arrived { slowdown } => {
+                        let u = unit_f64(coordinate_hash(cfg.seed, iter, 0, gpu as u64, 0));
+                        let latency =
+                            cfg.base_latency * (1.0 + cfg.jitter * (2.0 * u - 1.0)) * slowdown;
+                        via_primitives.record_arrival(gpu, iter as f64 + latency, iter)
+                    }
+                    HeartbeatStatus::Missing => {
+                        via_primitives.record_silence(gpu, (iter + 1) as f64, iter)
+                    }
+                };
+                log_b.extend(event);
+            }
+        }
+        assert_eq!(log_a, log_b);
+        for gpu in 0..2 {
+            assert_eq!(via_observe.phi(gpu), via_primitives.phi(gpu));
+            assert_eq!(via_observe.state(gpu), via_primitives.state(gpu));
+        }
     }
 
     #[test]

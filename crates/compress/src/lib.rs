@@ -46,12 +46,16 @@
 //! identical wire image. [`SealedPayload`] adds the FNV-1a checksum the
 //! fabric uses to detect in-transit corruption of compressed payloads.
 
+pub mod frame;
 mod frontier;
 mod mask;
 mod seal;
 mod select;
 mod varint;
 
+pub use frame::{
+    Frame, FrameError, FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_PAYLOAD,
+};
 pub use frontier::{decode_frontier, decode_frontier_into, FrontierCodec};
 pub use mask::{decode_mask, decode_mask_into, MaskCodec, MAX_UNTRUSTED_WORDS};
 pub use seal::{fnv1a, IntegrityError, SealedPayload};

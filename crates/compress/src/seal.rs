@@ -68,6 +68,20 @@ impl SealedPayload {
         Self { bytes, checksum }
     }
 
+    /// Reassembles a payload from bytes and a checksum that traveled
+    /// separately (the frame layer ships the seal in the frame header).
+    /// The result is *not* assumed intact — callers must [`Self::open`]
+    /// it, which is exactly how transit corruption gets detected.
+    pub fn from_parts(bytes: Vec<u8>, checksum: u64) -> Self {
+        Self { bytes, checksum }
+    }
+
+    /// The checksum recorded at seal time (what the frame layer puts on
+    /// the wire next to the payload).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
     /// Verifies the seal and returns the payload on success.
     pub fn open(&self) -> Result<&[u8], IntegrityError> {
         let actual = fnv1a(&self.bytes);

@@ -1,0 +1,179 @@
+//! Hostile-bytes suite for the socket frame decoder, mirroring the codec
+//! hardening properties in `roundtrip.rs`: arbitrary byte streams — random
+//! garbage, truncations of valid frames, oversized length prefixes, bit
+//! flips anywhere — must produce a typed [`FrameError`], never a panic and
+//! never an allocation beyond the payload bound, and every well-formed
+//! frame must roundtrip bit-exactly through both the buffer and stream
+//! decoders.
+
+use gcbfs_compress::{Frame, FrameError, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Well-formed frames roundtrip through `decode` and `read_from`.
+    #[test]
+    fn valid_frames_roundtrip(
+        kind in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let frame = Frame::new(kind, payload.clone());
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), FRAME_HEADER_BYTES + payload.len());
+
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded.kind, kind);
+        prop_assert_eq!(decoded.payload(), &payload[..]);
+
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let streamed = Frame::read_from(&mut cursor).unwrap();
+        prop_assert_eq!(streamed.payload(), &payload[..]);
+    }
+
+    /// Arbitrary garbage never panics the decoder: it yields a typed
+    /// error or (by astronomical FNV coincidence only) a frame whose
+    /// total size fits the input.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        match Frame::decode(&bytes) {
+            Ok((frame, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(used, FRAME_HEADER_BYTES + frame.payload_len());
+            }
+            Err(
+                FrameError::BadMagic { .. }
+                | FrameError::UnsupportedVersion { .. }
+                | FrameError::Oversized { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::Closed
+                | FrameError::Integrity(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "buffer decode produced {other:?}"),
+        }
+        let mut cursor = std::io::Cursor::new(&bytes);
+        // The stream decoder must agree that the input is hostile or valid;
+        // it may never panic either.
+        let _ = Frame::read_from(&mut cursor);
+    }
+
+    /// Every proper prefix of a valid frame is a typed truncation (or a
+    /// clean close at length zero), and the reported deficit is exact.
+    #[test]
+    fn truncations_are_typed(
+        payload in proptest::collection::vec(0u8..=255, 1..128),
+        frac in 0u32..1000,
+    ) {
+        let bytes = Frame::new(0x42, payload).encode();
+        let cut = (frac as usize * bytes.len()) / 1000;
+        match Frame::decode(&bytes[..cut]) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated { expected, .. }) if cut < FRAME_HEADER_BYTES => {
+                // Header cut: the decoder reports the header deficit.
+                prop_assert_eq!(expected, FRAME_HEADER_BYTES - cut)
+            }
+            Err(FrameError::Truncated { expected, .. }) => {
+                prop_assert_eq!(expected + cut, bytes.len())
+            }
+            other => prop_assert!(false, "cut {cut}: {other:?}"),
+        }
+    }
+
+    /// An oversized length prefix is rejected before any allocation, no
+    /// matter what follows it on the wire.
+    #[test]
+    fn oversized_prefixes_rejected(
+        excess in 1u32..=u32::MAX - MAX_FRAME_PAYLOAD,
+        tail in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut bytes = Frame::new(0x10, Vec::new()).encode();
+        bytes[6..10].copy_from_slice(&(MAX_FRAME_PAYLOAD + excess).to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        prop_assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Oversized { len, .. }) if len == MAX_FRAME_PAYLOAD + excess
+        ));
+    }
+
+    /// Any single bit flip in an encoded frame is detected: header flips
+    /// hit magic/version/length/seal validation, payload flips fail the
+    /// FNV seal. A flip may legally keep the frame decodable in exactly
+    /// one case — the `kind` byte, which is opaque at this layer.
+    #[test]
+    fn single_bit_flips_are_detected(
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        pos_seed in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let good = Frame::new(0x33, payload).encode();
+        let pos = pos_seed % good.len();
+        let mut bytes = good.clone();
+        bytes[pos] ^= 1 << bit;
+        match Frame::decode(&bytes) {
+            Ok((frame, _)) => {
+                // Only the opaque kind byte may flip without detection.
+                prop_assert_eq!(pos, 5);
+                prop_assert_eq!(frame.kind, good[5] ^ (1 << bit));
+            }
+            Err(
+                FrameError::BadMagic { .. }
+                | FrameError::UnsupportedVersion { .. }
+                | FrameError::Oversized { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::Integrity(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "flip at {pos}: {other:?}"),
+        }
+    }
+
+    /// Garbage prepended to a valid frame fails the magic check instead of
+    /// desynchronizing the decoder into fabricating a frame.
+    #[test]
+    fn garbage_prefix_fails_magic(
+        junk in proptest::collection::vec(0u8..=255, 1..32),
+        payload in proptest::collection::vec(0u8..=255, 0..32),
+    ) {
+        // Ensure the junk really does break the magic (a random prefix
+        // could in principle start with it).
+        if junk[..junk.len().min(4)] == Frame::new(0, vec![]).encode()[..junk.len().min(4)] {
+            continue;
+        }
+        let mut bytes = junk;
+        bytes.extend_from_slice(&Frame::new(0x21, payload).encode());
+        match Frame::decode(&bytes) {
+            Err(
+                FrameError::BadMagic { .. }
+                | FrameError::UnsupportedVersion { .. }
+                | FrameError::Oversized { .. }
+                | FrameError::Truncated { .. }
+                | FrameError::Integrity(_),
+            ) => {}
+            other => prop_assert!(false, "garbage prefix produced {other:?}"),
+        }
+    }
+
+    /// Concatenated frames decode in sequence with exact consumed counts —
+    /// the invariant the socket reader loop depends on.
+    #[test]
+    fn frame_streams_stay_in_sync(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..48),
+            1..6,
+        ),
+    ) {
+        let frames: Vec<Frame> =
+            payloads.iter().enumerate().map(|(i, p)| Frame::new(i as u8, p.clone())).collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut off = 0;
+        for f in &frames {
+            let (decoded, used) = Frame::decode(&wire[off..]).unwrap();
+            prop_assert_eq!(&decoded, f);
+            off += used;
+        }
+        prop_assert_eq!(off, wire.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! End-of-run assembly of global depths and the Graph500 parent tree
+//! from per-GPU worker state.
+//!
+//! Extracted from the driver so both backends share one implementation:
+//! the sim assembles straight from its in-process [`GpuWorker`]s, the
+//! proc backend from the final-state frames its workers ship home. Every
+//! combining operation here is order-independent (unique writers for
+//! depths, `min` folds for parent candidates), so assembly is bit-exact
+//! regardless of which transport delivered the state.
+//!
+//! [`GpuWorker`]: crate::kernels::GpuWorker
+
+use crate::kernels::{GpuWorker, DELEGATE_PARENT_TAG, NO_PARENT};
+use crate::separation::Separation;
+use crate::UNREACHED;
+use gcbfs_cluster::topology::{GpuId, Topology};
+use gcbfs_graph::VertexId;
+
+/// A read-only view of the per-GPU state assembly consumes — the seam
+/// between in-process workers and deserialized proc-worker state.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuStateView<'a> {
+    /// Depths of this GPU's normal vertices, by destination-local slot.
+    pub depths_local: &'a [u32],
+    /// Depths of all delegates (replicated; any GPU's copy is canonical).
+    pub delegate_depths: &'a [u32],
+    /// Per-delegate encoded parent candidate (`NO_PARENT` if none).
+    pub delegate_parent_candidate: &'a [u64],
+    /// Encoded parents of locally discovered normal vertices.
+    pub parents_local: &'a [u64],
+    /// Retained `(dest, slot, parent, proposed_depth)` proposals for
+    /// remote `nn` destinations.
+    pub remote_parent_log: &'a [(GpuId, u32, u64, u32)],
+}
+
+impl<'a> GpuStateView<'a> {
+    /// Views an in-process worker (the sim path).
+    pub fn of_worker(w: &'a GpuWorker) -> Self {
+        Self {
+            depths_local: &w.depths_local,
+            delegate_depths: &w.delegate_depths,
+            delegate_parent_candidate: &w.delegate_parent_candidate,
+            parents_local: &w.parents_local,
+            remote_parent_log: &w.remote_parent_log,
+        }
+    }
+}
+
+/// Assembles global depths: delegate depths from the first view's
+/// replicated copy, normal depths from each GPU's local array. Flat index
+/// into `views` must match the topology's flat GPU order.
+pub fn assemble_depths(
+    topo: &Topology,
+    separation: &Separation,
+    num_vertices: u64,
+    views: &[GpuStateView<'_>],
+) -> Vec<u32> {
+    let mut depths = vec![UNREACHED; num_vertices as usize];
+    for (id, &dd) in views[0].delegate_depths.iter().enumerate() {
+        if dd != UNREACHED {
+            depths[separation.original(id as u32) as usize] = dd;
+        }
+    }
+    for (g, view) in views.iter().enumerate() {
+        let gpu = topo.unflat(g);
+        for (slot, &dl) in view.depths_local.iter().enumerate() {
+            if dl != UNREACHED {
+                let v = topo.global_id(gpu, slot as u32);
+                debug_assert!(!separation.is_delegate(v));
+                depths[v as usize] = dl;
+            }
+        }
+    }
+    depths
+}
+
+/// Decodes per-GPU parent records into a global parent tree, returning
+/// the tree and the number of remote-log proposals replayed (the byte
+/// volume the driver charges to the modeled end-of-run exchange).
+pub fn assemble_parents(
+    topo: &Topology,
+    separation: &Separation,
+    source: VertexId,
+    num_vertices: u64,
+    views: &[GpuStateView<'_>],
+    depths: &[u32],
+) -> (Vec<u64>, u64) {
+    let decode = |encoded: u64| -> u64 {
+        if encoded & DELEGATE_PARENT_TAG != 0 {
+            separation.original((encoded & !DELEGATE_PARENT_TAG) as u32)
+        } else {
+            encoded
+        }
+    };
+    let mut parents = vec![NO_PARENT; num_vertices as usize];
+    parents[source as usize] = source;
+
+    // Delegates: every GPU that discovered the delegate recorded a valid
+    // candidate; take the minimum for determinism.
+    for x in 0..separation.num_delegates() as usize {
+        let v = separation.original(x as u32);
+        if v == source || views[0].delegate_depths[x] == UNREACHED {
+            continue;
+        }
+        let best = views
+            .iter()
+            .filter_map(|view| {
+                let c = view.delegate_parent_candidate[x];
+                (c != NO_PARENT).then(|| decode(c))
+            })
+            .min();
+        parents[v as usize] = best.expect("visited delegate must have a candidate");
+    }
+
+    // Locally discovered normal vertices.
+    for (g, view) in views.iter().enumerate() {
+        let gpu = topo.unflat(g);
+        for (slot, &encoded) in view.parents_local.iter().enumerate() {
+            if encoded == NO_PARENT {
+                continue;
+            }
+            let v = topo.global_id(gpu, slot as u32);
+            if v != source {
+                parents[v as usize] = decode(encoded);
+            }
+        }
+    }
+
+    // Remote nn destinations: replay the retained logs ("only the
+    // destination vertices of nn edges ... would need to communicate
+    // their parent information at the end of BFS", §VI-A3). A proposal
+    // is valid when its proposed depth matches the final depth; ties
+    // resolve to the minimum parent id.
+    let mut log_entries = 0u64;
+    for view in views {
+        for &(dest, slot, parent, proposed_depth) in view.remote_parent_log {
+            log_entries += 1;
+            let v = topo.global_id(dest, slot);
+            if depths[v as usize] != proposed_depth {
+                continue;
+            }
+            let cur = &mut parents[v as usize];
+            if *cur == NO_PARENT || parent < *cur {
+                debug_assert_ne!(v, source);
+                *cur = parent;
+            }
+        }
+    }
+    (parents, log_entries)
+}

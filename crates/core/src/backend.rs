@@ -1,0 +1,225 @@
+//! The backend seam: one trait, two runtimes.
+//!
+//! [`SimBackend`] is the deterministic in-process simulator — the
+//! modeled-time path every golden test pins. [`ProcBackend`] runs the
+//! same kernels in real worker OS processes behind the
+//! [`procrt`](crate::procrt) coordinator. Both produce bit-identical
+//! depths and parents: the kernels, the value pipeline, and the
+//! end-of-run assembly are shared code, and the proc wire protocol
+//! replicates the sim's delivery order exactly.
+//!
+//! The seam is deliberately narrow — graph in, depths/parents out —
+//! because everything *modeled* (device cost, fault plans, SDC
+//! injection, observability spans, online verification) is sim-only by
+//! nature: a real process has real time and real faults. [`ProcBackend`]
+//! rejects configs that arm those features instead of silently ignoring
+//! them.
+
+use crate::config::BfsConfig;
+use crate::driver::{BfsResult, BuildError, DistributedGraph};
+use crate::procrt::{run_proc, ProcError, ProcOptions, ProcReport, WorkerCommand};
+use crate::verify::VerificationMode;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_graph::{EdgeList, VertexId};
+
+/// What any backend returns: the values, plus whichever runtime telemetry
+/// that backend produces.
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// The BFS source vertex.
+    pub source: VertexId,
+    /// Global depths (`UNREACHED` for unreachable vertices).
+    pub depths: Vec<u32>,
+    /// The Graph500 parent tree, when requested.
+    pub parents: Option<Vec<u64>>,
+    /// The sim's full modeled result (sim backend only).
+    pub sim: Option<BfsResult>,
+    /// The proc runtime's report (proc backend only).
+    pub proc: Option<ProcReport>,
+}
+
+/// Why a backend refused or failed a run.
+#[derive(Debug)]
+pub enum BackendError {
+    /// Graph construction or source validation failed.
+    Build(BuildError),
+    /// The config arms a feature this backend cannot honor.
+    Unsupported(&'static str),
+    /// The multi-process runtime failed.
+    Proc(ProcError),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "{e}"),
+            Self::Unsupported(what) => write!(f, "backend does not support {what}"),
+            Self::Proc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Proc(e) => Some(e),
+            Self::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<BuildError> for BackendError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<ProcError> for BackendError {
+    fn from(e: ProcError) -> Self {
+        Self::Proc(e)
+    }
+}
+
+/// A BFS runtime behind the fabric: takes a graph, a topology, a source
+/// and a config; returns depths (and parents on request).
+pub trait Backend {
+    /// Stable lower-case backend name for CLIs and reports.
+    fn label(&self) -> &'static str;
+
+    /// Runs one traversal.
+    fn run(
+        &self,
+        graph: &EdgeList,
+        topo: Topology,
+        source: VertexId,
+        config: &BfsConfig,
+        track_parents: bool,
+    ) -> Result<BackendRun, BackendError>;
+}
+
+/// The deterministic in-process simulator backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimBackend;
+
+impl Backend for SimBackend {
+    fn label(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(
+        &self,
+        graph: &EdgeList,
+        topo: Topology,
+        source: VertexId,
+        config: &BfsConfig,
+        track_parents: bool,
+    ) -> Result<BackendRun, BackendError> {
+        let dist = DistributedGraph::build(graph, topo, config)?;
+        let result = if track_parents {
+            dist.run_with_parents(source, config)?
+        } else {
+            dist.run(source, config)?
+        };
+        Ok(BackendRun {
+            source,
+            depths: result.depths.clone(),
+            parents: result.parents.clone(),
+            sim: Some(result),
+            proc: None,
+        })
+    }
+}
+
+/// The multi-process backend: real worker processes behind the
+/// [`procrt`](crate::procrt) coordinator.
+#[derive(Clone, Debug)]
+pub struct ProcBackend {
+    /// How to launch worker processes.
+    pub worker_cmd: WorkerCommand,
+    /// Runtime tuning (worker count, spares, timeouts, chaos).
+    pub opts: ProcOptions,
+}
+
+impl ProcBackend {
+    /// A proc backend launching workers via `worker_cmd` with `opts`.
+    pub fn new(worker_cmd: WorkerCommand, opts: ProcOptions) -> Self {
+        Self { worker_cmd, opts }
+    }
+}
+
+impl Backend for ProcBackend {
+    fn label(&self) -> &'static str {
+        "proc"
+    }
+
+    fn run(
+        &self,
+        graph: &EdgeList,
+        topo: Topology,
+        source: VertexId,
+        config: &BfsConfig,
+        track_parents: bool,
+    ) -> Result<BackendRun, BackendError> {
+        // Modeled-world features have no real-process counterpart;
+        // refusing them beats silently returning a run that never
+        // exercised what the caller armed.
+        if config.verification != VerificationMode::Off {
+            return Err(BackendError::Unsupported("online verification (sim-only)"));
+        }
+        if config.observability.is_on() {
+            return Err(BackendError::Unsupported("observability tracing (sim-only)"));
+        }
+        if config.mutations.enabled {
+            return Err(BackendError::Unsupported("streaming mutations (sim-only)"));
+        }
+        if config.overlap {
+            return Err(BackendError::Unsupported("modeled compute/comm overlap (sim-only)"));
+        }
+        let outcome =
+            run_proc(graph, topo, source, config, track_parents, &self.worker_cmd, &self.opts)?;
+        Ok(BackendRun {
+            source,
+            depths: outcome.depths,
+            parents: outcome.parents,
+            sim: None,
+            proc: Some(outcome.report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_graph::builders;
+
+    #[test]
+    fn sim_backend_runs_and_labels() {
+        let graph = builders::cycle(32);
+        let b = SimBackend;
+        assert_eq!(b.label(), "sim");
+        let run = b.run(&graph, Topology::new(2, 2), 0, &BfsConfig::new(8), true).unwrap();
+        assert_eq!(run.depths[0], 0);
+        assert_eq!(run.depths[1], 1);
+        assert!(run.parents.is_some());
+        assert!(run.sim.is_some() && run.proc.is_none());
+    }
+
+    #[test]
+    fn proc_backend_rejects_sim_only_features() {
+        let graph = builders::cycle(8);
+        let cmd = WorkerCommand::new("/bin/false", vec![]);
+        let b = ProcBackend::new(cmd, ProcOptions::default());
+        assert_eq!(b.label(), "proc");
+        let cfg = BfsConfig::new(8).with_verification(VerificationMode::Checksums);
+        match b.run(&graph, Topology::new(1, 1), 0, &cfg, false) {
+            Err(BackendError::Unsupported(_)) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        let cfg = BfsConfig::new(8).with_observability(gcbfs_trace::ObservabilityConfig::Full);
+        assert!(matches!(
+            b.run(&graph, Topology::new(1, 1), 0, &cfg, false),
+            Err(BackendError::Unsupported(_))
+        ));
+    }
+}

@@ -134,6 +134,102 @@ pub fn exchange_normals(
     exchange_normals_with(topo, cost, sends, use_local_all2all, use_uniquify, CompressionMode::Off)
 }
 
+/// The *value* half of the exchange pipeline — bin, optional local
+/// all2all regrouping, optional uniquify — with the stage statistics the
+/// cost model charges from. Splitting values from accounting lets the
+/// proc backend's workers run the identical transformations (delivered
+/// content must be bit-exact across backends) while only the modeled
+/// exchange consults the [`CostModel`].
+#[derive(Clone, Debug)]
+pub struct PreparedSends {
+    /// Post-pipeline held lists: `held[g]` is what holder `g` transmits.
+    pub held: Vec<Vec<(GpuId, u32)>>,
+    /// Original send-list length per GPU (the binning kernel's workload).
+    pub send_lens: Vec<u64>,
+    /// Items the regrouping moved between same-rank GPUs (0 without
+    /// local all2all).
+    pub moved_items: u64,
+    /// Per (holder, peer) regrouping move counts (empty without local
+    /// all2all): the per-peer NVLink message volumes.
+    pub moved_counts: Vec<Vec<u64>>,
+    /// Held-list length per holder *before* uniquify (its sort+dedup
+    /// workload; equals the final length when uniquify is off).
+    pub pre_uniquify_lens: Vec<u64>,
+}
+
+/// Runs bin → regroup → uniquify on `sends` without touching the cost
+/// model. `sends[g]` may be empty for GPUs a caller does not host (the
+/// proc backend prepares only its own ranks; regrouping never crosses
+/// ranks, so foreign empties stay empty).
+pub fn prepare_sends(
+    topo: &Topology,
+    sends: Vec<Vec<(GpuId, u32)>>,
+    use_local_all2all: bool,
+    use_uniquify: bool,
+) -> PreparedSends {
+    let p = topo.num_gpus() as usize;
+    assert_eq!(sends.len(), p, "one send list per GPU required");
+    let send_lens: Vec<u64> = sends.iter().map(|s| s.len() as u64).collect();
+
+    // Local all2all: regroup within ranks; moved items ride NVLink.
+    let mut held: Vec<Vec<(GpuId, u32)>> = sends;
+    let mut moved_items = 0u64;
+    let mut moved_counts = Vec::new();
+    if use_local_all2all {
+        let regrouped = local_all2all_regroup(*topo, held);
+        held = regrouped.items;
+        moved_items = regrouped.moved_items;
+        moved_counts = regrouped.moved_counts;
+    }
+
+    // Uniquify: drop duplicate (destination, slot) pairs per holder. Each
+    // holder is independent, so this fans out across the host pool (the
+    // per-GPU results are identical at any thread count).
+    let pre_uniquify_lens: Vec<u64> = held.iter().map(|l| l.len() as u64).collect();
+    if use_uniquify {
+        held.par_iter_mut().for_each(|list| {
+            list.sort_unstable_by_key(|&(dest, slot)| (topo.flat(dest), slot));
+            list.dedup();
+        });
+    }
+
+    PreparedSends { held, send_lens, moved_items, moved_counts, pre_uniquify_lens }
+}
+
+/// How one (source, destination) exchange message travels — the single
+/// routing decision shared by the modeled exchange and the proc workers,
+/// so both backends compress exactly the same messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessagePath {
+    /// Source and destination are the same GPU (possible after
+    /// regrouping): no transfer at all.
+    SameGpu,
+    /// Shipped raw: intra-rank (NVLink is never compressed) or the run
+    /// has compression off.
+    Raw {
+        /// True when source and destination share a rank.
+        intra: bool,
+    },
+    /// Cross-rank under a compressing mode: sort, encode, seal.
+    Compressed,
+}
+
+/// Classifies the `(src, dst)` flat-GPU pair under `mode`. The decision
+/// depends only on the *logical* topology — the proc backend applies it
+/// unchanged even when re-homing moves a partition to a different host
+/// process, which is what keeps wire images identical across backends.
+pub fn message_path(topo: &Topology, src_flat: usize, dst_flat: usize, on: bool) -> MessagePath {
+    if src_flat == dst_flat {
+        return MessagePath::SameGpu;
+    }
+    let intra = topo.same_rank(topo.unflat(src_flat), topo.unflat(dst_flat));
+    if intra || !on {
+        MessagePath::Raw { intra }
+    } else {
+        MessagePath::Compressed
+    }
+}
+
 /// Performs the exchange for one iteration.
 ///
 /// `sends[g]` are the `(destination GPU, destination-local slot)` updates
@@ -159,6 +255,8 @@ pub fn exchange_normals_with(
     assert_eq!(sends.len(), p, "one send list per GPU required");
     let items_before: u64 = sends.iter().map(|s| s.len() as u64).sum();
 
+    let prep = prepare_sends(topo, sends, use_local_all2all, use_uniquify);
+
     let mut local_time = vec![0f64; p];
     let mut encode_time = vec![0f64; p];
     let mut decode_time = vec![0f64; p];
@@ -167,23 +265,19 @@ pub fn exchange_normals_with(
     // Bin & convert: each GPU groups its updates; charged to the binning
     // kernel (the 64→32-bit conversion happened in the visit kernel, the
     // paper charges both to "extra local computation ... done on GPUs").
-    for (g, s) in sends.iter().enumerate() {
-        let t = cost.device.kernel_time(KernelKind::Binning, s.len() as u64);
+    for (g, &n) in prep.send_lens.iter().enumerate() {
+        let t = cost.device.kernel_time(KernelKind::Binning, n);
         local_time[g] += t;
         encode_time[g] += t;
     }
 
-    // Local all2all: regroup within ranks; moved items ride NVLink.
-    let mut held: Vec<Vec<(GpuId, u32)>> = sends;
     if use_local_all2all {
-        let regrouped = local_all2all_regroup(*topo, held);
-        held = regrouped.items;
-        local_bytes += regrouped.moved_items * BYTES_PER_UPDATE;
+        local_bytes += prep.moved_items * BYTES_PER_UPDATE;
         // Each holder pays one NVLink message per peer it actually shipped
         // items to, with the exact per-peer volume reported by the
         // regrouping (one `MPI_Isend`-like transfer per (holder, peer)
         // pair, as the paper's implementation batches them).
-        for (g, peers) in regrouped.moved_counts.iter().enumerate() {
+        for (g, peers) in prep.moved_counts.iter().enumerate() {
             for (peer, &count) in peers.iter().enumerate() {
                 if peer != g && count > 0 {
                     let t = cost.network.p2p_time(count * BYTES_PER_UPDATE, true);
@@ -194,24 +288,16 @@ pub fn exchange_normals_with(
         }
     }
 
-    // Uniquify: drop duplicate (destination, slot) pairs per holder. Each
-    // holder is independent, so this fans out across the host pool (the
-    // per-GPU results — and the ordered time accounting — are identical at
-    // any thread count).
     if use_uniquify {
-        held.par_iter_mut()
-            .zip(local_time.par_iter_mut().zip(encode_time.par_iter_mut()))
-            .for_each(|(list, (lt, et))| {
-                let n = list.len() as u64;
-                list.sort_unstable_by_key(|&(dest, slot)| (topo.flat(dest), slot));
-                list.dedup();
-                // Sort + dedup charged as another binning pass.
-                let t = cost.device.kernel_time(KernelKind::Binning, n);
-                *lt += t;
-                *et += t;
-            });
+        // Sort + dedup charged as another binning pass.
+        for (g, &n) in prep.pre_uniquify_lens.iter().enumerate() {
+            let t = cost.device.kernel_time(KernelKind::Binning, n);
+            local_time[g] += t;
+            encode_time[g] += t;
+        }
     }
 
+    let held = prep.held;
     let items_sent: u64 = held.iter().map(|s| s.len() as u64).sum();
 
     // Remote exchange: group per (holder, destination GPU), model each
@@ -230,7 +316,6 @@ pub fn exchange_normals_with(
                                   // which dominated the allocator profile at high GPU counts.
     let mut by_dest: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
     for (g, mut list) in held.into_iter().enumerate() {
-        let holder = topo.unflat(g);
         // Group contiguously by destination (stable: preserves send order).
         for (dest, slot) in list.drain(..) {
             by_dest[topo.flat(dest)].push(slot);
@@ -240,15 +325,14 @@ pub fn exchange_normals_with(
                 continue;
             }
             let raw_bytes = message_wire_bytes(slots.len(), None);
-            if dflat == g {
+            let path = message_path(topo, g, dflat, mode.is_on());
+            if path == MessagePath::SameGpu {
                 // Already at the destination (possible after regrouping):
                 // no transfer to model.
                 delivered[dflat].append(slots);
                 continue;
             }
-            let dest = topo.unflat(dflat);
-            let intra = topo.same_rank(holder, dest);
-            if intra || !mode.is_on() {
+            if let MessagePath::Raw { intra } = path {
                 // NVLink or uncompressed run: the paper's raw format.
                 let t = cost.network.p2p_time(raw_bytes, intra);
                 send_time[g] += t;

@@ -62,6 +62,15 @@ impl DirectionState {
         self.enabled
     }
 
+    /// Reinstates a previously observed direction without re-deciding —
+    /// used when worker state is restored from a checkpoint or installed
+    /// into a replacement process: the direction state machine must
+    /// resume exactly where the snapshot left it or the next `decide`
+    /// call would apply the wrong hysteresis arm.
+    pub fn restore_current(&mut self, direction: Direction) {
+        self.current = direction;
+    }
+
     /// Applies the paper's switching rule for this iteration:
     /// forward → backward when `FV > factor0 · BV`; backward → forward when
     /// `FV < factor1 · BV`; otherwise keep the current direction.

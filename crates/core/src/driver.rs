@@ -1259,31 +1259,29 @@ impl DistributedGraph {
             iter += 1;
         }
 
-        // ---- Assemble global depths. ----
-        let mut depths = vec![UNREACHED; self.num_vertices as usize];
-        for (id, &dd) in workers[0].delegate_depths.iter().enumerate() {
-            if dd != UNREACHED {
-                depths[self.separation.original(id as u32) as usize] = dd;
-            }
-        }
-        for (g, w) in workers.iter().enumerate() {
-            let gpu = topo.unflat(g);
-            for (slot, &dl) in w.depths_local.iter().enumerate() {
-                if dl != UNREACHED {
-                    let v = topo.global_id(gpu, slot as u32);
-                    debug_assert!(!self.separation.is_delegate(v));
-                    depths[v as usize] = dl;
-                }
-            }
-        }
-
-        // ---- Assemble the parent tree (only when requested). ----
+        // ---- Assemble global depths and (if requested) parents, via the
+        // backend-agnostic assembly the proc coordinator also uses. ----
+        let views: Vec<crate::assemble::GpuStateView<'_>> =
+            workers.iter().map(crate::assemble::GpuStateView::of_worker).collect();
+        let depths =
+            crate::assemble::assemble_depths(&topo, &self.separation, self.num_vertices, &views);
         let (parents, parent_exchange_seconds) = if track_parents {
-            let (p, t) = self.assemble_parents(source, &workers, &depths, config);
-            (Some(p), t)
+            let (p, log_entries) = crate::assemble::assemble_parents(
+                &topo,
+                &self.separation,
+                source,
+                self.num_vertices,
+                &views,
+                &depths,
+            );
+            // Modeled cost: 16 bytes per proposal (slot + parent + depth),
+            // aggregated per sending GPU over the inter-node fabric.
+            let bytes_per_gpu = 16 * log_entries / topo.num_gpus() as u64;
+            (Some(p), config.cost.network.p2p_time(bytes_per_gpu, false))
         } else {
             (None, 0.0)
         };
+        drop(views);
 
         // ---- Fault accounting (all zeros on fault-free runs). ----
         if let Some(inj) = &injector {
@@ -1305,85 +1303,6 @@ impl DistributedGraph {
             num_gpus: topo.num_gpus(),
         };
         Ok(BfsResult { source, depths, parents, parent_exchange_seconds, stats, observed })
-    }
-
-    /// Decodes per-GPU parent records into a global parent tree and models
-    /// the end-of-run exchange for remote `nn` destinations.
-    fn assemble_parents(
-        &self,
-        source: VertexId,
-        workers: &[GpuWorker],
-        depths: &[u32],
-        config: &BfsConfig,
-    ) -> (Vec<u64>, f64) {
-        use crate::kernels::{DELEGATE_PARENT_TAG, NO_PARENT};
-        let topo = self.topology;
-        let decode = |encoded: u64| -> u64 {
-            if encoded & DELEGATE_PARENT_TAG != 0 {
-                self.separation.original((encoded & !DELEGATE_PARENT_TAG) as u32)
-            } else {
-                encoded
-            }
-        };
-        let mut parents = vec![NO_PARENT; self.num_vertices as usize];
-        parents[source as usize] = source;
-
-        // Delegates: every GPU that discovered the delegate recorded a
-        // valid candidate; take the minimum for determinism.
-        for x in 0..self.separation.num_delegates() as usize {
-            let v = self.separation.original(x as u32);
-            if v == source || workers[0].delegate_depths[x] == UNREACHED {
-                continue;
-            }
-            let best = workers
-                .iter()
-                .filter_map(|w| {
-                    let c = w.delegate_parent_candidate[x];
-                    (c != NO_PARENT).then(|| decode(c))
-                })
-                .min();
-            parents[v as usize] = best.expect("visited delegate must have a candidate");
-        }
-
-        // Locally discovered normal vertices.
-        for (g, w) in workers.iter().enumerate() {
-            let gpu = topo.unflat(g);
-            for (slot, &encoded) in w.parents_local.iter().enumerate() {
-                if encoded == NO_PARENT {
-                    continue;
-                }
-                let v = topo.global_id(gpu, slot as u32);
-                if v != source {
-                    parents[v as usize] = decode(encoded);
-                }
-            }
-        }
-
-        // Remote nn destinations: replay the retained logs ("only the
-        // destination vertices of nn edges ... would need to communicate
-        // their parent information at the end of BFS", §VI-A3). A proposal
-        // is valid when its proposed depth matches the final depth; ties
-        // resolve to the minimum parent id.
-        let mut log_entries = 0u64;
-        for w in workers {
-            for &(dest, slot, parent, proposed_depth) in &w.remote_parent_log {
-                log_entries += 1;
-                let v = topo.global_id(dest, slot);
-                if depths[v as usize] != proposed_depth {
-                    continue;
-                }
-                let cur = &mut parents[v as usize];
-                if *cur == NO_PARENT || parent < *cur {
-                    debug_assert_ne!(v, source);
-                    *cur = parent;
-                }
-            }
-        }
-        // Modeled cost: 16 bytes per proposal (slot + parent + depth),
-        // aggregated per sending GPU over the inter-node fabric.
-        let bytes_per_gpu = 16 * log_entries / topo.num_gpus() as u64;
-        let t = config.cost.network.p2p_time(bytes_per_gpu, false);
-        (parents, t)
     }
 }
 

@@ -25,7 +25,9 @@
 //! * correctness armor: tiered online superstep verification and the
 //!   distributed Graph500-style end-of-run validator → [`verify`].
 
+pub mod assemble;
 pub mod async_bfs;
+pub mod backend;
 pub mod betweenness;
 pub mod checkpoint;
 pub mod comm;
@@ -41,6 +43,7 @@ pub mod masks;
 pub mod msbfs;
 pub mod mutation;
 pub mod pagerank;
+pub mod procrt;
 pub mod recovery;
 pub mod separation;
 pub mod sssp;

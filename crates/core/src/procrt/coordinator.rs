@@ -1,0 +1,924 @@
+//! The coordinator side of the proc backend: spawns one OS process per
+//! worker slot, drives the BSP superstep protocol over Unix-domain
+//! sockets, feeds real heartbeat arrivals into the phi-accrual detector,
+//! and recovers confirmed-dead workers from sealed checkpoints.
+//!
+//! Death is decided by the detector, never by a closed socket: a worker
+//! whose connection drops keeps its slot until heartbeat *silence*
+//! accrues past the wall profile's confirmation threshold. Only then does
+//! the recovery ladder engage — reap the child, roll survivors back to
+//! the last *committed* checkpoint, and re-home the dead slot's
+//! partitions onto a freshly spawned spare (same slot, new generation) or
+//! the least-loaded survivor. A checkpoint commits only once every
+//! worker's sealed images for that iteration arrived, so a death racing
+//! the capture can always fall back to the previous committed one.
+
+use super::protocol::{
+    kind, ConfigWire, GpuStateImage, ProtocolError, WireBlock, WireReader, WireWriter,
+    PROTO_VERSION,
+};
+use super::transport::TransportError;
+use super::{hosted_flats, ProcError, ProcOptions, ProcReport, RecoveryMode, RecoveryReport};
+use crate::assemble::{assemble_depths, assemble_parents, GpuStateView};
+use crate::config::BfsConfig;
+use crate::driver::BuildError;
+use crate::separation::Separation;
+use gcbfs_cluster::clock::{Clock, WallClock};
+use gcbfs_cluster::membership::{Membership, MembershipConfig, MembershipEvent};
+use gcbfs_cluster::topology::Topology;
+use gcbfs_compress::{Frame, MaskCodec};
+use gcbfs_graph::{EdgeList, VertexId};
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How to launch a worker process. The coordinator appends
+/// `--socket <path> --worker <slot>` to `args`.
+#[derive(Clone, Debug)]
+pub struct WorkerCommand {
+    /// Executable to spawn (typically `std::env::current_exe()` plus a
+    /// hidden subcommand in `args`).
+    pub program: PathBuf,
+    /// Leading arguments (e.g. `["backend-worker"]`).
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A command running `program` with the given leading arguments.
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        Self { program: program.into(), args }
+    }
+}
+
+/// The assembled result of a proc-backend run.
+#[derive(Clone, Debug)]
+pub struct ProcOutcome {
+    /// Global BFS depths, bit-exact with the sim backend.
+    pub depths: Vec<u32>,
+    /// The Graph500 parent tree, when requested.
+    pub parents: Option<Vec<u64>>,
+    /// Runtime telemetry (wire bytes, heartbeats, recovery timing).
+    pub report: ProcReport,
+}
+
+/// Monotone discriminator for socket filenames within this process.
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Messages from per-connection reader threads to the coordinator's
+/// event pump. `gen` guards against a stale reader (pre-recovery
+/// connection) speaking for a replacement worker in the same slot.
+enum Event {
+    /// A complete frame arrived on slot `slot`'s connection.
+    Frame { slot: usize, gen: u32, frame: Frame },
+    /// Slot `slot`'s connection closed or broke mid-frame.
+    Closed { slot: usize, gen: u32 },
+}
+
+/// What the event pump yielded to a collection loop.
+enum Waited {
+    /// A data frame from a live, current-generation connection.
+    Data { slot: usize, frame: Frame },
+    /// The detector confirmed this slot dead.
+    Dead(usize),
+}
+
+struct Slot {
+    child: Option<Child>,
+    stream: Option<UnixStream>,
+    gen: u32,
+    /// Participating in the protocol (false once reaped/recovered-away).
+    alive: bool,
+    hosted: Vec<usize>,
+    frontier: u64,
+    new_delegates: u64,
+    /// A heartbeat arrived since the last silence tick.
+    beat_seen: bool,
+}
+
+struct Coordinator {
+    topo: Topology,
+    config_wire: ConfigWire,
+    compression: gcbfs_compress::CompressionMode,
+    opts: ProcOptions,
+    worker_cmd: WorkerCommand,
+    socket_path: PathBuf,
+    listener: UnixListener,
+    slots: Vec<Slot>,
+    /// Flat GPU -> hosting slot.
+    hosting_of: Vec<usize>,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    clock: WallClock,
+    membership: Membership,
+    last_tick: Instant,
+    /// Committed checkpoint: iteration + one sealed image per flat GPU.
+    cp_iter: Option<u32>,
+    cp_store: HashMap<u32, GpuStateImage>,
+    /// Uncommitted saves: iter -> gpu_flat -> image.
+    staged: HashMap<u32, HashMap<u32, GpuStateImage>>,
+    prev_reduced: Option<Vec<u64>>,
+    num_delegates: u64,
+    spares_left: u32,
+    kill_fired: bool,
+    kill_time: Option<Instant>,
+    graph_bytes: Vec<u8>,
+    source: VertexId,
+    report: ProcReport,
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        let _ = std::fs::remove_file(&self.socket_path);
+    }
+}
+
+/// Runs BFS on the multi-process runtime: spawn workers, handshake, run
+/// the superstep protocol (recovering confirmed-dead workers), assemble
+/// depths/parents from the shipped final state.
+pub fn run_proc(
+    graph: &EdgeList,
+    topo: Topology,
+    source: VertexId,
+    config: &BfsConfig,
+    track_parents: bool,
+    worker_cmd: &WorkerCommand,
+    opts: &ProcOptions,
+) -> Result<ProcOutcome, ProcError> {
+    if source >= graph.num_vertices {
+        return Err(
+            BuildError::SourceOutOfRange { source, num_vertices: graph.num_vertices }.into()
+        );
+    }
+    let started = Instant::now();
+    let mut co = Coordinator::bind(graph, topo, source, config, track_parents, worker_cmd, opts)?;
+    co.spawn_and_handshake()?;
+    let iterations = co.superstep_loop()?;
+    let (depths, parents) = co.finish(graph.num_vertices)?;
+    co.shutdown();
+    let mut report = co.report.clone();
+    report.iterations = iterations;
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    Ok(ProcOutcome { depths, parents, report })
+}
+
+impl Coordinator {
+    fn bind(
+        graph: &EdgeList,
+        topo: Topology,
+        source: VertexId,
+        config: &BfsConfig,
+        track_parents: bool,
+        worker_cmd: &WorkerCommand,
+        opts: &ProcOptions,
+    ) -> Result<Self, ProcError> {
+        let degrees = graph.out_degrees();
+        let separation = Separation::from_degrees(&degrees, config.degree_threshold);
+        let num_delegates = u64::from(separation.num_delegates());
+        let mut graph_bytes = Vec::new();
+        gcbfs_graph::io::write_binary(graph, &mut graph_bytes)
+            .map_err(|e| ProcError::Spawn(format!("graph serialization failed: {e}")))?;
+
+        let dir = opts.socket_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let seq = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
+        let socket_path = dir.join(format!("gcbfs-{}-{}.sock", std::process::id(), seq));
+        let _ = std::fs::remove_file(&socket_path);
+        let listener = UnixListener::bind(&socket_path)
+            .map_err(|e| ProcError::Spawn(format!("bind {} failed: {e}", socket_path.display())))?;
+        listener.set_nonblocking(true).map_err(TransportError::Io)?;
+
+        let hosted = hosted_flats(&topo, opts.workers);
+        let nslots = hosted.len();
+        let mut hosting_of = vec![0usize; topo.num_gpus() as usize];
+        for (slot, flats) in hosted.iter().enumerate() {
+            for &f in flats {
+                hosting_of[f] = slot;
+            }
+        }
+        let slots = hosted
+            .into_iter()
+            .map(|flats| Slot {
+                child: None,
+                stream: None,
+                gen: 0,
+                alive: true,
+                hosted: flats,
+                frontier: 0,
+                new_delegates: 0,
+                beat_seen: false,
+            })
+            .collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let membership = Membership::new(nslots, 0, MembershipConfig::wall_defaults());
+        Ok(Self {
+            topo,
+            config_wire: ConfigWire::from_config(config, track_parents),
+            compression: config.compression,
+            opts: opts.clone(),
+            worker_cmd: worker_cmd.clone(),
+            socket_path,
+            listener,
+            slots,
+            hosting_of,
+            tx,
+            rx,
+            clock: WallClock::new(opts.heartbeat_period.as_secs_f64().max(1e-6)),
+            membership,
+            last_tick: Instant::now(),
+            cp_iter: None,
+            cp_store: HashMap::new(),
+            staged: HashMap::new(),
+            prev_reduced: None,
+            num_delegates,
+            spares_left: opts.spares,
+            kill_fired: false,
+            kill_time: None,
+            graph_bytes,
+            source,
+            report: ProcReport::default(),
+        })
+    }
+
+    fn spawn_child(&mut self, slot: usize) -> Result<(), ProcError> {
+        let child = Command::new(&self.worker_cmd.program)
+            .args(&self.worker_cmd.args)
+            .arg("--socket")
+            .arg(&self.socket_path)
+            .arg("--worker")
+            .arg(slot.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| ProcError::Spawn(format!("slot {slot}: {e}")))?;
+        self.slots[slot].child = Some(child);
+        Ok(())
+    }
+
+    /// Accepts connections until every slot in `expected` said Hello with
+    /// the right protocol version, then installs writers and spawns a
+    /// reader thread per connection.
+    fn accept_workers(&mut self, mut expected: Vec<usize>) -> Result<(), ProcError> {
+        let deadline = Instant::now() + self.opts.step_timeout;
+        while let Some(&waiting) = expected.first() {
+            if Instant::now() >= deadline {
+                return Err(ProcError::Handshake {
+                    worker: waiting as u32,
+                    detail: "accept deadline elapsed".into(),
+                });
+            }
+            let mut stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    continue;
+                }
+                Err(e) => return Err(TransportError::Io(e).into()),
+            };
+            stream.set_read_timeout(Some(Duration::from_secs(10))).map_err(TransportError::Io)?;
+            let hello = Frame::read_from(&mut stream).map_err(TransportError::from)?;
+            if hello.kind != kind::HELLO {
+                return Err(ProcError::Handshake {
+                    worker: u32::MAX,
+                    detail: format!("first frame was kind {:#x}, not Hello", hello.kind),
+                });
+            }
+            let mut r = WireReader::new(hello.payload());
+            let version = r.u32()?;
+            let slot = r.u32()? as usize;
+            r.expect_end()?;
+            if version != PROTO_VERSION {
+                return Err(ProcError::Handshake {
+                    worker: slot as u32,
+                    detail: format!("protocol version {version} != {PROTO_VERSION}"),
+                });
+            }
+            let Some(at) = expected.iter().position(|&s| s == slot) else {
+                return Err(ProcError::Handshake {
+                    worker: slot as u32,
+                    detail: "unexpected slot in Hello".into(),
+                });
+            };
+            expected.remove(at);
+            self.report.wire_bytes += hello.encoded_len() as u64;
+            self.report.frames_received += 1;
+
+            stream.set_read_timeout(None).map_err(TransportError::Io)?;
+            stream.set_write_timeout(Some(Duration::from_secs(30))).map_err(TransportError::Io)?;
+            let gen = self.slots[slot].gen;
+            let mut reader = stream.try_clone().map_err(TransportError::Io)?;
+            let tx = self.tx.clone();
+            std::thread::spawn(move || loop {
+                match Frame::read_from(&mut reader) {
+                    Ok(frame) => {
+                        if tx.send(Event::Frame { slot, gen, frame }).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        let _ = tx.send(Event::Closed { slot, gen });
+                        break;
+                    }
+                }
+            });
+            self.slots[slot].stream = Some(stream);
+        }
+        Ok(())
+    }
+
+    fn setup_body(&self, slot: usize) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(self.topo.num_ranks());
+        w.u32(self.topo.gpus_per_rank());
+        w.u32(self.topo.num_spares());
+        self.config_wire.encode(&mut w);
+        w.u64(self.source);
+        w.u64(self.opts.heartbeat_period.as_millis().max(1) as u64);
+        w.u64(self.opts.step_timeout.as_millis() as u64);
+        let hosted: Vec<u32> = self.slots[slot].hosted.iter().map(|&f| f as u32).collect();
+        w.u32s(&hosted);
+        w.bytes(&self.graph_bytes);
+        w.finish()
+    }
+
+    /// Sends one frame to a slot, counting wire traffic. A write failure
+    /// (e.g. EPIPE after a SIGKILL) is not fatal here — the detector owns
+    /// the death verdict; the caller just stops hearing from the slot.
+    fn send(&mut self, slot: usize, kind: u8, body: Vec<u8>) -> Result<(), TransportError> {
+        let frame = Frame::new(kind, body);
+        let bytes = frame.encode();
+        let Some(stream) = self.slots[slot].stream.as_mut() else {
+            return Err(TransportError::Io(std::io::Error::other("no connection")));
+        };
+        match stream.write_all(&bytes) {
+            Ok(()) => {
+                self.report.frames_sent += 1;
+                self.report.wire_bytes += bytes.len() as u64;
+                Ok(())
+            }
+            Err(e) => Err(TransportError::from(e)),
+        }
+    }
+
+    fn spawn_and_handshake(&mut self) -> Result<(), ProcError> {
+        let nslots = self.slots.len();
+        self.report.workers = nslots as u32;
+        for slot in 0..nslots {
+            self.spawn_child(slot)?;
+        }
+        self.accept_workers((0..nslots).collect())?;
+        for slot in 0..nslots {
+            let body = self.setup_body(slot);
+            self.send(slot, kind::SETUP, body)?;
+        }
+        // Ready carries the seeded frontier statistics.
+        let mut pending: Vec<usize> = (0..nslots).collect();
+        while !pending.is_empty() {
+            match self.pump(Instant::now() + self.opts.step_timeout, 0)? {
+                Waited::Data { slot, frame } if frame.kind == kind::READY => {
+                    let (_, frontier, nd) = read_stats(&frame)?;
+                    self.slots[slot].frontier = frontier;
+                    self.slots[slot].new_delegates = nd;
+                    pending.retain(|&s| s != slot);
+                }
+                Waited::Data { slot, frame } => {
+                    return Err(ProtocolError::new(format!(
+                        "slot {slot}: expected Ready, got kind {:#x}",
+                        frame.kind
+                    ))
+                    .into());
+                }
+                Waited::Dead(slot) => {
+                    return Err(ProcError::Handshake {
+                        worker: slot as u32,
+                        detail: "died before Ready".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until a data frame arrives from a current-generation
+    /// connection or the detector confirms a death; heartbeats and
+    /// checkpoint saves are absorbed here so collection loops never see
+    /// them. Errs with `StepTimeout` at `deadline`.
+    fn pump(&mut self, deadline: Instant, iter: u32) -> Result<Waited, ProcError> {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ProcError::StepTimeout { iter });
+            }
+            // Silence ticks: one per heartbeat period per quiet slot.
+            if self.last_tick.elapsed() >= self.opts.heartbeat_period {
+                self.last_tick = Instant::now();
+                let t = self.clock.now();
+                for slot in 0..self.slots.len() {
+                    if !self.slots[slot].alive || std::mem::take(&mut self.slots[slot].beat_seen) {
+                        continue;
+                    }
+                    match self.membership.record_silence(slot, t, iter) {
+                        Some(MembershipEvent::Suspected { .. }) => self.report.suspicions += 1,
+                        Some(MembershipEvent::ConfirmedDead { .. }) => {
+                            return Ok(Waited::Dead(slot));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let wait =
+                self.opts.heartbeat_period.min(deadline - now).min(Duration::from_millis(20));
+            match self.rx.recv_timeout(wait) {
+                Ok(Event::Frame { slot, gen, frame }) => {
+                    if gen != self.slots[slot].gen {
+                        continue; // stale pre-recovery connection
+                    }
+                    self.report.wire_bytes += frame.encoded_len() as u64;
+                    match frame.kind {
+                        kind::HEARTBEAT => {
+                            self.report.heartbeats += 1;
+                            self.slots[slot].beat_seen = true;
+                            let t = self.clock.now();
+                            if let Some(MembershipEvent::Suspected { .. }) =
+                                self.membership.record_arrival(slot, t, iter)
+                            {
+                                self.report.suspicions += 1;
+                            }
+                        }
+                        kind::CHECKPOINT_SAVE => {
+                            self.report.frames_received += 1;
+                            self.stage_checkpoint(&frame)?;
+                        }
+                        _ => {
+                            self.report.frames_received += 1;
+                            return Ok(Waited::Data { slot, frame });
+                        }
+                    }
+                }
+                Ok(Event::Closed { slot, gen }) => {
+                    // A closed socket is evidence only; the phi detector
+                    // confirms death from heartbeat silence.
+                    if gen == self.slots[slot].gen {
+                        self.slots[slot].stream = None;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("coordinator holds a sender endpoint")
+                }
+            }
+        }
+    }
+
+    /// Stages one worker's checkpoint images; commits the checkpoint once
+    /// every flat GPU's image for that iteration arrived.
+    fn stage_checkpoint(&mut self, frame: &Frame) -> Result<(), ProcError> {
+        let mut r = WireReader::new(frame.payload());
+        let iter = r.u32()?;
+        let n = r.u32()? as usize;
+        let entry = self.staged.entry(iter).or_default();
+        for _ in 0..n {
+            let img = GpuStateImage::decode(&mut r)?;
+            entry.insert(img.gpu_flat, img);
+        }
+        r.expect_end()?;
+        let complete = entry.len() == self.topo.num_gpus() as usize;
+        let newer = self.cp_iter.is_none_or(|c| iter > c);
+        if complete && newer {
+            self.cp_store = self.staged.remove(&iter).expect("staged entry exists");
+            self.cp_iter = Some(iter);
+            self.staged.retain(|&i, _| i > iter);
+            self.report.checkpoints += 1;
+        }
+        Ok(())
+    }
+
+    fn alive_slots(&self) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&s| self.slots[s].alive).collect()
+    }
+
+    /// Runs supersteps until the global frontier drains. Returns the
+    /// number of committed supersteps.
+    fn superstep_loop(&mut self) -> Result<u32, ProcError> {
+        let mut iter = 0u32;
+        loop {
+            let frontier: u64 = self
+                .slots
+                .iter()
+                .filter(|s| s.alive && !s.hosted.is_empty())
+                .map(|s| s.frontier)
+                .sum();
+            let new_delegates = self
+                .slots
+                .iter()
+                .filter(|s| s.alive && !s.hosted.is_empty())
+                .map(|s| s.new_delegates)
+                .max()
+                .unwrap_or(0);
+            if frontier == 0 && new_delegates == 0 {
+                return Ok(iter);
+            }
+            match self.superstep(iter)? {
+                Some(resumed) => iter = resumed,
+                None => iter += 1,
+            }
+        }
+    }
+
+    /// One superstep. `Ok(None)` means it committed; `Ok(Some(i))` means
+    /// a death was recovered and the loop must resume at iteration `i`.
+    fn superstep(&mut self, iter: u32) -> Result<Option<u32>, ProcError> {
+        let interval = self.opts.checkpoint_interval;
+        let cadence = iter == 0 || (interval > 0 && iter.is_multiple_of(interval));
+        let take_cp = cadence && self.cp_iter != Some(iter);
+        let chaos = self.opts.chaos;
+
+        // ---- StepGo broadcast (plus the chaos kill, which fires *after*
+        // the victim was told to work — mid-sweep, as real deaths do). ----
+        for slot in self.alive_slots() {
+            let mut w = WireWriter::new();
+            w.u32(iter);
+            w.u8(take_cp as u8);
+            let _ = self.send(slot, kind::STEP_GO, w.finish());
+        }
+        if let Some(kill) = chaos.kill {
+            let victim = kill.worker as usize;
+            if !self.kill_fired
+                && kill.iter == iter
+                && victim < self.slots.len()
+                && self.slots[victim].alive
+            {
+                self.kill_fired = true;
+                self.kill_time = Some(Instant::now());
+                if let Some(child) = self.slots[victim].child.as_mut() {
+                    let _ = child.kill(); // SIGKILL: no cleanup, no goodbye
+                }
+            }
+        }
+
+        // ---- Collect StepLocal from every live slot. ----
+        let deadline = Instant::now() + self.opts.step_timeout;
+        let mut pending = self.alive_slots();
+        let mut mask_changed = false;
+        let mut or_words: Vec<u64> = vec![0u64; (self.num_delegates as usize).div_ceil(64)];
+        let mut blocks: Vec<WireBlock> = Vec::new();
+        while !pending.is_empty() {
+            match self.pump(deadline, iter)? {
+                Waited::Dead(slot) => return self.recover(slot, iter).map(Some),
+                Waited::Data { slot, frame } => {
+                    if frame.kind != kind::STEP_LOCAL {
+                        continue; // stale frame from an aborted superstep
+                    }
+                    let mut r = WireReader::new(frame.payload());
+                    let fiter = r.u32()?;
+                    if fiter != iter || !pending.contains(&slot) {
+                        continue;
+                    }
+                    let changed = r.u8()? != 0;
+                    let words = r.u64s()?;
+                    if changed {
+                        mask_changed = true;
+                        if words.len() != or_words.len() {
+                            return Err(
+                                ProtocolError::new("mask contribution width mismatch").into()
+                            );
+                        }
+                        for (acc, w) in or_words.iter_mut().zip(&words) {
+                            *acc |= w;
+                        }
+                    }
+                    let nblocks = r.u32()? as usize;
+                    for _ in 0..nblocks {
+                        blocks.push(WireBlock::decode(&mut r)?);
+                    }
+                    r.expect_end()?;
+                    pending.retain(|&s| s != slot);
+                }
+            }
+        }
+
+        // ---- Reduce + encode the delegate mask, route the blocks. ----
+        let mask_payload = if mask_changed {
+            // The codec reference is the previous reduced mask; each
+            // worker's shared visited mask equals it after its last
+            // consume, so both ends of the differential codec agree.
+            // After a recovery `prev_reduced` is None and the delta
+            // degrades to all set bits — which the receivers' OR-decode
+            // absorbs exactly (the mask is monotone).
+            let codec = self
+                .compression
+                .mask_codec(self.prev_reduced.as_deref(), &or_words)
+                .unwrap_or(MaskCodec::RawMask);
+            let payload = codec
+                .encode(self.prev_reduced.as_deref(), &or_words)
+                .map_err(|e| ProtocolError::new(format!("mask encode failed: {e:?}")))?;
+            if self.compression.is_on() {
+                self.prev_reduced = Some(or_words.clone());
+            }
+            payload
+        } else {
+            Vec::new()
+        };
+        let mut routed: Vec<Vec<WireBlock>> = (0..self.slots.len()).map(|_| Vec::new()).collect();
+        for b in blocks {
+            let dst = b.dst as usize;
+            if dst >= self.hosting_of.len() {
+                return Err(ProtocolError::new("block for out-of-range gpu").into());
+            }
+            routed[self.hosting_of[dst]].push(b);
+        }
+
+        // ---- StepRemote broadcast (chaos: delayed and/or duplicated). ----
+        if !chaos.delay_step_remote.is_zero() {
+            std::thread::sleep(chaos.delay_step_remote);
+        }
+        for slot in self.alive_slots() {
+            let mut w = WireWriter::new();
+            w.u32(iter);
+            w.u8(mask_changed as u8);
+            w.bytes(&mask_payload);
+            let slot_blocks = std::mem::take(&mut routed[slot]);
+            w.u32(slot_blocks.len() as u32);
+            for b in &slot_blocks {
+                b.encode(&mut w);
+            }
+            let body = w.finish();
+            if chaos.duplicate_step_remote {
+                let _ = self.send(slot, kind::STEP_REMOTE, body.clone());
+            }
+            let _ = self.send(slot, kind::STEP_REMOTE, body);
+        }
+
+        // ---- Collect the StepDone barrier. ----
+        let deadline = Instant::now() + self.opts.step_timeout;
+        let mut pending = self.alive_slots();
+        while !pending.is_empty() {
+            match self.pump(deadline, iter)? {
+                Waited::Dead(slot) => return self.recover(slot, iter).map(Some),
+                Waited::Data { slot, frame } => {
+                    if frame.kind != kind::STEP_DONE {
+                        continue;
+                    }
+                    let (fiter, frontier, nd) = read_stats(&frame)?;
+                    if fiter != iter || !pending.contains(&slot) {
+                        continue;
+                    }
+                    self.slots[slot].frontier = frontier;
+                    self.slots[slot].new_delegates = nd;
+                    pending.retain(|&s| s != slot);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The recovery ladder for a confirmed-dead slot: reap the child,
+    /// roll survivors back to the committed checkpoint, re-home the dead
+    /// slot's partitions onto a spare process (same slot, fresh
+    /// generation) or the least-loaded survivor, and report real
+    /// detect/recover timings.
+    fn recover(&mut self, dead: usize, iter: u32) -> Result<u32, ProcError> {
+        let confirmed_at = Instant::now();
+        let detect_seconds =
+            self.kill_time.map(|t| confirmed_at.duration_since(t).as_secs_f64()).unwrap_or(0.0);
+        if let Some(mut child) = self.slots[dead].child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.slots[dead].stream = None;
+        self.slots[dead].alive = false;
+        let Some(cp_iter) = self.cp_iter else {
+            // Iteration 0 always checkpoints; reaching here means the
+            // death raced even that first commit.
+            return Err(ProcError::Unrecoverable { worker: dead as u32, iter });
+        };
+
+        // ---- Roll every survivor back to the committed checkpoint. ----
+        let survivors = self.alive_slots();
+        if survivors.is_empty() {
+            return Err(ProcError::Unrecoverable { worker: dead as u32, iter });
+        }
+        for &slot in &survivors {
+            let mut w = WireWriter::new();
+            w.u32(cp_iter);
+            let _ = self.send(slot, kind::ROLLBACK, w.finish());
+        }
+        let deadline = Instant::now() + self.opts.step_timeout;
+        let mut pending = survivors.clone();
+        while !pending.is_empty() {
+            match self.pump(deadline, iter)? {
+                Waited::Dead(second) => {
+                    return Err(ProcError::Unrecoverable { worker: second as u32, iter });
+                }
+                Waited::Data { slot, frame } => {
+                    if frame.kind != kind::ROLLBACK_OK {
+                        continue; // stale frames from the aborted superstep
+                    }
+                    let (_, frontier, nd) = read_stats(&frame)?;
+                    self.slots[slot].frontier = frontier;
+                    self.slots[slot].new_delegates = nd;
+                    pending.retain(|&s| s != slot);
+                }
+            }
+        }
+
+        // ---- Re-home the dead slot's partitions from sealed images. ----
+        let orphaned = std::mem::take(&mut self.slots[dead].hosted);
+        let mut adopt = WireWriter::new();
+        adopt.u32(cp_iter);
+        adopt.u32(orphaned.len() as u32);
+        for &f in &orphaned {
+            let img = self.cp_store.get(&(f as u32)).ok_or_else(|| {
+                ProtocolError::new(format!("committed checkpoint missing gpu {f}"))
+            })?;
+            img.encode(&mut adopt);
+        }
+        let adopt_body = adopt.finish();
+        let (target, mode) = if self.spares_left > 0 {
+            self.spares_left -= 1;
+            // Fresh generation: events from the dead process's reader
+            // thread can no longer impersonate the replacement.
+            self.slots[dead].gen += 1;
+            self.slots[dead].beat_seen = false;
+            self.spawn_child(dead)?;
+            self.accept_workers(vec![dead])?;
+            let body = self.setup_body(dead);
+            self.send(dead, kind::SETUP, body).map_err(ProcError::Transport)?;
+            self.slots[dead].alive = true;
+            let deadline = Instant::now() + self.opts.step_timeout;
+            loop {
+                match self.pump(deadline, iter)? {
+                    Waited::Dead(second) => {
+                        return Err(ProcError::Unrecoverable { worker: second as u32, iter });
+                    }
+                    Waited::Data { slot, frame } if slot == dead && frame.kind == kind::READY => {
+                        break;
+                    }
+                    Waited::Data { .. } => continue,
+                }
+            }
+            self.slots[dead].hosted = orphaned.clone();
+            (dead, RecoveryMode::Spare)
+        } else {
+            // Water-filling: the least-loaded survivor adopts (ties to
+            // the lowest slot for determinism).
+            let target = *survivors
+                .iter()
+                .min_by_key(|&&s| (self.slots[s].hosted.len(), s))
+                .expect("at least one survivor");
+            self.slots[target].hosted.extend(&orphaned);
+            self.slots[target].hosted.sort_unstable();
+            (target, RecoveryMode::Spread)
+        };
+        for &f in &orphaned {
+            self.hosting_of[f] = target;
+        }
+        self.send(target, kind::ADOPT, adopt_body).map_err(ProcError::Transport)?;
+        let deadline = Instant::now() + self.opts.step_timeout;
+        loop {
+            match self.pump(deadline, iter)? {
+                Waited::Dead(second) => {
+                    return Err(ProcError::Unrecoverable { worker: second as u32, iter });
+                }
+                Waited::Data { slot, frame } if slot == target && frame.kind == kind::ADOPT_OK => {
+                    let (_, frontier, nd) = read_stats(&frame)?;
+                    self.slots[slot].frontier = frontier;
+                    self.slots[slot].new_delegates = nd;
+                    break;
+                }
+                Waited::Data { .. } => continue,
+            }
+        }
+
+        // The differential mask codec's shared reference died with the
+        // aborted superstep; encode the next reduction from scratch.
+        self.prev_reduced = None;
+        self.report.recovery = Some(RecoveryReport {
+            worker: dead as u32,
+            mode,
+            detect_seconds,
+            recover_seconds: confirmed_at.elapsed().as_secs_f64(),
+            resumed_iter: cp_iter,
+        });
+        Ok(cp_iter)
+    }
+
+    /// Collects final state from every live slot and assembles global
+    /// depths (and parents, when tracked).
+    fn finish(&mut self, num_vertices: u64) -> Result<(Vec<u32>, Option<Vec<u64>>), ProcError> {
+        for slot in self.alive_slots() {
+            let _ = self.send(slot, kind::FINISH, Vec::new());
+        }
+        let p = self.topo.num_gpus() as usize;
+        let mut images: Vec<Option<GpuStateImage>> = (0..p).map(|_| None).collect();
+        let deadline = Instant::now() + self.opts.step_timeout;
+        let mut pending = self.alive_slots();
+        while !pending.is_empty() {
+            match self.pump(deadline, u32::MAX)? {
+                Waited::Dead(slot) => {
+                    return Err(ProcError::Unrecoverable { worker: slot as u32, iter: u32::MAX });
+                }
+                Waited::Data { slot, frame } => {
+                    if frame.kind != kind::FINAL_STATE {
+                        continue;
+                    }
+                    let mut r = WireReader::new(frame.payload());
+                    let n = r.u32()? as usize;
+                    for _ in 0..n {
+                        let img = GpuStateImage::decode(&mut r)?;
+                        let f = img.gpu_flat as usize;
+                        if f >= p {
+                            return Err(
+                                ProtocolError::new("final state for out-of-range gpu").into()
+                            );
+                        }
+                        images[f] = Some(img);
+                    }
+                    r.expect_end()?;
+                    pending.retain(|&s| s != slot);
+                }
+            }
+        }
+        let images: Vec<GpuStateImage> = images
+            .into_iter()
+            .enumerate()
+            .map(|(f, img)| {
+                img.ok_or_else(|| ProtocolError::new(format!("no final state for gpu {f}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let views: Vec<GpuStateView<'_>> = images.iter().map(|img| img.view()).collect();
+        let degrees_sep = self.separation_for_assembly(num_vertices);
+        let depths = assemble_depths(&self.topo, &degrees_sep, num_vertices, &views);
+        let parents = if self.config_wire.track_parents {
+            let (parents, _) = assemble_parents(
+                &self.topo,
+                &degrees_sep,
+                self.source,
+                num_vertices,
+                &views,
+                &depths,
+            );
+            Some(parents)
+        } else {
+            None
+        };
+        Ok((depths, parents))
+    }
+
+    /// Rebuilds the separation for assembly from the shipped graph bytes
+    /// — the same deterministic classification every worker computed.
+    fn separation_for_assembly(&self, num_vertices: u64) -> Separation {
+        let graph = gcbfs_graph::io::read_binary(self.graph_bytes.as_slice())
+            .expect("coordinator-serialized graph must re-read");
+        debug_assert_eq!(graph.num_vertices, num_vertices);
+        Separation::from_degrees(&graph.out_degrees(), self.config_wire.degree_threshold)
+    }
+
+    /// Graceful shutdown: ask every live worker to drain, fold its
+    /// duplicate-frame count into the report, and reap every child.
+    fn shutdown(&mut self) {
+        for slot in self.alive_slots() {
+            let _ = self.send(slot, kind::SHUTDOWN, Vec::new());
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut pending = self.alive_slots();
+        while !pending.is_empty() {
+            match self.pump(deadline, u32::MAX) {
+                Ok(Waited::Data { slot, frame }) if frame.kind == kind::BYE => {
+                    let mut r = WireReader::new(frame.payload());
+                    if let Ok(dups) = r.u64() {
+                        self.report.duplicate_frames_ignored += dups;
+                    }
+                    pending.retain(|&s| s != slot);
+                }
+                Ok(_) => continue,
+                Err(_) => break, // best-effort: the Drop reaper finishes
+            }
+        }
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Parses the shared `(iter, frontier, new_delegates)` statistics body
+/// carried by Ready/StepDone/RollbackOk/AdoptOk.
+fn read_stats(frame: &Frame) -> Result<(u32, u64, u64), ProcError> {
+    let mut r = WireReader::new(frame.payload());
+    let iter = r.u32()?;
+    let frontier = r.u64()?;
+    let nd = r.u64()?;
+    r.expect_end()?;
+    Ok((iter, frontier, nd))
+}

@@ -1,0 +1,267 @@
+//! The multi-process runtime behind the [`Backend`](crate::backend)
+//! seam: a coordinator process orchestrating one worker OS process per
+//! hosted rank group over Unix-domain sockets.
+//!
+//! The BSP structure is the sim driver's, verbatim — per superstep the
+//! coordinator broadcasts `StepGo`, workers run the *same*
+//! [`GpuWorker::run_iteration`](crate::kernels::GpuWorker) kernels,
+//! reply `StepLocal` with their delegate-mask OR contribution and the
+//! routed nn-update blocks, the coordinator ORs the masks, routes blocks
+//! to the workers hosting their destinations (`StepRemote`), and the
+//! workers form next frontiers and barrier with `StepDone`. Because the
+//! value pipeline ([`prepare_sends`](crate::comm::prepare_sends) /
+//! [`message_path`](crate::comm::message_path)) and the end-of-run
+//! assembly ([`crate::assemble`]) are shared with the sim, depths and
+//! parents are bit-exact across backends by construction.
+//!
+//! Liveness is real: workers heartbeat on a wall-clock period, the
+//! coordinator feeds arrivals and silences into the phi-accrual
+//! [`Membership`](gcbfs_cluster::membership::Membership) detector on a
+//! [`WallClock`](gcbfs_cluster::WallClock), and a SIGKILL'd worker is
+//! *confirmed* dead from heartbeat silence — not from its socket
+//! closing. Recovery rolls survivors back to the last sealed checkpoint
+//! and re-homes the dead worker's partitions onto a freshly spawned
+//! spare process or a surviving worker (water-filling onto the least
+//! loaded), then resumes the superstep loop.
+
+pub mod protocol;
+pub mod transport;
+pub mod worker;
+
+mod coordinator;
+
+pub use coordinator::{run_proc, ProcOutcome, WorkerCommand};
+
+use crate::driver::BuildError;
+use protocol::ProtocolError;
+use std::path::PathBuf;
+use std::time::Duration;
+use transport::TransportError;
+
+/// How a dead worker's partitions are re-homed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// A replacement process is spawned into the dead worker's slot.
+    Spare,
+    /// A surviving worker adopts the partitions (degraded mode).
+    Spread,
+}
+
+impl RecoveryMode {
+    /// Stable lower-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Spare => "spare",
+            Self::Spread => "spread",
+        }
+    }
+}
+
+/// Kill a worker process mid-sweep (chaos harness).
+#[derive(Clone, Copy, Debug)]
+pub struct KillSpec {
+    /// Worker slot to SIGKILL.
+    pub worker: u32,
+    /// Superstep at which the kill fires (right after its `StepGo`).
+    pub iter: u32,
+}
+
+/// Real-process fault modes for the chaos harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosSpec {
+    /// SIGKILL one worker at one superstep.
+    pub kill: Option<KillSpec>,
+    /// Hold every `StepRemote` broadcast back by this long (frame delay).
+    pub delay_step_remote: Duration,
+    /// Send every `StepRemote` twice (duplicate-frame tolerance check).
+    pub duplicate_step_remote: bool,
+}
+
+/// Tuning of the multi-process runtime.
+#[derive(Clone, Debug)]
+pub struct ProcOptions {
+    /// Worker processes to spawn (clamped to the rank count; ranks are
+    /// assigned round-robin, whole ranks per worker).
+    pub workers: u32,
+    /// Replacement-process budget for confirmed-dead workers. With zero
+    /// spares, recovery spreads onto survivors instead.
+    pub spares: u32,
+    /// Checkpoint every `k` supersteps (iteration 0 is always captured).
+    pub checkpoint_interval: u32,
+    /// Deadline for one superstep's collective message round.
+    pub step_timeout: Duration,
+    /// Worker heartbeat period (the wall clock's beat unit).
+    pub heartbeat_period: Duration,
+    /// Fault-mode switches.
+    pub chaos: ChaosSpec,
+    /// Directory for the coordinator socket (default: the OS temp dir).
+    pub socket_dir: Option<PathBuf>,
+}
+
+impl Default for ProcOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            spares: 0,
+            checkpoint_interval: 4,
+            step_timeout: Duration::from_secs(60),
+            heartbeat_period: Duration::from_millis(25),
+            chaos: ChaosSpec::default(),
+            socket_dir: None,
+        }
+    }
+}
+
+/// What one recovery cost, in real wall-clock seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// The worker slot that died.
+    pub worker: u32,
+    /// How the partitions were re-homed.
+    pub mode: RecoveryMode,
+    /// Kill (or last heartbeat) to phi-accrual confirmation.
+    pub detect_seconds: f64,
+    /// Confirmation to the superstep loop resuming.
+    pub recover_seconds: f64,
+    /// The checkpoint superstep the run resumed from.
+    pub resumed_iter: u32,
+}
+
+/// Runtime telemetry of one proc-backend run.
+#[derive(Clone, Debug, Default)]
+pub struct ProcReport {
+    /// Worker processes spawned initially.
+    pub workers: u32,
+    /// Supersteps executed (committed, excluding rolled-back work).
+    pub iterations: u32,
+    /// Wall-clock seconds from spawn to assembled result.
+    pub wall_seconds: f64,
+    /// Frame bytes actually shipped over sockets, both directions
+    /// (headers + sealed payloads; heartbeats included).
+    pub wire_bytes: u64,
+    /// Data frames the coordinator sent.
+    pub frames_sent: u64,
+    /// Data frames the coordinator received.
+    pub frames_received: u64,
+    /// Heartbeat frames received.
+    pub heartbeats: u64,
+    /// Duplicate frames workers ignored (chaos duplicate mode).
+    pub duplicate_frames_ignored: u64,
+    /// Phi-accrual suspicion events that did not confirm.
+    pub suspicions: u64,
+    /// Checkpoints captured (across all workers, counted once each).
+    pub checkpoints: u64,
+    /// The recovery that ran, if a worker was confirmed dead.
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// Why a proc-backend run failed. Socket-level detail is preserved in
+/// the typed chain; none of these panic paths.
+#[derive(Debug)]
+pub enum ProcError {
+    /// Building the distributed graph failed before any process spawned.
+    Build(BuildError),
+    /// Spawning or reaping a worker process failed.
+    Spawn(String),
+    /// Socket transport failure.
+    Transport(TransportError),
+    /// A peer sent a malformed or out-of-contract message.
+    Protocol(ProtocolError),
+    /// Version or identity mismatch during the handshake.
+    Handshake {
+        /// Worker slot (or claimed slot).
+        worker: u32,
+        /// What did not match.
+        detail: String,
+    },
+    /// A superstep round did not complete before the deadline.
+    StepTimeout {
+        /// The superstep that stalled.
+        iter: u32,
+    },
+    /// A worker died and no recovery path remained.
+    Unrecoverable {
+        /// The confirmed-dead worker slot.
+        worker: u32,
+        /// The superstep at which recovery was abandoned.
+        iter: u32,
+    },
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "{e}"),
+            Self::Spawn(e) => write!(f, "worker spawn failed: {e}"),
+            Self::Transport(e) => write!(f, "{e}"),
+            Self::Protocol(e) => write!(f, "{e}"),
+            Self::Handshake { worker, detail } => {
+                write!(f, "handshake with worker {worker} failed: {detail}")
+            }
+            Self::StepTimeout { iter } => write!(f, "superstep {iter} deadline elapsed"),
+            Self::Unrecoverable { worker, iter } => {
+                write!(f, "worker {worker} lost at superstep {iter} with no recovery path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Transport(e) => Some(e),
+            Self::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ProcError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<TransportError> for ProcError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+impl From<ProtocolError> for ProcError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+/// Assigns ranks to worker slots round-robin and expands each slot's
+/// hosted set to flat GPU indices (whole ranks per worker, so intra-rank
+/// regrouping never crosses a process boundary).
+pub fn hosted_flats(topo: &gcbfs_cluster::topology::Topology, workers: u32) -> Vec<Vec<usize>> {
+    let w = workers.min(topo.num_ranks()).max(1) as usize;
+    let gpr = topo.gpus_per_rank() as usize;
+    let mut hosted = vec![Vec::new(); w];
+    for rank in 0..topo.num_ranks() as usize {
+        let slot = rank % w;
+        hosted[slot].extend((rank * gpr)..(rank * gpr + gpr));
+    }
+    hosted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcbfs_cluster::topology::Topology;
+
+    #[test]
+    fn hosting_is_round_robin_whole_ranks() {
+        let topo = Topology::new(4, 2);
+        let hosted = hosted_flats(&topo, 2);
+        assert_eq!(hosted, vec![vec![0, 1, 4, 5], vec![2, 3, 6, 7]]);
+        // Clamped to the rank count.
+        let hosted = hosted_flats(&topo, 9);
+        assert_eq!(hosted.len(), 4);
+        assert_eq!(hosted[3], vec![6, 7]);
+    }
+}

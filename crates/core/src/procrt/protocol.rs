@@ -1,0 +1,827 @@
+//! Wire protocol of the proc backend: message kinds, a little-endian
+//! field writer/reader pair, the result-affecting config subset shipped
+//! to workers, and the sealed per-GPU state image used by checkpoints,
+//! adoption, and the final-state collection.
+//!
+//! Every message rides one [`Frame`](gcbfs_compress::Frame), so payloads
+//! inherit the frame layer's FNV-1a seal and bounded-allocation decoding.
+//! The state image carries a *second* digest — the same
+//! [`Checkpoint::worker_digest`] fold the in-process checkpoint seals
+//! with — so state at rest is verified with the identical primitive
+//! whether it was snapshotted locally or shipped across a socket.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::BfsConfig;
+use crate::direction::Direction;
+use crate::kernels::{GpuWorker, KernelVariant};
+use gcbfs_cluster::topology::GpuId;
+use gcbfs_compress::{fnv1a, FrontierCodec, MaskCodec};
+
+/// Protocol version carried in `Hello`; a coordinator rejects any worker
+/// that was built against a different framing or message layout.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Frame kind bytes. One octet per message type, grouped by phase.
+pub mod kind {
+    /// Worker → coordinator: first frame on a fresh connection.
+    pub const HELLO: u8 = 0x01;
+    /// Coordinator → worker: topology, config, graph bytes, hosted set.
+    pub const SETUP: u8 = 0x02;
+    /// Worker → coordinator: graph built and seeded.
+    pub const READY: u8 = 0x03;
+    /// Coordinator → worker: run local computation for one superstep.
+    pub const STEP_GO: u8 = 0x10;
+    /// Worker → coordinator: local results (mask OR + outgoing blocks).
+    pub const STEP_LOCAL: u8 = 0x11;
+    /// Coordinator → worker: reduced mask + routed incoming blocks.
+    pub const STEP_REMOTE: u8 = 0x12;
+    /// Worker → coordinator: superstep barrier (frontier statistics).
+    pub const STEP_DONE: u8 = 0x13;
+    /// Worker → coordinator: sealed state images at a checkpoint.
+    pub const CHECKPOINT_SAVE: u8 = 0x14;
+    /// Coordinator → worker: restore the local checkpoint at an iteration.
+    pub const ROLLBACK: u8 = 0x20;
+    /// Worker → coordinator: rollback done (recomputed statistics).
+    pub const ROLLBACK_OK: u8 = 0x21;
+    /// Coordinator → worker: install shipped state images (re-homing).
+    pub const ADOPT: u8 = 0x22;
+    /// Worker → coordinator: adoption done (recomputed statistics).
+    pub const ADOPT_OK: u8 = 0x23;
+    /// Coordinator → worker: traversal finished, ship final state.
+    pub const FINISH: u8 = 0x30;
+    /// Worker → coordinator: final per-GPU state images.
+    pub const FINAL_STATE: u8 = 0x31;
+    /// Worker → coordinator: liveness beat (feeds the phi detector).
+    pub const HEARTBEAT: u8 = 0x40;
+    /// Coordinator → worker: drain and exit.
+    pub const SHUTDOWN: u8 = 0x41;
+    /// Worker → coordinator: acknowledged shutdown, about to exit.
+    pub const BYE: u8 = 0x42;
+}
+
+/// A malformed or out-of-contract message body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What was violated, for the typed error chain.
+    pub detail: String,
+}
+
+impl ProtocolError {
+    /// Shorthand constructor.
+    pub fn new(detail: impl Into<String>) -> Self {
+        Self { detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol violation: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Little-endian message body writer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Empty body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, yielding the body bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn u32s(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, v: &[u64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian message body reader.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Reads from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end =
+            self.at.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(|| {
+                ProtocolError::new(format!("truncated body: need {n} more bytes"))
+            })?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A `u32`.
+    pub fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// A `u64`.
+    pub fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// An `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed byte slice. The prefix is validated against the
+    /// remaining body before any allocation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], ProtocolError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// A length-prefixed `u32` slice.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, ProtocolError> {
+        let n = self.u32()? as usize;
+        let raw =
+            self.take(n.checked_mul(4).ok_or_else(|| ProtocolError::new("u32s overflow"))?)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// A length-prefixed `u64` slice.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, ProtocolError> {
+        let n = self.u32()? as usize;
+        let raw =
+            self.take(n.checked_mul(8).ok_or_else(|| ProtocolError::new("u64s overflow"))?)?;
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Asserts the whole body was consumed.
+    pub fn expect_end(&self) -> Result<(), ProtocolError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::new(format!("{} trailing bytes", self.bytes.len() - self.at)))
+        }
+    }
+}
+
+fn frontier_codec_tag(c: FrontierCodec) -> u8 {
+    match c {
+        FrontierCodec::Raw32 => 0,
+        FrontierCodec::VarintDelta => 1,
+        FrontierCodec::Bitmap => 2,
+    }
+}
+
+fn frontier_codec_from(tag: u8) -> Result<FrontierCodec, ProtocolError> {
+    match tag {
+        0 => Ok(FrontierCodec::Raw32),
+        1 => Ok(FrontierCodec::VarintDelta),
+        2 => Ok(FrontierCodec::Bitmap),
+        t => Err(ProtocolError::new(format!("unknown frontier codec tag {t}"))),
+    }
+}
+
+fn mask_codec_tag(c: MaskCodec) -> u8 {
+    match c {
+        MaskCodec::RawMask => 0,
+        MaskCodec::RleMask => 1,
+        MaskCodec::SparseIndex => 2,
+    }
+}
+
+fn mask_codec_from(tag: u8) -> Result<MaskCodec, ProtocolError> {
+    match tag {
+        0 => Ok(MaskCodec::RawMask),
+        1 => Ok(MaskCodec::RleMask),
+        2 => Ok(MaskCodec::SparseIndex),
+        t => Err(ProtocolError::new(format!("unknown mask codec tag {t}"))),
+    }
+}
+
+/// The result-affecting subset of [`BfsConfig`] a worker needs to compute
+/// bit-identical values to the sim. Cost-model, recovery, observability,
+/// and verification knobs stay coordinator-side: they shape modeled time
+/// and policy, never depths or parents.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigWire {
+    /// Degree-separation threshold `TH`.
+    pub degree_threshold: u64,
+    /// Direction optimization on/off.
+    pub direction_optimization: bool,
+    /// Intra-rank regrouping of nn updates.
+    pub local_all2all: bool,
+    /// Sort + dedup of held nn updates.
+    pub uniquify: bool,
+    /// Per-kernel (vs global) direction decisions.
+    pub per_kernel_direction: bool,
+    /// `dd` kernel switch factors.
+    pub dd_factors: (f64, f64),
+    /// `dn` kernel switch factors.
+    pub dn_factors: (f64, f64),
+    /// `nd` kernel switch factors.
+    pub nd_factors: (f64, f64),
+    /// Wire compression mode (affects delivered block ordering).
+    pub compression: gcbfs_compress::CompressionMode,
+    /// Kernel implementation variant.
+    pub kernel_variant: KernelVariant,
+    /// Whether workers record BFS-tree parents.
+    pub track_parents: bool,
+}
+
+impl ConfigWire {
+    /// Extracts the wire subset from a full config.
+    pub fn from_config(config: &BfsConfig, track_parents: bool) -> Self {
+        Self {
+            degree_threshold: config.degree_threshold,
+            direction_optimization: config.direction_optimization,
+            local_all2all: config.local_all2all,
+            uniquify: config.uniquify,
+            per_kernel_direction: config.per_kernel_direction,
+            dd_factors: (
+                config.dd_factors.forward_to_backward,
+                config.dd_factors.backward_to_forward,
+            ),
+            dn_factors: (
+                config.dn_factors.forward_to_backward,
+                config.dn_factors.backward_to_forward,
+            ),
+            nd_factors: (
+                config.nd_factors.forward_to_backward,
+                config.nd_factors.backward_to_forward,
+            ),
+            compression: config.compression,
+            kernel_variant: config.kernel_variant,
+            track_parents,
+        }
+    }
+
+    /// Reconstructs a worker-side [`BfsConfig`] (defaults for the
+    /// non-result-affecting fields).
+    pub fn to_config(&self) -> BfsConfig {
+        let mut c = BfsConfig::new(self.degree_threshold)
+            .with_direction_optimization(self.direction_optimization)
+            .with_local_all2all(self.local_all2all)
+            .with_uniquify(self.uniquify)
+            .with_per_kernel_direction(self.per_kernel_direction)
+            .with_compression(self.compression)
+            .with_kernel_variant(self.kernel_variant);
+        c.dd_factors.forward_to_backward = self.dd_factors.0;
+        c.dd_factors.backward_to_forward = self.dd_factors.1;
+        c.dn_factors.forward_to_backward = self.dn_factors.0;
+        c.dn_factors.backward_to_forward = self.dn_factors.1;
+        c.nd_factors.forward_to_backward = self.nd_factors.0;
+        c.nd_factors.backward_to_forward = self.nd_factors.1;
+        c
+    }
+
+    /// Serializes into a message body.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.degree_threshold);
+        let flags = (self.direction_optimization as u8)
+            | (self.local_all2all as u8) << 1
+            | (self.uniquify as u8) << 2
+            | (self.per_kernel_direction as u8) << 3
+            | (self.track_parents as u8) << 4;
+        w.u8(flags);
+        for f in [self.dd_factors, self.dn_factors, self.nd_factors] {
+            w.f64(f.0);
+            w.f64(f.1);
+        }
+        match self.compression {
+            gcbfs_compress::CompressionMode::Off => w.u8(0),
+            gcbfs_compress::CompressionMode::Fixed(fc, mc) => {
+                w.u8(1);
+                w.u8(frontier_codec_tag(fc));
+                w.u8(mask_codec_tag(mc));
+            }
+            gcbfs_compress::CompressionMode::Adaptive => w.u8(2),
+        }
+        w.u8(match self.kernel_variant {
+            KernelVariant::Scalar => 0,
+            KernelVariant::WordParallel => 1,
+        });
+    }
+
+    /// Deserializes from a message body.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, ProtocolError> {
+        let degree_threshold = r.u64()?;
+        let flags = r.u8()?;
+        let mut factors = [(0.0, 0.0); 3];
+        for f in &mut factors {
+            *f = (r.f64()?, r.f64()?);
+        }
+        let compression = match r.u8()? {
+            0 => gcbfs_compress::CompressionMode::Off,
+            1 => gcbfs_compress::CompressionMode::Fixed(
+                frontier_codec_from(r.u8()?)?,
+                mask_codec_from(r.u8()?)?,
+            ),
+            2 => gcbfs_compress::CompressionMode::Adaptive,
+            t => return Err(ProtocolError::new(format!("unknown compression tag {t}"))),
+        };
+        let kernel_variant = match r.u8()? {
+            0 => KernelVariant::Scalar,
+            1 => KernelVariant::WordParallel,
+            t => return Err(ProtocolError::new(format!("unknown kernel variant tag {t}"))),
+        };
+        Ok(Self {
+            degree_threshold,
+            direction_optimization: flags & 1 != 0,
+            local_all2all: flags & 2 != 0,
+            uniquify: flags & 4 != 0,
+            per_kernel_direction: flags & 8 != 0,
+            dd_factors: factors[0],
+            dn_factors: factors[1],
+            nd_factors: factors[2],
+            compression,
+            kernel_variant,
+            track_parents: flags & 16 != 0,
+        })
+    }
+}
+
+fn dir_tag(d: Direction) -> u8 {
+    match d {
+        Direction::Forward => 0,
+        Direction::Backward => 1,
+    }
+}
+
+fn dir_from(tag: u8) -> Result<Direction, ProtocolError> {
+    match tag {
+        0 => Ok(Direction::Forward),
+        1 => Ok(Direction::Backward),
+        t => Err(ProtocolError::new(format!("unknown direction tag {t}"))),
+    }
+}
+
+/// A sealed image of one GPU's mutable BFS state — the unit of
+/// checkpointing, adoption, and final-state collection. The digest is the
+/// exact [`Checkpoint::worker_digest`] fold, recomputed and verified on
+/// every decode, so a corrupted image is rejected before installation.
+#[derive(Clone, Debug)]
+pub struct GpuStateImage {
+    /// Flat GPU index in the topology.
+    pub gpu_flat: u32,
+    /// Whether parent arrays are present.
+    pub track_parents: bool,
+    /// Depths of owned normal slots.
+    pub depths_local: Vec<u32>,
+    /// Replicated delegate depths.
+    pub delegate_depths: Vec<u32>,
+    /// Visited-mask bit count.
+    pub visited_bits: u32,
+    /// Visited-mask words.
+    pub visited_words: Vec<u64>,
+    /// Normal frontier (depth == current iteration).
+    pub frontier: Vec<u32>,
+    /// Delegate frontier (depth == current iteration).
+    pub new_delegates: Vec<u32>,
+    /// `dd`/`dn`/`nd` direction-state snapshot.
+    pub directions: [Direction; 3],
+    /// Encoded parents of owned normal slots (empty when untracked).
+    pub parents_local: Vec<u64>,
+    /// Per-delegate parent candidates (empty when untracked).
+    pub delegate_parent_candidate: Vec<u64>,
+    /// Retained remote `nn` parent proposals.
+    pub remote_parent_log: Vec<(GpuId, u32, u64, u32)>,
+    /// The `worker_digest` seal over the fields above.
+    pub digest: u64,
+}
+
+impl GpuStateImage {
+    /// Snapshots an in-process worker.
+    pub fn capture(gpu_flat: u32, w: &GpuWorker) -> Self {
+        let mut img = Self {
+            gpu_flat,
+            track_parents: w.track_parents,
+            depths_local: w.depths_local.clone(),
+            delegate_depths: w.delegate_depths.clone(),
+            visited_bits: w.visited_mask.num_bits(),
+            visited_words: w.visited_mask.words().to_vec(),
+            frontier: w.frontier.clone(),
+            new_delegates: w.new_delegates.clone(),
+            directions: [w.dir_dd.current(), w.dir_dn.current(), w.dir_nd.current()],
+            parents_local: w.parents_local.clone(),
+            delegate_parent_candidate: w.delegate_parent_candidate.clone(),
+            remote_parent_log: w.remote_parent_log.clone(),
+            digest: 0,
+        };
+        img.digest = img.state_digest();
+        debug_assert_eq!(img.digest, Checkpoint::worker_digest(w));
+        img
+    }
+
+    /// Recomputes the seal over the image's own fields — byte-for-byte
+    /// the [`Checkpoint::worker_digest`] serialization order.
+    pub fn state_digest(&self) -> u64 {
+        let mut bytes: Vec<u8> = Vec::new();
+        for &d in &self.depths_local {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        for &d in &self.delegate_depths {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        for &word in &self.visited_words {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        for &v in &self.frontier {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.new_delegates {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        if self.track_parents {
+            for &p in &self.parents_local {
+                bytes.extend_from_slice(&p.to_le_bytes());
+            }
+            for &p in &self.delegate_parent_candidate {
+                bytes.extend_from_slice(&p.to_le_bytes());
+            }
+            for &(owner, local, parent, depth) in &self.remote_parent_log {
+                bytes.extend_from_slice(&owner.rank.to_le_bytes());
+                bytes.extend_from_slice(&owner.gpu.to_le_bytes());
+                bytes.extend_from_slice(&local.to_le_bytes());
+                bytes.extend_from_slice(&parent.to_le_bytes());
+                bytes.extend_from_slice(&depth.to_le_bytes());
+            }
+        }
+        fnv1a(&bytes)
+    }
+
+    /// Installs the image into a worker whose subgraphs match its GPU.
+    /// The worker's digest afterwards equals the image seal by
+    /// construction (the decode path already verified it).
+    pub fn install(&self, w: &mut GpuWorker) {
+        w.depths_local = self.depths_local.clone();
+        w.delegate_depths = self.delegate_depths.clone();
+        w.visited_mask =
+            crate::masks::DelegateMask::from_words(self.visited_bits, self.visited_words.clone());
+        w.frontier = self.frontier.clone();
+        w.new_delegates = self.new_delegates.clone();
+        w.dir_dd.restore_current(self.directions[0]);
+        w.dir_dn.restore_current(self.directions[1]);
+        w.dir_nd.restore_current(self.directions[2]);
+        w.track_parents = self.track_parents;
+        w.parents_local = self.parents_local.clone();
+        w.delegate_parent_candidate = self.delegate_parent_candidate.clone();
+        w.remote_parent_log = self.remote_parent_log.clone();
+    }
+
+    /// A borrowing assembly view of this image.
+    pub fn view(&self) -> crate::assemble::GpuStateView<'_> {
+        crate::assemble::GpuStateView {
+            depths_local: &self.depths_local,
+            delegate_depths: &self.delegate_depths,
+            delegate_parent_candidate: &self.delegate_parent_candidate,
+            parents_local: &self.parents_local,
+            remote_parent_log: &self.remote_parent_log,
+        }
+    }
+
+    /// Serializes the image (digest last).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.gpu_flat);
+        w.u8(self.track_parents as u8);
+        w.u32s(&self.depths_local);
+        w.u32s(&self.delegate_depths);
+        w.u32(self.visited_bits);
+        w.u64s(&self.visited_words);
+        w.u32s(&self.frontier);
+        w.u32s(&self.new_delegates);
+        for d in self.directions {
+            w.u8(dir_tag(d));
+        }
+        w.u64s(&self.parents_local);
+        w.u64s(&self.delegate_parent_candidate);
+        w.u32(self.remote_parent_log.len() as u32);
+        for &(owner, local, parent, depth) in &self.remote_parent_log {
+            w.u32(owner.rank);
+            w.u32(owner.gpu);
+            w.u32(local);
+            w.u64(parent);
+            w.u32(depth);
+        }
+        w.u64(self.digest);
+    }
+
+    /// Deserializes and verifies the seal; a digest mismatch is a typed
+    /// error, never a silent install of corrupted state.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, ProtocolError> {
+        let gpu_flat = r.u32()?;
+        let track_parents = r.u8()? != 0;
+        let depths_local = r.u32s()?;
+        let delegate_depths = r.u32s()?;
+        let visited_bits = r.u32()?;
+        let visited_words = r.u64s()?;
+        if visited_words.len() != (visited_bits as usize).div_ceil(64) {
+            return Err(ProtocolError::new("visited mask word count mismatch"));
+        }
+        let frontier = r.u32s()?;
+        let new_delegates = r.u32s()?;
+        let directions = [dir_from(r.u8()?)?, dir_from(r.u8()?)?, dir_from(r.u8()?)?];
+        let parents_local = r.u64s()?;
+        let delegate_parent_candidate = r.u64s()?;
+        let n = r.u32()? as usize;
+        let mut remote_parent_log = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let owner = GpuId { rank: r.u32()?, gpu: r.u32()? };
+            let local = r.u32()?;
+            let parent = r.u64()?;
+            let depth = r.u32()?;
+            remote_parent_log.push((owner, local, parent, depth));
+        }
+        let digest = r.u64()?;
+        let img = Self {
+            gpu_flat,
+            track_parents,
+            depths_local,
+            delegate_depths,
+            visited_bits,
+            visited_words,
+            frontier,
+            new_delegates,
+            directions,
+            parents_local,
+            delegate_parent_candidate,
+            remote_parent_log,
+            digest,
+        };
+        if img.state_digest() != digest {
+            return Err(ProtocolError::new(format!(
+                "state image digest mismatch for gpu {gpu_flat}"
+            )));
+        }
+        Ok(img)
+    }
+}
+
+/// One routed nn-update block on the wire: `(src flat, dst flat)` plus
+/// either raw little-endian slots or a frontier-codec encoding.
+#[derive(Clone, Debug)]
+pub struct WireBlock {
+    /// Sending flat GPU.
+    pub src: u32,
+    /// Receiving flat GPU.
+    pub dst: u32,
+    /// True when `payload` is a frontier-codec encoding (cross-rank under
+    /// a compressing mode); false for raw 4-byte slots.
+    pub encoded: bool,
+    /// The block bytes.
+    pub payload: Vec<u8>,
+}
+
+impl WireBlock {
+    /// Serializes the block.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u32(self.src);
+        w.u32(self.dst);
+        w.u8(self.encoded as u8);
+        w.bytes(&self.payload);
+    }
+
+    /// Deserializes one block.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            src: r.u32()?,
+            dst: r.u32()?,
+            encoded: r.u8()? != 0,
+            payload: r.bytes()?.to_vec(),
+        })
+    }
+
+    /// Decodes the payload into destination-local slots.
+    pub fn slots(&self) -> Result<Vec<u32>, ProtocolError> {
+        if self.encoded {
+            let mut out = Vec::new();
+            gcbfs_compress::decode_frontier_into(&self.payload, &mut out)
+                .map_err(|e| ProtocolError::new(format!("block decode failed: {e:?}")))?;
+            Ok(out)
+        } else {
+            if !self.payload.len().is_multiple_of(4) {
+                return Err(ProtocolError::new("raw block length not a multiple of 4"));
+            }
+            Ok(self
+                .payload
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        }
+    }
+
+    /// Builds a raw (unencoded) block from slots.
+    pub fn raw(src: u32, dst: u32, slots: &[u32]) -> Self {
+        let mut payload = Vec::with_capacity(slots.len() * 4);
+        for &s in slots {
+            payload.extend_from_slice(&s.to_le_bytes());
+        }
+        Self { src, dst, encoded: false, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_writer_reader_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.f64(1.5);
+        w.bytes(b"abc");
+        w.u32s(&[1, 2, 3]);
+        w.u64s(&[9, 10]);
+        let body = w.finish();
+        let mut r = WireReader::new(&body);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.bytes().unwrap(), b"abc");
+        assert_eq!(r.u32s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u64s().unwrap(), vec![9, 10]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        let mut w = WireWriter::new();
+        w.u32s(&[1, 2, 3, 4]);
+        let mut body = w.finish();
+        body.truncate(body.len() - 3);
+        let mut r = WireReader::new(&body);
+        assert!(r.u32s().is_err());
+        // A hostile length prefix larger than the body fails before any
+        // large allocation.
+        let mut r = WireReader::new(&[0xff, 0xff, 0xff, 0xff]);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn config_wire_roundtrips() {
+        let config = BfsConfig::new(42)
+            .with_direction_optimization(false)
+            .with_local_all2all(true)
+            .with_uniquify(true)
+            .with_compression(gcbfs_compress::CompressionMode::Adaptive);
+        let cw = ConfigWire::from_config(&config, true);
+        let mut w = WireWriter::new();
+        cw.encode(&mut w);
+        let body = w.finish();
+        let back = ConfigWire::decode(&mut WireReader::new(&body)).unwrap();
+        assert_eq!(cw, back);
+        let rebuilt = back.to_config();
+        assert_eq!(rebuilt.degree_threshold, 42);
+        assert!(!rebuilt.direction_optimization);
+        assert!(rebuilt.local_all2all && rebuilt.uniquify);
+    }
+
+    fn sample_image() -> GpuStateImage {
+        let mut img = GpuStateImage {
+            gpu_flat: 3,
+            track_parents: true,
+            depths_local: vec![0, 7, u32::MAX],
+            delegate_depths: vec![1, u32::MAX],
+            visited_bits: 2,
+            visited_words: vec![0b01],
+            frontier: vec![1],
+            new_delegates: vec![0],
+            directions: [Direction::Backward, Direction::Forward, Direction::Backward],
+            parents_local: vec![5, u64::MAX, u64::MAX],
+            delegate_parent_candidate: vec![u64::MAX, 4],
+            remote_parent_log: vec![(GpuId { rank: 1, gpu: 0 }, 9, 77, 3)],
+            digest: 0,
+        };
+        img.digest = img.state_digest();
+        img
+    }
+
+    #[test]
+    fn state_image_roundtrips_and_seals() {
+        let img = sample_image();
+        let mut w = WireWriter::new();
+        img.encode(&mut w);
+        let body = w.finish();
+        let back = GpuStateImage::decode(&mut WireReader::new(&body)).unwrap();
+        assert_eq!(back.state_digest(), img.digest);
+        assert_eq!(back.depths_local, img.depths_local);
+        assert_eq!(back.directions, img.directions);
+        assert_eq!(back.remote_parent_log, img.remote_parent_log);
+
+        // Flip one depth bit: the seal check must reject the image.
+        let mut tampered = body.clone();
+        // depths_local starts after gpu_flat(4) + flag(1) + len(4).
+        tampered[9] ^= 1;
+        assert!(GpuStateImage::decode(&mut WireReader::new(&tampered)).is_err());
+    }
+
+    #[test]
+    fn image_matches_checkpoint_digest() {
+        // An image captured from a real worker must carry the exact
+        // Checkpoint::worker_digest seal.
+        use crate::distributor::distribute;
+        use crate::separation::Separation;
+        use crate::subgraph::GpuSubgraphs;
+        use gcbfs_cluster::topology::Topology;
+        use gcbfs_graph::builders;
+        use std::sync::Arc;
+
+        let graph = builders::star(8);
+        let topo = Topology::new(1, 1);
+        let degrees = graph.out_degrees();
+        let sep = Separation::from_degrees(&degrees, 3);
+        let dist = distribute(&graph, &sep, &degrees, &topo);
+        let sg = Arc::new(GpuSubgraphs::build(
+            topo.owned_count(GpuId { rank: 0, gpu: 0 }, graph.num_vertices),
+            sep.num_delegates(),
+            &dist.per_gpu[0],
+        ));
+        let ds =
+            crate::direction::DirectionState::new(crate::config::SwitchFactors::new(0.5), true);
+        let mut w = GpuWorker::new(GpuId { rank: 0, gpu: 0 }, sg, ds, ds, ds);
+        w.depths_local[0] = 0;
+        w.frontier.push(0);
+        let img = GpuStateImage::capture(0, &w);
+        assert_eq!(img.digest, Checkpoint::worker_digest(&w));
+
+        // Install into a fresh worker: state matches, digest matches.
+        let ds2 =
+            crate::direction::DirectionState::new(crate::config::SwitchFactors::new(0.5), true);
+        let mut w2 =
+            GpuWorker::new(GpuId { rank: 0, gpu: 0 }, Arc::clone(&w.subgraphs), ds2, ds2, ds2);
+        img.install(&mut w2);
+        assert_eq!(Checkpoint::worker_digest(&w2), img.digest);
+        assert_eq!(w2.frontier, vec![0]);
+    }
+
+    #[test]
+    fn wire_block_roundtrip_raw_and_encoded() {
+        let raw = WireBlock::raw(1, 2, &[5, 3, 9]);
+        let mut w = WireWriter::new();
+        raw.encode(&mut w);
+        let body = w.finish();
+        let back = WireBlock::decode(&mut WireReader::new(&body)).unwrap();
+        assert_eq!(back.slots().unwrap(), vec![5, 3, 9]);
+
+        let sorted = vec![2u32, 4, 4, 10];
+        let codec = FrontierCodec::VarintDelta;
+        let payload = codec.encode(&sorted).unwrap();
+        let enc = WireBlock { src: 0, dst: 3, encoded: true, payload };
+        assert_eq!(enc.slots().unwrap(), sorted);
+    }
+}

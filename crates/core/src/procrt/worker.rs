@@ -1,0 +1,592 @@
+//! The worker-process side of the proc backend.
+//!
+//! One worker hosts a set of whole ranks (their flat GPUs), rebuilds the
+//! distributed graph deterministically from the shipped edge list, and
+//! runs the same per-GPU kernels as the sim driver, superstep by
+//! superstep, under the coordinator's `StepGo`/`StepRemote` cadence. A
+//! background thread heartbeats on the configured wall-clock period; the
+//! main thread is a pure frame dispatcher, so a worker killed with
+//! SIGKILL at *any* point leaves no protocol state behind — the
+//! coordinator's detector and checkpoints own all recovery.
+
+use super::protocol::{
+    kind, ConfigWire, GpuStateImage, ProtocolError, WireBlock, WireReader, WireWriter,
+    PROTO_VERSION,
+};
+use super::transport::{connect_with_backoff, recv_frame, SharedWriter, TransportError};
+use crate::comm::{message_path, prepare_sends, MessagePath};
+use crate::direction::DirectionState;
+use crate::driver::DistributedGraph;
+use crate::kernels::{GpuWorker, LocalIterationOutput};
+use crate::masks::DelegateMask;
+use gcbfs_cluster::fault::JitteredBackoff;
+use gcbfs_cluster::topology::Topology;
+use gcbfs_compress::CompressionMode;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why the worker process exited abnormally.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Transport failure (connect, deadline, or broken socket).
+    Transport(TransportError),
+    /// Malformed coordinator message.
+    Protocol(ProtocolError),
+    /// The shipped graph failed to rebuild.
+    Graph(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "{e}"),
+            Self::Protocol(e) => write!(f, "{e}"),
+            Self::Graph(e) => write!(f, "graph rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<TransportError> for WorkerError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+impl From<ProtocolError> for WorkerError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+struct WorkerState {
+    topo: Topology,
+    config_wire: ConfigWire,
+    compression: CompressionMode,
+    dist: DistributedGraph,
+    /// Hosted flat GPUs, ascending.
+    flats: Vec<usize>,
+    workers: HashMap<usize, GpuWorker>,
+    /// Outputs of the superstep currently between `StepGo` and
+    /// `StepRemote`, keyed by flat GPU; `None` outside that window (the
+    /// duplicate-frame guard: a second `StepRemote` finds nothing to do).
+    outputs: Option<(u32, HashMap<usize, LocalIterationOutput>)>,
+    /// Blocks produced locally whose destination this worker hosts,
+    /// keyed `(src_flat, dst_flat)`. Compressed-path blocks are already
+    /// sorted (the value a real decode would yield).
+    local_blocks: HashMap<(usize, usize), Vec<u32>>,
+    /// Local checkpoint history, newest last, pruned to the two most
+    /// recent iterations. Two matter: the coordinator only *commits* a
+    /// checkpoint once every worker's save arrived, so a rollback may
+    /// target the previous one when a death races the newest.
+    checkpoints: Vec<(u32, Vec<GpuStateImage>)>,
+    duplicates_ignored: u64,
+}
+
+impl WorkerState {
+    fn fresh_worker(&self, flat: usize) -> GpuWorker {
+        let c = self.config_wire.to_config();
+        let mut w = GpuWorker::new(
+            self.topo.unflat(flat),
+            Arc::clone(&self.dist.subgraphs[flat]),
+            DirectionState::new(c.dd_factors, c.direction_optimization),
+            DirectionState::new(c.dn_factors, c.direction_optimization),
+            DirectionState::new(c.nd_factors, c.direction_optimization),
+        );
+        w.per_kernel_direction = c.per_kernel_direction;
+        w.kernel_variant = c.kernel_variant;
+        if self.config_wire.track_parents {
+            w.enable_parent_tracking();
+        }
+        w
+    }
+
+    fn frontier_total(&self) -> u64 {
+        self.flats.iter().map(|f| self.workers[f].frontier.len() as u64).sum()
+    }
+
+    fn new_delegates_len(&self) -> u64 {
+        // Replicated across GPUs after every consume; any hosted copy is
+        // canonical.
+        self.flats.first().map_or(0, |f| self.workers[f].new_delegates.len() as u64)
+    }
+
+    fn stats_body(&self, iter: u32) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(iter);
+        w.u64(self.frontier_total());
+        w.u64(self.new_delegates_len());
+        w.finish()
+    }
+
+    fn capture_images(&self) -> Vec<GpuStateImage> {
+        self.flats.iter().map(|&f| GpuStateImage::capture(f as u32, &self.workers[&f])).collect()
+    }
+}
+
+/// Runs the worker protocol to completion. `socket` is the coordinator's
+/// listening path, `worker_id` this process's slot. Returns when the
+/// coordinator sends `Shutdown` (or fails with a typed error when the
+/// coordinator vanishes — the orphan path).
+pub fn run_worker(socket: &Path, worker_id: u32) -> Result<(), WorkerError> {
+    let backoff = JitteredBackoff::new(0x70726f63, worker_id as u64).with_envelope(0.005, 0.25, 12);
+    let stream = connect_with_backoff(socket, &backoff)?;
+    let mut reader = stream.try_clone().map_err(TransportError::Io)?;
+    let writer = SharedWriter::new(stream);
+    writer.set_write_deadline(Some(Duration::from_secs(30)))?;
+
+    // Hello: version + identity, first frame on the wire.
+    let mut hello = WireWriter::new();
+    hello.u32(PROTO_VERSION);
+    hello.u32(worker_id);
+    writer.send(kind::HELLO, hello.finish())?;
+
+    // Heartbeats start NOW, before setup: decoding and building a large
+    // graph takes real wall-clock time, and a silent worker would be
+    // confirmed dead by the phi-accrual detector before it ever sent
+    // Ready. The period is provisional (the configured one arrives in
+    // Setup and is stored into the atomic below); the mutex-serialized
+    // writer keeps beat frames from tearing data frames.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb_period_ms = Arc::new(AtomicU64::new(25));
+    let hb = {
+        let hb_writer = writer.clone();
+        let hb_stop = Arc::clone(&stop);
+        let hb_period_ms = Arc::clone(&hb_period_ms);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !hb_stop.load(Ordering::Relaxed) {
+                let mut b = WireWriter::new();
+                b.u32(worker_id);
+                b.u64(seq);
+                if hb_writer.send(kind::HEARTBEAT, b.finish()).is_err() {
+                    break; // coordinator gone; main loop will notice too
+                }
+                seq += 1;
+                std::thread::sleep(Duration::from_millis(
+                    hb_period_ms.load(Ordering::Relaxed).max(1),
+                ));
+            }
+        })
+    };
+    let result = worker_body(&mut reader, &writer, &hb_period_ms);
+    stop.store(true, Ordering::Relaxed);
+    let _ = hb.join();
+    result
+}
+
+/// Everything after Hello: setup, the seeded frontier, and the dispatch
+/// loop. Split out so `run_worker` can stop the heartbeat thread on any
+/// exit path.
+fn worker_body(
+    reader: &mut std::os::unix::net::UnixStream,
+    writer: &SharedWriter,
+    hb_period_ms: &AtomicU64,
+) -> Result<(), WorkerError> {
+    // Setup: topology, config, graph, hosted set, source, timing knobs.
+    reader.set_read_timeout(Some(Duration::from_secs(120))).map_err(TransportError::from)?;
+    let setup = recv_frame(reader)?;
+    if setup.kind != kind::SETUP {
+        return Err(
+            ProtocolError::new(format!("expected Setup, got kind {:#x}", setup.kind)).into()
+        );
+    }
+    let mut r = WireReader::new(setup.payload());
+    let prank = r.u32()?;
+    let pgpu = r.u32()?;
+    let spares = r.u32()?;
+    let topo = Topology::new(prank, pgpu).with_spares(spares);
+    let config_wire = ConfigWire::decode(&mut r)?;
+    let source = r.u64()?;
+    let heartbeat_ms = r.u64()?;
+    hb_period_ms.store(heartbeat_ms.max(1), Ordering::Relaxed);
+    let step_timeout_ms = r.u64()?;
+    let hosted: Vec<usize> = r.u32s()?.into_iter().map(|f| f as usize).collect();
+    let graph_bytes = r.bytes()?;
+    let graph =
+        gcbfs_graph::io::read_binary(graph_bytes).map_err(|e| WorkerError::Graph(e.to_string()))?;
+    r.expect_end()?;
+
+    let config = config_wire.to_config();
+    let dist = DistributedGraph::build(&graph, topo, &config)
+        .map_err(|e| WorkerError::Graph(e.to_string()))?;
+    let p = topo.num_gpus() as usize;
+    if hosted.iter().any(|&f| f >= p) {
+        return Err(ProtocolError::new("hosted flat gpu out of range").into());
+    }
+
+    let mut st = WorkerState {
+        topo,
+        compression: config.compression,
+        config_wire,
+        dist,
+        flats: hosted,
+        workers: HashMap::new(),
+        outputs: None,
+        local_blocks: HashMap::new(),
+        checkpoints: Vec::new(),
+        duplicates_ignored: 0,
+    };
+    for &f in &st.flats.clone() {
+        let w = st.fresh_worker(f);
+        st.workers.insert(f, w);
+    }
+
+    // Seed the source exactly as the sim driver does: a delegate source
+    // folds into every hosted GPU's mask; a normal source seeds only its
+    // owner (if hosted here).
+    let d = st.dist.separation.num_delegates();
+    if let Some(did) = st.dist.separation.delegate_id(source) {
+        let mut seed = DelegateMask::new(d);
+        seed.set(did);
+        for f in st.flats.clone() {
+            st.workers.get_mut(&f).unwrap().consume_reduced_mask(&seed, 0);
+        }
+    } else {
+        let owner = topo.flat(topo.vertex_owner(source));
+        if let Some(w) = st.workers.get_mut(&owner) {
+            let slot = topo.local_index(source);
+            w.depths_local[slot as usize] = 0;
+            w.frontier.push(slot);
+        }
+    }
+
+    writer.send(kind::READY, st.stats_body(0))?;
+
+    // From here the worker is a dispatcher. The read deadline doubles
+    // the step timeout: a coordinator silent for that long is dead, and
+    // the worker exits instead of lingering as an orphan.
+    reader
+        .set_read_timeout(Some(Duration::from_millis((step_timeout_ms * 2).max(10_000))))
+        .map_err(TransportError::from)?;
+    dispatch_loop(&mut st, reader, writer)
+}
+
+fn dispatch_loop(
+    st: &mut WorkerState,
+    reader: &mut std::os::unix::net::UnixStream,
+    writer: &SharedWriter,
+) -> Result<(), WorkerError> {
+    loop {
+        let frame = recv_frame(reader)?;
+        let payload = frame.payload().to_vec();
+        let mut r = WireReader::new(&payload);
+        match frame.kind {
+            kind::STEP_GO => step_go(st, &mut r, writer)?,
+            kind::STEP_REMOTE => step_remote(st, &mut r, writer)?,
+            kind::ROLLBACK => rollback(st, &mut r, writer)?,
+            kind::ADOPT => adopt(st, &mut r, writer)?,
+            kind::FINISH => {
+                let mut w = WireWriter::new();
+                let images = st.capture_images();
+                w.u32(images.len() as u32);
+                for img in &images {
+                    img.encode(&mut w);
+                }
+                writer.send(kind::FINAL_STATE, w.finish())?;
+            }
+            kind::SHUTDOWN => {
+                let mut w = WireWriter::new();
+                w.u64(st.duplicates_ignored);
+                writer.send(kind::BYE, w.finish())?;
+                return Ok(());
+            }
+            k => {
+                return Err(ProtocolError::new(format!(
+                    "unexpected frame kind {k:#x} from coordinator"
+                ))
+                .into())
+            }
+        }
+    }
+}
+
+/// `StepGo`: optional checkpoint, local kernels, shared value pipeline,
+/// block classification, `StepLocal` reply.
+fn step_go(
+    st: &mut WorkerState,
+    r: &mut WireReader<'_>,
+    writer: &SharedWriter,
+) -> Result<(), WorkerError> {
+    let iter = r.u32()?;
+    let take_checkpoint = r.u8()? != 0;
+    r.expect_end()?;
+
+    if take_checkpoint && !st.checkpoints.iter().any(|(i, _)| *i == iter) {
+        let images = st.capture_images();
+        let mut w = WireWriter::new();
+        w.u32(iter);
+        w.u32(images.len() as u32);
+        for img in &images {
+            img.encode(&mut w);
+        }
+        writer.send(kind::CHECKPOINT_SAVE, w.finish())?;
+        st.checkpoints.push((iter, images));
+        if st.checkpoints.len() > 2 {
+            st.checkpoints.remove(0);
+        }
+    }
+
+    // Stale state from an aborted superstep (rollback raced a StepGo) is
+    // superseded wholesale.
+    st.local_blocks.clear();
+    let topo = st.topo;
+    let mut outputs: HashMap<usize, LocalIterationOutput> = HashMap::new();
+    for &f in &st.flats {
+        let out = st.workers.get_mut(&f).unwrap().run_iteration(iter, &topo);
+        outputs.insert(f, out);
+    }
+
+    // Delegate-mask contribution: OR over hosted output masks, sent only
+    // when some hosted GPU actually set a new bit (every output mask is
+    // a superset of the shared visited mask, so changed contributions
+    // alone reconstruct the exact global OR).
+    let d = st.dist.separation.num_delegates();
+    let changed = d > 0
+        && st
+            .flats
+            .iter()
+            .any(|f| outputs[f].output_mask.differs_from(&st.workers[f].visited_mask));
+    let mut or_words: Vec<u64> = Vec::new();
+    if changed {
+        or_words = vec![0u64; (d as usize).div_ceil(64)];
+        for f in &st.flats {
+            for (wi, word) in outputs[f].output_mask.words().iter().enumerate() {
+                or_words[wi] |= word;
+            }
+        }
+    }
+
+    // Shared value pipeline: exactly the sim's bin → regroup → uniquify,
+    // with empty lists for foreign GPUs (regrouping never crosses ranks,
+    // and this worker hosts whole ranks).
+    let p = topo.num_gpus() as usize;
+    let mut sends: Vec<Vec<_>> = vec![Vec::new(); p];
+    for &f in &st.flats {
+        sends[f] = std::mem::take(&mut outputs.get_mut(&f).unwrap().remote_nn);
+    }
+    let cfg = &st.config_wire;
+    let prep = prepare_sends(&topo, sends, cfg.local_all2all, cfg.uniquify);
+
+    // Classify each (src, dst) block with the shared routing decision.
+    // Local destinations are applied in-process (compressed-path blocks
+    // sorted — the value a decode of the sorted encoding yields); remote
+    // ones become wire blocks, encoded per the compression mode.
+    let on = st.compression.is_on();
+    let mut out_blocks: Vec<WireBlock> = Vec::new();
+    let mut by_dest: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    for (g, mut list) in prep.held.into_iter().enumerate() {
+        for (dest, slot) in list.drain(..) {
+            by_dest[topo.flat(dest)].push(slot);
+        }
+        for (dflat, slots) in by_dest.iter_mut().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let hosted_here = st.workers.contains_key(&dflat);
+            match message_path(&topo, g, dflat, on) {
+                MessagePath::SameGpu | MessagePath::Raw { .. } => {
+                    if hosted_here {
+                        st.local_blocks.insert((g, dflat), std::mem::take(slots));
+                    } else {
+                        out_blocks.push(WireBlock::raw(g as u32, dflat as u32, slots));
+                        slots.clear();
+                    }
+                }
+                MessagePath::Compressed => {
+                    slots.sort_unstable();
+                    if hosted_here {
+                        st.local_blocks.insert((g, dflat), std::mem::take(slots));
+                    } else {
+                        let codec = st
+                            .compression
+                            .frontier_codec(slots)
+                            .expect("compressing mode must pick a codec");
+                        let mut payload = Vec::new();
+                        codec
+                            .encode_into(slots, &mut payload)
+                            .expect("sorted input cannot be rejected");
+                        out_blocks.push(WireBlock {
+                            src: g as u32,
+                            dst: dflat as u32,
+                            encoded: true,
+                            payload,
+                        });
+                        slots.clear();
+                    }
+                }
+            }
+        }
+    }
+
+    let mut w = WireWriter::new();
+    w.u32(iter);
+    w.u8(changed as u8);
+    w.u64s(&or_words);
+    w.u32(out_blocks.len() as u32);
+    for b in &out_blocks {
+        b.encode(&mut w);
+    }
+    writer.send(kind::STEP_LOCAL, w.finish())?;
+    st.outputs = Some((iter, outputs));
+    Ok(())
+}
+
+/// `StepRemote`: consume the reduced mask, assemble deliveries in flat
+/// source order, form next frontiers, barrier with `StepDone`.
+fn step_remote(
+    st: &mut WorkerState,
+    r: &mut WireReader<'_>,
+    writer: &SharedWriter,
+) -> Result<(), WorkerError> {
+    let iter = r.u32()?;
+    let Some((go_iter, _)) = st.outputs else {
+        // No superstep in flight: a duplicated or stale frame. Tolerated
+        // and counted — the socket layer may legitimately replay.
+        st.duplicates_ignored += 1;
+        return Ok(());
+    };
+    if go_iter != iter {
+        st.duplicates_ignored += 1;
+        return Ok(());
+    }
+    let (_, mut outputs) = st.outputs.take().unwrap();
+
+    let mask_changed = r.u8()? != 0;
+    let mask_payload = r.bytes()?.to_vec();
+    let nblocks = r.u32()? as usize;
+    let mut remote_blocks: HashMap<(usize, usize), WireBlock> = HashMap::new();
+    for _ in 0..nblocks {
+        let b = WireBlock::decode(r)?;
+        remote_blocks.insert((b.src as usize, b.dst as usize), b);
+    }
+    r.expect_end()?;
+
+    let next_depth = iter + 1;
+    let d = st.dist.separation.num_delegates();
+    if mask_changed {
+        // The shared visited mask *is* the codec's reference: every GPU
+        // copied the previous reduced mask on its last consume, which is
+        // exactly what the coordinator encoded against.
+        let prev: Option<Vec<u64>> =
+            st.flats.first().map(|f| st.workers[f].visited_mask.words().to_vec());
+        let mut words = Vec::new();
+        gcbfs_compress::decode_mask_into(&mask_payload, prev.as_deref(), &mut words)
+            .map_err(|e| ProtocolError::new(format!("mask decode failed: {e:?}")))?;
+        let reduced = DelegateMask::from_words(d, words);
+        for f in st.flats.clone() {
+            st.workers.get_mut(&f).unwrap().consume_reduced_mask(&reduced, next_depth);
+        }
+    }
+
+    // Deliveries per hosted destination, ascending flat source order —
+    // the exact append order of the sim's exchange loop.
+    let p = st.topo.num_gpus() as usize;
+    for &dst in &st.flats.clone() {
+        let mut delivered: Vec<u32> = Vec::new();
+        for src in 0..p {
+            if let Some(slots) = st.local_blocks.remove(&(src, dst)) {
+                delivered.extend_from_slice(&slots);
+            } else if let Some(b) = remote_blocks.remove(&(src, dst)) {
+                delivered.extend_from_slice(&b.slots()?);
+            }
+        }
+        let out = outputs.get_mut(&dst).expect("output for every hosted gpu");
+        let w = st.workers.get_mut(&dst).unwrap();
+        debug_assert!(w.frontier.is_empty());
+        w.frontier = std::mem::take(&mut out.next_frontier);
+        w.recycle_output_mask(std::mem::replace(&mut out.output_mask, DelegateMask::new(0)));
+        for slot in delivered {
+            if let Some(s) = w.apply_remote_update(slot, next_depth) {
+                w.frontier.push(s);
+            }
+        }
+    }
+    if !remote_blocks.is_empty() {
+        return Err(ProtocolError::new("received block for a gpu this worker does not host").into());
+    }
+    st.local_blocks.clear();
+
+    writer.send(kind::STEP_DONE, st.stats_body(iter))?;
+    Ok(())
+}
+
+/// `Rollback`: restore every hosted GPU from the local checkpoint copy
+/// and vacate any in-flight superstep state.
+fn rollback(
+    st: &mut WorkerState,
+    r: &mut WireReader<'_>,
+    writer: &SharedWriter,
+) -> Result<(), WorkerError> {
+    let iter = r.u32()?;
+    r.expect_end()?;
+    let Some((_, images)) = st.checkpoints.iter().find(|(i, _)| *i == iter).cloned() else {
+        let have: Vec<u32> = st.checkpoints.iter().map(|(i, _)| *i).collect();
+        return Err(ProtocolError::new(format!(
+            "rollback to iter {iter} but local checkpoints are at {have:?}"
+        ))
+        .into());
+    };
+    for img in &images {
+        let f = img.gpu_flat as usize;
+        if let Some(w) = st.workers.get_mut(&f) {
+            img.install(w);
+        }
+    }
+    st.outputs = None;
+    st.local_blocks.clear();
+    writer.send(kind::ROLLBACK_OK, st.stats_body(iter))?;
+    Ok(())
+}
+
+/// `Adopt`: install shipped sealed images, constructing fresh workers
+/// for newly hosted GPUs (the full graph is already resident — every
+/// worker builds all partitions deterministically).
+fn adopt(
+    st: &mut WorkerState,
+    r: &mut WireReader<'_>,
+    writer: &SharedWriter,
+) -> Result<(), WorkerError> {
+    let iter = r.u32()?;
+    let n = r.u32()? as usize;
+    let mut images = Vec::with_capacity(n);
+    for _ in 0..n {
+        images.push(GpuStateImage::decode(r)?);
+    }
+    r.expect_end()?;
+    for img in &images {
+        let f = img.gpu_flat as usize;
+        if f >= st.topo.num_gpus() as usize {
+            return Err(ProtocolError::new("adopt image for out-of-range gpu").into());
+        }
+        if !st.workers.contains_key(&f) {
+            let w = st.fresh_worker(f);
+            st.workers.insert(f, w);
+            st.flats.push(f);
+            st.flats.sort_unstable();
+        }
+        img.install(st.workers.get_mut(&f).unwrap());
+    }
+    // Fold the adopted images into the local checkpoint history so a
+    // *second* rollback to the same iteration also covers them.
+    match st.checkpoints.iter_mut().find(|(i, _)| *i == iter) {
+        Some((_, cp_images)) => {
+            cp_images.retain(|i| !images.iter().any(|j| j.gpu_flat == i.gpu_flat));
+            cp_images.extend(images);
+        }
+        None => {
+            st.checkpoints.push((iter, images));
+            if st.checkpoints.len() > 2 {
+                st.checkpoints.remove(0);
+            }
+        }
+    }
+    st.outputs = None;
+    st.local_blocks.clear();
+    writer.send(kind::ADOPT_OK, st.stats_body(iter))?;
+    Ok(())
+}

@@ -44,6 +44,7 @@ const USAGE: &str = "usage:
             [--verify off|checksums|full] [--sdc SEED]
             [--mutate N] [--mutate-ops K] [--mutate-locality F]
             [--mutate-seed S] [--compact-every N]
+            [--backend sim|proc] [--procs N] [--kill WORKER:ITER]
   gcbfs pagerank FILE [--ranks R] [--gpus G] [--threshold TH]
             [--damping D] [--iterations N]
   gcbfs components FILE [--ranks R] [--gpus G] [--threshold TH]
@@ -114,6 +115,10 @@ fn run(raw: &[String]) -> Result<(), String> {
         Some("betweenness") => betweenness_cmd(&args),
         Some("sssp") => sssp_cmd(&args),
         Some("serve") => serve_cmd(&args),
+        // Hidden: the proc-backend worker entry point. The coordinator
+        // respawns this same binary with `backend-worker --socket PATH
+        // --worker N`; it is not part of the human-facing surface.
+        Some("backend-worker") => backend_worker(&args),
         Some(other) => Err(format!("unknown command: {other}")),
         None => Err("no command given".into()),
     }
@@ -213,6 +218,16 @@ fn pick_source(graph: &EdgeList, args: &Args) -> Result<u64, String> {
     }
 }
 
+/// The proc-backend worker entry point (hidden subcommand): connect to
+/// the coordinator socket and serve supersteps until told to finish.
+fn backend_worker(args: &Args) -> Result<(), String> {
+    let socket = args.required("socket")?;
+    let worker: u32 =
+        args.required("worker")?.parse().map_err(|_| "invalid --worker id".to_string())?;
+    gpu_cluster_bfs::core::procrt::worker::run_worker(std::path::Path::new(socket), worker)
+        .map_err(|e| format!("worker {worker}: {e}"))
+}
+
 fn bfs(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or("bfs needs a file")?;
     let graph = load(path)?;
@@ -242,6 +257,12 @@ fn bfs(args: &Args) -> Result<(), String> {
         other => return Err(format!("--verify wants off, checksums, or full, got {other}")),
     };
     config = config.with_verification(verify);
+
+    match args.opt::<String>("backend", "sim".into())?.as_str() {
+        "sim" => {}
+        "proc" => return bfs_proc(args, &graph, topo, config, path),
+        other => return Err(format!("--backend wants sim or proc, got {other}")),
+    }
 
     // Optional fault injection: a deterministic fail/rejoin pair, or a
     // seeded elastic chaos plan over the whole membership lifecycle.
@@ -401,6 +422,96 @@ fn bfs(args: &Args) -> Result<(), String> {
             return Err(format!("validation FAILED: {} invariant violation(s)", v.error_count));
         }
         println!("validation: OK");
+    }
+    Ok(())
+}
+
+/// The `bfs --backend proc` path: run the traversal in real worker OS
+/// processes behind the coordinator, then report wall-clock (not
+/// modeled) figures plus the wire and recovery telemetry.
+fn bfs_proc(
+    args: &Args,
+    graph: &EdgeList,
+    topo: Topology,
+    config: BfsConfig,
+    path: &str,
+) -> Result<(), String> {
+    use gpu_cluster_bfs::core::backend::{Backend, ProcBackend};
+    use gpu_cluster_bfs::core::procrt::{ChaosSpec, KillSpec, ProcOptions, WorkerCommand};
+    use gpu_cluster_bfs::core::UNREACHED;
+
+    for flag in ["fail", "rejoin", "chaos", "sdc", "mutate", "profile"] {
+        if args.options.iter().any(|(k, _)| *k == flag) {
+            return Err(format!("--{flag} is sim-only; drop it or use --backend sim"));
+        }
+    }
+    let procs: u32 = args.opt("procs", 2)?;
+    if procs == 0 {
+        return Err("--procs must be positive".into());
+    }
+    let spares: u32 = args.opt("spares", 0)?;
+    let mut chaos = ChaosSpec::default();
+    if let Some((_, v)) = args.options.iter().find(|(k, _)| *k == "kill") {
+        let (w, i) = gpu_at_iter(v, "kill")?;
+        chaos.kill = Some(KillSpec { worker: w as u32, iter: i });
+    }
+    let opts = ProcOptions { workers: procs, spares, chaos, ..ProcOptions::default() };
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let backend = ProcBackend::new(WorkerCommand::new(exe, vec!["backend-worker".into()]), opts);
+    let source = pick_source(graph, args)?;
+    let run = backend
+        .run(graph, topo, source, &config, args.switch("parents"))
+        .map_err(|e| e.to_string())?;
+    let report = run.proc.as_ref().expect("proc backend attaches its report");
+
+    let reached = run.depths.iter().filter(|&&d| d != UNREACHED).count();
+    let max_depth = run.depths.iter().filter(|&&d| d != UNREACHED).max().copied().unwrap_or(0);
+    println!(
+        "graph {path}: n = {}, m = {}, {} GPUs ({}x{}) across {} worker process(es)",
+        graph.num_vertices,
+        graph.num_edges(),
+        topo.num_gpus(),
+        topo.num_ranks(),
+        topo.gpus_per_rank(),
+        report.workers
+    );
+    println!(
+        "BFS from {source} (proc backend): {} iterations, {reached} reached, max depth {max_depth}",
+        report.iterations
+    );
+    println!(
+        "wall {:.1} ms -> {:.3} GTEPS (Graph500 m/2 convention); {} wire bytes, \
+         {} frames out / {} in, {} heartbeats, {} checkpoints",
+        report.wall_seconds * 1e3,
+        (graph.num_edges() / 2) as f64 / report.wall_seconds.max(1e-12) / 1e9,
+        report.wire_bytes,
+        report.frames_sent,
+        report.frames_received,
+        report.heartbeats,
+        report.checkpoints
+    );
+    if let Some(r) = &report.recovery {
+        println!(
+            "recovery: worker {} confirmed dead in {:.1} ms, re-homed via {} in {:.1} ms, \
+             resumed at superstep {}",
+            r.worker,
+            r.detect_seconds * 1e3,
+            r.mode.label(),
+            r.recover_seconds * 1e3,
+            r.resumed_iter
+        );
+    }
+    if args.switch("validate") {
+        let csr = Csr::from_edge_list(graph);
+        let truth = gpu_cluster_bfs::graph::reference::bfs_depths(&csr, source);
+        if run.depths != truth {
+            return Err("validation FAILED: proc depths diverge from reference BFS".into());
+        }
+        if let Some(parents) = &run.parents {
+            gpu_cluster_bfs::graph::reference::validate_parents(&csr, source, &run.depths, parents)
+                .map_err(|e| e.to_string())?;
+        }
+        println!("validation: OK (reference BFS agreement)");
     }
     Ok(())
 }

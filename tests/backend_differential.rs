@@ -1,0 +1,259 @@
+//! Cross-backend differential suite: the multi-process runtime must be
+//! bit-exact with the deterministic simulator — depths AND parents —
+//! because the kernels, value pipeline, and end-of-run assembly are
+//! shared code and the wire protocol replicates the sim's delivery
+//! order. Any divergence is a protocol bug, not an accuracy tradeoff.
+//!
+//! Worker processes are the `gcbfs` binary's hidden `backend-worker`
+//! subcommand, spawned via `CARGO_BIN_EXE_gcbfs`. The small scales run
+//! in every `cargo test`; the RMAT 14–16 matrix and the long chaos runs
+//! are `#[ignore]`d and driven by the CI `backend-acceptance` job.
+
+use gpu_cluster_bfs::compress::CompressionMode;
+use gpu_cluster_bfs::core::backend::{Backend, BackendRun, ProcBackend, SimBackend};
+use gpu_cluster_bfs::core::procrt::{
+    ChaosSpec, KillSpec, ProcOptions, RecoveryMode, WorkerCommand,
+};
+use gpu_cluster_bfs::graph::builders;
+use gpu_cluster_bfs::prelude::*;
+use std::time::Duration;
+
+fn worker_cmd() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_gcbfs"), vec!["backend-worker".to_string()])
+}
+
+fn proc_opts(procs: u32) -> ProcOptions {
+    ProcOptions { workers: procs, ..ProcOptions::default() }
+}
+
+/// Runs both backends and asserts bit-exact agreement on depths and
+/// parents. Returns the proc run for telemetry assertions.
+fn assert_backends_agree(
+    graph: &EdgeList,
+    topo: Topology,
+    source: u64,
+    config: &BfsConfig,
+    opts: ProcOptions,
+) -> BackendRun {
+    let sim = SimBackend
+        .run(graph, topo, source, config, true)
+        .unwrap_or_else(|e| panic!("sim backend: {e}"));
+    let proc = ProcBackend::new(worker_cmd(), opts)
+        .run(graph, topo, source, config, true)
+        .unwrap_or_else(|e| panic!("proc backend: {e}"));
+    assert_eq!(sim.depths, proc.depths, "depths diverge across backends");
+    assert_eq!(sim.parents, proc.parents, "parents diverge across backends");
+    let report = proc.proc.as_ref().expect("proc run carries its report");
+    assert_eq!(report.iterations, sim.sim.as_ref().unwrap().iterations(), "iteration counts");
+    assert!(report.wire_bytes > 0, "a real run moves real bytes");
+    proc
+}
+
+#[test]
+fn cycle_structured_graph_single_worker() {
+    let graph = builders::cycle(64);
+    let run =
+        assert_backends_agree(&graph, Topology::new(2, 2), 0, &BfsConfig::new(8), proc_opts(1));
+    assert!(run.proc.unwrap().recovery.is_none());
+}
+
+#[test]
+fn grid_graph_two_workers() {
+    let graph = builders::grid(12, 12);
+    assert_backends_agree(&graph, Topology::new(2, 2), 0, &BfsConfig::new(6), proc_opts(2));
+}
+
+#[test]
+fn double_star_delegate_heavy_two_workers() {
+    // Two high-degree hubs force the delegate mask path to carry real
+    // traffic in both directions.
+    let graph = builders::double_star(96);
+    assert_backends_agree(&graph, Topology::new(2, 2), 0, &BfsConfig::new(16), proc_opts(2));
+}
+
+#[test]
+fn rmat_scale9_procs_1_and_2() {
+    let graph = RmatConfig::graph500(9).generate();
+    let config = BfsConfig::new(16);
+    for procs in [1, 2] {
+        assert_backends_agree(&graph, Topology::new(2, 2), 1, &config, proc_opts(procs));
+    }
+}
+
+#[test]
+fn rmat_scale10_wider_topology() {
+    let graph = RmatConfig::graph500(10).generate();
+    assert_backends_agree(&graph, Topology::new(4, 2), 2, &BfsConfig::new(32), proc_opts(2));
+}
+
+#[test]
+fn rmat_scale10_with_adaptive_compression() {
+    // Adaptive compression arms the differential mask codec: workers
+    // decode SparseIndex deltas against their own visited reference
+    // while the coordinator encodes against its reduced history — the
+    // monotone-OR equivalence must hold across the process boundary.
+    let graph = RmatConfig::graph500(10).generate();
+    let config = BfsConfig::new(16).with_compression(CompressionMode::Adaptive);
+    assert_backends_agree(&graph, Topology::new(2, 2), 3, &config, proc_opts(2));
+}
+
+#[test]
+fn no_direction_optimization_agrees() {
+    let graph = RmatConfig::graph500(9).generate();
+    let config = BfsConfig::new(16).with_direction_optimization(false);
+    assert_backends_agree(&graph, Topology::new(2, 2), 1, &config, proc_opts(2));
+}
+
+fn kill_opts(procs: u32, spares: u32, victim: u32, iter: u32) -> ProcOptions {
+    ProcOptions {
+        workers: procs,
+        spares,
+        checkpoint_interval: 2,
+        chaos: ChaosSpec { kill: Some(KillSpec { worker: victim, iter }), ..ChaosSpec::default() },
+        ..ProcOptions::default()
+    }
+}
+
+#[test]
+fn sigkill_mid_sweep_recovers_onto_spare_bit_exact() {
+    let graph = RmatConfig::graph500(10).generate();
+    let config = BfsConfig::new(16);
+    let run = assert_backends_agree(&graph, Topology::new(2, 2), 1, &config, kill_opts(2, 1, 1, 1));
+    let report = run.proc.unwrap();
+    let rec = report.recovery.expect("a SIGKILL'd worker must be recovered");
+    assert_eq!(rec.worker, 1);
+    assert_eq!(rec.mode, RecoveryMode::Spare);
+    // Death is confirmed by phi-accrual silence, which needs several
+    // missed heartbeat periods — real wall-clock time, not a socket
+    // EOF race.
+    assert!(rec.detect_seconds > 0.0, "detection must take real time");
+    assert!(rec.recover_seconds > 0.0);
+}
+
+#[test]
+fn sigkill_mid_sweep_spreads_onto_survivor_bit_exact() {
+    let graph = RmatConfig::graph500(10).generate();
+    let config = BfsConfig::new(16);
+    let run = assert_backends_agree(&graph, Topology::new(2, 2), 1, &config, kill_opts(2, 0, 0, 1));
+    let report = run.proc.unwrap();
+    let rec = report.recovery.expect("recovery must run");
+    assert_eq!(rec.worker, 0);
+    assert_eq!(rec.mode, RecoveryMode::Spread);
+}
+
+#[test]
+fn duplicated_and_delayed_frames_are_absorbed() {
+    let graph = RmatConfig::graph500(9).generate();
+    let opts = ProcOptions {
+        workers: 2,
+        chaos: ChaosSpec {
+            delay_step_remote: Duration::from_millis(5),
+            duplicate_step_remote: true,
+            ..ChaosSpec::default()
+        },
+        ..ProcOptions::default()
+    };
+    let run = assert_backends_agree(&graph, Topology::new(2, 2), 1, &BfsConfig::new(16), opts);
+    let report = run.proc.unwrap();
+    assert!(
+        report.duplicate_frames_ignored > 0,
+        "workers must detect and drop the duplicated StepRemote frames"
+    );
+}
+
+#[test]
+fn unrecoverable_without_checkpoint_or_capacity_is_typed() {
+    use gpu_cluster_bfs::core::backend::BackendError;
+    use gpu_cluster_bfs::core::procrt::ProcError;
+    // One worker, no spares: the only process dies and nothing can
+    // adopt its partitions — the run must fail with the typed
+    // Unrecoverable error, not hang or panic.
+    let graph = RmatConfig::graph500(9).generate();
+    let opts = kill_opts(1, 0, 0, 1);
+    let err = ProcBackend::new(worker_cmd(), opts)
+        .run(&graph, Topology::new(2, 2), 1, &BfsConfig::new(16), false)
+        .unwrap_err();
+    match err {
+        BackendError::Proc(ProcError::Unrecoverable { worker: 0, .. }) => {}
+        other => panic!("expected Unrecoverable for worker 0, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance matrix: RMAT scales 14–16 at worker widths 1/2/4, plus
+// a seeded fail-stop and a spare-recovery run at scale 14. Slow (tens
+// of seconds each in debug); run `--release -- --ignored` as CI does.
+// ---------------------------------------------------------------------------
+
+fn acceptance_scale(scale: u32, procs: u32) {
+    let graph = RmatConfig::graph500(scale).generate();
+    let config = BfsConfig::new(64);
+    let mut opts = proc_opts(procs);
+    opts.step_timeout = Duration::from_secs(300);
+    assert_backends_agree(&graph, Topology::new(4, 2), 5, &config, opts);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat14_procs_1() {
+    acceptance_scale(14, 1);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat14_procs_2() {
+    acceptance_scale(14, 2);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat14_procs_4() {
+    acceptance_scale(14, 4);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat15_procs_2() {
+    acceptance_scale(15, 2);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat15_procs_4() {
+    acceptance_scale(15, 4);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat16_procs_2() {
+    acceptance_scale(16, 2);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat16_procs_4() {
+    acceptance_scale(16, 4);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat14_sigkill_spare_recovery() {
+    let graph = RmatConfig::graph500(14).generate();
+    let config = BfsConfig::new(64);
+    let mut opts = kill_opts(4, 1, 2, 2);
+    opts.step_timeout = Duration::from_secs(300);
+    let run = assert_backends_agree(&graph, Topology::new(4, 2), 5, &config, opts);
+    let rec = run.proc.unwrap().recovery.expect("recovery must run");
+    assert_eq!(rec.mode, RecoveryMode::Spare);
+    assert_eq!(rec.worker, 2);
+}
+
+#[test]
+#[ignore = "acceptance matrix: run with --release -- --ignored"]
+fn acceptance_rmat14_adaptive_compression_procs_4() {
+    let graph = RmatConfig::graph500(14).generate();
+    let config = BfsConfig::new(64).with_compression(CompressionMode::Adaptive);
+    let mut opts = proc_opts(4);
+    opts.step_timeout = Duration::from_secs(300);
+    assert_backends_agree(&graph, Topology::new(4, 2), 5, &config, opts);
+}
